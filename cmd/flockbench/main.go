@@ -1,0 +1,436 @@
+// Command flockbench regenerates the tables and figures of "Birds of a
+// Feather Flock Together: Scaling RDMA RPCs with FLock" (SOSP 2021).
+//
+// Usage:
+//
+//	flockbench -run all            # everything (several minutes)
+//	flockbench -run fig6           # one experiment
+//	flockbench -run fig6 -quick    # shortened simulation windows
+//	flockbench -list               # list experiment IDs
+//
+// Figure experiments run on the deterministic discrete-event models in
+// internal/model; table-1, the sync microbenchmark, and the credit/
+// signaling ablations run on the real concurrent library. Output is one
+// row per data point, aligned for diffing against EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flock/internal/baseline/lockshare"
+	"flock/internal/baseline/udrpc"
+	"flock/internal/core"
+	"flock/internal/fabric"
+	"flock/internal/model"
+	"flock/internal/rnic"
+)
+
+// experiment is one runnable unit.
+type experiment struct {
+	name  string
+	desc  string
+	run   func(quick bool)
+	alias string // non-empty: same runs as this experiment (skipped in -run all)
+}
+
+func main() {
+	runFlag := flag.String("run", "", "experiment ID to run, or 'all'")
+	quick := flag.Bool("quick", false, "shortened measurement windows")
+	list := flag.Bool("list", false, "list experiment IDs")
+	csvPath := flag.String("csv", "", "also append figure rows as CSV to this file")
+	flag.Parse()
+	if *csvPath != "" {
+		f, err := os.OpenFile(*csvPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		csvSink = f
+		fmt.Fprintln(f, "figure,series,x,mops,p50us,p99us,degree,cpu")
+	}
+
+	exps := experiments()
+	if *list || *runFlag == "" {
+		fmt.Println("experiments:")
+		for _, e := range exps {
+			fmt.Printf("  %-18s %s\n", e.name, e.desc)
+		}
+		if *runFlag == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+	if *runFlag == "all" {
+		for _, e := range exps {
+			if e.alias != "" {
+				fmt.Printf("== %s: %s (same runs as %s; skipped)\n\n", e.name, e.desc, e.alias)
+				continue
+			}
+			fmt.Printf("== %s: %s\n", e.name, e.desc)
+			e.run(*quick)
+			fmt.Println()
+		}
+		return
+	}
+	for _, e := range exps {
+		if e.name == *runFlag {
+			fmt.Printf("== %s: %s\n", e.name, e.desc)
+			e.run(*quick)
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *runFlag)
+	os.Exit(2)
+}
+
+// csvSink, when set, receives every figure row in CSV form.
+var csvSink *os.File
+
+// experiments enumerates every table/figure reproduction and ablation.
+func experiments() []experiment {
+	rows := func(f func(bool) []model.Row) func(bool) {
+		return func(quick bool) {
+			for _, r := range f(quick) {
+				fmt.Println(r)
+				if csvSink != nil {
+					fmt.Fprintf(csvSink, "%s,%s,%g,%.3f,%.2f,%.2f,%.3f,%.3f\n",
+						r.Figure, r.Series, r.X, r.Mops, r.P50us, r.P99us, r.Degree, r.CPU)
+				}
+			}
+		}
+	}
+	return []experiment{
+		{"table1", "transport capability matrix (Table 1)", runTable1, ""},
+		{"fig2a", "RDMA read (RC) throughput vs #QPs — NIC cache cliff", rows(model.Fig2a), ""},
+		{"fig2b", "UD RPC throughput vs #senders — server CPU saturation", rows(model.Fig2b), ""},
+		{"fig6", "throughput: FLock vs eRPC, 1–48 thr, outstanding 1/4/8", rows(model.Fig6), ""},
+		{"fig7", "median latency view of the fig6 sweep", rows(model.Fig6), "fig6"},
+		{"fig8", "99th-percentile latency view of the fig6 sweep", rows(model.Fig6), "fig6"},
+		{"fig9", "FLock vs no-sharing vs FaRM-style lock sharing", rows(model.Fig9), ""},
+		{"fig10", "coalescing on/off at 32 thr, outstanding 1/4/8", rows(model.Fig10), ""},
+		{"fig11", "sender-side thread scheduling on/off, large payloads", rows(model.Fig11), ""},
+		{"fig12", "node scalability: 23–368 clients, 3 QP configs", rows(model.Fig12), ""},
+		{"fig14", "TATP: FLockTX vs FaSST, 20 clients, 3 servers", rows(model.Fig14), ""},
+		{"fig15", "Smallbank: FLockTX vs FaSST", rows(model.Fig15), ""},
+		{"fig16", "HydraList 90% get / 10% scan: FLock vs eRPC", rows(model.Fig16), ""},
+		{"fig17", "HydraList per-class latency view of the fig16 sweep", rows(model.Fig16), "fig16"},
+		{"fig18", "HydraList tail-latency view of the fig16 sweep", rows(model.Fig16), "fig16"},
+		{"ablation-maxaqp", "MAX_AQP sweep (why 256, §5.1)", rows(model.AblationMaxAQP), ""},
+		{"ablation-batch", "leader combining bound sweep (§4.2)", rows(model.AblationBatch), ""},
+		{"ablation-window", "combining window sweep (degree vs latency)", rows(model.AblationInterval), ""},
+		{"ablation-credits", "credit budget C sweep on the live library", runCreditAblation, ""},
+		{"ablation-udcoalesce", "UD response coalescing (§9 extension) on the live library", runUDCoalesceAblation, ""},
+		{"ablation-signal", "selective signaling sweep on the live library", runSignalAblation, ""},
+		{"sync-micro", "live TCQ vs spinlock QP sharing (§1's 2.3× claim)", runSyncMicro, ""},
+	}
+}
+
+// runTable1 prints the capability matrix straight from the substrate.
+func runTable1(bool) {
+	ops := []rnic.Opcode{rnic.OpRead, rnic.OpFetchAdd, rnic.OpCmpSwap, rnic.OpWrite, rnic.OpSend}
+	fmt.Printf("%-4s", "")
+	for _, op := range ops {
+		fmt.Printf(" %-10s", op)
+	}
+	fmt.Println(" MTU")
+	for _, tr := range []rnic.Transport{rnic.RC, rnic.UC, rnic.UD} {
+		fmt.Printf("%-4s", tr)
+		for _, op := range ops {
+			mark := "x"
+			if tr.Supports(op) {
+				mark = "v"
+			}
+			fmt.Printf(" %-10s", mark)
+		}
+		mtu := "2GB"
+		if tr == rnic.UD {
+			mtu = "4KB"
+		}
+		fmt.Println(" " + mtu)
+	}
+}
+
+// liveEchoThroughput runs the real library: nClients client nodes × nThreads
+// goroutines of 64-byte echo against one server for the wall duration.
+func liveEchoThroughput(opts core.Options, nClients, nThreads, window int, dur time.Duration) (mops float64, m core.NodeMetrics) {
+	nw := core.NewNetwork(fabric.Config{})
+	defer nw.Close()
+	server, err := nw.NewNode(0, opts, 0)
+	if err != nil {
+		panic(err)
+	}
+	server.RegisterHandler(1, func(req []byte) []byte { return req })
+	server.Serve()
+
+	var ops atomic.Uint64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for c := 0; c < nClients; c++ {
+		client, err := nw.NewNode(fabric.NodeID(c+1), opts, 0)
+		if err != nil {
+			panic(err)
+		}
+		conn, err := client.Connect(0)
+		if err != nil {
+			panic(err)
+		}
+		for t := 0; t < nThreads; t++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				th := conn.RegisterThread()
+				payload := make([]byte, 64)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					for k := 0; k < window; k++ {
+						if _, err := th.SendRPC(1, payload); err != nil {
+							return
+						}
+					}
+					for k := 0; k < window; k++ {
+						if _, err := th.RecvRes(); err != nil {
+							return
+						}
+						ops.Add(1)
+					}
+				}
+			}()
+		}
+	}
+	// Warm up, reset, measure.
+	time.Sleep(dur / 4)
+	ops.Store(0)
+	start := time.Now()
+	time.Sleep(dur)
+	measured := ops.Load()
+	elapsed := time.Since(start)
+	close(stop)
+	wg.Wait()
+	return float64(measured) / elapsed.Seconds() / 1e6, server.Metrics()
+}
+
+// runCreditAblation sweeps the per-QP credit budget C on the live library.
+func runCreditAblation(quick bool) {
+	dur := 800 * time.Millisecond
+	if quick {
+		dur = 200 * time.Millisecond
+	}
+	fmt.Println("C      Mops   renewals  degree")
+	for _, credits := range []int{4, 8, 16, 32, 64, 128} {
+		opts := core.Options{Credits: credits, QPsPerConn: 2}
+		mops, m := liveEchoThroughput(opts, 2, 8, 8, dur)
+		degree := 0.0
+		if m.MsgsIn > 0 {
+			degree = float64(m.ItemsIn) / float64(m.MsgsIn)
+		}
+		fmt.Printf("%-6d %6.3f %9d %7.2f\n", credits, mops, m.CreditRenewals, degree)
+	}
+}
+
+// runSignalAblation sweeps the selective-signaling period on the live
+// library, showing the completion-DMA savings of §7.
+func runSignalAblation(quick bool) {
+	dur := 800 * time.Millisecond
+	if quick {
+		dur = 200 * time.Millisecond
+	}
+	fmt.Println("signalEvery  Mops   (completions suppressed vs delivered on client NIC)")
+	for _, every := range []int{1, 4, 16, 64} {
+		nw := core.NewNetwork(fabric.Config{})
+		opts := core.Options{SignalEvery: every, QPsPerConn: 1}
+		server, _ := nw.NewNode(0, opts, 0)
+		server.RegisterHandler(1, func(req []byte) []byte { return req })
+		server.Serve()
+		client, _ := nw.NewNode(1, opts, 0)
+		conn, _ := client.Connect(0)
+		var ops atomic.Uint64
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		for t := 0; t < 8; t++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				th := conn.RegisterThread()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if _, err := th.Call(1, []byte("signal-sweep")); err != nil {
+						return
+					}
+					ops.Add(1)
+				}
+			}()
+		}
+		time.Sleep(dur)
+		close(stop)
+		wg.Wait()
+		st := client.Device().Stats()
+		fmt.Printf("%-12d %6.3f  suppressed=%d delivered=%d\n",
+			every, float64(ops.Load())/dur.Seconds()/1e6,
+			st.CompletionsSuppressed, st.CompletionsDelivered)
+		nw.Close()
+	}
+}
+
+// runUDCoalesceAblation compares the UD baseline with and without the §9
+// response-coalescing extension: same burst workload, counting server→
+// client packets and throughput.
+func runUDCoalesceAblation(quick bool) {
+	rounds := 300
+	if quick {
+		rounds = 60
+	}
+	run := func(coalesce bool) (ops float64, pkts uint64, batched uint64) {
+		fab := fabric.New(fabric.Config{})
+		sdev, _ := rnic.NewDevice(fab, rnic.Config{Node: 0})
+		cdev, _ := rnic.NewDevice(fab, rnic.Config{Node: 1})
+		defer sdev.Close()
+		defer cdev.Close()
+		cfg := udrpc.Config{CoalesceResponses: coalesce}
+		srv, err := udrpc.NewServer(sdev, cfg)
+		if err != nil {
+			panic(err)
+		}
+		defer srv.Close()
+		srv.RegisterHandler(1, func(req []byte) []byte { return req })
+		ct, err := udrpc.NewClientThread(cdev, cfg, int(srv.Node()), srv.QPNs()[0])
+		if err != nil {
+			panic(err)
+		}
+		const window = 16
+		start := time.Now()
+		for r := 0; r < rounds; r++ {
+			for k := 0; k < window; k++ {
+				if _, err := ct.Send(1, []byte("coalesce-sweep-64-bytes-payload!")); err != nil {
+					panic(err)
+				}
+			}
+			for k := 0; k < window; k++ {
+				if _, err := ct.Recv(); err != nil {
+					panic(err)
+				}
+			}
+		}
+		total := float64(rounds * window)
+		return total / time.Since(start).Seconds(), fab.Link(0, 1).Packets, srv.Metrics().BatchedResponses
+	}
+	fmt.Println("mode        ops/s     srv→cli pkts  batched")
+	for _, coalesce := range []bool{false, true} {
+		ops, pkts, batched := run(coalesce)
+		name := "plain"
+		if coalesce {
+			name = "coalesced"
+		}
+		fmt.Printf("%-10s %9.0f %12d %8d\n", name, ops, pkts, batched)
+	}
+}
+
+// runSyncMicro compares the live TCQ (FLock synchronization) against
+// spinlock QP sharing at equal sharing degrees — the up-to-2.3×-slower
+// claim of §1 — on real goroutines over the software RNIC.
+func runSyncMicro(quick bool) {
+	dur := time.Second
+	if quick {
+		dur = 250 * time.Millisecond
+	}
+	threads := 8
+	fmt.Printf("%d goroutines sharing 1 QP, 64-byte echo, %v window\n", threads, dur)
+
+	// FLock: one shared QP via the connection handle.
+	flockOps := func() float64 {
+		nw := core.NewNetwork(fabric.Config{})
+		defer nw.Close()
+		opts := core.Options{QPsPerConn: 1}
+		server, _ := nw.NewNode(0, opts, 0)
+		server.RegisterHandler(1, func(req []byte) []byte { return req })
+		server.Serve()
+		client, _ := nw.NewNode(1, opts, 0)
+		conn, _ := client.Connect(0)
+		var ops atomic.Uint64
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		for t := 0; t < threads; t++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				th := conn.RegisterThread()
+				buf := make([]byte, 64)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if _, err := th.Call(1, buf); err != nil {
+						return
+					}
+					ops.Add(1)
+				}
+			}()
+		}
+		time.Sleep(dur)
+		close(stop)
+		wg.Wait()
+		return float64(ops.Load()) / dur.Seconds()
+	}()
+
+	// Spinlock sharing: the FaRM-style baseline with every thread on one QP.
+	lockOps := func() float64 {
+		fab := fabric.New(fabric.Config{})
+		sdev, _ := rnic.NewDevice(fab, rnic.Config{Node: 0})
+		cdev, _ := rnic.NewDevice(fab, rnic.Config{Node: 1})
+		defer sdev.Close()
+		defer cdev.Close()
+		cfg := lockshare.Config{ThreadsPerQP: threads, Spin: true}
+		srv := lockshare.NewServer(sdev, cfg)
+		defer srv.Close()
+		srv.RegisterHandler(1, func(req []byte) []byte { return req })
+		cl := lockshare.NewClient(cdev, cfg, srv)
+		var ops atomic.Uint64
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		for t := 0; t < threads; t++ {
+			th, err := cl.RegisterThread()
+			if err != nil {
+				panic(err)
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				buf := make([]byte, 64)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if _, err := th.Call(1, buf); err != nil {
+						return
+					}
+					ops.Add(1)
+				}
+			}()
+		}
+		time.Sleep(dur)
+		close(stop)
+		wg.Wait()
+		return float64(ops.Load()) / dur.Seconds()
+	}()
+
+	fmt.Printf("flock-sync  %10.0f ops/s\n", flockOps)
+	fmt.Printf("spinlock    %10.0f ops/s\n", lockOps)
+	fmt.Printf("ratio       %10.2fx (paper: lock-based up to 2.3x slower)\n", flockOps/lockOps)
+}

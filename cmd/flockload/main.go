@@ -1,0 +1,178 @@
+// Command flockload drives the live FLock library with a configurable
+// synthetic workload and reports throughput, latency percentiles, and the
+// coalescing/scheduling metrics the paper's evaluation revolves around.
+// It is the interactive counterpart to cmd/flockbench's scripted sweeps:
+//
+//	flockload -clients 2 -threads 8 -qps 2 -payload 64 -window 8 -dur 2s
+//	flockload -mem -payload 512            # one-sided read/write mix
+//	flockload -threads 16 -no-coalesce     # MaxBatch=1 ablation, live
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"time"
+
+	"flock"
+	"flock/internal/stats"
+)
+
+func main() {
+	var (
+		clients    = flag.Int("clients", 1, "client nodes")
+		threads    = flag.Int("threads", 8, "threads per client")
+		qps        = flag.Int("qps", 2, "QPs per connection")
+		payload    = flag.Int("payload", 64, "request payload bytes")
+		window     = flag.Int("window", 4, "outstanding requests per thread")
+		dur        = flag.Duration("dur", time.Second, "measurement window")
+		mem        = flag.Bool("mem", false, "drive one-sided read/write instead of RPC")
+		noCoalesce = flag.Bool("no-coalesce", false, "disable leader coalescing (MaxBatch=1)")
+		workers    = flag.Int("workers", 0, "server RPC worker pool size (0 = inline)")
+		maxAQP     = flag.Int("max-aqp", 0, "MAX_AQP override (0 = default 256)")
+	)
+	flag.Parse()
+
+	opts := flock.Options{
+		QPsPerConn:   *qps,
+		Workers:      *workers,
+		MaxActiveQPs: *maxAQP,
+	}
+	if *noCoalesce {
+		opts.MaxBatch = 1
+	}
+
+	net := flock.NewNetwork(flock.FabricConfig{})
+	defer net.Close()
+	server, err := net.NewNode(0, opts, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	server.RegisterHandler(1, func(req []byte) []byte { return req })
+	if err := server.Serve(); err != nil {
+		log.Fatal(err)
+	}
+
+	type worker struct {
+		th   *flock.Thread
+		reg  *flock.RemoteRegion
+		hist *stats.Hist
+		ops  uint64
+	}
+	var workersList []*worker
+	for c := 0; c < *clients; c++ {
+		client, err := net.NewNode(flock.NodeID(c+1), opts, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		conn, err := client.Connect(0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var region *flock.RemoteRegion
+		if *mem {
+			if region, err = conn.AttachMemRegion(1 << 20); err != nil {
+				log.Fatal(err)
+			}
+		}
+		for t := 0; t < *threads; t++ {
+			workersList = append(workersList, &worker{
+				th:   conn.RegisterThread(),
+				reg:  region,
+				hist: stats.NewHist(),
+			})
+		}
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	start := time.Now()
+	for _, w := range workersList {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			buf := make([]byte, *payload)
+			if *mem {
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					t0 := time.Now()
+					var err error
+					if w.ops%2 == 0 {
+						err = w.th.Write(w.reg, int(w.ops)%1024, buf)
+					} else {
+						err = w.th.Read(w.reg, int(w.ops)%1024, buf)
+					}
+					if err != nil {
+						return
+					}
+					w.hist.Record(uint64(time.Since(t0).Nanoseconds()))
+					w.ops++
+				}
+			}
+			type sent struct{ at time.Time }
+			pending := map[uint64]sent{}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for len(pending) < *window {
+					seq, err := w.th.SendRPC(1, buf)
+					if err != nil {
+						return
+					}
+					pending[seq] = sent{at: time.Now()}
+				}
+				resp, err := w.th.RecvRes()
+				if err != nil {
+					return
+				}
+				if p, ok := pending[resp.Seq]; ok {
+					delete(pending, resp.Seq)
+					w.hist.Record(uint64(time.Since(p.at).Nanoseconds()))
+					w.ops++
+				}
+			}
+		}(w)
+	}
+	time.Sleep(*dur)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	all := stats.NewHist()
+	var totalOps uint64
+	for _, w := range workersList {
+		all.Merge(w.hist)
+		totalOps += w.ops
+	}
+	mode := "rpc"
+	if *mem {
+		mode = "mem"
+	}
+	fmt.Printf("mode=%s clients=%d threads=%d qps=%d payload=%dB window=%d\n",
+		mode, *clients, *threads, *qps, *payload, *window)
+	fmt.Printf("throughput  %.0f ops/s (%d ops in %v)\n",
+		float64(totalOps)/elapsed.Seconds(), totalOps, elapsed.Round(time.Millisecond))
+	fmt.Printf("latency     p50=%v p99=%v max=%v\n",
+		time.Duration(all.Median()), time.Duration(all.P99()), time.Duration(all.Max()))
+	m := server.Metrics()
+	if m.MsgsIn > 0 {
+		fmt.Printf("server      degree=%.2f msgs=%d renewals=%d deact=%d react=%d migrations=%d\n",
+			float64(m.ItemsIn)/float64(m.MsgsIn), m.MsgsIn, m.CreditRenewals,
+			m.QPDeactivations, m.QPActivations, m.ThreadMigrations)
+	}
+	st := server.Device().Stats()
+	fmt.Printf("server NIC  doorbells=%d wrs=%d pkts=%d suppressed-cqe=%d\n",
+		st.Doorbells, st.WorkRequests, st.PacketsTX, st.CompletionsSuppressed)
+	if totalOps == 0 {
+		os.Exit(1)
+	}
+}

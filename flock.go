@@ -1,0 +1,119 @@
+// Package flock is a Go reproduction of FLock ("Birds of a Feather Flock
+// Together: Scaling RDMA RPCs with FLock", SOSP 2021): a communication
+// framework that scales RDMA RPCs over hardware reliable connections by
+// sharing queue pairs among threads.
+//
+// FLock combines three mechanisms:
+//
+//   - A connection handle that multiplexes application threads over a set
+//     of RC queue pairs while exposing the full RDMA surface: RPCs,
+//     one-sided reads/writes, and atomics.
+//   - FLock synchronization: an MCS-style thread combining queue in which
+//     a transient leader coalesces concurrent threads' requests into a
+//     single message posted with one doorbell.
+//   - Symbiotic send-recv scheduling: the server activates/deactivates
+//     QPs with a credit scheme driven by the observed coalescing degree,
+//     and the client packs threads onto active QPs to minimize
+//     head-of-line blocking.
+//
+// Because this reproduction has no RDMA hardware, nodes run over the
+// software RNIC and in-process fabric in internal/rnic and
+// internal/fabric. The library structure matches what a libibverbs
+// backend would need.
+//
+// # Quickstart
+//
+//	net := flock.NewNetwork(flock.FabricConfig{})
+//	defer net.Close()
+//
+//	server, _ := net.NewNode(1, flock.Options{}, 0)
+//	server.RegisterHandler(1, func(req []byte) []byte {
+//		return append([]byte("echo: "), req...)
+//	})
+//	server.Serve()
+//
+//	client, _ := net.NewNode(2, flock.Options{}, 0)
+//	conn, _ := client.Connect(1)
+//	th := conn.RegisterThread()
+//	resp, _ := th.Call(1, []byte("hello"))
+//	fmt.Println(string(resp.Data))
+//
+// See examples/ for complete programs and DESIGN.md for the architecture.
+package flock
+
+import (
+	"flock/internal/core"
+	"flock/internal/fabric"
+)
+
+// Core types re-exported from the implementation package. The aliases keep
+// one implementation while giving applications a stable, documented root
+// import.
+type (
+	// Network owns the fabric and the FLock nodes on it; it stands in for
+	// out-of-band bootstrap in a real deployment.
+	Network = core.Network
+	// Node is one FLock endpoint; it can serve handlers and open
+	// connection handles concurrently.
+	Node = core.Node
+	// Conn is the connection handle multiplexing threads over RC QPs.
+	Conn = core.Conn
+	// Thread is a per-application-thread handle carrying the RPC and
+	// memory APIs.
+	Thread = core.Thread
+	// Response is one RPC response.
+	Response = core.Response
+	// RemoteRegion is server memory attached for one-sided operations.
+	RemoteRegion = core.RemoteRegion
+	// Options configures a node; the zero value uses paper defaults.
+	Options = core.Options
+	// Handler processes one RPC request.
+	Handler = core.Handler
+	// NodeMetrics aggregates a node's activity counters.
+	NodeMetrics = core.NodeMetrics
+	// ThreadStat is the sender-side scheduler's per-thread input.
+	ThreadStat = core.ThreadStat
+	// FabricConfig configures the underlying fabric (MTU, UD loss).
+	FabricConfig = fabric.Config
+	// NodeID addresses a node on the fabric.
+	NodeID = fabric.NodeID
+	// OpError reports a failed one-sided operation.
+	OpError = core.OpError
+)
+
+// Errors re-exported from the implementation.
+var (
+	// ErrClosed reports an operation on a closed node or connection.
+	ErrClosed = core.ErrClosed
+	// ErrPayloadTooLarge reports a payload above Options.MaxPayload.
+	ErrPayloadTooLarge = core.ErrPayloadTooLarge
+	// ErrNotServing reports a Connect to a node that has not called Serve.
+	ErrNotServing = core.ErrNotServing
+	// ErrNoSuchNode reports a Connect to an unknown node ID.
+	ErrNoSuchNode = core.ErrNoSuchNode
+)
+
+// Response status codes.
+const (
+	// StatusOK means the handler ran.
+	StatusOK = core.StatusOK
+	// StatusNoHandler means no handler was registered for the RPC ID.
+	StatusNoHandler = core.StatusNoHandler
+	// StatusHandlerPanic means the handler panicked.
+	StatusHandlerPanic = core.StatusHandlerPanic
+)
+
+// NewNetwork creates a network over a fresh in-process fabric.
+func NewNetwork(cfg FabricConfig) *Network { return core.NewNetwork(cfg) }
+
+// AssignThreads exposes the sender-side scheduling policy (Algorithm 1)
+// as a pure function; the benchmark models exercise it directly.
+func AssignThreads(threads []ThreadStat, activeQPs int) map[uint32]int {
+	return core.AssignThreads(threads, activeQPs)
+}
+
+// RedistributeQPs exposes the receiver-side QP allocation formula (§5.1)
+// as a pure function.
+func RedistributeQPs(util [][]float64, maxAQP int) []int {
+	return core.RedistributeQPs(util, maxAQP)
+}

@@ -1,0 +1,55 @@
+package udrpc
+
+import (
+	"testing"
+	"time"
+
+	"flock/internal/fabric"
+	"flock/internal/rnic"
+)
+
+// Regression: Recv must drain every completion it polls off the CQ.
+// An earlier version returned at the first matching response, discarding
+// the remainder of the polled batch — their responses were lost and their
+// receive buffers never reposted, which showed up as retransmit storms
+// under bursts (hundreds of retransmits for a loss-free fabric).
+func TestRecvDrainsPolledBatch(t *testing.T) {
+	fab := fabric.New(fabric.Config{})
+	sdev, _ := rnic.NewDevice(fab, rnic.Config{Node: 0})
+	cdev, _ := rnic.NewDevice(fab, rnic.Config{Node: 1})
+	defer sdev.Close()
+	defer cdev.Close()
+	srv, err := NewServer(sdev, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.RegisterHandler(1, func(req []byte) []byte { return req })
+	ct, err := NewClientThread(cdev, Config{}, int(srv.Node()), srv.QPNs()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	const window, rounds = 16, 5
+	for r := 0; r < rounds; r++ {
+		for k := 0; k < window; k++ {
+			if _, err := ct.Send(1, []byte("drain")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for k := 0; k < window; k++ {
+			if _, err := ct.Recv(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if ct.Retransmits() != 0 {
+		t.Fatalf("%d retransmits on a loss-free fabric (polled batch lost?)", ct.Retransmits())
+	}
+	if cdev.Stats().UDDropsNoRecv != 0 {
+		t.Fatalf("%d responses dropped for missing recv buffers", cdev.Stats().UDDropsNoRecv)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("burst exchange pathologically slow: %v", elapsed)
+	}
+}

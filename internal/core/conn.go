@@ -1,0 +1,399 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"flock/internal/fabric"
+	"flock/internal/rnic"
+	"flock/internal/stats"
+)
+
+// Control-region layout. Each QP has a small control MR on each side,
+// written remotely with one-sided RDMA so no CPU coordination is needed:
+//
+// Client control region (written by the server's QP scheduler):
+//
+//	+0  granted   uint64  total credits ever granted on this QP
+//	+8  active    uint64  1 = QP active, 0 = deactivated (§5.1)
+//	+16 respHead  uint64  client's consumed head of the response ring
+//	                      (published locally; the server RDMA-reads it
+//	                      when starved for response-ring space)
+//
+// Server control region (published by the request dispatcher):
+//
+//	+0  reqHead   uint64  server's consumed head of the request ring
+//	                      (the client RDMA-reads it when starved; the
+//	                      fast path learns it from response piggybacks)
+const (
+	ctrlGrantedOff  = 0
+	ctrlActiveOff   = 8
+	ctrlRespHeadOff = 16
+	ctrlBytes       = 64
+
+	srvCtrlReqHeadOff = 0
+	srvCtrlBytes      = 64
+)
+
+// Work-request ID tags. The top byte classifies the completion so the
+// single CQ poller (the dispatcher) can demultiplex operations of threads
+// sharing a QP — the wr_id annotation of §6.
+const (
+	tagShift         = 56
+	tagMsg    uint64 = 1 << tagShift // coalesced message write
+	tagMem    uint64 = 2 << tagShift // one-sided memory/atomic op
+	tagFresh  uint64 = 3 << tagShift // head-refresh RDMA read
+	tagCtrl   uint64 = 4 << tagShift // scheduler control write
+	tagMarker uint64 = 5 << tagShift // ring wrap marker write
+	tagRenew  uint64 = 6 << tagShift // credit-renewal write-imm
+	tagMask   uint64 = 0xff << tagShift
+)
+
+// memWRID packs a memory-op completion identity: tag | threadID | seq.
+func memWRID(threadID uint32, seq uint64) uint64 {
+	return tagMem | uint64(threadID)<<28 | (seq & ((1 << 28) - 1))
+}
+
+// memWRThread recovers the thread ID from a memory-op WRID.
+func memWRThread(wrid uint64) uint32 {
+	return uint32(wrid>>28) & ((1 << 28) - 1)
+}
+
+// Conn is the connection handle (§3): the client side of a FLock
+// connection to one remote node, multiplexing opts.QPsPerConn RC queue
+// pairs among any number of registered threads.
+type Conn struct {
+	node   *Node
+	remote fabric.NodeID
+	qps    []*connQP
+
+	threadMu sync.RWMutex
+	threads  map[uint32]*Thread
+	nextTID  atomic.Uint32
+
+	failed atomic.Bool
+}
+
+// connQP is the client end of one shared queue pair.
+type connQP struct {
+	idx  int
+	conn *Conn
+	qp   *rnic.QP
+
+	reqStaging *rnic.MemRegion // local mirror of the server's request ring
+	prod       *ringProducer   // request producer → server request ring
+	respRing   *rnic.MemRegion // response ring (server writes into it)
+	respCons   *ringConsumer   // owned by the client dispatcher
+	ctrl       *rnic.MemRegion // client control region (server writes it)
+	readback   *rnic.MemRegion // 8-byte landing zone for head-refresh reads
+
+	serverCtrlRKey uint32
+	reqRingRKey    uint32
+
+	tcq tcq
+
+	// Leader-owned state; leadership hand-offs through the TCQ's atomic
+	// state transitions order access.
+	consumed    uint64 // credits consumed
+	askMark     uint64 // consumed value at the last renewal request
+	askOut      bool   // a renewal is outstanding
+	askSnapshot uint64 // granted value when the renewal was posted
+	degrees     *stats.RunningMedian
+	msgSeq      uint64 // selective-signaling counter
+
+	refreshPending atomic.Bool
+}
+
+// active reports the scheduler-controlled activation flag (§5.1).
+func (q *connQP) active() bool { return q.ctrl.Load64(ctrlActiveOff) == 1 }
+
+// granted reports the total credits granted by the server.
+func (q *connQP) granted() uint64 { return q.ctrl.Load64(ctrlGrantedOff) }
+
+// connectArgs is the client half of the out-of-band handshake.
+type connectArgs struct {
+	clientNode fabric.NodeID
+	qps        []connectQPArgs
+}
+
+type connectQPArgs struct {
+	qpn            int // client QP number
+	respRingRKey   uint32
+	clientCtrlRKey uint32
+}
+
+// connectReply is the server half of the handshake.
+type connectReply struct {
+	qps []connectQPReply
+}
+
+type connectQPReply struct {
+	qpn            int // server QP number
+	reqRingRKey    uint32
+	serverCtrlRKey uint32
+}
+
+// Connect opens a connection handle to a remote serving node
+// (fl_connect in Table 2). It creates the QP set, registers the ring and
+// control regions on both ends, and performs the in-process equivalent of
+// the out-of-band bootstrap exchange.
+func (n *Node) Connect(remote fabric.NodeID) (*Conn, error) {
+	select {
+	case <-n.done:
+		return nil, ErrClosed
+	default:
+	}
+	rnode := n.net.node(remote)
+	if rnode == nil {
+		return nil, ErrNoSuchNode
+	}
+	if !rnode.Serving() {
+		return nil, ErrNotServing
+	}
+
+	c := &Conn{
+		node:    n,
+		remote:  remote,
+		threads: make(map[uint32]*Thread),
+	}
+	args := connectArgs{clientNode: n.id}
+	for i := 0; i < n.opts.QPsPerConn; i++ {
+		q, err := n.newConnQP(c, i)
+		if err != nil {
+			return nil, err
+		}
+		c.qps = append(c.qps, q)
+		args.qps = append(args.qps, connectQPArgs{
+			qpn:            q.qp.QPN(),
+			respRingRKey:   q.respRing.RKey(),
+			clientCtrlRKey: q.ctrl.RKey(),
+		})
+	}
+
+	reply, err := rnode.accept(args)
+	if err != nil {
+		return nil, err
+	}
+	for i, q := range c.qps {
+		r := reply.qps[i]
+		if err := q.qp.Connect(int(remote), r.qpn); err != nil {
+			return nil, err
+		}
+		q.prod.rkey = r.reqRingRKey
+		q.reqRingRKey = r.reqRingRKey
+		q.serverCtrlRKey = r.serverCtrlRKey
+	}
+
+	n.connMu.Lock()
+	n.conns = append(n.conns, c)
+	n.connMu.Unlock()
+	n.ensureClientSide()
+	return c, nil
+}
+
+// newConnQP builds the client end of one QP: queue pair, staging region,
+// response ring, control region, and readback slot.
+func (n *Node) newConnQP(c *Conn, idx int) (*connQP, error) {
+	qp, err := n.dev.CreateQP(rnic.RC, n.dev.CreateCQ(), n.dev.CreateCQ())
+	if err != nil {
+		return nil, err
+	}
+	staging, err := n.dev.RegisterMR(n.opts.RingBytes, 0)
+	if err != nil {
+		return nil, err
+	}
+	respRing, err := n.dev.RegisterMR(n.opts.RingBytes, rnic.PermRemoteWrite|rnic.PermRemoteRead)
+	if err != nil {
+		return nil, err
+	}
+	ctrl, err := n.dev.RegisterMR(ctrlBytes, rnic.PermRemoteWrite|rnic.PermRemoteRead)
+	if err != nil {
+		return nil, err
+	}
+	readback, err := n.dev.RegisterMR(8, 0)
+	if err != nil {
+		return nil, err
+	}
+	q := &connQP{
+		idx:        idx,
+		conn:       c,
+		qp:         qp,
+		reqStaging: staging,
+		respRing:   respRing,
+		ctrl:       ctrl,
+		readback:   readback,
+		degrees:    stats.NewRunningMedian(32),
+	}
+	q.prod = &ringProducer{staging: staging, size: n.opts.RingBytes}
+	q.respCons = newRingConsumer(respRing, 0, n.opts.RingBytes, ctrl, ctrlRespHeadOff)
+	// Bootstrap: C credits (§5.1), QP active.
+	ctrl.Store64(ctrlGrantedOff, uint64(n.opts.Credits))
+	ctrl.Store64(ctrlActiveOff, 1)
+	return q, nil
+}
+
+// Remote returns the node this handle is connected to.
+func (c *Conn) Remote() fabric.NodeID { return c.remote }
+
+// NumQPs returns the connection's multiplexing width.
+func (c *Conn) NumQPs() int { return len(c.qps) }
+
+// ActiveQPs returns the indexes of currently active QPs.
+func (c *Conn) ActiveQPs() []int {
+	var out []int
+	for i, q := range c.qps {
+		if q.active() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// closedCh reports the owning node's done channel.
+func (c *Conn) closedCh() <-chan struct{} { return c.node.done }
+
+// isClosed reports whether the node is shutting down or the connection
+// failed fatally.
+func (c *Conn) isClosed() bool {
+	if c.failed.Load() {
+		return true
+	}
+	select {
+	case <-c.node.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Close tears down the connection handle: subsequent operations return
+// ErrClosed, threads blocked in RecvRes are released once the node's
+// dispatcher notices, and the handle is removed from the node's dispatch
+// set. Server-side resources are reclaimed when the server node closes
+// (connection-level teardown messages are future work, as in the paper's
+// prototype).
+func (c *Conn) Close() {
+	if c.failed.Swap(true) {
+		return
+	}
+	n := c.node
+	n.connMu.Lock()
+	for i, other := range n.conns {
+		if other == c {
+			n.conns = append(n.conns[:i], n.conns[i+1:]...)
+			break
+		}
+	}
+	n.connMu.Unlock()
+	// Release threads blocked on their mailboxes: deliver a poison
+	// response to each registered thread so RecvRes callers wake.
+	for _, t := range c.snapshotThreads() {
+		select {
+		case t.respCh <- Response{Status: StatusConnClosed}:
+		default:
+		}
+	}
+}
+
+// thread returns the registered thread with the given ID, or nil.
+func (c *Conn) thread(id uint32) *Thread {
+	c.threadMu.RLock()
+	defer c.threadMu.RUnlock()
+	return c.threads[id]
+}
+
+// snapshotThreads copies the registered thread set.
+func (c *Conn) snapshotThreads() []*Thread {
+	c.threadMu.RLock()
+	defer c.threadMu.RUnlock()
+	out := make([]*Thread, 0, len(c.threads))
+	for _, t := range c.threads {
+		out = append(out, t)
+	}
+	return out
+}
+
+// RemoteRegion is a handle to server memory attached for one-sided
+// operations (fl_attach_mreg, §6). All of the connection's threads may
+// target it with Read/Write/FetchAdd/CompareSwap.
+type RemoteRegion struct {
+	conn *Conn
+	rkey uint32
+	size int
+}
+
+// Size returns the region's length in bytes.
+func (r *RemoteRegion) Size() int { return r.size }
+
+// AttachMemRegion allocates a memory region of the given size on the
+// remote node and attaches it to the connection handle for one-sided
+// memory and atomic operations.
+func (c *Conn) AttachMemRegion(size int) (*RemoteRegion, error) {
+	if c.isClosed() {
+		return nil, ErrClosed
+	}
+	rnode := c.node.net.node(c.remote)
+	if rnode == nil {
+		return nil, ErrNoSuchNode
+	}
+	mr, err := rnode.dev.RegisterMR(size, rnic.PermRemoteRead|rnic.PermRemoteWrite|rnic.PermRemoteAtomic)
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteRegion{conn: c, rkey: mr.RKey(), size: size}, nil
+}
+
+// ExportMR registers a memory region of the given size on this node under
+// a name, so remote connection handles can attach it with AttachNamed. It
+// is how a server exposes application state (e.g. a key-value store) to
+// clients' one-sided operations, as FLockTX's validation phase requires.
+func (n *Node) ExportMR(name string, size int) (*rnic.MemRegion, error) {
+	mr, err := n.dev.RegisterMR(size, rnic.PermRemoteRead|rnic.PermRemoteWrite|rnic.PermRemoteAtomic)
+	if err != nil {
+		return nil, err
+	}
+	n.exportMu.Lock()
+	defer n.exportMu.Unlock()
+	if n.exports == nil {
+		n.exports = make(map[string]*rnic.MemRegion)
+	}
+	if _, dup := n.exports[name]; dup {
+		return nil, fmt.Errorf("flock: region %q already exported", name)
+	}
+	n.exports[name] = mr
+	return mr, nil
+}
+
+// AttachNamed attaches a region the remote node exported with ExportMR.
+func (c *Conn) AttachNamed(name string) (*RemoteRegion, error) {
+	if c.isClosed() {
+		return nil, ErrClosed
+	}
+	rnode := c.node.net.node(c.remote)
+	if rnode == nil {
+		return nil, ErrNoSuchNode
+	}
+	rnode.exportMu.Lock()
+	mr := rnode.exports[name]
+	rnode.exportMu.Unlock()
+	if mr == nil {
+		return nil, fmt.Errorf("flock: remote node exports no region %q", name)
+	}
+	return &RemoteRegion{conn: c, rkey: mr.RKey(), size: mr.Len()}, nil
+}
+
+// maxMsgBytes is the largest coalesced message the options permit; rings
+// must hold at least two of them.
+func (o Options) maxMsgBytes() int {
+	return headerBytes + o.MaxBatch*(itemMetaBytes+pad8(o.MaxPayload)) + trailerBytes
+}
+
+// validate checks option consistency for ring geometry.
+func (o Options) validate() error {
+	if o.RingBytes < 2*o.maxMsgBytes() {
+		return fmt.Errorf("flock: RingBytes %d cannot hold two max messages (%d); raise RingBytes or lower MaxBatch/MaxPayload",
+			o.RingBytes, o.maxMsgBytes())
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"runtime"
+	"time"
+
+	"flock/internal/rnic"
+)
+
+// This file is the client-side response dispatcher (§4.3): a lightweight
+// goroutine that polls every connection's response rings and send CQs,
+// relaying responses to application threads by their tagged thread ID and
+// demultiplexing memory-operation completions by wr_id. It never touches
+// application logic, so one dispatcher comfortably covers many QPs.
+
+// putLE64 writes v little-endian into b[:8].
+func putLE64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+// idleBackoff cooperatively de-schedules a polling loop that found no
+// work: first yields, then sleeps briefly so idle nodes don't spin a core.
+func idleBackoff(idleRounds int) {
+	switch {
+	case idleRounds < 64:
+		runtime.Gosched()
+	case idleRounds < 1024:
+		time.Sleep(2 * time.Microsecond)
+	default:
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// clientDispatch is the response dispatcher main loop.
+func (n *Node) clientDispatch() {
+	defer n.wg.Done()
+	var cqBuf [64]rnic.Completion
+	idle := 0
+	for {
+		select {
+		case <-n.done:
+			return
+		default:
+		}
+		busy := false
+		for _, c := range n.snapshotConns() {
+			for _, q := range c.qps {
+				// Response ring: deliver coalesced responses.
+				for {
+					h, items, ok := q.respCons.poll()
+					if !ok {
+						break
+					}
+					busy = true
+					q.prod.updateCached(h.piggyHead)
+					for _, it := range items {
+						c.deliverResponse(it)
+					}
+				}
+				// Send CQ: route memory-op and refresh completions.
+				for {
+					k := q.qp.SendCQ().Poll(cqBuf[:])
+					if k == 0 {
+						break
+					}
+					busy = true
+					for _, comp := range cqBuf[:k] {
+						c.routeSendCompletion(q, comp)
+					}
+				}
+			}
+		}
+		if busy {
+			idle = 0
+		} else {
+			idle++
+			idleBackoff(idle)
+		}
+	}
+}
+
+// deliverResponse copies one decoded response out of the ring scratch and
+// hands it to the owning thread's mailbox.
+func (c *Conn) deliverResponse(it decodedItem) {
+	t := c.thread(it.meta.threadID)
+	if t == nil {
+		return // thread never registered; drop
+	}
+	data := make([]byte, len(it.data))
+	copy(data, it.data)
+	r := Response{
+		Seq:    it.meta.seqID,
+		RPCID:  it.meta.rpcID,
+		Status: it.meta.status,
+		Data:   data,
+	}
+	select {
+	case t.respCh <- r:
+		t.outstanding.Add(-1)
+	case <-c.node.done:
+	}
+}
+
+// routeSendCompletion demultiplexes one send-side completion by wr_id tag
+// (§6): memory operations to their thread, head refreshes to the producer
+// cache, message-write errors to connection failure.
+func (c *Conn) routeSendCompletion(q *connQP, comp rnic.Completion) {
+	switch comp.WRID & tagMask {
+	case tagMem:
+		t := c.thread(memWRThread(comp.WRID))
+		if t == nil {
+			return
+		}
+		select {
+		case t.memCh <- comp.Status:
+		case <-c.node.done:
+		}
+	case tagFresh:
+		q.prod.updateCached(q.readback.Load64(0))
+		q.refreshPending.Store(false)
+		if comp.Status != rnic.StatusOK {
+			c.failed.Store(true)
+		}
+	default:
+		// Message writes, markers, renewals: only errors matter.
+		if comp.Status != rnic.StatusOK {
+			c.failed.Store(true)
+		}
+	}
+}

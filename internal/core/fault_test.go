@@ -1,0 +1,273 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"flock/internal/fabric"
+)
+
+// These tests inject faults and drive the scheduler edge paths that the
+// happy-path suite doesn't reach: ring corruption, credit decline and
+// migration, QP reactivation, and option validation.
+
+func TestOptionsValidation(t *testing.T) {
+	nw := NewNetwork(fabric.Config{})
+	defer nw.Close()
+	// A ring too small for two maximum messages must be rejected.
+	_, err := nw.NewNode(1, Options{
+		RingBytes:  4096,
+		MaxBatch:   16,
+		MaxPayload: 64 << 10,
+	}, 0)
+	if err == nil {
+		t.Fatal("undersized ring accepted")
+	}
+	// The same geometry works once MaxBatch/MaxPayload shrink.
+	if _, err := nw.NewNode(2, Options{
+		RingBytes:  4096,
+		MaxBatch:   2,
+		MaxPayload: 256,
+	}, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingGarbageIsNotConsumed(t *testing.T) {
+	// Write garbage into a response ring directly: a length field without
+	// matching canaries must never be decoded into a response; the
+	// connection keeps working for real traffic afterwards.
+	tc := newTestCluster(t, 1, Options{QPsPerConn: 1}, Options{QPsPerConn: 1})
+	registerEcho(tc.server)
+	conn, _ := tc.clients[0].Connect(0)
+	th := conn.RegisterThread()
+
+	// Corrupt untouched space far ahead of the ring head with a bogus
+	// "message" whose canaries mismatch.
+	q := conn.qps[0]
+	garbage := make([]byte, 64)
+	putHeader(garbage, header{totalLen: 64, count: 1, canary: 0xABCD})
+	putLE64(garbage[56:], 0x9999) // trailing canary differs
+	if err := q.respRing.WriteAt(garbage, 0); err != nil {
+		t.Fatal(err)
+	}
+	// The dispatcher polls this position first; with mismatched canaries
+	// it must treat the message as incomplete forever and deliver nothing.
+	time.Sleep(5 * time.Millisecond)
+	select {
+	case r := <-th.respCh:
+		t.Fatalf("garbage decoded into response: %+v", r)
+	default:
+	}
+	// Clean the injected bytes (as if the write never happened); real
+	// traffic then flows.
+	if err := q.respRing.WriteAt(make([]byte, 64), 0); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := th.Call(echoID, []byte("after-corruption"))
+	if err != nil || !bytes.Equal(resp.Data, []byte("after-corruption")) {
+		t.Fatalf("traffic after corruption: %v %q", err, resp.Data)
+	}
+}
+
+func TestDeactivatedQPDeclinesAndMigrates(t *testing.T) {
+	// Force-deactivate one of two QPs the way the scheduler does (control
+	// write) and verify threads migrate and traffic continues.
+	tc := newTestCluster(t, 1, Options{QPsPerConn: 2, DisableQPSched: true}, Options{QPsPerConn: 2})
+	registerEcho(tc.server)
+	conn, _ := tc.clients[0].Connect(0)
+	th := conn.RegisterThread()
+	if _, err := th.Call(echoID, []byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Deactivate QP 0 client-side exactly as a scheduler control write
+	// would land.
+	conn.qps[0].ctrl.Store64(ctrlActiveOff, 0)
+	for i := 0; i < 200; i++ {
+		if _, err := th.Call(echoID, []byte("migrated")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := th.curQP; got != 1 {
+		t.Fatalf("thread still on deactivated QP (cur=%d)", got)
+	}
+	// Reactivate; the thread scheduler may move threads back eventually,
+	// but traffic must flow either way.
+	conn.qps[0].ctrl.Store64(ctrlActiveOff, 1)
+	if _, err := th.Call(echoID, []byte("back")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchedulerReactivatesWhenLoadShifts(t *testing.T) {
+	// Two clients over-budget: run heavy traffic from client A only, let
+	// the scheduler skew QPs toward it, then shift all load to client B
+	// and verify B's active share recovers.
+	sOpts := Options{MaxActiveQPs: 4, QPsPerConn: 3, SchedInterval: time.Millisecond, Credits: 8}
+	cOpts := Options{QPsPerConn: 3, SchedInterval: time.Millisecond, Credits: 8}
+	tc := newTestCluster(t, 2, sOpts, cOpts)
+	registerEcho(tc.server)
+	connA, _ := tc.clients[0].Connect(0)
+	connB, _ := tc.clients[1].Connect(0)
+
+	drive := func(conn *Conn, rounds int) {
+		var wg sync.WaitGroup
+		for k := 0; k < 6; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				th := conn.RegisterThread()
+				for i := 0; i < rounds; i++ {
+					if _, err := th.Call(echoID, []byte("skew")); err != nil {
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	drive(connA, 400)
+	time.Sleep(10 * time.Millisecond)
+	aActive := len(connA.ActiveQPs())
+
+	drive(connB, 800)
+	time.Sleep(10 * time.Millisecond)
+	bActive := len(connB.ActiveQPs())
+	if bActive < 1 {
+		t.Fatalf("client B starved after load shift (active=%d)", bActive)
+	}
+	// A must never have been starved below the 1-QP floor either.
+	if len(connA.ActiveQPs()) < 1 {
+		t.Fatal("client A starved below the one-QP floor")
+	}
+	t.Logf("active QPs: A=%d (after A-heavy), B=%d (after B-heavy)", aActive, bActive)
+}
+
+func TestManyConnsFromOneClientNode(t *testing.T) {
+	// Regression for the multi-connection accept bug: several connection
+	// handles from the same client node to the same server must all stay
+	// live (the paper's multi-process clients, §8.4).
+	tc := newTestCluster(t, 1, Options{QPsPerConn: 1}, Options{QPsPerConn: 1})
+	registerEcho(tc.server)
+	var conns []*Conn
+	for i := 0; i < 4; i++ {
+		conn, err := tc.clients[0].Connect(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns = append(conns, conn)
+	}
+	var wg sync.WaitGroup
+	for i, conn := range conns {
+		wg.Add(1)
+		go func(i int, conn *Conn) {
+			defer wg.Done()
+			th := conn.RegisterThread()
+			msg := []byte(fmt.Sprintf("conn-%d", i))
+			for j := 0; j < 100; j++ {
+				resp, err := th.Call(echoID, msg)
+				if err != nil || !bytes.Equal(resp.Data, msg) {
+					t.Errorf("conn %d: %v %q", i, err, resp.Data)
+					return
+				}
+			}
+		}(i, conn)
+	}
+	wg.Wait()
+}
+
+func TestExportAttachNamed(t *testing.T) {
+	tc := newTestCluster(t, 1, Options{}, Options{})
+	mr, err := tc.server.ExportMR("state", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tc.server.ExportMR("state", 512); err == nil {
+		t.Fatal("duplicate export accepted")
+	}
+	conn, _ := tc.clients[0].Connect(0)
+	region, err := conn.AttachNamed("state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if region.Size() != 1024 {
+		t.Fatalf("size = %d", region.Size())
+	}
+	if _, err := conn.AttachNamed("nope"); err == nil {
+		t.Fatal("attach of unknown name succeeded")
+	}
+	// One-sided write through the named region is visible to the server.
+	th := conn.RegisterThread()
+	if err := th.Write(region, 10, []byte("named")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 5)
+	mr.ReadAt(got, 10) //nolint:errcheck
+	if !bytes.Equal(got, []byte("named")) {
+		t.Fatalf("server memory: %q", got)
+	}
+}
+
+func TestMemoryOpErrorSurfaces(t *testing.T) {
+	tc := newTestCluster(t, 1, Options{}, Options{})
+	conn, _ := tc.clients[0].Connect(0)
+	th := conn.RegisterThread()
+	region, _ := conn.AttachMemRegion(64)
+	// Out-of-bounds one-sided write: the remote NIC rejects it and the
+	// error surfaces as an OpError rather than hanging the thread.
+	err := th.Write(region, 60, []byte("too-far!"))
+	if err == nil {
+		t.Fatal("out-of-bounds write succeeded")
+	}
+	if _, ok := err.(*OpError); !ok {
+		t.Fatalf("error type %T: %v", err, err)
+	}
+}
+
+func TestReadLargerThanScratch(t *testing.T) {
+	tc := newTestCluster(t, 1, Options{MaxPayload: 128}, Options{MaxPayload: 128})
+	conn, _ := tc.clients[0].Connect(0)
+	th := conn.RegisterThread()
+	region, _ := conn.AttachMemRegion(4096)
+	if err := th.Read(region, 0, make([]byte, 4096)); err != ErrReadTooLarge {
+		t.Fatalf("oversized read: %v", err)
+	}
+}
+
+func TestConnCloseReleasesAndRejects(t *testing.T) {
+	tc := newTestCluster(t, 1, Options{}, Options{})
+	registerEcho(tc.server)
+	conn, _ := tc.clients[0].Connect(0)
+	th := conn.RegisterThread()
+	if _, err := th.Call(echoID, []byte("pre-close")); err != nil {
+		t.Fatal(err)
+	}
+	blocked := make(chan error, 1)
+	go func() {
+		_, err := th.RecvRes()
+		blocked <- err
+	}()
+	time.Sleep(2 * time.Millisecond)
+	conn.Close()
+	if err := <-blocked; err != ErrClosed {
+		t.Fatalf("blocked RecvRes after Close: %v", err)
+	}
+	if _, err := th.SendRPC(echoID, []byte("x")); err != ErrClosed {
+		t.Fatalf("SendRPC after Close: %v", err)
+	}
+	conn.Close() // idempotent
+
+	// A fresh connection on the same node still works.
+	conn2, err := tc.clients[0].Connect(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th2 := conn2.RegisterThread()
+	if resp, err := th2.Call(echoID, []byte("new-conn")); err != nil || string(resp.Data) != "new-conn" {
+		t.Fatalf("fresh conn: %v %q", err, resp.Data)
+	}
+}

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"runtime"
+
+	"flock/internal/rnic"
+)
+
+// This file is the leader side of FLock synchronization: batch claiming,
+// credit management, ring-space reservation, message staging, and the
+// single linked post (§4.2, §6, §7).
+
+// submit runs one TCQ node to a verdict on QP q, combining with concurrent
+// threads. th is the calling thread (used for canary generation when it
+// leads). The returned verdict is stateSent, stateMigrate or stateAborted.
+func (c *Conn) submit(th *Thread, q *connQP, n *tcqNode) uint32 {
+	if q.tcq.push(n) {
+		return c.lead(th, q, n)
+	}
+	v := n.awaitVerdict(q.reqStaging)
+	if v == stateLeader {
+		return c.lead(th, q, n)
+	}
+	return v
+}
+
+// lead executes the leader protocol for the batch headed by own.
+func (c *Conn) lead(th *Thread, q *connQP, own *tcqNode) uint32 {
+	batch := q.tcq.claimBatch(own, c.node.opts.MaxBatch)
+	verdict := c.processBatch(th, q, batch)
+	for _, n := range batch {
+		if n != own {
+			n.state.Store(verdict)
+		}
+	}
+	q.tcq.handoff(batch[len(batch)-1])
+	return verdict
+}
+
+// processBatch coalesces the batch into one message plus linked memory
+// work requests and posts everything with a single doorbell. It returns
+// the verdict that applies to every node in the batch.
+func (c *Conn) processBatch(th *Thread, q *connQP, batch []*tcqNode) uint32 {
+	if c.isClosed() {
+		return stateAborted
+	}
+	if !q.active() {
+		return stateMigrate
+	}
+
+	var rpc, mem []*tcqNode
+	for _, n := range batch {
+		if n.kind == opRPC {
+			rpc = append(rpc, n)
+		} else {
+			mem = append(mem, n)
+		}
+	}
+
+	opts := &c.node.opts
+	var wrs []rnic.SendWR
+
+	// Memory operations: link each thread's prepared work request (§6).
+	for _, n := range mem {
+		wr := n.wr
+		wr.WRID = memWRID(n.threadID, n.seqID)
+		wr.Signaled = true
+		wrs = append(wrs, wr)
+	}
+
+	if len(rpc) > 0 {
+		// Credits gate RPC load on the server (§5.1); memory operations
+		// bypass them since they consume no server CPU.
+		if v := c.awaitCredits(q, len(rpc)); v != stateSent {
+			return v
+		}
+
+		msgLen := 0
+		for _, n := range rpc {
+			msgLen += itemSpace(len(n.payload))
+		}
+		msgLen += headerBytes + trailerBytes
+
+		res, v := c.awaitSpace(q, msgLen)
+		if v != stateSent {
+			return v
+		}
+
+		// Stage metadata and hand payload slots to followers; copy our
+		// own payload directly.
+		cursor := res.msgOff + headerBytes
+		var metaBuf [itemMetaBytes]byte
+		for _, n := range rpc {
+			putItemMeta(metaBuf[:], itemMeta{
+				size:     uint32(len(n.payload)),
+				threadID: n.threadID,
+				seqID:    n.seqID,
+				rpcID:    n.rpcID,
+			})
+			q.reqStaging.WriteAt(metaBuf[:], cursor) //nolint:errcheck // reserved span
+			n.bufOff = cursor + itemMetaBytes
+			cursor += itemSpace(len(n.payload))
+			if n == batch[0] {
+				if len(n.payload) > 0 {
+					q.reqStaging.WriteAt(n.payload, n.bufOff) //nolint:errcheck
+				}
+				n.copied.Store(1)
+			} else {
+				n.state.Store(stateCopy)
+			}
+		}
+
+		// Poll the copy-completion flags (§4.2).
+		for _, n := range rpc {
+			for n.copied.Load() == 0 {
+				runtime.Gosched()
+			}
+			n.copied.Store(0)
+		}
+
+		canary := th.rng.Uint64() | 1 // nonzero
+		var canaryBuf [trailerBytes]byte
+		putLE64(canaryBuf[:], canary)
+		q.reqStaging.WriteAt(canaryBuf[:], res.msgOff+msgLen-trailerBytes) //nolint:errcheck
+		var hdr [headerBytes]byte
+		putHeader(hdr[:], header{
+			totalLen:  uint32(msgLen),
+			count:     uint32(len(rpc)),
+			canary:    canary,
+			piggyHead: q.ctrl.Load64(ctrlRespHeadOff),
+		})
+		q.reqStaging.WriteAt(hdr[:], res.msgOff) //nolint:errcheck
+
+		if res.markerOff >= 0 {
+			wrs = append(wrs, rnic.SendWR{
+				WRID: tagMarker, Op: rnic.OpWrite,
+				LocalMR: q.reqStaging, LocalOff: res.markerOff, LocalLen: 8,
+				RKey: q.prod.rkey, RemoteOff: res.markerOff,
+			})
+		}
+		q.msgSeq++
+		wrs = append(wrs, rnic.SendWR{
+			WRID: tagMsg, Op: rnic.OpWrite,
+			LocalMR: q.reqStaging, LocalOff: res.msgOff, LocalLen: msgLen,
+			RKey: q.prod.rkey, RemoteOff: res.msgOff,
+			Signaled: q.msgSeq%uint64(opts.SignalEvery) == 0,
+		})
+
+		q.consumed += uint64(len(rpc))
+		q.degrees.Add(uint64(len(rpc)))
+		c.node.metrics.msgsOut.Add(1)
+		c.node.metrics.itemsOut.Add(uint64(len(rpc)))
+	}
+
+	// Proactive renewal: ask for C more after consuming half (§5.1).
+	if wr, ok := c.maybeRenew(q); ok {
+		wrs = append(wrs, wr)
+	}
+
+	if len(wrs) == 0 {
+		return stateSent
+	}
+	if err := q.qp.PostSend(wrs...); err != nil {
+		c.failed.Store(true)
+		return stateAborted
+	}
+	return stateSent
+}
+
+// awaitCredits blocks (spinning) until the QP has `need` credits,
+// requesting renewal as required. Returns stateSent on success or a
+// failure verdict.
+func (c *Conn) awaitCredits(q *connQP, need int) uint32 {
+	for {
+		granted := q.granted()
+		if q.askOut && granted > q.askSnapshot {
+			q.askOut = false
+		}
+		if granted-q.consumed >= uint64(need) {
+			return stateSent
+		}
+		if c.isClosed() {
+			return stateAborted
+		}
+		if !q.active() {
+			return stateMigrate // credit request declined / QP deactivated
+		}
+		if !q.askOut {
+			if err := c.postRenewal(q); err != nil {
+				c.failed.Store(true)
+				return stateAborted
+			}
+		}
+		runtime.Gosched()
+	}
+}
+
+// awaitSpace reserves ring space, triggering a one-sided head refresh when
+// the cached head is stale (§4.1: "the sender rarely reads").
+func (c *Conn) awaitSpace(q *connQP, msgLen int) (reservation, uint32) {
+	for {
+		res, ok := q.prod.reserve(msgLen)
+		if ok {
+			return res, stateSent
+		}
+		if c.isClosed() {
+			return res, stateAborted
+		}
+		c.requestHeadRefresh(q)
+		runtime.Gosched()
+	}
+}
+
+// requestHeadRefresh posts an RDMA read of the server's published consumed
+// head into the QP's readback slot. The dispatcher routes the completion
+// and advances prod.cached.
+func (c *Conn) requestHeadRefresh(q *connQP) {
+	if q.refreshPending.Swap(true) {
+		return
+	}
+	err := q.qp.PostSend(rnic.SendWR{
+		WRID: tagFresh | uint64(q.idx), Op: rnic.OpRead,
+		LocalMR: q.readback, LocalOff: 0, LocalLen: 8,
+		RKey: q.serverCtrlRKey, RemoteOff: srvCtrlReqHeadOff,
+		Signaled: true,
+	})
+	if err != nil {
+		q.refreshPending.Store(false)
+		c.failed.Store(true)
+	}
+}
+
+// maybeRenew builds a credit-renewal write-imm (§7) when the leader has
+// consumed C/2 since the last ask and headroom is shrinking. The immediate
+// carries the median coalescing degree since the last renewal — the QP
+// contention metric of §5.1.
+func (c *Conn) maybeRenew(q *connQP) (rnic.SendWR, bool) {
+	credits := uint64(c.node.opts.Credits)
+	granted := q.granted()
+	if q.askOut && granted > q.askSnapshot {
+		q.askOut = false
+	}
+	if q.askOut {
+		return rnic.SendWR{}, false
+	}
+	avail := granted - q.consumed
+	if avail >= credits || q.consumed-q.askMark < credits/2 {
+		return rnic.SendWR{}, false
+	}
+	q.askMark = q.consumed
+	q.askOut = true
+	q.askSnapshot = granted
+	degree := q.degrees.Median()
+	if degree == 0 {
+		degree = 1
+	}
+	if degree > 0xFFFFFFFF {
+		degree = 0xFFFFFFFF
+	}
+	return rnic.SendWR{
+		WRID: tagRenew, Op: rnic.OpWriteImm,
+		RKey: q.reqRingRKey, RemoteOff: 0,
+		Imm: uint32(degree), ImmValid: true,
+	}, true
+}
+
+// postRenewal posts a standalone renewal (used while starved of credits,
+// where there is no message to piggyback on).
+func (c *Conn) postRenewal(q *connQP) error {
+	q.askMark = q.consumed
+	q.askOut = true
+	q.askSnapshot = q.granted()
+	degree := q.degrees.Median()
+	if degree == 0 {
+		degree = 1
+	}
+	if degree > 0xFFFFFFFF {
+		degree = 0xFFFFFFFF
+	}
+	return q.qp.PostSend(rnic.SendWR{
+		WRID: tagRenew, Op: rnic.OpWriteImm,
+		RKey: q.reqRingRKey, RemoteOff: 0,
+		Imm: uint32(degree), ImmValid: true,
+	})
+}

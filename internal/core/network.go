@@ -1,0 +1,289 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"flock/internal/fabric"
+	"flock/internal/rnic"
+)
+
+// Errors surfaced by the public API.
+var (
+	ErrClosed          = errors.New("flock: node closed")
+	ErrPayloadTooLarge = errors.New("flock: payload exceeds MaxPayload")
+	ErrNotServing      = errors.New("flock: remote node is not serving")
+	ErrNoSuchNode      = errors.New("flock: no such node")
+	ErrReadTooLarge    = errors.New("flock: read larger than thread scratch region")
+)
+
+// Response status codes carried in response item metadata.
+const (
+	// StatusOK means the handler ran and produced the attached payload.
+	StatusOK uint32 = iota
+	// StatusNoHandler means no handler was registered for the RPC ID.
+	StatusNoHandler
+	// StatusHandlerPanic means the handler panicked; the payload is empty.
+	StatusHandlerPanic
+	// StatusConnClosed is delivered to blocked receivers when their
+	// connection handle is closed locally.
+	StatusConnClosed
+)
+
+// Handler processes one RPC request and returns the response payload. It
+// must not retain req past the call. Returning nil sends an empty
+// response.
+type Handler func(req []byte) []byte
+
+// Network owns a fabric and the FLock nodes on it. It stands in for the
+// out-of-band connection setup (e.g. TCP exchange of QP numbers and rkeys)
+// that real RDMA deployments perform.
+type Network struct {
+	fab *fabric.Fabric
+
+	mu    sync.RWMutex
+	nodes map[fabric.NodeID]*Node
+}
+
+// NewNetwork creates an empty network over a fresh fabric.
+func NewNetwork(fcfg fabric.Config) *Network {
+	return &Network{
+		fab:   fabric.New(fcfg),
+		nodes: make(map[fabric.NodeID]*Node),
+	}
+}
+
+// Fabric exposes the underlying fabric (for traffic statistics).
+func (nw *Network) Fabric() *fabric.Fabric { return nw.fab }
+
+// NewNode creates a FLock node with its own RNIC. nicCacheSize bounds the
+// device's connection-context cache: pass 0 for an unconstrained
+// functional run and a positive size to model the Figure 2 thrashing
+// regime.
+func (nw *Network) NewNode(id fabric.NodeID, opts Options, nicCacheSize int) (*Node, error) {
+	if err := opts.withDefaults().validate(); err != nil {
+		return nil, err
+	}
+	dev, err := rnic.NewDevice(nw.fab, rnic.Config{Node: id, CacheSize: nicCacheSize})
+	if err != nil {
+		return nil, err
+	}
+	n := newNode(nw, id, dev, opts)
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if _, dup := nw.nodes[id]; dup {
+		dev.Close()
+		return nil, fmt.Errorf("flock: node %d already exists", id)
+	}
+	nw.nodes[id] = n
+	return n, nil
+}
+
+// node returns the registered node, or nil.
+func (nw *Network) node(id fabric.NodeID) *Node {
+	nw.mu.RLock()
+	defer nw.mu.RUnlock()
+	return nw.nodes[id]
+}
+
+// Close shuts down every node and device.
+func (nw *Network) Close() {
+	nw.mu.Lock()
+	nodes := make([]*Node, 0, len(nw.nodes))
+	for _, n := range nw.nodes {
+		nodes = append(nodes, n)
+	}
+	nw.nodes = make(map[fabric.NodeID]*Node)
+	nw.mu.Unlock()
+	for _, n := range nodes {
+		n.Close()
+	}
+}
+
+// NodeMetrics aggregates activity counters useful to benchmarks; see the
+// coalescing analysis around Figure 10 of the paper.
+type NodeMetrics struct {
+	// MsgsIn / ItemsIn count inbound coalesced messages and the requests
+	// within them (server role). ItemsIn/MsgsIn is the served coalescing
+	// degree.
+	MsgsIn  uint64
+	ItemsIn uint64
+	// MsgsOut / ItemsOut count outbound coalesced request messages and
+	// items (client role).
+	MsgsOut  uint64
+	ItemsOut uint64
+	// CreditRenewals counts credit-renewal requests granted (server role).
+	CreditRenewals uint64
+	// QPActivations / QPDeactivations count receiver-side scheduling
+	// actions (server role).
+	QPActivations   uint64
+	QPDeactivations uint64
+	// ThreadMigrations counts sender-side thread reassignments applied.
+	ThreadMigrations uint64
+}
+
+// Node is one FLock endpoint. A node can serve inbound connections
+// (RegisterHandler + Serve) and open outbound connections (Connect),
+// including both at once — FLockTX servers do exactly that.
+type Node struct {
+	net  *Network
+	id   fabric.NodeID
+	opts Options
+	dev  *rnic.Device
+
+	handlers atomic.Value // map[uint32]Handler snapshot
+	handMu   sync.Mutex
+
+	serving atomic.Bool
+
+	// Server role.
+	schedRCQ *rnic.CQ
+	sconnMu  sync.Mutex
+	sconns   []*serverConn // one per inbound connection handle; a client
+	// node may hold several (the paper's multi-process clients, §8.4)
+	byQPN  atomic.Value // map[int]*serverQP snapshot
+	workCh chan workUnit
+
+	// Client role.
+	connMu      sync.Mutex
+	conns       []*Conn
+	clientState atomic.Bool // client goroutines started
+
+	// Named regions exported for remote one-sided access.
+	exportMu sync.Mutex
+	exports  map[string]*rnic.MemRegion
+
+	metrics struct {
+		msgsIn, itemsIn, msgsOut, itemsOut          atomic.Uint64
+		renewals, activations, deactivations, migrs atomic.Uint64
+	}
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+func newNode(nw *Network, id fabric.NodeID, dev *rnic.Device, opts Options) *Node {
+	n := &Node{
+		net:  nw,
+		id:   id,
+		opts: opts.withDefaults(),
+		dev:  dev,
+		done: make(chan struct{}),
+	}
+	n.handlers.Store(map[uint32]Handler{})
+	n.byQPN.Store(map[int]*serverQP{})
+	return n
+}
+
+// ID returns the node's fabric address.
+func (n *Node) ID() fabric.NodeID { return n.id }
+
+// Device exposes the node's RNIC (for NIC-level statistics).
+func (n *Node) Device() *rnic.Device { return n.dev }
+
+// Options returns the node's effective (default-filled) options.
+func (n *Node) Options() Options { return n.opts }
+
+// Metrics snapshots the node's activity counters.
+func (n *Node) Metrics() NodeMetrics {
+	return NodeMetrics{
+		MsgsIn:           n.metrics.msgsIn.Load(),
+		ItemsIn:          n.metrics.itemsIn.Load(),
+		MsgsOut:          n.metrics.msgsOut.Load(),
+		ItemsOut:         n.metrics.itemsOut.Load(),
+		CreditRenewals:   n.metrics.renewals.Load(),
+		QPActivations:    n.metrics.activations.Load(),
+		QPDeactivations:  n.metrics.deactivations.Load(),
+		ThreadMigrations: n.metrics.migrs.Load(),
+	}
+}
+
+// RegisterHandler binds fn to rpcID (fl_reg_handler in Table 2).
+// Registration is allowed at any time but handlers should be in place
+// before clients call them.
+func (n *Node) RegisterHandler(rpcID uint32, fn Handler) {
+	n.handMu.Lock()
+	defer n.handMu.Unlock()
+	old := n.handlers.Load().(map[uint32]Handler)
+	next := make(map[uint32]Handler, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[rpcID] = fn
+	n.handlers.Store(next)
+}
+
+// handler resolves rpcID to a Handler, nil if unregistered.
+func (n *Node) handler(rpcID uint32) Handler {
+	return n.handlers.Load().(map[uint32]Handler)[rpcID]
+}
+
+// Serve starts the server role: request dispatchers, the worker pool (if
+// configured), and the receiver-side QP scheduler (§5.1). It returns
+// immediately; inbound connections are accepted while serving.
+func (n *Node) Serve() error {
+	select {
+	case <-n.done:
+		return ErrClosed
+	default:
+	}
+	if n.serving.Swap(true) {
+		return nil // already serving
+	}
+	n.schedRCQ = rnic.NewCQ(1 << 16)
+	if n.opts.Workers > 0 {
+		n.workCh = make(chan workUnit, 4*n.opts.Workers)
+		for i := 0; i < n.opts.Workers; i++ {
+			n.wg.Add(1)
+			go n.worker()
+		}
+	}
+	for i := 0; i < n.opts.Dispatchers; i++ {
+		n.wg.Add(1)
+		go n.serveDispatch(i)
+	}
+	n.wg.Add(1)
+	go n.qpScheduler()
+	return nil
+}
+
+// Serving reports whether Serve has been called.
+func (n *Node) Serving() bool { return n.serving.Load() }
+
+// Close stops all of the node's goroutines and its device. Blocked
+// application calls return ErrClosed.
+func (n *Node) Close() {
+	n.connMu.Lock()
+	select {
+	case <-n.done:
+		n.connMu.Unlock()
+		return
+	default:
+	}
+	close(n.done)
+	n.connMu.Unlock()
+	n.wg.Wait()
+	n.dev.Close()
+}
+
+// ensureClientSide lazily starts the client-role goroutines: the response
+// dispatcher (§4.3) and the sender-side thread scheduler (§5.2).
+func (n *Node) ensureClientSide() {
+	if n.clientState.Swap(true) {
+		return
+	}
+	n.wg.Add(2)
+	go n.clientDispatch()
+	go n.threadScheduler()
+}
+
+// snapshotConns returns the current outbound connections.
+func (n *Node) snapshotConns() []*Conn {
+	n.connMu.Lock()
+	defer n.connMu.Unlock()
+	out := make([]*Conn, len(n.conns))
+	copy(out, n.conns)
+	return out
+}

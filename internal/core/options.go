@@ -1,0 +1,129 @@
+// Package core implements FLock: a communication framework that scales
+// RDMA RPCs over reliable connections by sharing queue pairs among threads
+// (SOSP 2021). It provides the paper's three mechanisms:
+//
+//   - The connection handle (§3): one logical connection per remote node
+//     multiplexing a set of RC QPs among application threads, exposing
+//     RPC, remote memory, and atomic operations (Table 2).
+//   - FLock synchronization (§4.2): an MCS-style thread combining queue
+//     per QP. A transient leader coalesces the requests of concurrent
+//     followers into one message and posts it with a single RDMA write.
+//   - Symbiotic send-recv scheduling (§5): the receiver-side QP scheduler
+//     activates/deactivates QPs using credits and the coalescing-degree
+//     contention metric; the sender-side thread scheduler packs threads
+//     onto active QPs by Algorithm 1.
+//
+// The package runs over the software RNIC in internal/rnic; on real
+// hardware the same structure would sit on libibverbs.
+package core
+
+import "time"
+
+// Default parameter values; each mirrors the paper where it specifies one.
+const (
+	// DefaultCredits is C in §5.1: each sender starts with C credits per
+	// QP and requests C more after consuming half.
+	DefaultCredits = 32
+	// DefaultMaxActiveQPs is MAX_AQP in §5.1, chosen in the paper to
+	// avoid RNIC cache thrashing (Figure 2a).
+	DefaultMaxActiveQPs = 256
+	// DefaultMaxBatch bounds how many follower requests a leader
+	// coalesces into one message (§4.2 "bounded number of buffers").
+	DefaultMaxBatch = 16
+	// DefaultRingBytes sizes each request/response ring buffer.
+	DefaultRingBytes = 1 << 20
+	// DefaultMaxPayload bounds a single RPC payload. Sized so a full
+	// leader batch of maximum payloads still fits twice in the default
+	// ring (the geometry NewNode validates).
+	DefaultMaxPayload = 16 << 10
+	// DefaultRespWindow bounds outstanding responses buffered per thread.
+	DefaultRespWindow = 64
+	// DefaultSignalEvery applies selective signaling (§7): one signaled
+	// write per this many posted messages.
+	DefaultSignalEvery = 16
+	// DefaultSchedInterval is the period of both the receiver-side QP
+	// scheduler and the sender-side thread scheduler.
+	DefaultSchedInterval = 2 * time.Millisecond
+)
+
+// Options configures a Node. The zero value is usable: every field falls
+// back to the defaults above.
+type Options struct {
+	// QPsPerConn is how many RC QPs a connection handle creates toward a
+	// remote node — the multiplexing width. The paper sizes it to the
+	// client's thread count; applications usually set it to their
+	// expected thread count. Default 8.
+	QPsPerConn int
+	// MaxActiveQPs caps the number of QPs the node keeps active across
+	// all inbound connections when serving (MAX_AQP). Default 256.
+	MaxActiveQPs int
+	// Credits is the per-QP credit budget C. Default 32.
+	Credits int
+	// MaxBatch bounds leader coalescing. Default 16. Setting it to 1
+	// disables coalescing (the Figure 10 ablation).
+	MaxBatch int
+	// RingBytes sizes each ring buffer. Default 1 MiB.
+	RingBytes int
+	// MaxPayload bounds a single request or response payload. Default 16 KiB.
+	MaxPayload int
+	// RespWindow bounds buffered responses per thread. Default 64.
+	RespWindow int
+	// SignalEvery is the selective-signaling period. 1 signals every
+	// message. Default 16.
+	SignalEvery int
+	// SchedInterval is the scheduling period for both schedulers.
+	// Default 2ms.
+	SchedInterval time.Duration
+	// Dispatchers is the number of server-side request dispatcher
+	// goroutines. Default 1.
+	Dispatchers int
+	// Workers is the size of the server-side RPC worker pool. Zero runs
+	// handlers inline on the dispatcher (the paper supports both, §4.3).
+	Workers int
+	// DisableThreadSched turns off sender-side thread scheduling
+	// (Figure 11 ablation): threads keep their initial round-robin QP.
+	DisableThreadSched bool
+	// DisableQPSched turns off receiver-side QP scheduling: all QPs stay
+	// active and credits are granted unconditionally.
+	DisableQPSched bool
+	// Seed seeds per-node RNGs (canary generation, initial placement).
+	Seed uint64
+}
+
+// withDefaults returns a copy of o with zero fields replaced by defaults.
+func (o Options) withDefaults() Options {
+	if o.QPsPerConn <= 0 {
+		o.QPsPerConn = 8
+	}
+	if o.MaxActiveQPs <= 0 {
+		o.MaxActiveQPs = DefaultMaxActiveQPs
+	}
+	if o.Credits <= 0 {
+		o.Credits = DefaultCredits
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = DefaultMaxBatch
+	}
+	if o.RingBytes <= 0 {
+		o.RingBytes = DefaultRingBytes
+	}
+	if o.MaxPayload <= 0 {
+		o.MaxPayload = DefaultMaxPayload
+	}
+	if o.RespWindow <= 0 {
+		o.RespWindow = DefaultRespWindow
+	}
+	if o.SignalEvery <= 0 {
+		o.SignalEvery = DefaultSignalEvery
+	}
+	if o.SchedInterval <= 0 {
+		o.SchedInterval = DefaultSchedInterval
+	}
+	if o.Dispatchers <= 0 {
+		o.Dispatchers = 1
+	}
+	if o.Workers < 0 {
+		o.Workers = 0
+	}
+	return o
+}

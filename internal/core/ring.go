@@ -1,0 +1,195 @@
+package core
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+
+	"flock/internal/rnic"
+)
+
+// ringProducer is the sender's view of one ring buffer (§4): a local
+// staging region mirroring the receiver's ring, a monotonic tail, and a
+// cached copy of the receiver's consumed Head. The producer reserves
+// space, lets threads stage their payloads, and the leader ships the span
+// with a single RDMA write to the same offset in the remote ring.
+type ringProducer struct {
+	staging *rnic.MemRegion // local mirror of the remote ring
+	base    int             // ring base offset inside staging and remote MR
+	size    int
+	rkey    uint32 // remote ring MR
+	tail    uint64 // monotonic bytes produced; current-leader-owned
+
+	// cached is the monotonic consumed head as last learned (the
+	// "sender's copy of Head", §4.1). The response dispatcher advances it
+	// from piggybacked headers concurrently with the leader reading it,
+	// hence atomic.
+	cached atomic.Uint64
+}
+
+// free reports how many ring bytes are available given the cached head.
+func (p *ringProducer) free() int {
+	return p.size - int(p.tail-p.cached.Load())
+}
+
+// updateCached advances the cached consumed head (monotonic, so stale
+// piggybacked values are harmless).
+func (p *ringProducer) updateCached(h uint64) {
+	for {
+		cur := p.cached.Load()
+		if h <= cur || p.cached.CompareAndSwap(cur, h) {
+			return
+		}
+	}
+}
+
+// reservation describes ring space handed out by reserve.
+type reservation struct {
+	msgOff    int // staging/remote offset where the message goes
+	markerOff int // offset of a wrap marker to transmit, or -1
+	markerLen int // bytes the marker occupies on the ring (skipped region)
+}
+
+// reserve allocates space for a message of msgLen bytes, returning false
+// if the ring lacks room (the caller refreshes the cached head and
+// retries). If the message would straddle the ring end, an 8-byte wrap
+// marker is staged at the current tail and the message starts at offset 0.
+func (p *ringProducer) reserve(msgLen int) (reservation, bool) {
+	r := reservation{markerOff: -1}
+	off := int(p.tail) % p.size
+	need := msgLen
+	rem := 0
+	if off+msgLen > p.size {
+		rem = p.size - off
+		need += rem
+	}
+	if need > p.free() {
+		return r, false
+	}
+	if rem > 0 {
+		// Stage the wrap marker; it is transmitted by the caller ahead of
+		// the message so the receiver skips to offset zero.
+		var marker [8]byte
+		binary.LittleEndian.PutUint32(marker[0:], wrapMarker)
+		p.staging.WriteAt(marker[:], p.base+off) //nolint:errcheck // in range by construction
+		r.markerOff = off
+		r.markerLen = rem
+		p.tail += uint64(rem)
+		off = 0
+	}
+	r.msgOff = off
+	p.tail += uint64(msgLen)
+	return r, true
+}
+
+// ringConsumer is the receiver's view of one ring buffer: it polls the
+// Head position for complete messages, validates canaries, zeroes consumed
+// space, and publishes its consumed head for the producer (piggybacked on
+// responses and readable via one-sided RDMA when the producer is starved).
+type ringConsumer struct {
+	mr   *rnic.MemRegion
+	base int
+	size int
+
+	// head is the monotonic consumed counter. Only the owning dispatcher
+	// advances it, but response-flush paths on other goroutines read it
+	// for piggybacking, hence atomic.
+	head atomic.Uint64
+
+	publishMR  *rnic.MemRegion // control region carrying the consumed head
+	publishOff int
+
+	scratch []byte // reusable copy buffer
+	zeros   []byte // reusable zero slab
+}
+
+// newRingConsumer builds a consumer over mr[base : base+size].
+func newRingConsumer(mr *rnic.MemRegion, base, size int, publishMR *rnic.MemRegion, publishOff int) *ringConsumer {
+	return &ringConsumer{
+		mr:         mr,
+		base:       base,
+		size:       size,
+		publishMR:  publishMR,
+		publishOff: publishOff,
+		zeros:      make([]byte, 4096),
+	}
+}
+
+// consumed returns the monotonic consumed-head counter.
+func (c *ringConsumer) consumed() uint64 { return c.head.Load() }
+
+// poll checks the head position for one complete message. It returns the
+// decoded header and items (both referencing c.scratch, valid until the
+// next poll) and true, or false if no complete message is available.
+// Incomplete messages — header visible but trailing canary not yet placed —
+// are left untouched for the next poll, exactly the §4.1 protocol.
+func (c *ringConsumer) poll() (header, []decodedItem, bool) {
+	off := int(c.head.Load()) % c.size
+	word := c.mr.Load64(c.base + off)
+	totalLen := uint32(word)
+	if totalLen == 0 {
+		return header{}, nil, false
+	}
+	if totalLen == wrapMarker {
+		c.zeroRange(off, 8)
+		c.head.Add(uint64(c.size - off))
+		c.publish()
+		off = 0
+		word = c.mr.Load64(c.base + off)
+		totalLen = uint32(word)
+		if totalLen == 0 || totalLen == wrapMarker {
+			return header{}, nil, false
+		}
+	}
+	if int(totalLen) < headerBytes+trailerBytes || int(totalLen) > c.size-off {
+		// Torn or corrupt length; wait for more bytes. A length that can
+		// never be valid will be caught by decode once canaries match.
+		return header{}, nil, false
+	}
+	canary := c.mr.Load64(c.base + off + 8)
+	if canary == 0 {
+		return header{}, nil, false
+	}
+	tail := c.mr.Load64(c.base + off + int(totalLen) - trailerBytes)
+	if tail != canary {
+		return header{}, nil, false // incomplete: trailing canary not placed yet
+	}
+	if cap(c.scratch) < int(totalLen) {
+		c.scratch = make([]byte, totalLen)
+	}
+	buf := c.scratch[:totalLen]
+	c.mr.ReadAt(buf, c.base+off) //nolint:errcheck // in range by construction
+	h, items, err := decodeMessage(buf)
+	if err != nil {
+		// Structurally corrupt despite matching canaries: drop the
+		// message to keep the ring live. This cannot happen with a
+		// well-behaved producer.
+		c.zeroRange(off, int(totalLen))
+		c.head.Add(uint64(totalLen))
+		c.publish()
+		return header{}, nil, false
+	}
+	c.zeroRange(off, int(totalLen))
+	c.head.Add(uint64(totalLen))
+	c.publish()
+	return h, items, true
+}
+
+// zeroRange clears [off, off+n) of the ring so the slot is reusable.
+func (c *ringConsumer) zeroRange(off, n int) {
+	for n > 0 {
+		k := n
+		if k > len(c.zeros) {
+			k = len(c.zeros)
+		}
+		c.mr.WriteAt(c.zeros[:k], c.base+off) //nolint:errcheck // in range by construction
+		off += k
+		n -= k
+	}
+}
+
+// publish stores the consumed head into the control region.
+func (c *ringConsumer) publish() {
+	if c.publishMR != nil {
+		c.publishMR.Store64(c.publishOff, c.head.Load())
+	}
+}

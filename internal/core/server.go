@@ -1,0 +1,410 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"flock/internal/fabric"
+	"flock/internal/rnic"
+	"flock/internal/stats"
+)
+
+// This file is the server side: connection acceptance, the request
+// dispatcher (§4.3), the optional RPC worker pool, and coalesced response
+// flushing. The receiver-side QP scheduler lives in qpsched.go.
+
+// recvDepth is how many receive WQEs the server keeps posted per QP to
+// absorb credit-renewal write-imms between scheduler rounds.
+const recvDepth = 16
+
+// serverConn is the server end of one client's connection handle.
+type serverConn struct {
+	node   *Node
+	sender fabric.NodeID
+	qps    []*serverQP
+}
+
+// serverQP is the server end of one shared queue pair.
+type serverQP struct {
+	gid    int // global index across all server connections
+	idx    int // index within the connection
+	sc     *serverConn
+	qp     *rnic.QP
+	sender fabric.NodeID
+
+	reqRing    *rnic.MemRegion // clients RDMA-write coalesced requests here
+	reqCons    *ringConsumer
+	serverCtrl *rnic.MemRegion // publishes the request-ring consumed head
+	respProd   *ringProducer   // writes responses into the client's ring
+	readback   *rnic.MemRegion
+
+	clientCtrlRKey uint32
+
+	respMu  sync.Mutex // guards respProd geometry, rng, msgSeq
+	rng     *stats.RNG
+	msgSeq  uint64
+	refresh atomic.Bool
+
+	// Scheduler-owned state (§5.1). active is atomic because accept and
+	// metrics paths read it.
+	active  atomic.Bool
+	granted uint64  // scheduler-only
+	util    float64 // Σ reported coalescing degrees since last interval
+	renews  uint64  // renewals seen since last interval
+}
+
+// workUnit carries one inbound coalesced message's requests to the worker
+// pool; the worker executes every handler and flushes the coalesced
+// response.
+type workUnit struct {
+	sqp   *serverQP
+	items []workItem
+}
+
+// workItem is one decoded request with its payload copied out of the ring
+// scratch.
+type workItem struct {
+	meta    itemMeta
+	payload []byte
+}
+
+// respOut is one computed response awaiting coalescing.
+type respOut struct {
+	meta itemMeta
+	data []byte
+}
+
+// accept builds the server side of a connection handle; called in-process
+// by the client's Connect (the out-of-band bootstrap stand-in).
+func (n *Node) accept(args connectArgs) (connectReply, error) {
+	if !n.Serving() {
+		return connectReply{}, ErrNotServing
+	}
+	select {
+	case <-n.done:
+		return connectReply{}, ErrClosed
+	default:
+	}
+	sc := &serverConn{node: n, sender: args.clientNode}
+	var reply connectReply
+
+	n.sconnMu.Lock()
+	defer n.sconnMu.Unlock()
+	gidBase := 0
+	for _, other := range n.sconns {
+		gidBase += len(other.qps)
+	}
+	for i, qa := range args.qps {
+		qp, err := n.dev.CreateQP(rnic.RC, n.dev.CreateCQ(), n.schedRCQ)
+		if err != nil {
+			return connectReply{}, err
+		}
+		reqRing, err := n.dev.RegisterMR(n.opts.RingBytes, rnic.PermRemoteWrite)
+		if err != nil {
+			return connectReply{}, err
+		}
+		serverCtrl, err := n.dev.RegisterMR(srvCtrlBytes, rnic.PermRemoteRead)
+		if err != nil {
+			return connectReply{}, err
+		}
+		respStaging, err := n.dev.RegisterMR(n.opts.RingBytes, 0)
+		if err != nil {
+			return connectReply{}, err
+		}
+		readback, err := n.dev.RegisterMR(8, 0)
+		if err != nil {
+			return connectReply{}, err
+		}
+		if err := qp.Connect(int(args.clientNode), qa.qpn); err != nil {
+			return connectReply{}, err
+		}
+		for r := 0; r < recvDepth; r++ {
+			if err := qp.PostRecv(rnic.RecvWR{WRID: uint64(qp.QPN())}); err != nil {
+				return connectReply{}, err
+			}
+		}
+		sqp := &serverQP{
+			gid:            gidBase + i,
+			idx:            i,
+			sc:             sc,
+			qp:             qp,
+			sender:         args.clientNode,
+			reqRing:        reqRing,
+			reqCons:        newRingConsumer(reqRing, 0, n.opts.RingBytes, serverCtrl, srvCtrlReqHeadOff),
+			serverCtrl:     serverCtrl,
+			readback:       readback,
+			clientCtrlRKey: qa.clientCtrlRKey,
+			rng:            stats.NewRNG(n.opts.Seed + uint64(gidBase+i)*0x9E3779B9 + 7),
+			granted:        uint64(n.opts.Credits),
+		}
+		sqp.respProd = &ringProducer{staging: respStaging, size: n.opts.RingBytes, rkey: qa.respRingRKey}
+		sqp.active.Store(true)
+		sc.qps = append(sc.qps, sqp)
+		reply.qps = append(reply.qps, connectQPReply{
+			qpn:            qp.QPN(),
+			reqRingRKey:    reqRing.RKey(),
+			serverCtrlRKey: serverCtrl.RKey(),
+		})
+	}
+	n.sconns = append(n.sconns, sc)
+	n.rebuildQPNIndexLocked()
+	return reply, nil
+}
+
+// rebuildQPNIndexLocked refreshes the QPN → serverQP snapshot used by the
+// QP scheduler. Caller holds sconnMu.
+func (n *Node) rebuildQPNIndexLocked() {
+	m := make(map[int]*serverQP)
+	for _, sc := range n.sconns {
+		for _, sqp := range sc.qps {
+			m[sqp.qp.QPN()] = sqp
+		}
+	}
+	n.byQPN.Store(m)
+}
+
+// snapshotSconns copies the inbound connection set.
+func (n *Node) snapshotSconns() []*serverConn {
+	n.sconnMu.Lock()
+	defer n.sconnMu.Unlock()
+	out := make([]*serverConn, 0, len(n.sconns))
+	for _, sc := range n.sconns {
+		out = append(out, sc)
+	}
+	return out
+}
+
+// serveDispatch is one request-dispatcher goroutine; dispatcher i owns the
+// server QPs with gid ≡ i (mod Dispatchers).
+func (n *Node) serveDispatch(i int) {
+	defer n.wg.Done()
+	var cqBuf [64]rnic.Completion
+	idle := 0
+	for {
+		select {
+		case <-n.done:
+			return
+		default:
+		}
+		busy := false
+		for _, sc := range n.snapshotSconns() {
+			for _, sqp := range sc.qps {
+				if sqp.gid%n.opts.Dispatchers != i {
+					continue
+				}
+				if n.pumpRequests(sqp) {
+					busy = true
+				}
+				for {
+					k := sqp.qp.SendCQ().Poll(cqBuf[:])
+					if k == 0 {
+						break
+					}
+					busy = true
+					for _, comp := range cqBuf[:k] {
+						sqp.routeCompletion(comp)
+					}
+				}
+			}
+		}
+		if busy {
+			idle = 0
+		} else {
+			idle++
+			idleBackoff(idle)
+		}
+	}
+}
+
+// pumpRequests drains complete messages from one request ring, executing
+// them inline or handing them to the worker pool. Reports whether any work
+// was found.
+func (n *Node) pumpRequests(sqp *serverQP) bool {
+	busy := false
+	for {
+		h, items, ok := sqp.reqCons.poll()
+		if !ok {
+			return busy
+		}
+		busy = true
+		n.metrics.msgsIn.Add(1)
+		n.metrics.itemsIn.Add(uint64(len(items)))
+		sqp.respProd.updateCached(h.piggyHead)
+		if n.workCh != nil {
+			unit := workUnit{sqp: sqp, items: make([]workItem, len(items))}
+			for k, it := range items {
+				p := make([]byte, len(it.data))
+				copy(p, it.data)
+				unit.items[k] = workItem{meta: it.meta, payload: p}
+			}
+			select {
+			case n.workCh <- unit:
+			case <-n.done:
+				return busy
+			}
+			continue
+		}
+		// Inline mode: execute handlers on the dispatcher (§4.3).
+		out := make([]respOut, len(items))
+		for k, it := range items {
+			out[k] = n.execute(it.meta, it.data)
+		}
+		n.flushResponses(sqp, out)
+	}
+}
+
+// worker is one pool goroutine executing handler batches (§4.3's
+// "application-managed pool of RPC workers").
+func (n *Node) worker() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.done:
+			return
+		case unit := <-n.workCh:
+			out := make([]respOut, len(unit.items))
+			for k, it := range unit.items {
+				out[k] = n.execute(it.meta, it.payload)
+			}
+			n.flushResponses(unit.sqp, out)
+		}
+	}
+}
+
+// execute runs the registered handler for one request, capturing panics
+// as a response status rather than crashing the dispatcher.
+func (n *Node) execute(meta itemMeta, payload []byte) (out respOut) {
+	out.meta = itemMeta{
+		threadID: meta.threadID,
+		seqID:    meta.seqID,
+		rpcID:    meta.rpcID,
+		status:   StatusOK,
+	}
+	fn := n.handler(meta.rpcID)
+	if fn == nil {
+		out.meta.status = StatusNoHandler
+		return out
+	}
+	defer func() {
+		if recover() != nil {
+			out.meta.status = StatusHandlerPanic
+			out.data = nil
+		}
+	}()
+	out.data = fn(payload)
+	return out
+}
+
+// flushResponses coalesces the batch into one response message — tagging
+// each item with its request's thread ID and sequence ID, piggybacking the
+// request-ring consumed head — and posts it with a single RDMA write.
+func (n *Node) flushResponses(sqp *serverQP, out []respOut) {
+	if len(out) == 0 {
+		return
+	}
+	msgLen := headerBytes + trailerBytes
+	for i := range out {
+		if len(out[i].data) > n.opts.MaxPayload {
+			// Oversized handler response: truncate to keep ring geometry
+			// sound; the application bug is surfaced via status.
+			out[i].data = out[i].data[:n.opts.MaxPayload]
+			out[i].meta.status = StatusHandlerPanic
+		}
+		msgLen += itemSpace(len(out[i].data))
+	}
+
+	sqp.respMu.Lock()
+	defer sqp.respMu.Unlock()
+
+	var res reservation
+	for i := 0; ; i++ {
+		var ok bool
+		res, ok = sqp.respProd.reserve(msgLen)
+		if ok {
+			break
+		}
+		sqp.requestRespHeadRefresh()
+		// Poll our own send CQ so the refresh completion can land even
+		// while we hold the flush path.
+		var cqBuf [16]rnic.Completion
+		if k := sqp.qp.SendCQ().Poll(cqBuf[:]); k > 0 {
+			for _, comp := range cqBuf[:k] {
+				sqp.routeCompletion(comp)
+			}
+		}
+		select {
+		case <-n.done:
+			return
+		default:
+		}
+		idleBackoff(i)
+	}
+
+	staging := sqp.respProd.staging
+	cursor := res.msgOff + headerBytes
+	var metaBuf [itemMetaBytes]byte
+	for i := range out {
+		m := out[i].meta
+		m.size = uint32(len(out[i].data))
+		putItemMeta(metaBuf[:], m)
+		staging.WriteAt(metaBuf[:], cursor) //nolint:errcheck // reserved span
+		if len(out[i].data) > 0 {
+			staging.WriteAt(out[i].data, cursor+itemMetaBytes) //nolint:errcheck
+		}
+		cursor += itemSpace(len(out[i].data))
+	}
+	canary := sqp.rng.Uint64() | 1
+	var canaryBuf [trailerBytes]byte
+	putLE64(canaryBuf[:], canary)
+	staging.WriteAt(canaryBuf[:], res.msgOff+msgLen-trailerBytes) //nolint:errcheck
+	var hdr [headerBytes]byte
+	putHeader(hdr[:], header{
+		totalLen:  uint32(msgLen),
+		count:     uint32(len(out)),
+		canary:    canary,
+		piggyHead: sqp.reqCons.consumed(),
+	})
+	staging.WriteAt(hdr[:], res.msgOff) //nolint:errcheck
+
+	var wrs []rnic.SendWR
+	if res.markerOff >= 0 {
+		wrs = append(wrs, rnic.SendWR{
+			WRID: tagMarker, Op: rnic.OpWrite,
+			LocalMR: staging, LocalOff: res.markerOff, LocalLen: 8,
+			RKey: sqp.respProd.rkey, RemoteOff: res.markerOff,
+		})
+	}
+	sqp.msgSeq++
+	wrs = append(wrs, rnic.SendWR{
+		WRID: tagMsg, Op: rnic.OpWrite,
+		LocalMR: staging, LocalOff: res.msgOff, LocalLen: msgLen,
+		RKey: sqp.respProd.rkey, RemoteOff: res.msgOff,
+		Signaled: sqp.msgSeq%uint64(n.opts.SignalEvery) == 0,
+	})
+	sqp.qp.PostSend(wrs...) //nolint:errcheck // device closing is benign here
+}
+
+// requestRespHeadRefresh posts a one-sided read of the client's published
+// response-ring consumed head.
+func (sqp *serverQP) requestRespHeadRefresh() {
+	if sqp.refresh.Swap(true) {
+		return
+	}
+	err := sqp.qp.PostSend(rnic.SendWR{
+		WRID: tagFresh, Op: rnic.OpRead,
+		LocalMR: sqp.readback, LocalOff: 0, LocalLen: 8,
+		RKey: sqp.clientCtrlRKey, RemoteOff: ctrlRespHeadOff,
+		Signaled: true,
+	})
+	if err != nil {
+		sqp.refresh.Store(false)
+	}
+}
+
+// routeCompletion handles one server-side send completion.
+func (sqp *serverQP) routeCompletion(comp rnic.Completion) {
+	if comp.WRID&tagMask == tagFresh {
+		sqp.respProd.updateCached(sqp.readback.Load64(0))
+		sqp.refresh.Store(false)
+	}
+}

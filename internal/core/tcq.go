@@ -1,0 +1,144 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"flock/internal/rnic"
+)
+
+// This file implements FLock synchronization (§4.2): the thread combining
+// queue (TCQ). Threads that want to use a shared QP enqueue themselves
+// with an atomic swap on the queue tail, exactly like an MCS lock. The
+// thread that finds a nil predecessor is the leader; it claims a bounded
+// batch of queued requests, coalesces them into one message (RPC items)
+// and one linked work-request chain (memory operations), posts the lot
+// with a single doorbell, and hands leadership to the first unclaimed
+// node.
+//
+// Compared to a spinlock around the QP (the FaRM-style baseline in
+// internal/baseline/lockshare), every thread still "waits its turn", but
+// the turn produces one combined network operation instead of N serialized
+// ones — the entire point of the paper.
+
+// opKind distinguishes what a TCQ node carries.
+type opKind uint8
+
+const (
+	// opRPC is a coalescible RPC request (§4.2).
+	opRPC opKind = iota
+	// opMem is a one-sided memory or atomic operation; the leader links
+	// these work requests into its single post (§6).
+	opMem
+)
+
+// Node states / verdicts. waiting→leader or waiting→{copy→}sent/migrate.
+const (
+	stateWaiting uint32 = iota
+	stateLeader         // promoted: this thread must run the leader path
+	stateCopy           // follower: buffer assigned, copy payload now
+	stateSent           // verdict: operation posted on the QP
+	stateMigrate        // verdict: QP deactivated, re-submit on another QP
+	stateAborted        // verdict: connection closing
+)
+
+// tcqNode is one thread's slot in the combining queue.
+type tcqNode struct {
+	next   atomic.Pointer[tcqNode]
+	state  atomic.Uint32
+	copied atomic.Uint32
+
+	kind opKind
+
+	// opRPC fields.
+	rpcID    uint32
+	seqID    uint64
+	threadID uint32
+	payload  []byte
+	bufOff   int // absolute staging offset assigned by the leader
+
+	// opMem fields.
+	wr rnic.SendWR
+}
+
+// tcq is the per-QP combining queue; Flock Tail in Figure 5.
+type tcq struct {
+	tail atomic.Pointer[tcqNode]
+}
+
+// push enqueues n and reports whether the caller became the leader.
+func (q *tcq) push(n *tcqNode) (leader bool) {
+	prev := q.tail.Swap(n)
+	if prev == nil {
+		n.state.Store(stateLeader)
+		return true
+	}
+	prev.next.Store(n)
+	return false
+}
+
+// claimBatch collects up to max nodes starting at head (the leader's own
+// node), following next pointers. A successor that has swapped the tail
+// but not yet linked itself is awaited, as in MCS. The returned slice
+// always starts with head.
+func (q *tcq) claimBatch(head *tcqNode, max int) []*tcqNode {
+	batch := make([]*tcqNode, 1, max)
+	batch[0] = head
+	cur := head
+	for len(batch) < max {
+		next := cur.next.Load()
+		if next == nil {
+			if q.tail.Load() == cur {
+				break // genuinely last
+			}
+			// A successor is between swap and link; wait for it.
+			for next == nil {
+				runtime.Gosched()
+				next = cur.next.Load()
+			}
+		}
+		batch = append(batch, next)
+		cur = next
+	}
+	return batch
+}
+
+// handoff passes leadership after the leader finished with batch. If a
+// node beyond the batch exists (or arrives concurrently), it is promoted
+// to leader; otherwise the queue is closed out.
+func (q *tcq) handoff(last *tcqNode) {
+	next := last.next.Load()
+	if next == nil {
+		if q.tail.CompareAndSwap(last, nil) {
+			return // queue empty
+		}
+		// A successor swapped the tail; wait for the link.
+		for next == nil {
+			runtime.Gosched()
+			next = last.next.Load()
+		}
+	}
+	next.state.Store(stateLeader)
+}
+
+// awaitVerdict spins until a final verdict (sent/migrate/aborted) or a
+// leadership promotion, passing through the copy phase by copying the
+// payload into staging. A stateLeader return means the caller must run the
+// leader path for its own node.
+func (n *tcqNode) awaitVerdict(staging *rnic.MemRegion) uint32 {
+	for {
+		switch s := n.state.Load(); s {
+		case stateSent, stateMigrate, stateAborted, stateLeader:
+			return s
+		case stateCopy:
+			// Leader assigned our slot: copy payload, raise the
+			// copy-completion flag, and keep waiting for the verdict.
+			if len(n.payload) > 0 {
+				staging.WriteAt(n.payload, n.bufOff) //nolint:errcheck // leader sized the slot
+			}
+			n.copied.Store(1)
+			n.state.CompareAndSwap(stateCopy, stateWaiting)
+		}
+		runtime.Gosched()
+	}
+}

@@ -1,0 +1,349 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"flock/internal/rnic"
+	"flock/internal/stats"
+)
+
+// Thread is a per-application-thread handle on a connection. FLock
+// multiplexes threads onto the connection's QP set; the thread scheduler
+// (§5.2) periodically reassigns them. All RPC and memory APIs of Table 2
+// hang off Thread.
+//
+// A Thread must be used by one goroutine at a time (it models an OS
+// thread); create one per worker goroutine with Conn.RegisterThread.
+type Thread struct {
+	conn *Conn
+	id   uint32
+	rng  *stats.RNG
+
+	seq         uint64
+	outstanding atomic.Int32
+	respCh      chan Response
+	memCh       chan rnic.Status
+	scratch     *rnic.MemRegion
+
+	assigned atomic.Int32 // scheduler-written QP index
+	curQP    int32        // thread-local: QP in current use
+
+	// Request statistics consumed by the thread scheduler; guarded by
+	// statMu because the scheduler reads-and-resets them.
+	statMu  sync.Mutex
+	median  *stats.RunningMedian
+	reqs    uint64
+	bytes   uint64
+	pending bool // stats present since last scheduling
+}
+
+// Response is one RPC response delivered to a thread (fl_recv_res).
+type Response struct {
+	// Seq echoes the sequence ID returned by SendRPC, mapping the
+	// response to its outstanding request (§4.1).
+	Seq uint64
+	// RPCID echoes the handler ID.
+	RPCID uint32
+	// Status is StatusOK, StatusNoHandler or StatusHandlerPanic.
+	Status uint32
+	// Data is the response payload; owned by the caller.
+	Data []byte
+}
+
+// RegisterThread creates a thread handle. The initial QP assignment is
+// round-robin; the thread scheduler refines it from observed behaviour.
+func (c *Conn) RegisterThread() *Thread {
+	id := c.nextTID.Add(1) - 1
+	scratchLen := c.node.opts.MaxPayload
+	if scratchLen < 64 {
+		scratchLen = 64
+	}
+	scratch, err := c.node.dev.RegisterMR(scratchLen, 0)
+	if err != nil {
+		scratch = nil // node closing; ops will fail with ErrClosed
+	}
+	t := &Thread{
+		conn:    c,
+		id:      id,
+		rng:     stats.NewRNG(c.node.opts.Seed*0x9E3779B9 + uint64(id) + uint64(c.remote)<<32 + 1),
+		respCh:  make(chan Response, c.node.opts.RespWindow),
+		memCh:   make(chan rnic.Status, 1),
+		scratch: scratch,
+		median:  stats.NewRunningMedian(32),
+	}
+	t.assigned.Store(int32(int(id) % len(c.qps)))
+	t.curQP = t.assigned.Load()
+	c.threadMu.Lock()
+	c.threads[id] = t
+	c.threadMu.Unlock()
+	return t
+}
+
+// ID returns the thread's identifier within the connection.
+func (t *Thread) ID() uint32 { return t.id }
+
+// Conn returns the owning connection handle.
+func (t *Thread) Conn() *Conn { return t.conn }
+
+// Outstanding reports requests sent but not yet received.
+func (t *Thread) Outstanding() int { return int(t.outstanding.Load()) }
+
+// pickQP selects the QP for the next operation: the scheduler's
+// assignment, deferred while responses are outstanding on a still-active
+// previous QP (§5.2 migration rule), with a fallback scan when the choice
+// is deactivated.
+func (t *Thread) pickQP() *connQP {
+	c := t.conn
+	idx := t.assigned.Load()
+	if idx < 0 || int(idx) >= len(c.qps) {
+		idx = 0
+	}
+	cur := t.curQP
+	if cur != idx && t.outstanding.Load() > 0 && c.qps[cur].active() {
+		// Finish in-flight traffic on the old QP before migrating.
+		idx = cur
+	}
+	q := c.qps[idx]
+	if !q.active() {
+		for off := 1; off <= len(c.qps); off++ {
+			cand := c.qps[(int(idx)+off)%len(c.qps)]
+			if cand.active() {
+				q = cand
+				idx = int32(cand.idx)
+				break
+			}
+		}
+	}
+	if t.curQP != idx {
+		c.node.metrics.migrs.Add(1)
+	}
+	t.curQP = idx
+	return q
+}
+
+// recordStat feeds the thread scheduler's inputs (§5.2): median request
+// size, request count, and bytes since the last scheduling interval.
+func (t *Thread) recordStat(size int) {
+	t.statMu.Lock()
+	t.median.Add(uint64(size))
+	t.reqs++
+	t.bytes += uint64(size)
+	t.pending = true
+	t.statMu.Unlock()
+}
+
+// takeStat snapshots and resets the scheduler inputs.
+func (t *Thread) takeStat() (ThreadStat, bool) {
+	t.statMu.Lock()
+	defer t.statMu.Unlock()
+	if !t.pending {
+		return ThreadStat{ID: t.id}, false
+	}
+	s := ThreadStat{
+		ID:        t.id,
+		MedianReq: t.median.Median(),
+		Reqs:      t.reqs,
+		Bytes:     t.bytes,
+	}
+	t.reqs, t.bytes, t.pending = 0, 0, false
+	return s, true
+}
+
+// SendRPC submits an RPC request (fl_send_rpc) and returns its sequence
+// ID. The request is coalesced with concurrent threads' requests via
+// FLock synchronization; the response arrives through RecvRes.
+func (t *Thread) SendRPC(rpcID uint32, payload []byte) (uint64, error) {
+	if len(payload) > t.conn.node.opts.MaxPayload {
+		return 0, ErrPayloadTooLarge
+	}
+	if t.conn.isClosed() {
+		return 0, ErrClosed
+	}
+	t.seq++
+	seq := t.seq
+	t.outstanding.Add(1)
+	for {
+		q := t.pickQP()
+		n := &tcqNode{
+			kind:     opRPC,
+			rpcID:    rpcID,
+			seqID:    seq,
+			threadID: t.id,
+			payload:  payload,
+		}
+		switch t.conn.submit(t, q, n) {
+		case stateSent:
+			t.recordStat(len(payload))
+			return seq, nil
+		case stateMigrate:
+			continue // re-read assignment and retry (§5.2)
+		default:
+			t.outstanding.Add(-1)
+			return 0, ErrClosed
+		}
+	}
+}
+
+// RecvRes blocks until the next RPC response for this thread arrives
+// (fl_recv_res). Responses may arrive in any order when multiple requests
+// are outstanding; match them by Response.Seq.
+func (t *Thread) RecvRes() (Response, error) {
+	select {
+	case r := <-t.respCh:
+		if r.Status == StatusConnClosed {
+			return Response{}, ErrClosed
+		}
+		return r, nil
+	case <-t.conn.closedCh():
+		// Drain anything already delivered before reporting closure.
+		select {
+		case r := <-t.respCh:
+			return r, nil
+		default:
+			return Response{}, ErrClosed
+		}
+	}
+}
+
+// Call is the synchronous convenience wrapper: SendRPC then RecvRes.
+// Don't interleave Call with outstanding async requests on the same
+// thread — the response it returns is matched by sequence ID, and any
+// other responses received while waiting are surfaced to RecvRes callers
+// in order, which a mixed usage pattern would confuse.
+func (t *Thread) Call(rpcID uint32, payload []byte) (Response, error) {
+	seq, err := t.SendRPC(rpcID, payload)
+	if err != nil {
+		return Response{}, err
+	}
+	for {
+		r, err := t.RecvRes()
+		if err != nil {
+			return Response{}, err
+		}
+		if r.Seq == seq {
+			return r, nil
+		}
+		// A stale response from a previous timed-out exchange; drop it.
+	}
+}
+
+// memOp runs one one-sided operation through FLock synchronization and
+// waits for its completion (§6).
+func (t *Thread) memOp(wr rnic.SendWR, size int) (rnic.Status, error) {
+	if t.conn.isClosed() {
+		return rnic.StatusQPError, ErrClosed
+	}
+	t.seq++
+	for {
+		q := t.pickQP()
+		n := &tcqNode{
+			kind:     opMem,
+			seqID:    t.seq,
+			threadID: t.id,
+			wr:       wr,
+		}
+		switch t.conn.submit(t, q, n) {
+		case stateSent:
+			t.recordStat(size)
+			select {
+			case st := <-t.memCh:
+				return st, nil
+			case <-t.conn.closedCh():
+				return rnic.StatusQPError, ErrClosed
+			}
+		case stateMigrate:
+			continue
+		default:
+			return rnic.StatusQPError, ErrClosed
+		}
+	}
+}
+
+// Read performs a one-sided RDMA read of len(dst) bytes from the remote
+// region at off (fl_read).
+func (t *Thread) Read(r *RemoteRegion, off int, dst []byte) error {
+	if t.scratch == nil || len(dst) > t.scratch.Len() {
+		return ErrReadTooLarge
+	}
+	st, err := t.memOp(rnic.SendWR{
+		Op: rnic.OpRead, LocalMR: t.scratch, LocalOff: 0, LocalLen: len(dst),
+		RKey: r.rkey, RemoteOff: off,
+	}, len(dst))
+	if err != nil {
+		return err
+	}
+	if st != rnic.StatusOK {
+		return statusError(st)
+	}
+	return t.scratch.ReadAt(dst, 0)
+}
+
+// Write performs a one-sided RDMA write of src to the remote region at
+// off (fl_write).
+func (t *Thread) Write(r *RemoteRegion, off int, src []byte) error {
+	st, err := t.memOp(rnic.SendWR{
+		Op: rnic.OpWrite, Inline: src,
+		RKey: r.rkey, RemoteOff: off,
+	}, len(src))
+	if err != nil {
+		return err
+	}
+	if st != rnic.StatusOK {
+		return statusError(st)
+	}
+	return nil
+}
+
+// FetchAdd atomically adds delta to the 64-bit word at off in the remote
+// region and returns its previous value (fl_fetch_and_add).
+func (t *Thread) FetchAdd(r *RemoteRegion, off int, delta uint64) (uint64, error) {
+	if t.scratch == nil {
+		return 0, ErrClosed
+	}
+	st, err := t.memOp(rnic.SendWR{
+		Op: rnic.OpFetchAdd, LocalMR: t.scratch, LocalOff: 0,
+		RKey: r.rkey, RemoteOff: off, CompareAdd: delta,
+	}, 8)
+	if err != nil {
+		return 0, err
+	}
+	if st != rnic.StatusOK {
+		return 0, statusError(st)
+	}
+	return t.scratch.Load64(0), nil
+}
+
+// CompareSwap atomically replaces the 64-bit word at off with swap when it
+// equals expect, returning the previous value (fl_cmp_and_swap). The swap
+// took effect iff the returned value equals expect.
+func (t *Thread) CompareSwap(r *RemoteRegion, off int, expect, swap uint64) (uint64, error) {
+	if t.scratch == nil {
+		return 0, ErrClosed
+	}
+	st, err := t.memOp(rnic.SendWR{
+		Op: rnic.OpCmpSwap, LocalMR: t.scratch, LocalOff: 0,
+		RKey: r.rkey, RemoteOff: off, CompareAdd: expect, Swap: swap,
+	}, 8)
+	if err != nil {
+		return 0, err
+	}
+	if st != rnic.StatusOK {
+		return 0, statusError(st)
+	}
+	return t.scratch.Load64(0), nil
+}
+
+// statusError converts a completion status to an error.
+func statusError(st rnic.Status) error {
+	return &OpError{Status: st}
+}
+
+// OpError reports a memory operation that completed unsuccessfully.
+type OpError struct {
+	// Status is the RNIC completion status.
+	Status rnic.Status
+}
+
+// Error implements error.
+func (e *OpError) Error() string { return "flock: operation failed: " + e.Status.String() }

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire format of a coalesced message (§4.1, Figure 5).
+//
+//	header (32 B):
+//	  +0  totalLen  uint32  whole message incl. header and trailing canary
+//	  +4  count     uint32  number of items
+//	  +8  canary    uint64  random, repeated at the end of the message
+//	  +16 piggyHead uint64  sender's consumed head of the opposite ring
+//	  +24 credit    uint32  responses: credit grant delta for this QP
+//	  +28 flags     uint32  reserved
+//	item (24 B metadata, then payload padded to 8 B):
+//	  +0  size     uint32  payload bytes
+//	  +4  threadID uint32
+//	  +8  seqID    uint64  thread-local monotonically increasing (§4.1)
+//	  +16 rpcID    uint32  handler ID (requests) / echoed (responses)
+//	  +20 status   uint32  response status
+//	trailer (8 B): canary uint64
+//
+// The receiver polls the first word at its Head; a nonzero totalLen with
+// matching canaries at both ends means the message is complete, relying on
+// RDMA writes becoming visible in ascending address order (§4.1). A
+// totalLen of wrapMarker tells the receiver the producer wrapped to offset
+// zero.
+const (
+	headerBytes   = 32
+	itemMetaBytes = 24
+	trailerBytes  = 8
+	wrapMarker    = ^uint32(0)
+)
+
+// msgSpace returns the on-ring footprint of a message with the given
+// payload sizes.
+func msgSpace(sizes []int) int {
+	n := headerBytes + trailerBytes
+	for _, s := range sizes {
+		n += itemMetaBytes + pad8(s)
+	}
+	return n
+}
+
+// itemSpace returns the footprint of one item.
+func itemSpace(payload int) int { return itemMetaBytes + pad8(payload) }
+
+// pad8 rounds n up to a multiple of 8.
+func pad8(n int) int { return (n + 7) &^ 7 }
+
+// header is the decoded message header.
+type header struct {
+	totalLen  uint32
+	count     uint32
+	canary    uint64
+	piggyHead uint64
+	credit    uint32
+	flags     uint32
+}
+
+// putHeader encodes h into b (len >= headerBytes).
+func putHeader(b []byte, h header) {
+	binary.LittleEndian.PutUint32(b[0:], h.totalLen)
+	binary.LittleEndian.PutUint32(b[4:], h.count)
+	binary.LittleEndian.PutUint64(b[8:], h.canary)
+	binary.LittleEndian.PutUint64(b[16:], h.piggyHead)
+	binary.LittleEndian.PutUint32(b[24:], h.credit)
+	binary.LittleEndian.PutUint32(b[28:], h.flags)
+}
+
+// getHeader decodes a header from b.
+func getHeader(b []byte) header {
+	return header{
+		totalLen:  binary.LittleEndian.Uint32(b[0:]),
+		count:     binary.LittleEndian.Uint32(b[4:]),
+		canary:    binary.LittleEndian.Uint64(b[8:]),
+		piggyHead: binary.LittleEndian.Uint64(b[16:]),
+		credit:    binary.LittleEndian.Uint32(b[24:]),
+		flags:     binary.LittleEndian.Uint32(b[28:]),
+	}
+}
+
+// itemMeta is the decoded per-item metadata.
+type itemMeta struct {
+	size     uint32
+	threadID uint32
+	seqID    uint64
+	rpcID    uint32
+	status   uint32
+}
+
+// putItemMeta encodes m into b (len >= itemMetaBytes).
+func putItemMeta(b []byte, m itemMeta) {
+	binary.LittleEndian.PutUint32(b[0:], m.size)
+	binary.LittleEndian.PutUint32(b[4:], m.threadID)
+	binary.LittleEndian.PutUint64(b[8:], m.seqID)
+	binary.LittleEndian.PutUint32(b[16:], m.rpcID)
+	binary.LittleEndian.PutUint32(b[20:], m.status)
+}
+
+// getItemMeta decodes per-item metadata from b.
+func getItemMeta(b []byte) itemMeta {
+	return itemMeta{
+		size:     binary.LittleEndian.Uint32(b[0:]),
+		threadID: binary.LittleEndian.Uint32(b[4:]),
+		seqID:    binary.LittleEndian.Uint64(b[8:]),
+		rpcID:    binary.LittleEndian.Uint32(b[16:]),
+		status:   binary.LittleEndian.Uint32(b[20:]),
+	}
+}
+
+// decodedItem is one request or response extracted from a message.
+type decodedItem struct {
+	meta itemMeta
+	data []byte // slice of the decode buffer; copy before retaining
+}
+
+// decodeMessage validates and splits a complete message. buf must hold the
+// entire message (totalLen bytes). It returns the header and items, or an
+// error if the message is structurally corrupt. Canary validation is the
+// caller's business (the caller polls; decode assumes completeness).
+func decodeMessage(buf []byte) (header, []decodedItem, error) {
+	if len(buf) < headerBytes+trailerBytes {
+		return header{}, nil, fmt.Errorf("core: message shorter than framing (%d)", len(buf))
+	}
+	h := getHeader(buf)
+	if int(h.totalLen) != len(buf) {
+		return header{}, nil, fmt.Errorf("core: totalLen %d != buffer %d", h.totalLen, len(buf))
+	}
+	tail := binary.LittleEndian.Uint64(buf[len(buf)-trailerBytes:])
+	if tail != h.canary {
+		return header{}, nil, fmt.Errorf("core: canary mismatch")
+	}
+	items := make([]decodedItem, 0, h.count)
+	off := headerBytes
+	for i := uint32(0); i < h.count; i++ {
+		if off+itemMetaBytes > len(buf)-trailerBytes {
+			return header{}, nil, fmt.Errorf("core: item %d metadata overruns message", i)
+		}
+		m := getItemMeta(buf[off:])
+		off += itemMetaBytes
+		end := off + pad8(int(m.size))
+		if int(m.size) > pad8(int(m.size)) || end > len(buf)-trailerBytes {
+			return header{}, nil, fmt.Errorf("core: item %d payload overruns message", i)
+		}
+		items = append(items, decodedItem{meta: m, data: buf[off : off+int(m.size)]})
+		off = end
+	}
+	if off != len(buf)-trailerBytes {
+		return header{}, nil, fmt.Errorf("core: message has %d trailing bytes", len(buf)-trailerBytes-off)
+	}
+	return h, items, nil
+}

@@ -1,0 +1,194 @@
+// Package hydralist is an in-memory ordered index standing in for
+// HydraList (Mathew & Min, VLDB'20), the index served over FLock and eRPC
+// in §8.6 of the FLock paper. HydraList splits a skip-list-like structure
+// into a data layer and replicated search layers updated asynchronously;
+// what the paper's experiment needs from it is a concurrent ordered map
+// with point lookups (get) and bounded range scans (scan 64), whose scan
+// service time exceeds get service time — the variance that limits
+// client-side coalescing in Figures 16–18.
+//
+// This implementation keeps the two-layer spirit in miniature: a lock-free
+// sorted data layer (a linked list with atomic forward pointers, insertion
+// via CAS) under a skip-list search layer whose upper levels are built
+// with the same CAS discipline. Readers never lock; inserts lock nothing
+// but retry CAS races.
+package hydralist
+
+import (
+	"math"
+	"sync/atomic"
+
+	"flock/internal/stats"
+)
+
+// maxLevel bounds the skip-list height; 2^20 keys need ~20/1.44 ≈ 14
+// levels at p = 1/2; 24 gives headroom for hundreds of millions.
+const maxLevel = 24
+
+// node is one key in the index. next[0] is the data layer; higher levels
+// form the search layer.
+type node struct {
+	key  uint64
+	val  atomic.Uint64
+	next [maxLevel]atomic.Pointer[node]
+	lvl  int
+}
+
+// List is the concurrent ordered index. Safe for concurrent use by any
+// number of readers and writers.
+type List struct {
+	head  *node
+	size  atomic.Int64
+	level atomic.Int32 // highest level in use
+}
+
+// New creates an empty index.
+func New() *List {
+	h := &node{key: 0, lvl: maxLevel}
+	l := &List{head: h}
+	l.level.Store(1)
+	return l
+}
+
+// Len reports the number of keys.
+func (l *List) Len() int { return int(l.size.Load()) }
+
+// randomLevel draws a geometric level from the rng.
+func randomLevel(rng *stats.RNG) int {
+	lvl := 1
+	for lvl < maxLevel && rng.Uint64()&1 == 1 {
+		lvl++
+	}
+	return lvl
+}
+
+// findPreds fills preds/succs with the nodes straddling key at each
+// level. Returns the node with exactly this key, if present.
+func (l *List) findPreds(key uint64, preds, succs *[maxLevel]*node) *node {
+	var found *node
+	pred := l.head
+	for lvl := int(l.level.Load()) - 1; lvl >= 0; lvl-- {
+		cur := pred.next[lvl].Load()
+		for cur != nil && cur.key < key {
+			pred = cur
+			cur = pred.next[lvl].Load()
+		}
+		if cur != nil && cur.key == key {
+			found = cur
+		}
+		preds[lvl] = pred
+		succs[lvl] = cur
+	}
+	return found
+}
+
+// Get returns the value stored under key.
+func (l *List) Get(key uint64) (uint64, bool) {
+	pred := l.head
+	for lvl := int(l.level.Load()) - 1; lvl >= 0; lvl-- {
+		cur := pred.next[lvl].Load()
+		for cur != nil && cur.key < key {
+			pred = cur
+			cur = pred.next[lvl].Load()
+		}
+		if cur != nil && cur.key == key {
+			return cur.val.Load(), true
+		}
+	}
+	return 0, false
+}
+
+// Insert stores val under key, replacing any existing value. rng supplies
+// the level draw; give each inserting goroutine its own.
+func (l *List) Insert(key uint64, val uint64, rng *stats.RNG) {
+	if key == 0 {
+		key = 1 // head sentinel owns 0; fold into 1 (documented domain is 1..2^64-1)
+	}
+	var preds, succs [maxLevel]*node
+	for {
+		if existing := l.findPreds(key, &preds, &succs); existing != nil {
+			existing.val.Store(val)
+			return
+		}
+		lvl := randomLevel(rng)
+		for {
+			cur := int(l.level.Load())
+			if lvl <= cur || l.level.CompareAndSwap(int32(cur), int32(lvl)) {
+				break
+			}
+		}
+		for i := int(l.level.Load()); i > 0; i-- {
+			if preds[i-1] == nil {
+				preds[i-1] = l.head
+			}
+		}
+		n := &node{key: key, lvl: lvl}
+		n.val.Store(val)
+		// Link bottom-up; level 0 linearizes the insert.
+		n.next[0].Store(succs[0])
+		if !preds[0].next[0].CompareAndSwap(succs[0], n) {
+			continue // raced; recompute
+		}
+		l.size.Add(1)
+		for i := 1; i < lvl; i++ {
+			for {
+				pred, succ := preds[i], succs[i]
+				if pred == nil {
+					pred = l.head
+				}
+				n.next[i].Store(succ)
+				if pred.next[i].CompareAndSwap(succ, n) {
+					break
+				}
+				// Recompute straddle at this level and retry.
+				l.findPreds(key, &preds, &succs)
+				if succs[i] == n || (succs[i] != nil && succs[i].key == key) {
+					break // someone already linked us here
+				}
+			}
+		}
+		return
+	}
+}
+
+// Scan walks up to count keys starting at the smallest key >= start and
+// returns how many it visited — the paper's scan query replies with the
+// number of keys found (§8.6). visit may be nil.
+func (l *List) Scan(start uint64, count int, visit func(key, val uint64)) int {
+	pred := l.head
+	for lvl := int(l.level.Load()) - 1; lvl >= 0; lvl-- {
+		cur := pred.next[lvl].Load()
+		for cur != nil && cur.key < start {
+			pred = cur
+			cur = pred.next[lvl].Load()
+		}
+	}
+	n := pred.next[0].Load()
+	visited := 0
+	for n != nil && visited < count {
+		if visit != nil {
+			visit(n.key, n.val.Load())
+		}
+		visited++
+		n = n.next[0].Load()
+	}
+	return visited
+}
+
+// Min returns the smallest key, or (0, false) when empty.
+func (l *List) Min() (uint64, bool) {
+	n := l.head.next[0].Load()
+	if n == nil {
+		return 0, false
+	}
+	return n.key, true
+}
+
+// ExpectedLevels reports the theoretically ideal level count for n keys —
+// exposed for tests asserting the search layer stays logarithmic.
+func ExpectedLevels(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return int(math.Ceil(math.Log2(float64(n))))
+}

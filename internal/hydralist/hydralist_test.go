@@ -1,0 +1,265 @@
+package hydralist
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"flock/internal/stats"
+)
+
+func TestInsertGet(t *testing.T) {
+	l := New()
+	rng := stats.NewRNG(1)
+	for k := uint64(1); k <= 1000; k++ {
+		l.Insert(k, k*10, rng)
+	}
+	if l.Len() != 1000 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	for k := uint64(1); k <= 1000; k++ {
+		v, ok := l.Get(k)
+		if !ok || v != k*10 {
+			t.Fatalf("get %d = (%d, %v)", k, v, ok)
+		}
+	}
+	if _, ok := l.Get(5000); ok {
+		t.Fatal("phantom key")
+	}
+}
+
+func TestInsertOverwrite(t *testing.T) {
+	l := New()
+	rng := stats.NewRNG(2)
+	l.Insert(7, 1, rng)
+	l.Insert(7, 2, rng)
+	if l.Len() != 1 {
+		t.Fatalf("len = %d after overwrite", l.Len())
+	}
+	if v, _ := l.Get(7); v != 2 {
+		t.Fatalf("value = %d", v)
+	}
+}
+
+func TestScanOrderAndBounds(t *testing.T) {
+	l := New()
+	rng := stats.NewRNG(3)
+	// Insert shuffled keys 2,4,6,...,200.
+	keys := make([]uint64, 100)
+	for i := range keys {
+		keys[i] = uint64(2 * (i + 1))
+	}
+	for i := range keys {
+		j := rng.Intn(len(keys))
+		keys[i], keys[j] = keys[j], keys[i]
+	}
+	for _, k := range keys {
+		l.Insert(k, k, rng)
+	}
+
+	var got []uint64
+	n := l.Scan(50, 10, func(k, v uint64) { got = append(got, k) })
+	if n != 10 || len(got) != 10 {
+		t.Fatalf("scan returned %d", n)
+	}
+	if got[0] != 50 {
+		t.Fatalf("scan start = %d, want 50", got[0])
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("scan unordered: %v", got)
+	}
+	// Start between keys.
+	got = got[:0]
+	l.Scan(51, 3, func(k, v uint64) { got = append(got, k) })
+	if got[0] != 52 {
+		t.Fatalf("scan from gap starts at %d", got[0])
+	}
+	// Scan past the end returns fewer.
+	if n := l.Scan(195, 64, nil); n != 3 {
+		t.Fatalf("tail scan = %d, want 3 (196,198,200)", n)
+	}
+	// Empty range.
+	if n := l.Scan(10_000, 64, nil); n != 0 {
+		t.Fatalf("past-end scan = %d", n)
+	}
+}
+
+func TestMin(t *testing.T) {
+	l := New()
+	if _, ok := l.Min(); ok {
+		t.Fatal("min of empty list")
+	}
+	rng := stats.NewRNG(4)
+	l.Insert(500, 1, rng)
+	l.Insert(100, 1, rng)
+	l.Insert(900, 1, rng)
+	if k, _ := l.Min(); k != 100 {
+		t.Fatalf("min = %d", k)
+	}
+}
+
+func TestConcurrentInsertGet(t *testing.T) {
+	l := New()
+	const nG = 8
+	const perG = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < nG; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := stats.NewRNG(uint64(g) + 10)
+			for i := 0; i < perG; i++ {
+				k := uint64(g*perG + i + 1)
+				l.Insert(k, k, rng)
+				if v, ok := l.Get(k); !ok || v != k {
+					t.Errorf("lost own insert %d", k)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if l.Len() != nG*perG {
+		t.Fatalf("len = %d, want %d", l.Len(), nG*perG)
+	}
+	// Full scan sees every key in order.
+	var prev uint64
+	count := l.Scan(1, nG*perG+10, func(k, v uint64) {
+		if k <= prev {
+			t.Fatalf("order violated: %d after %d", k, prev)
+		}
+		prev = k
+	})
+	if count != nG*perG {
+		t.Fatalf("scan visited %d, want %d", count, nG*perG)
+	}
+}
+
+func TestConcurrentMixedReadWrite(t *testing.T) {
+	l := New()
+	rng := stats.NewRNG(7)
+	for k := uint64(1); k <= 4096; k++ {
+		l.Insert(k, k, rng)
+	}
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	// Writers overwrite random existing keys; readers do gets and scans;
+	// an existing key must never go missing mid-overwrite.
+	for g := 0; g < 4; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			r := stats.NewRNG(uint64(g) + 100)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := r.Uint64n(4096) + 1
+				l.Insert(k, r.Uint64(), r)
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func(g int) {
+			defer readers.Done()
+			r := stats.NewRNG(uint64(g) + 200)
+			for i := 0; i < 5000; i++ {
+				k := r.Uint64n(4096) + 1
+				if _, ok := l.Get(k); !ok {
+					t.Errorf("existing key %d missing", k)
+					return
+				}
+				if r.Intn(10) == 0 {
+					l.Scan(k, 64, nil)
+				}
+			}
+		}(g)
+	}
+	readers.Wait()
+	close(stop)
+	writers.Wait()
+	if l.Len() != 4096 {
+		t.Fatalf("len = %d after overwrites, want 4096", l.Len())
+	}
+}
+
+func TestKeyZeroFoldsToOne(t *testing.T) {
+	l := New()
+	rng := stats.NewRNG(5)
+	l.Insert(0, 42, rng)
+	if v, ok := l.Get(1); !ok || v != 42 {
+		t.Fatalf("key 0 fold: (%d, %v)", v, ok)
+	}
+}
+
+func TestGetInsertProperty(t *testing.T) {
+	l := New()
+	rng := stats.NewRNG(6)
+	model := map[uint64]uint64{}
+	f := func(key, val uint64) bool {
+		if key == 0 {
+			key = 1
+		}
+		l.Insert(key, val, rng)
+		model[key] = val
+		got, ok := l.Get(key)
+		return ok && got == val
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	for k, want := range model {
+		if got, ok := l.Get(k); !ok || got != want {
+			t.Fatalf("model divergence at %d: (%d, %v) want %d", k, got, ok, want)
+		}
+	}
+	if l.Len() != len(model) {
+		t.Fatalf("len %d != model %d", l.Len(), len(model))
+	}
+}
+
+func TestExpectedLevels(t *testing.T) {
+	if ExpectedLevels(1) != 1 || ExpectedLevels(0) != 1 {
+		t.Fatal("degenerate levels")
+	}
+	if got := ExpectedLevels(1 << 20); got != 20 {
+		t.Fatalf("levels(2^20) = %d", got)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	l := New()
+	rng := stats.NewRNG(1)
+	for k := uint64(1); k <= 1<<18; k++ {
+		l.Insert(k, k, rng)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Get(uint64(i)&(1<<18-1) + 1)
+	}
+}
+
+func BenchmarkScan64(b *testing.B) {
+	l := New()
+	rng := stats.NewRNG(1)
+	for k := uint64(1); k <= 1<<16; k++ {
+		l.Insert(k, k, rng)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Scan(uint64(i)&(1<<16-1)+1, 64, nil)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	l := New()
+	rng := stats.NewRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Insert(uint64(i)+1, uint64(i), rng)
+	}
+}

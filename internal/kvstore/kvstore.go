@@ -1,0 +1,337 @@
+// Package kvstore is a MICA-like partitioned in-memory key-value store
+// (Lim et al., NSDI'14), the storage substrate the FaSST evaluation — and
+// therefore FLockTX's (§8.5) — builds on. It is a lossless open-addressing
+// hash table over a flat memory arena with a per-key version+lock word, so
+// optimistic concurrency control can:
+//
+//   - read values with a seqlock protocol (version, value, version);
+//   - lock keys for writing with a CAS on the lock bit;
+//   - validate read sets remotely by RDMA-reading the version word — the
+//     arena is laid out for registration as an RDMA memory region, and
+//     VersionOffset exposes each key's word for one-sided access
+//     (FLockTX's validation phase, Figure 13).
+//
+// Slot layout (little-endian), repeated Capacity times after an 8-byte
+// header word:
+//
+//	+0  key      uint64  (0 = empty; keys are offset by 1 on insert)
+//	+8  verLock  uint64  bit 0 = locked, bits 1.. = version
+//	+16 value    [ValSize]bytes (8-aligned)
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Mem is the storage arena. *rnic.MemRegion implements it, which is the
+// intended backing when the store is served over RDMA; byteMem adapts a
+// plain slice for standalone use.
+type Mem interface {
+	ReadAt(dst []byte, off int) error
+	WriteAt(src []byte, off int) error
+	Load64(off int) uint64
+	Store64(off int, v uint64)
+	CAS64(off int, old, new uint64) bool
+	Len() int
+}
+
+// byteMem is a process-local arena.
+type byteMem struct {
+	b []byte
+}
+
+// NewMem returns a process-local arena of size bytes for standalone use.
+// It is NOT safe for concurrent mutation of the same word without external
+// synchronization beyond the store's own protocol (which only needs CAS64
+// and 64-bit load/store atomicity; byteMem provides those best-effort and
+// is intended for single-node tests — use an rnic.MemRegion for shared
+// setups).
+func NewMem(size int) Mem { return &byteMem{b: make([]byte, size)} }
+
+func (m *byteMem) ReadAt(dst []byte, off int) error {
+	if off < 0 || off+len(dst) > len(m.b) {
+		return errors.New("kvstore: read out of range")
+	}
+	copy(dst, m.b[off:])
+	return nil
+}
+
+func (m *byteMem) WriteAt(src []byte, off int) error {
+	if off < 0 || off+len(src) > len(m.b) {
+		return errors.New("kvstore: write out of range")
+	}
+	copy(m.b[off:], src)
+	return nil
+}
+
+func (m *byteMem) Load64(off int) uint64 {
+	return le64(m.b[off : off+8])
+}
+
+func (m *byteMem) Store64(off int, v uint64) {
+	putLE64(m.b[off:off+8], v)
+}
+
+func (m *byteMem) CAS64(off int, old, new uint64) bool {
+	if le64(m.b[off:off+8]) != old {
+		return false
+	}
+	putLE64(m.b[off:off+8], new)
+	return true
+}
+
+func (m *byteMem) Len() int { return len(m.b) }
+
+func le64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLE64(b []byte, v uint64) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+// Errors.
+var (
+	ErrFull     = errors.New("kvstore: table full")
+	ErrNotFound = errors.New("kvstore: key not found")
+	ErrLocked   = errors.New("kvstore: key locked")
+)
+
+const (
+	lockBit     = uint64(1)
+	headerBytes = 8
+)
+
+// Store is one partition's hash table.
+type Store struct {
+	mem      Mem
+	capacity uint64 // slots, power of two
+	valSize  int
+	slotSize int
+}
+
+// ArenaSize returns the arena bytes needed for a store with the given
+// geometry.
+func ArenaSize(capacity, valSize int) int {
+	return headerBytes + capacity*slotBytes(valSize)
+}
+
+func slotBytes(valSize int) int {
+	return 16 + (valSize+7)&^7
+}
+
+// New builds a store over mem. capacity is rounded up to a power of two
+// and must fit in mem.
+func New(mem Mem, capacity, valSize int) (*Store, error) {
+	cap2 := uint64(1)
+	for cap2 < uint64(capacity) {
+		cap2 <<= 1
+	}
+	s := &Store{mem: mem, capacity: cap2, valSize: valSize, slotSize: slotBytes(valSize)}
+	if need := headerBytes + int(cap2)*s.slotSize; need > mem.Len() {
+		return nil, fmt.Errorf("kvstore: arena %d bytes < needed %d", mem.Len(), need)
+	}
+	return s, nil
+}
+
+// Capacity reports the slot count.
+func (s *Store) Capacity() int { return int(s.capacity) }
+
+// ValSize reports the value size in bytes.
+func (s *Store) ValSize() int { return s.valSize }
+
+// slotOff returns the byte offset of slot i.
+func (s *Store) slotOff(i uint64) int { return headerBytes + int(i)*s.slotSize }
+
+// hash mixes a key (fibonacci hashing).
+func hash(key uint64) uint64 {
+	key ^= key >> 33
+	key *= 0xff51afd7ed558ccd
+	key ^= key >> 33
+	return key
+}
+
+// findSlot locates key's slot offset via linear probing; insert controls
+// whether an empty slot claims the key.
+func (s *Store) findSlot(key uint64, insert bool) (int, error) {
+	stored := key + 1 // reserve 0 for "empty"
+	if stored == 0 {
+		return 0, errors.New("kvstore: key ^uint64(0) unsupported")
+	}
+	idx := hash(key) & (s.capacity - 1)
+	for probe := uint64(0); probe < s.capacity; probe++ {
+		off := s.slotOff((idx + probe) & (s.capacity - 1))
+		cur := s.mem.Load64(off)
+		if cur == stored {
+			return off, nil
+		}
+		if cur == 0 {
+			if !insert {
+				return 0, ErrNotFound
+			}
+			// Claim the slot; on a race, re-check the winner.
+			if s.mem.CAS64(off, 0, stored) {
+				return off, nil
+			}
+			if s.mem.Load64(off) == stored {
+				return off, nil
+			}
+			continue
+		}
+	}
+	if insert {
+		return 0, ErrFull
+	}
+	return 0, ErrNotFound
+}
+
+// Insert stores val under key, creating the slot if needed. Not
+// linearizable against concurrent writers of the same key — loading is a
+// bootstrap activity; steady-state mutation goes through Lock/Unlock.
+func (s *Store) Insert(key uint64, val []byte) error {
+	if len(val) > s.valSize {
+		return fmt.Errorf("kvstore: value %d > slot %d", len(val), s.valSize)
+	}
+	off, err := s.findSlot(key, true)
+	if err != nil {
+		return err
+	}
+	if err := s.mem.WriteAt(val, off+16); err != nil {
+		return err
+	}
+	ver := s.mem.Load64(off + 8)
+	s.mem.Store64(off+8, (ver|lockBit)+1) // bump version, clear lock
+	return nil
+}
+
+// Get reads key's value and version with the seqlock protocol. A torn
+// copy (version moved underneath the read) retries; a *locked* slot
+// returns ErrLocked immediately instead of waiting — the OCC execution
+// phase must abort on a locked key (Figure 13), and spinning inside an
+// RPC handler would wedge the dispatcher the lock holder needs for its
+// own commit.
+func (s *Store) Get(key uint64, dst []byte) (version uint64, err error) {
+	off, err := s.findSlot(key, false)
+	if err != nil {
+		return 0, err
+	}
+	if len(dst) > s.valSize {
+		dst = dst[:s.valSize]
+	}
+	for {
+		v1 := s.mem.Load64(off + 8)
+		if v1&lockBit != 0 {
+			return v1, ErrLocked
+		}
+		if err := s.mem.ReadAt(dst, off+16); err != nil {
+			return 0, err
+		}
+		if s.mem.Load64(off+8) == v1 {
+			return v1, nil
+		}
+		// Torn copy: a writer committed mid-read; retry (writers finish).
+	}
+}
+
+// Lock acquires key's write lock (OCC execution phase). It fails
+// immediately with ErrLocked when contended — the coordinator aborts, as
+// in Figure 13.
+func (s *Store) Lock(key uint64) error {
+	off, err := s.findSlot(key, false)
+	if err != nil {
+		return err
+	}
+	ver := s.mem.Load64(off + 8)
+	if ver&lockBit != 0 || !s.mem.CAS64(off+8, ver, ver|lockBit) {
+		return ErrLocked
+	}
+	return nil
+}
+
+// Unlock releases key's lock; when val is non-nil the value is replaced
+// and the version bumped (OCC commit), otherwise the version is restored
+// unchanged (abort).
+func (s *Store) Unlock(key uint64, val []byte) error {
+	off, err := s.findSlot(key, false)
+	if err != nil {
+		return err
+	}
+	ver := s.mem.Load64(off + 8)
+	if ver&lockBit == 0 {
+		return errors.New("kvstore: unlock of unlocked key")
+	}
+	if val != nil {
+		if len(val) > s.valSize {
+			return fmt.Errorf("kvstore: value %d > slot %d", len(val), s.valSize)
+		}
+		if err := s.mem.WriteAt(val, off+16); err != nil {
+			return err
+		}
+		s.mem.Store64(off+8, ver+1) // clears lock bit (ver is odd), bumps version
+		return nil
+	}
+	s.mem.Store64(off+8, ver&^lockBit)
+	return nil
+}
+
+// GetLocked reads key's value without the seqlock retry loop; the caller
+// must hold the key's lock (OCC read-modify-write under the write lock).
+func (s *Store) GetLocked(key uint64, dst []byte) error {
+	off, err := s.findSlot(key, false)
+	if err != nil {
+		return err
+	}
+	if len(dst) > s.valSize {
+		dst = dst[:s.valSize]
+	}
+	return s.mem.ReadAt(dst, off+16)
+}
+
+// Apply overwrites key's value and bumps the version without the lock
+// protocol; replicas use it to apply logged updates in receive order.
+func (s *Store) Apply(key uint64, val []byte) error {
+	off, err := s.findSlot(key, true)
+	if err != nil {
+		return err
+	}
+	if err := s.mem.WriteAt(val, off+16); err != nil {
+		return err
+	}
+	ver := s.mem.Load64(off + 8)
+	s.mem.Store64(off+8, (ver|lockBit)+1)
+	return nil
+}
+
+// VersionOffset returns the byte offset of key's version+lock word inside
+// the arena, for one-sided RDMA validation.
+func (s *Store) VersionOffset(key uint64) (int, error) {
+	off, err := s.findSlot(key, false)
+	if err != nil {
+		return 0, err
+	}
+	return off + 8, nil
+}
+
+// Version reads key's current version word (local fast path).
+func (s *Store) Version(key uint64) (uint64, error) {
+	off, err := s.findSlot(key, false)
+	if err != nil {
+		return 0, err
+	}
+	return s.mem.Load64(off + 8), nil
+}
+
+// Locked reports whether a version word carries the lock bit.
+func Locked(verLock uint64) bool { return verLock&lockBit != 0 }
+
+// VersionOf strips the lock bit off a version word.
+func VersionOf(verLock uint64) uint64 { return verLock &^ lockBit }

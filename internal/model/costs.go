@@ -1,0 +1,145 @@
+// Package model contains the discrete-event performance models that
+// regenerate every figure of the FLock paper's evaluation (§8). The models
+// run on the engine in internal/sim and reuse the live library's policy
+// functions (core.AssignThreads, core.RedistributeQPs) so the simulated
+// schedulers are the shipped ones.
+//
+// Absolute numbers depend on the cost calibration below and are not
+// expected to match the paper's testbed; the claims under reproduction are
+// the *shapes*: who wins, by roughly what factor, and where the crossovers
+// fall. EXPERIMENTS.md records paper-vs-model for each figure.
+package model
+
+import "flock/internal/sim"
+
+// Costs calibrates the hardware and software constants of the model, in
+// virtual nanoseconds (or ns/byte). Defaults approximate the paper's
+// testbed: 32-core 2.35 GHz servers, ConnectX-5 100 Gbps NICs, a
+// single-switch fabric (§8.1).
+type Costs struct {
+	// --- Client-side CPU ---
+
+	// StageWindow is the leader's combining window: the time from
+	// becoming leader to ringing the doorbell (staging, metadata, canary,
+	// post). Followers arriving within it join the message (§4.2).
+	StageWindow sim.Time
+	// FollowerJoin is a follower's CPU cost to enqueue and copy its
+	// payload into the leader's buffer.
+	FollowerJoin sim.Time
+	// MMIO is one doorbell write (also charged for UD sends). Coalescing
+	// amortizes it across the batch; the paper measures a 36 % drop in
+	// MMIO cycles from coalescing (§8.3.1).
+	MMIO sim.Time
+	// CopyPerByte is payload staging bandwidth (memcpy).
+	CopyPerByte float64
+	// RespDispatch is the client response dispatcher's per-item cost.
+	RespDispatch sim.Time
+
+	// --- NIC ---
+
+	// NICUnits is the number of parallel processing units per NIC.
+	NICUnits int
+	// NICBaseWR is the per-work-request NIC pipeline cost (cache hit).
+	NICBaseWR sim.Time
+	// NICCacheMiss is the extra cost of a connection-context cache miss:
+	// the PCIe fetch of QP state from host memory (Figure 1/2).
+	NICCacheMiss sim.Time
+	// NICCacheEntries sizes the connection-context cache. Calibrated so
+	// the Figure 2(a) read sweep peaks through a few hundred QPs and
+	// collapses by 2816, while the RPC-write workloads of Figure 9
+	// (up to 1104 QPs) stay largely resident, as the paper observes.
+	NICCacheEntries int
+	// WirePerByte is serialization delay (100 Gb/s ⇒ 0.08 ns/B).
+	WirePerByte float64
+	// WireLat is one-way propagation plus switch latency.
+	WireLat sim.Time
+	// PktOverheadBytes is per-packet header overhead on the wire.
+	PktOverheadBytes int
+	// MTU is the wire MTU (the paper uses 4096 everywhere).
+	MTU int
+
+	// --- Server CPU (FLock / RC ring path) ---
+
+	// ServerCores is the number of cores serving requests.
+	ServerCores int
+	// PollFind is the dispatcher's cost to discover one complete message
+	// in a ring (§4.3); paid once per coalesced message.
+	PollFind sim.Time
+	// ScanPerQP is the amortized cost per served message of scanning the
+	// other rings — it grows with the number of QPs polled, which is why
+	// "no sharing" burns more CPU at high thread counts (§8.3.1).
+	ScanPerQP sim.Time
+	// ItemDispatch is the per-request decode/dispatch cost.
+	ItemDispatch sim.Time
+	// RespStage is the per-response staging cost (metadata + copy base).
+	RespStage sim.Time
+
+	// --- Server CPU (UD / eRPC-FaSST path) ---
+
+	// UDPktRX is the per-packet receive cost: CQ polling plus receive-
+	// buffer recycling (ibv_post_recv) — the overhead that saturates UD
+	// servers in Figure 2(b) ("most cycles are spent recycling receive
+	// buffers and polling the completion queue").
+	UDPktRX sim.Time
+	// UDPktTX is the per-packet transmit cost (header build, post, CQ).
+	UDPktTX sim.Time
+	// UDClientPkt is the client-side per-packet cost (latency only).
+	UDClientPkt sim.Time
+}
+
+// DefaultCosts returns the calibration used throughout EXPERIMENTS.md.
+func DefaultCosts() Costs {
+	return Costs{
+		StageWindow:  250,
+		FollowerJoin: 60,
+		MMIO:         150,
+		CopyPerByte:  0.3,
+		RespDispatch: 50,
+
+		NICUnits:         4,
+		NICBaseWR:        70,
+		NICCacheMiss:     300,
+		NICCacheEntries:  2048,
+		WirePerByte:      0.08,
+		WireLat:          850,
+		PktOverheadBytes: 60,
+		MTU:              4096,
+
+		ServerCores:  32,
+		PollFind:     300,
+		ScanPerQP:    1,
+		ItemDispatch: 150,
+		RespStage:    100,
+
+		UDPktRX:     900,
+		UDPktTX:     600,
+		UDClientPkt: 300,
+	}
+}
+
+// wireBytes returns the on-wire footprint of a payload.
+func (c *Costs) wireBytes(payload int) int {
+	pkts := (payload + c.MTU - 1) / c.MTU
+	if pkts < 1 {
+		pkts = 1
+	}
+	return payload + pkts*c.PktOverheadBytes
+}
+
+// packets returns the packet count of a payload.
+func (c *Costs) packets(payload int) int {
+	pkts := (payload + c.MTU - 1) / c.MTU
+	if pkts < 1 {
+		pkts = 1
+	}
+	return pkts
+}
+
+// nicService is the NIC pipeline time for one WR of the given wire size.
+func (c *Costs) nicService(bytes int, miss bool) sim.Time {
+	t := c.NICBaseWR + sim.Time(float64(bytes)*c.WirePerByte)
+	if miss {
+		t += c.NICCacheMiss
+	}
+	return t
+}

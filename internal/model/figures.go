@@ -1,0 +1,449 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"flock/internal/sim"
+	"flock/internal/stats"
+)
+
+// Row is one data point of a regenerated table or figure.
+type Row struct {
+	Figure string  // e.g. "fig6a"
+	Series string  // e.g. "flock", "erpc", "no-share"
+	X      float64 // the figure's x-axis value (threads, QPs, clients, bytes)
+	Mops   float64 // throughput, million ops/sec
+	P50us  float64 // median latency, microseconds
+	P99us  float64 // 99th-percentile latency, microseconds
+	Degree float64 // served coalescing degree (0 when n/a)
+	CPU    float64 // server CPU utilization [0,1]
+}
+
+// String formats a row for the harness output.
+func (r Row) String() string {
+	return fmt.Sprintf("%-10s %-14s x=%-8g thr=%8.2fMops p50=%8.1fus p99=%8.1fus deg=%5.2f cpu=%4.2f",
+		r.Figure, r.Series, r.X, r.Mops, r.P50us, r.P99us, r.Degree, r.CPU)
+}
+
+// rowFrom converts a Result.
+func rowFrom(fig, series string, x float64, res Result) Row {
+	return Row{
+		Figure: fig, Series: series, X: x,
+		Mops:   res.Mops,
+		P50us:  float64(res.Lat.Median()) / 1000,
+		P99us:  float64(res.Lat.P99()) / 1000,
+		Degree: res.AvgDegree,
+		CPU:    res.ServerCPU,
+	}
+}
+
+// expTime draws an exponential service time around mean, floored at
+// mean/4 — handler-time variance that gives latency distributions a
+// realistic tail.
+func expTime(rng *stats.RNG, mean sim.Time) sim.Time {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	v := sim.Time(-float64(mean) * math.Log(u))
+	if v < mean/4 {
+		v = mean / 4
+	}
+	if v > mean*8 {
+		v = mean * 8
+	}
+	return v
+}
+
+// durations returns warmup and measurement windows; quick shrinks them for
+// smoke tests and testing.B.
+func durations(quick bool) (sim.Time, sim.Time) {
+	if quick {
+		return 500 * sim.Microsecond, 2 * sim.Millisecond
+	}
+	return 2 * sim.Millisecond, 10 * sim.Millisecond
+}
+
+// echoReq builds the 64-byte echo workload of §8.2/§8.3 with exponential
+// handler variance.
+func echoReq(handlerMean sim.Time) func(int, int, *stats.RNG) ReqSpec {
+	return func(c, t int, rng *stats.RNG) ReqSpec {
+		return ReqSpec{ReqSize: 64, RespSize: 64, Handler: expTime(rng, handlerMean)}
+	}
+}
+
+const echoHandler = 100 // trivial echo handler mean, ns
+
+// Fig2a regenerates Figure 2(a): 16-byte RDMA reads from 22 clients to
+// one server, sweeping the total QP count. Performance peaks while the
+// server NIC's connection cache holds the working set and falls off a
+// cliff beyond it.
+func Fig2a(quick bool) []Row {
+	var rows []Row
+	warm, dur := durations(quick)
+	for _, qps := range []int{22, 44, 88, 176, 352, 704, 1408, 2816} {
+		perClient := qps / 22
+		if perClient < 1 {
+			perClient = 1
+		}
+		cfg := RPCConfig{
+			Transport:        TransportFlock, // raw RC topology; reads bypass combining
+			Clients:          22,
+			ThreadsPerClient: perClient,
+			QPsPerConn:       perClient,
+			MaxActiveQPs:     1 << 20, // no scheduler: this is vanilla RDMA
+			NextReq:          echoReq(echoHandler),
+			Warmup:           warm,
+			Duration:         dur,
+		}
+		m := NewModel(cfg)
+		// One outstanding 16-byte read per QP, driven directly through the
+		// one-sided path (no server CPU at all).
+		var pump func(th *threadModel)
+		pump = func(th *threadModel) {
+			start := m.eng.Now()
+			m.OneSidedRead(th, 0, 16, func() {
+				if m.measuring {
+					m.ops++
+					m.lat.Record(uint64(m.eng.Now() - start))
+				}
+				pump(th)
+			})
+		}
+		for _, th := range m.threads {
+			th := th
+			m.eng.After(sim.Time(th.idx%13), func() { pump(th) })
+		}
+		m.eng.After(warm, m.startMeasuring)
+		m.eng.RunUntil(warm + dur)
+		res := m.Finish(dur)
+		rows = append(rows, rowFrom("fig2a", "rdma-read-rc", float64(qps), res))
+	}
+	return rows
+}
+
+// Fig2b regenerates Figure 2(b): 16-byte UD RPCs with a growing sender
+// count; the server saturates on per-packet CPU (receive-buffer recycling
+// and CQ polling) and throughput flattens.
+func Fig2b(quick bool) []Row {
+	var rows []Row
+	warm, dur := durations(quick)
+	for _, senders := range []int{22, 44, 88, 176, 352, 704, 1408, 2816} {
+		perClient := senders / 22
+		if perClient < 1 {
+			perClient = 1
+		}
+		cfg := RPCConfig{
+			Transport:        TransportUD,
+			Clients:          22,
+			ThreadsPerClient: perClient,
+			Outstanding:      1,
+			NextReq: func(c, t int, rng *stats.RNG) ReqSpec {
+				return ReqSpec{ReqSize: 16, RespSize: 16, Handler: expTime(rng, echoHandler)}
+			},
+			Warmup:   warm,
+			Duration: dur,
+		}
+		rows = append(rows, rowFrom("fig2b", "ud-rpc", float64(senders), NewModel(cfg).Run()))
+	}
+	return rows
+}
+
+// figThreads is the per-client thread sweep of Figures 6–8.
+var figThreads = []int{1, 2, 4, 8, 16, 32, 48}
+
+// Fig6 regenerates Figures 6, 7 and 8 in one sweep (they are the
+// throughput, median, and 99th-percentile views of the same runs): FLock
+// vs eRPC, 23 clients, 64-byte echo, outstanding ∈ {1, 4, 8}.
+func Fig6(quick bool) []Row {
+	var rows []Row
+	warm, dur := durations(quick)
+	for _, outstanding := range []int{1, 4, 8} {
+		sub := map[int]string{1: "a", 4: "b", 8: "c"}[outstanding]
+		for _, threads := range figThreads {
+			base := RPCConfig{
+				Clients:          23,
+				ThreadsPerClient: threads,
+				Outstanding:      outstanding,
+				NextReq:          echoReq(echoHandler),
+				ThreadSched:      true,
+				Warmup:           warm,
+				Duration:         dur,
+			}
+			fl := base
+			fl.Transport = TransportFlock
+			rows = append(rows, rowFrom("fig6"+sub, "flock", float64(threads), NewModel(fl).Run()))
+			ud := base
+			ud.Transport = TransportUD
+			rows = append(rows, rowFrom("fig6"+sub, "erpc", float64(threads), NewModel(ud).Run()))
+		}
+	}
+	return rows
+}
+
+// Fig9 regenerates Figure 9: FLock vs no sharing (1 thread/QP) vs
+// FaRM-like spinlock sharing (2 and 4 threads/QP), 64-byte RPCs with 8
+// outstanding per thread.
+func Fig9(quick bool) []Row {
+	var rows []Row
+	warm, dur := durations(quick)
+	series := []struct {
+		name string
+		tr   Transport
+		tpq  int
+	}{
+		{"flock", TransportFlock, 0},
+		{"no-share", TransportNoShare, 1},
+		{"farm-2/qp", TransportLockShare, 2},
+		{"farm-4/qp", TransportLockShare, 4},
+	}
+	for _, threads := range []int{1, 2, 4, 8, 16, 32, 48} {
+		for _, s := range series {
+			cfg := RPCConfig{
+				Transport:        s.tr,
+				Clients:          23,
+				ThreadsPerClient: threads,
+				Outstanding:      8,
+				NextReq:          echoReq(echoHandler),
+				ThreadSched:      true,
+				ThreadsPerQP:     s.tpq,
+				Warmup:           warm,
+				Duration:         dur,
+			}
+			rows = append(rows, rowFrom("fig9", s.name, float64(threads), NewModel(cfg).Run()))
+		}
+	}
+	return rows
+}
+
+// Fig10 regenerates Figure 10: coalescing on vs off at 32 threads/client,
+// outstanding ∈ {1, 4, 8}. "Off" bounds the leader batch at one request.
+func Fig10(quick bool) []Row {
+	var rows []Row
+	warm, dur := durations(quick)
+	for _, outstanding := range []int{1, 4, 8} {
+		for _, coalesce := range []bool{false, true} {
+			cfg := RPCConfig{
+				Transport:        TransportFlock,
+				Clients:          23,
+				ThreadsPerClient: 32,
+				Outstanding:      outstanding,
+				NextReq:          echoReq(echoHandler),
+				ThreadSched:      true,
+				MaxBatch:         1,
+				Warmup:           warm,
+				Duration:         dur,
+			}
+			name := "no-coalescing"
+			if coalesce {
+				cfg.MaxBatch = 16
+				name = "coalescing"
+			}
+			rows = append(rows, rowFrom("fig10", name, float64(outstanding), NewModel(cfg).Run()))
+		}
+	}
+	return rows
+}
+
+// Fig11 regenerates Figure 11: 90 % of threads send 64-byte requests and
+// 10 % send large ones (512/768/1024 B); sender-side thread scheduling on
+// vs off. Scheduling isolates the large-payload threads on their own QPs,
+// sparing the small requests the head-of-line blocking.
+func Fig11(quick bool) []Row {
+	var rows []Row
+	warm, dur := durations(quick)
+	for _, large := range []int{512, 768, 1024} {
+		for _, sched := range []bool{false, true} {
+			large := large
+			cfg := RPCConfig{
+				Transport:        TransportFlock,
+				Clients:          23,
+				ThreadsPerClient: 32,
+				Outstanding:      8,
+				NextReq: func(c, t int, rng *stats.RNG) ReqSpec {
+					size := 64
+					if t < 4 { // 4 of 32 threads ≈ 10% large (paper's mix, rounded)
+						size = large
+					}
+					return ReqSpec{ReqSize: size, RespSize: 64, Handler: expTime(rng, echoHandler)}
+				},
+				ThreadSched: sched,
+				Warmup:      warm,
+				Duration:    dur,
+			}
+			name := "no-thread-sched"
+			if sched {
+				name = "thread-sched"
+			}
+			rows = append(rows, rowFrom("fig11", name, float64(large), NewModel(cfg).Run()))
+		}
+	}
+	return rows
+}
+
+// Fig12 regenerates Figure 12 (node scalability): 23→368 client processes
+// across three configurations — one thread with its own QP (no coalescing
+// possible), two threads sharing one QP (FLock), and two threads with
+// dedicated QPs (native RC).
+func Fig12(quick bool) []Row {
+	var rows []Row
+	warm, dur := durations(quick)
+	for _, clients := range []int{23, 46, 92, 184, 368} {
+		configs := []struct {
+			name    string
+			tr      Transport
+			threads int
+			qps     int
+		}{
+			{"1thr-1qp", TransportFlock, 1, 1},
+			{"2thr-1qp", TransportFlock, 2, 1},
+			{"2thr-2qp", TransportNoShare, 2, 2},
+		}
+		for _, c := range configs {
+			cfg := RPCConfig{
+				Transport:        c.tr,
+				Clients:          clients,
+				ThreadsPerClient: c.threads,
+				QPsPerConn:       c.qps,
+				Outstanding:      8,
+				NextReq:          echoReq(echoHandler),
+				Warmup:           warm,
+				Duration:         dur,
+			}
+			rows = append(rows, rowFrom("fig12", c.name, float64(clients), NewModel(cfg).Run()))
+		}
+	}
+	return rows
+}
+
+// Fig16 regenerates Figures 16–18: the HydraList index served over FLock
+// vs eRPC; 22 clients; 90 % get / 10 % scan(64); outstanding ∈ {1, 4, 8}.
+// Get and scan are separate latency classes (the paper reports them
+// separately in Figures 17 and 18).
+func Fig16(quick bool) []Row {
+	const (
+		classGet  = 0
+		classScan = 1
+		getCost   = 250  // point lookup in a 32M-key index
+		scanCost  = 1800 // 64-key range scan
+	)
+	var rows []Row
+	warm, dur := durations(quick)
+	for _, outstanding := range []int{1, 4, 8} {
+		sub := map[int]string{1: "a", 4: "b", 8: "c"}[outstanding]
+		for _, threads := range []int{1, 2, 4, 8, 16, 32} {
+			base := RPCConfig{
+				Clients:          22,
+				ThreadsPerClient: threads,
+				Outstanding:      outstanding,
+				NextReq: func(c, t int, rng *stats.RNG) ReqSpec {
+					if rng.Uint64n(10) == 0 {
+						return ReqSpec{Class: classScan, ReqSize: 16, RespSize: 8, Handler: expTime(rng, scanCost)}
+					}
+					return ReqSpec{Class: classGet, ReqSize: 8, RespSize: 8, Handler: expTime(rng, getCost)}
+				},
+				ThreadSched: true,
+				Warmup:      warm,
+				Duration:    dur,
+			}
+			for _, s := range []struct {
+				name string
+				tr   Transport
+			}{{"flock", TransportFlock}, {"erpc", TransportUD}} {
+				cfg := base
+				cfg.Transport = s.tr
+				res := NewModel(cfg).Run()
+				row := rowFrom("fig16"+sub, s.name, float64(threads), res)
+				rows = append(rows, row)
+				// Per-class latency rows for Figures 17/18.
+				if g := res.ByClass[classGet]; g != nil {
+					rows = append(rows, Row{
+						Figure: "fig17" + sub, Series: s.name + "-get", X: float64(threads),
+						P50us: float64(g.Median()) / 1000, P99us: float64(g.P99()) / 1000,
+					})
+				}
+				if sc := res.ByClass[classScan]; sc != nil {
+					rows = append(rows, Row{
+						Figure: "fig17" + sub, Series: s.name + "-scan", X: float64(threads),
+						P50us: float64(sc.Median()) / 1000, P99us: float64(sc.P99()) / 1000,
+					})
+				}
+			}
+		}
+	}
+	return rows
+}
+
+// AblationMaxAQP sweeps MAX_AQP (the Figure 2-motivated cap of §5.1) at a
+// fixed heavy load, showing the sweet spot the paper picked (256).
+func AblationMaxAQP(quick bool) []Row {
+	var rows []Row
+	warm, dur := durations(quick)
+	costs := DefaultCosts()
+	costs.NICCacheEntries = 512 // the Figure 2(a)-era NIC the cap protects
+	for _, maxAQP := range []int{32, 64, 128, 256, 512, 1024, 2048} {
+		cfg := RPCConfig{
+			Transport:        TransportFlock,
+			Clients:          23,
+			ThreadsPerClient: 48,
+			Outstanding:      8,
+			MaxActiveQPs:     maxAQP,
+			Costs:            costs,
+			NextReq:          echoReq(echoHandler),
+			ThreadSched:      true,
+			Warmup:           warm,
+			Duration:         dur,
+		}
+		rows = append(rows, rowFrom("ablation-maxaqp", "flock", float64(maxAQP), NewModel(cfg).Run()))
+	}
+	return rows
+}
+
+// AblationBatch sweeps the leader's combining bound (§4.2's "bounded
+// number of buffers") at 32 threads/client with 8 outstanding.
+func AblationBatch(quick bool) []Row {
+	var rows []Row
+	warm, dur := durations(quick)
+	for _, batch := range []int{1, 2, 4, 8, 16, 32} {
+		cfg := RPCConfig{
+			Transport:        TransportFlock,
+			Clients:          23,
+			ThreadsPerClient: 32,
+			Outstanding:      8,
+			MaxBatch:         batch,
+			NextReq:          echoReq(echoHandler),
+			ThreadSched:      true,
+			Warmup:           warm,
+			Duration:         dur,
+		}
+		rows = append(rows, rowFrom("ablation-batch", "flock", float64(batch), NewModel(cfg).Run()))
+	}
+	return rows
+}
+
+// AblationInterval sweeps the scheduling interval's effect indirectly by
+// varying the stage window (the combining opportunity window): the longer
+// a leader combines, the higher the degree but the worse the base
+// latency — the §4.2 trade-off.
+func AblationInterval(quick bool) []Row {
+	var rows []Row
+	warm, dur := durations(quick)
+	for _, window := range []sim.Time{100, 200, 400, 800, 1600} {
+		costs := DefaultCosts()
+		costs.StageWindow = window
+		cfg := RPCConfig{
+			Transport:        TransportFlock,
+			Clients:          23,
+			ThreadsPerClient: 32,
+			Outstanding:      8,
+			Costs:            costs,
+			NextReq:          echoReq(echoHandler),
+			ThreadSched:      true,
+			Warmup:           warm,
+			Duration:         dur,
+		}
+		rows = append(rows, rowFrom("ablation-window", "flock", float64(window), NewModel(cfg).Run()))
+	}
+	return rows
+}

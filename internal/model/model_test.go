@@ -1,0 +1,329 @@
+package model
+
+import (
+	"testing"
+
+	"flock/internal/sim"
+	"flock/internal/stats"
+)
+
+// pick returns the row for (figure, series, x), failing if absent.
+func pick(t *testing.T, rows []Row, fig, series string, x float64) Row {
+	t.Helper()
+	for _, r := range rows {
+		if r.Figure == fig && r.Series == series && r.X == x {
+			return r
+		}
+	}
+	t.Fatalf("no row %s/%s/x=%g", fig, series, x)
+	return Row{}
+}
+
+func TestFig2aShape(t *testing.T) {
+	rows := Fig2a(true)
+	if len(rows) != 8 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	low := pick(t, rows, "fig2a", "rdma-read-rc", 22)
+	peak := pick(t, rows, "fig2a", "rdma-read-rc", 352)
+	cliff := pick(t, rows, "fig2a", "rdma-read-rc", 2816)
+	// Paper shape: rises to a peak between 176–704 QPs, then a sharp drop.
+	if peak.Mops <= low.Mops {
+		t.Errorf("no rise: peak %.1f <= low %.1f", peak.Mops, low.Mops)
+	}
+	if cliff.Mops >= peak.Mops*0.7 {
+		t.Errorf("no cliff: 2816 QPs %.1f vs peak %.1f", cliff.Mops, peak.Mops)
+	}
+}
+
+func TestFig2bShape(t *testing.T) {
+	rows := Fig2b(true)
+	low := pick(t, rows, "fig2b", "ud-rpc", 22)
+	mid := pick(t, rows, "fig2b", "ud-rpc", 352)
+	high := pick(t, rows, "fig2b", "ud-rpc", 2816)
+	// Paper shape: rises, then saturates on server CPU (no cliff).
+	if mid.Mops <= low.Mops {
+		t.Errorf("no rise: %.1f <= %.1f", mid.Mops, low.Mops)
+	}
+	if high.Mops < mid.Mops*0.8 || high.Mops > mid.Mops*1.2 {
+		t.Errorf("UD should plateau: 352→%.1f, 2816→%.1f", mid.Mops, high.Mops)
+	}
+	if mid.CPU < 0.9 {
+		t.Errorf("UD server should be CPU-bound: util %.2f", mid.CPU)
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	rows := Fig6(true)
+	// At low thread counts the systems are comparable (paper: "comparable
+	// performance up to four threads").
+	fl4 := pick(t, rows, "fig6a", "flock", 4)
+	ud4 := pick(t, rows, "fig6a", "erpc", 4)
+	if ratio := fl4.Mops / ud4.Mops; ratio > 2 || ratio < 0.5 {
+		t.Errorf("4 threads should be comparable: flock %.1f vs erpc %.1f", fl4.Mops, ud4.Mops)
+	}
+	// eRPC saturates; FLock keeps scaling. Overall improvement 1.25–3.4×.
+	fl48 := pick(t, rows, "fig6a", "flock", 48)
+	ud48 := pick(t, rows, "fig6a", "erpc", 48)
+	ratio := fl48.Mops / ud48.Mops
+	if ratio < 1.5 || ratio > 4.5 {
+		t.Errorf("48-thread ratio %.2f outside the paper's band", ratio)
+	}
+	// FLock throughput grows from 16 → 32 → 48 threads (§8.2).
+	fl16 := pick(t, rows, "fig6a", "flock", 16)
+	fl32 := pick(t, rows, "fig6a", "flock", 32)
+	if fl32.Mops <= fl16.Mops*1.05 || fl48.Mops <= fl32.Mops*1.02 {
+		t.Errorf("flock not scaling: 16→%.1f 32→%.1f 48→%.1f", fl16.Mops, fl32.Mops, fl48.Mops)
+	}
+	// eRPC saturated by 16 threads.
+	ud16 := pick(t, rows, "fig6a", "erpc", 16)
+	if ud48.Mops > ud16.Mops*1.15 {
+		t.Errorf("erpc should saturate: 16→%.1f 48→%.1f", ud16.Mops, ud48.Mops)
+	}
+	// Latency: eRPC median spikes at high threads (Figure 7).
+	if ud48.P50us < fl48.P50us*1.5 {
+		t.Errorf("erpc median should spike: erpc %.1fus vs flock %.1fus", ud48.P50us, fl48.P50us)
+	}
+	// Tail latency orders the same way (Figure 8).
+	if ud48.P99us < fl48.P99us {
+		t.Errorf("erpc p99 %.1fus below flock %.1fus", ud48.P99us, fl48.P99us)
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	rows := Fig9(true)
+	// Up to 8 threads all approaches are similar (no sharing yet).
+	fl8 := pick(t, rows, "fig9", "flock", 8)
+	ns8 := pick(t, rows, "fig9", "no-share", 8)
+	if r := fl8.Mops / ns8.Mops; r < 0.7 || r > 1.5 {
+		t.Errorf("8 threads should be similar: flock %.1f vs no-share %.1f", fl8.Mops, ns8.Mops)
+	}
+	// At 32/48 threads FLock wins by a clear margin (paper: ≥62%/133%).
+	for _, x := range []float64{32, 48} {
+		fl := pick(t, rows, "fig9", "flock", x)
+		ns := pick(t, rows, "fig9", "no-share", x)
+		ls2 := pick(t, rows, "fig9", "farm-2/qp", x)
+		ls4 := pick(t, rows, "fig9", "farm-4/qp", x)
+		if fl.Mops < ns.Mops*1.3 {
+			t.Errorf("x=%g: flock %.1f not ahead of no-share %.1f", x, fl.Mops, ns.Mops)
+		}
+		// Lock sharing performs like no sharing (paper's observation).
+		for _, ls := range []Row{ls2, ls4} {
+			if r := ls.Mops / ns.Mops; r < 0.5 || r > 1.5 {
+				t.Errorf("x=%g: lock-share %.1f should track no-share %.1f", x, ls.Mops, ns.Mops)
+			}
+		}
+		// FLock's tail is lower than no-share's (paper: 27%/49% lower).
+		if fl.P99us > ns.P99us {
+			t.Errorf("x=%g: flock p99 %.1f above no-share %.1f", x, fl.P99us, ns.P99us)
+		}
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	rows := Fig10(true)
+	for _, outstanding := range []float64{1, 4, 8} {
+		on := pick(t, rows, "fig10", "coalescing", outstanding)
+		off := pick(t, rows, "fig10", "no-coalescing", outstanding)
+		gain := on.Mops / off.Mops
+		// Paper: 1.4× at one outstanding, 1.7× at 4 and 8.
+		if gain < 1.15 {
+			t.Errorf("outstanding %g: coalescing gain %.2f too small", outstanding, gain)
+		}
+		if on.Degree <= 1.1 {
+			t.Errorf("outstanding %g: degree %.2f with coalescing on", outstanding, on.Degree)
+		}
+		if off.Degree > 1.01 {
+			t.Errorf("outstanding %g: degree %.2f with coalescing off", outstanding, off.Degree)
+		}
+	}
+	// The paper reports 1.4×–1.7× across outstanding counts; the model
+	// lands in the 1.5×–2.5× band (see EXPERIMENTS.md for the per-point
+	// comparison). Assert the band rather than the fine trend.
+	for _, outstanding := range []float64{1, 4, 8} {
+		g := pick(t, rows, "fig10", "coalescing", outstanding).Mops /
+			pick(t, rows, "fig10", "no-coalescing", outstanding).Mops
+		if g < 1.3 || g > 3.0 {
+			t.Errorf("outstanding %g: coalescing gain %.2f outside [1.3, 3.0]", outstanding, g)
+		}
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	rows := Fig11(true)
+	for _, size := range []float64{512, 768, 1024} {
+		with := pick(t, rows, "fig11", "thread-sched", size)
+		without := pick(t, rows, "fig11", "no-thread-sched", size)
+		gain := with.Mops / without.Mops
+		// Paper: up to 1.5× improvement.
+		if gain < 1.05 {
+			t.Errorf("size %g: thread scheduling gain %.2f", size, gain)
+		}
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	rows := Fig12(true)
+	// 1thr/1QP saturates with client count (no coalescing possible).
+	one184 := pick(t, rows, "fig12", "1thr-1qp", 184)
+	one368 := pick(t, rows, "fig12", "1thr-1qp", 368)
+	if one368.Mops > one184.Mops*1.5 {
+		t.Errorf("1thr/1qp should be saturating: 184→%.1f 368→%.1f", one184.Mops, one368.Mops)
+	}
+	// Shared QP beats dedicated QPs at scale (paper: 10–30% better).
+	for _, x := range []float64{184, 368} {
+		shared := pick(t, rows, "fig12", "2thr-1qp", x)
+		dedicated := pick(t, rows, "fig12", "2thr-2qp", x)
+		if shared.Mops < dedicated.Mops {
+			t.Errorf("x=%g: shared %.1f below dedicated %.1f", x, shared.Mops, dedicated.Mops)
+		}
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	rows := Fig14(true)
+	// FaSST is competitive at low thread counts, then saturates while
+	// FLockTX keeps scaling (paper: 1.9×/2.4× at 8/16 threads).
+	fl1 := pick(t, rows, "fig14", "flocktx", 1)
+	fa1 := pick(t, rows, "fig14", "fasst", 1)
+	if r := fl1.Mops / fa1.Mops; r > 2.2 || r < 0.45 {
+		t.Errorf("1 thread should be comparable: %.2f vs %.2f", fl1.Mops, fa1.Mops)
+	}
+	fl16 := pick(t, rows, "fig14", "flocktx", 16)
+	fa16 := pick(t, rows, "fig14", "fasst", 16)
+	if fl16.Mops < fa16.Mops*1.4 {
+		t.Errorf("16 threads: flocktx %.2f vs fasst %.2f (want ≥1.4×)", fl16.Mops, fa16.Mops)
+	}
+	// FLockTX throughput grows with threads.
+	fl8 := pick(t, rows, "fig14", "flocktx", 8)
+	if fl16.Mops <= fl8.Mops {
+		t.Errorf("flocktx not scaling: 8→%.2f 16→%.2f", fl8.Mops, fl16.Mops)
+	}
+	// FaSST latency worse at scale.
+	if fa16.P99us < fl16.P99us {
+		t.Errorf("fasst p99 %.1f below flocktx %.1f at 16 threads", fa16.P99us, fl16.P99us)
+	}
+}
+
+func TestFig15Shape(t *testing.T) {
+	rows := Fig15(true)
+	fl8 := pick(t, rows, "fig15", "flocktx", 8)
+	fa8 := pick(t, rows, "fig15", "fasst", 8)
+	// Paper: up to 88% better at 8 threads on the write-heavy workload.
+	if fl8.Mops < fa8.Mops*1.2 {
+		t.Errorf("8 threads: flocktx %.2f vs fasst %.2f", fl8.Mops, fa8.Mops)
+	}
+}
+
+func TestFig16Shape(t *testing.T) {
+	rows := Fig16(true)
+	// At 32 threads with 8 outstanding FLock wins (paper: 1.4×).
+	fl := pick(t, rows, "fig16c", "flock", 32)
+	ud := pick(t, rows, "fig16c", "erpc", 32)
+	if fl.Mops < ud.Mops*1.1 {
+		t.Errorf("32 threads: flock %.2f vs erpc %.2f", fl.Mops, ud.Mops)
+	}
+	// Scan latency exceeds get latency where service time dominates
+	// (low load; at saturation queueing delay swamps the difference).
+	flGet := pick(t, rows, "fig17a", "flock-get", 1)
+	flScan := pick(t, rows, "fig17a", "flock-scan", 1)
+	if flScan.P50us <= flGet.P50us {
+		t.Errorf("scan p50 %.1f not above get p50 %.1f", flScan.P50us, flGet.P50us)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	aqp := AblationMaxAQP(true)
+	// The cap exists to avoid NIC-cache thrashing: the paper's choice
+	// (256) must beat an uncapped configuration that thrashes (2048
+	// active QPs over a 512-context cache).
+	best := pick(t, aqp, "ablation-maxaqp", "flock", 256)
+	thrash := pick(t, aqp, "ablation-maxaqp", "flock", 2048)
+	if best.Mops <= thrash.Mops {
+		t.Errorf("MAX_AQP 256 (%.1f) should beat 2048 (%.1f)", best.Mops, thrash.Mops)
+	}
+
+	batch := AblationBatch(true)
+	b1 := pick(t, batch, "ablation-batch", "flock", 1)
+	b16 := pick(t, batch, "ablation-batch", "flock", 16)
+	if b16.Mops <= b1.Mops {
+		t.Errorf("batch 16 (%.1f) should beat batch 1 (%.1f)", b16.Mops, b1.Mops)
+	}
+
+	win := AblationInterval(true)
+	if len(win) != 5 {
+		t.Fatalf("window ablation rows: %d", len(win))
+	}
+	// Longer combining windows raise the coalescing degree.
+	w100 := pick(t, win, "ablation-window", "flock", 100)
+	w1600 := pick(t, win, "ablation-window", "flock", 1600)
+	if w1600.Degree <= w100.Degree {
+		t.Errorf("degree should grow with window: %.2f → %.2f", w100.Degree, w1600.Degree)
+	}
+}
+
+func TestExpTime(t *testing.T) {
+	rng := stats.NewRNG(3)
+	var sum float64
+	const n = 20000
+	const mean = 1000
+	for i := 0; i < n; i++ {
+		v := expTime(rng, mean)
+		if v < mean/4 || v > mean*8 {
+			t.Fatalf("expTime out of clamp: %d", v)
+		}
+		sum += float64(v)
+	}
+	got := sum / n
+	// Clamping biases the mean slightly; allow a broad band.
+	if got < mean*0.8 || got > mean*1.3 {
+		t.Errorf("exp mean %.0f, want ~%d", got, mean)
+	}
+}
+
+func TestLRUCacheModel(t *testing.T) {
+	c := newLRU(2)
+	if c.access(1) {
+		t.Fatal("first access hit")
+	}
+	if !c.access(1) {
+		t.Fatal("second access missed")
+	}
+	c.access(2)
+	c.access(3) // evicts 1
+	if c.access(1) {
+		t.Fatal("evicted entry hit")
+	}
+	h, m := c.stats()
+	if h != 1 || m != 4 {
+		t.Fatalf("hits=%d misses=%d", h, m)
+	}
+	// Unlimited cache always hits.
+	u := newLRU(0)
+	for i := 0; i < 100; i++ {
+		if !u.access(i) {
+			t.Fatal("unlimited cache missed")
+		}
+	}
+}
+
+func TestModelDeterminism(t *testing.T) {
+	run := func() Result {
+		cfg := RPCConfig{
+			Transport:        TransportFlock,
+			Clients:          4,
+			ThreadsPerClient: 8,
+			Outstanding:      4,
+			NextReq:          echoReq(echoHandler),
+			ThreadSched:      true,
+			Seed:             99,
+			Warmup:           200 * sim.Microsecond,
+			Duration:         1 * sim.Millisecond,
+		}
+		return NewModel(cfg).Run()
+	}
+	a, b := run(), run()
+	if a.Ops != b.Ops || a.Mops != b.Mops || a.Lat.P99() != b.Lat.P99() {
+		t.Fatalf("nondeterministic model: %d vs %d ops", a.Ops, b.Ops)
+	}
+}

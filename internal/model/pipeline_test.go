@@ -1,0 +1,206 @@
+package model
+
+import (
+	"testing"
+
+	"flock/internal/sim"
+	"flock/internal/stats"
+)
+
+// Hand-computed single-request pipeline checks: with one thread and one
+// request, the model's latency must equal the sum of its stage costs
+// exactly — this pins the event plumbing independent of contention.
+
+// flatCosts returns a calibration with every constant distinct and easy
+// to sum by hand.
+func flatCosts() Costs {
+	return Costs{
+		StageWindow:      100,
+		FollowerJoin:     10,
+		MMIO:             20,
+		CopyPerByte:      0, // no size-dependent terms
+		RespDispatch:     30,
+		NICUnits:         1,
+		NICBaseWR:        40,
+		NICCacheMiss:     1000,
+		NICCacheEntries:  0, // unlimited: no misses
+		WirePerByte:      0,
+		WireLat:          500,
+		PktOverheadBytes: 0,
+		MTU:              4096,
+		ServerCores:      1,
+		PollFind:         60,
+		ScanPerQP:        0,
+		ItemDispatch:     70,
+		RespStage:        80,
+		UDPktRX:          90,
+		UDPktTX:          110,
+		UDClientPkt:      120,
+	}
+}
+
+// runOne executes exactly one request and returns its latency.
+func runOne(t *testing.T, tr Transport) sim.Time {
+	t.Helper()
+	cfg := RPCConfig{
+		Transport:        tr,
+		Clients:          1,
+		ThreadsPerClient: 1,
+		Costs:            flatCosts(),
+		NextReq: func(c, th int, rng *stats.RNG) ReqSpec {
+			return ReqSpec{ReqSize: 64, RespSize: 64, Handler: 1000}
+		},
+	}
+	m := NewModel(cfg)
+	var lat sim.Time
+	done := false
+	m.measuring = true
+	spec := cfg.NextReq(0, 0, nil)
+	start := m.eng.Now()
+	m.Submit(m.threads[0], 0, spec, func(r *request) {
+		lat = m.eng.Now() - start
+		done = true
+	})
+	m.eng.Drain()
+	if !done {
+		t.Fatal("request never completed")
+	}
+	return lat
+}
+
+func TestPipelineLatencyFlock(t *testing.T) {
+	// Stage sum:
+	//   leader window            100
+	//   client NIC (1 WR)         40
+	//   wire                     500
+	//   server NIC               40
+	//   server CPU: poll 60 + dispatch 70 + handler 1000 + respStage 80
+	//              + MMIO 20  = 1230
+	//   server NIC (resp)         40
+	//   wire                     500
+	//   client NIC                40
+	//   resp dispatch (i=0 ⇒ ×1)  30
+	const want = 100 + 40 + 500 + 40 + 1230 + 40 + 500 + 40 + 30
+	if got := runOne(t, TransportFlock); got != want {
+		t.Fatalf("flock single-request latency = %d, want %d", got, want)
+	}
+}
+
+func TestPipelineLatencyUD(t *testing.T) {
+	// Stage sum:
+	//   submit: MMIO 20 (copy 0)
+	//   client NIC (1 pkt)        40
+	//   wire                     500
+	//   server NIC                40
+	//   server CPU: RX 90 + handler 1000 + TX 110 = 1200
+	//   server NIC (resp)         40
+	//   wire                     500
+	//   client NIC                40
+	//   client per-pkt           120
+	const want = 20 + 40 + 500 + 40 + 1200 + 40 + 500 + 40 + 120
+	if got := runOne(t, TransportUD); got != want {
+		t.Fatalf("ud single-request latency = %d, want %d", got, want)
+	}
+}
+
+func TestPipelineLatencyNoShare(t *testing.T) {
+	// Same as flock with a batch of exactly one (stage window identical).
+	const want = 100 + 40 + 500 + 40 + 1230 + 40 + 500 + 40 + 30
+	if got := runOne(t, TransportNoShare); got != want {
+		t.Fatalf("no-share single-request latency = %d, want %d", got, want)
+	}
+}
+
+func TestPipelineOneSidedRead(t *testing.T) {
+	// fl_read path: client NIC, wire, server NIC, wire, client NIC —
+	// no server CPU at all.
+	cfg := RPCConfig{
+		Transport:        TransportFlock,
+		Clients:          1,
+		ThreadsPerClient: 1,
+		Costs:            flatCosts(),
+		NextReq: func(c, th int, rng *stats.RNG) ReqSpec {
+			return ReqSpec{ReqSize: 8, RespSize: 8, Handler: 0}
+		},
+	}
+	m := NewModel(cfg)
+	var lat sim.Time
+	start := m.eng.Now()
+	m.OneSidedRead(m.threads[0], 0, 8, func() {
+		lat = m.eng.Now() - start
+	})
+	m.eng.Drain()
+	const want = 40 + 500 + 40 + 500 + 40
+	if lat != want {
+		t.Fatalf("one-sided read latency = %d, want %d", lat, want)
+	}
+	if m.servers[0].cores.Served() != 0 {
+		t.Fatal("one-sided read consumed server CPU")
+	}
+}
+
+func TestPipelineNICMissCharged(t *testing.T) {
+	// With a 1-entry cache and two distinct QPs, the second QP's request
+	// must pay the miss penalty at the server NIC.
+	costs := flatCosts()
+	costs.NICCacheEntries = 1
+	cfg := RPCConfig{
+		Transport:        TransportNoShare,
+		Clients:          2,
+		ThreadsPerClient: 1,
+		Costs:            costs,
+		NextReq: func(c, th int, rng *stats.RNG) ReqSpec {
+			return ReqSpec{ReqSize: 64, RespSize: 64, Handler: 0}
+		},
+	}
+	m := NewModel(cfg)
+	m.measuring = true
+	var lats []sim.Time
+	for i, th := range m.threads {
+		th := th
+		start := sim.Time(i) * 10000 // serialize: no queueing effects
+		spec := cfg.NextReq(0, 0, nil)
+		m.eng.At(start, func() {
+			s := m.eng.Now()
+			m.Submit(th, 0, spec, func(*request) {
+				lats = append(lats, m.eng.Now()-s)
+			})
+		})
+	}
+	m.eng.Drain()
+	if len(lats) != 2 {
+		t.Fatalf("%d completions", len(lats))
+	}
+	// Each request's RX misses (evicting the other context); its response
+	// TX then hits the just-fetched context. Both requests identical.
+	if lats[0] != lats[1] {
+		t.Fatalf("asymmetric latencies: %v", lats)
+	}
+	hits, misses := m.servers[0].cache.stats()
+	if misses != 2 || hits != 2 {
+		t.Fatalf("server NIC hits/misses = %d/%d, want 2/2", hits, misses)
+	}
+}
+
+func TestTxnModelDeterminism(t *testing.T) {
+	run := func() TxnResult {
+		return RunTxnModel(TxnConfig{
+			Workload:         "smallbank",
+			Transport:        TransportFlock,
+			Clients:          2,
+			ThreadsPerClient: 2,
+			Streams:          4,
+			Keys:             10_000,
+			Seed:             5,
+			Warmup:           200 * sim.Microsecond,
+			Duration:         1 * sim.Millisecond,
+		})
+	}
+	a, b := run(), run()
+	if a.Mtps != b.Mtps || a.Lat.P99() != b.Lat.P99() {
+		t.Fatalf("txn model nondeterministic: %.3f vs %.3f Mtps", a.Mtps, b.Mtps)
+	}
+	if a.Mtps <= 0 {
+		t.Fatal("no transactions completed")
+	}
+}

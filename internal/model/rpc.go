@@ -1,0 +1,722 @@
+package model
+
+import (
+	"flock/internal/core"
+	"flock/internal/sim"
+	"flock/internal/stats"
+)
+
+// Transport selects which communication stack the model simulates.
+type Transport int
+
+// The four stacks compared across the paper's figures.
+const (
+	// TransportFlock is the full system: TCQ combining, coalesced ring
+	// messages, QP scheduling, thread scheduling.
+	TransportFlock Transport = iota
+	// TransportUD is the eRPC/FaSST-style datagram RPC: per-packet CPU,
+	// one NIC context, no coalescing.
+	TransportUD
+	// TransportNoShare is RC with a dedicated QP per thread (Figure 9).
+	TransportNoShare
+	// TransportLockShare is FaRM-style spinlock QP sharing (Figure 9).
+	TransportLockShare
+)
+
+// ReqSpec describes one request: its latency class (for per-class
+// histograms, e.g. get vs scan), sizes, and server-side handler time.
+type ReqSpec struct {
+	Class    int
+	ReqSize  int
+	RespSize int
+	Handler  sim.Time
+}
+
+// RPCConfig parameterizes a model run.
+type RPCConfig struct {
+	Transport Transport
+	Costs     Costs
+
+	// Cluster shape.
+	Servers          int // default 1
+	Clients          int
+	ThreadsPerClient int
+	// Outstanding is the closed-loop window per thread (requests kept in
+	// flight; the paper's "outstanding requests per thread").
+	Outstanding int
+
+	// NextReq draws the next request for a thread; rng is per-thread.
+	NextReq func(client, thread int, rng *stats.RNG) ReqSpec
+
+	// FLock knobs.
+	QPsPerConn   int  // per server; default ThreadsPerClient (one per thread)
+	MaxActiveQPs int  // per server (MAX_AQP); default 256
+	MaxBatch     int  // leader combining bound; 1 disables coalescing
+	ThreadSched  bool // Algorithm 1 on/off (Figure 11 ablation)
+
+	// Lock-share knob.
+	ThreadsPerQP int // threads per shared QP (2 or 4 in Figure 9)
+
+	Seed     uint64
+	Warmup   sim.Time
+	Duration sim.Time
+}
+
+func (c RPCConfig) withDefaults() RPCConfig {
+	if c.Servers <= 0 {
+		c.Servers = 1
+	}
+	if c.Clients <= 0 {
+		c.Clients = 1
+	}
+	if c.ThreadsPerClient <= 0 {
+		c.ThreadsPerClient = 1
+	}
+	if c.Outstanding <= 0 {
+		c.Outstanding = 1
+	}
+	if c.QPsPerConn <= 0 {
+		c.QPsPerConn = c.ThreadsPerClient
+	}
+	if c.MaxActiveQPs <= 0 {
+		c.MaxActiveQPs = 256
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 16
+	}
+	if c.ThreadsPerQP <= 0 {
+		c.ThreadsPerQP = 1
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 2 * sim.Millisecond
+	}
+	if c.Duration == 0 {
+		c.Duration = 10 * sim.Millisecond
+	}
+	if (c.Costs == Costs{}) {
+		c.Costs = DefaultCosts()
+	}
+	return c
+}
+
+// Result reports one run's measurements.
+type Result struct {
+	// Mops is throughput in million operations per second.
+	Mops float64
+	// Lat is the overall latency distribution (ns).
+	Lat *stats.Hist
+	// ByClass holds per-class latency distributions.
+	ByClass map[int]*stats.Hist
+	// AvgDegree is served items per coalesced message (≥ 1).
+	AvgDegree float64
+	// ServerCPU is server core utilization in [0, 1].
+	ServerCPU float64
+	// NICMissRate is the server NIC context-cache miss fraction.
+	NICMissRate float64
+	// Ops is the raw completed-operation count in the measured window.
+	Ops uint64
+}
+
+// serverModel is one server's resources.
+type serverModel struct {
+	nic   *sim.Resource
+	cores *sim.Resource
+	cache *lruCache
+}
+
+// qpModel is the client end of one (possibly shared) queue pair.
+type qpModel struct {
+	gid        int // global id: the NIC cache key
+	client     int
+	server     int
+	pending    []*request
+	leaderBusy bool
+	lock       *sim.Resource // lock-share submission serialization
+}
+
+// threadModel is one client application thread: a serial executor.
+type threadModel struct {
+	client, idx int
+	qp          []*qpModel // assigned QP per server
+	queue       []*request
+	busy        bool
+	rng         *stats.RNG
+}
+
+// request is one in-flight operation (or, when local > 0, a slice of
+// thread-local CPU work occupying the thread's serial executor — the
+// coordinator-side processing a transaction spends between its RPCs).
+type request struct {
+	start  sim.Time
+	spec   ReqSpec
+	th     *threadModel
+	server int
+	local  sim.Time
+	done   func(*request) // completion hook (closed loop or txn driver)
+}
+
+// Model is the instantiated cluster; the figure runners drive it either
+// with the built-in closed loop (Run) or directly via Submit (the
+// transaction models).
+type Model struct {
+	cfg RPCConfig
+	C   *Costs
+	eng *sim.Engine
+
+	servers    []*serverModel
+	clientNICs []*sim.Resource
+	threads    []*threadModel
+	qps        [][]*qpModel // [server][global qp index among that server's]
+	activeQPs  int          // total active across servers (scan cost input)
+
+	measuring bool
+	ops       uint64
+	msgs      uint64
+	items     uint64
+	lat       *stats.Hist
+	byClass   map[int]*stats.Hist
+
+	cpuBusy0 sim.Time
+	hits0    uint64
+	miss0    uint64
+}
+
+// NewModel builds the cluster without starting load.
+func NewModel(cfg RPCConfig) *Model {
+	cfg = cfg.withDefaults()
+	C := cfg.Costs
+	m := &Model{
+		cfg:     cfg,
+		C:       &C,
+		eng:     sim.New(),
+		lat:     stats.NewHist(),
+		byClass: make(map[int]*stats.Hist),
+	}
+	for s := 0; s < cfg.Servers; s++ {
+		m.servers = append(m.servers, &serverModel{
+			nic:   sim.NewResource(m.eng, C.NICUnits),
+			cores: sim.NewResource(m.eng, C.ServerCores),
+			cache: newLRU(C.NICCacheEntries),
+		})
+	}
+	for cl := 0; cl < cfg.Clients; cl++ {
+		m.clientNICs = append(m.clientNICs, sim.NewResource(m.eng, C.NICUnits))
+	}
+	m.buildTopology()
+	return m
+}
+
+// Engine exposes the simulation engine (txn drivers schedule on it).
+func (m *Model) Engine() *sim.Engine { return m.eng }
+
+// Threads exposes the thread models.
+func (m *Model) Threads() []*threadModel { return m.threads }
+
+// buildTopology creates QPs and assigns threads per the transport.
+func (m *Model) buildTopology() {
+	cfg := m.cfg
+	gid := 0
+	m.qps = make([][]*qpModel, cfg.Servers)
+
+	qpsPerConn := cfg.QPsPerConn
+	switch cfg.Transport {
+	case TransportNoShare:
+		qpsPerConn = cfg.ThreadsPerClient
+	case TransportLockShare:
+		qpsPerConn = (cfg.ThreadsPerClient + cfg.ThreadsPerQP - 1) / cfg.ThreadsPerQP
+	case TransportUD:
+		qpsPerConn = 1 // one datagram context per client; never thrashes
+	}
+
+	// Receiver-side QP scheduling (§5.1): under the MAX_AQP budget all
+	// QPs stay active; above it, the shipped RedistributeQPs formula
+	// splits the budget (equal utilization across equally-loaded
+	// clients).
+	activePerClient := qpsPerConn
+	if cfg.Transport == TransportFlock {
+		total := qpsPerConn * cfg.Clients
+		if total > cfg.MaxActiveQPs {
+			util := make([][]float64, cfg.Clients)
+			for i := range util {
+				util[i] = make([]float64, qpsPerConn)
+				for j := range util[i] {
+					util[i][j] = 1
+				}
+			}
+			counts := core.RedistributeQPs(util, cfg.MaxActiveQPs)
+			activePerClient = counts[0] // equal load ⇒ equal share
+			if activePerClient < 1 {
+				activePerClient = 1
+			}
+		}
+	}
+
+	type connQPs struct{ qps []*qpModel }
+	conns := make([][]connQPs, cfg.Clients) // [client][server]
+	for cl := 0; cl < cfg.Clients; cl++ {
+		conns[cl] = make([]connQPs, cfg.Servers)
+		for s := 0; s < cfg.Servers; s++ {
+			for q := 0; q < activePerClient; q++ {
+				qp := &qpModel{gid: gid, client: cl, server: s}
+				if cfg.Transport == TransportLockShare {
+					qp.lock = sim.NewResource(m.eng, 1)
+				}
+				gid++
+				conns[cl][s].qps = append(conns[cl][s].qps, qp)
+				m.qps[s] = append(m.qps[s], qp)
+			}
+		}
+	}
+	m.activeQPs = gid
+
+	// Sender-side thread assignment (§5.2).
+	for cl := 0; cl < cfg.Clients; cl++ {
+		rngBase := stats.NewRNG(cfg.Seed + uint64(cl)*7919 + 1)
+		var tstats []core.ThreadStat
+		for th := 0; th < cfg.ThreadsPerClient; th++ {
+			spec := cfg.NextReq(cl, th, rngBase)
+			tstats = append(tstats, core.ThreadStat{
+				ID:        uint32(th),
+				MedianReq: uint64(spec.ReqSize),
+				Reqs:      1000,
+				Bytes:     uint64(spec.ReqSize) * 1000,
+			})
+		}
+		var asg map[uint32]int
+		if cfg.Transport == TransportFlock && cfg.ThreadSched {
+			asg = core.AssignThreads(tstats, activePerClient)
+		}
+		for th := 0; th < cfg.ThreadsPerClient; th++ {
+			tm := &threadModel{
+				client: cl,
+				idx:    th,
+				rng:    stats.NewRNG(cfg.Seed + uint64(cl)<<20 + uint64(th) + 13),
+			}
+			for s := 0; s < cfg.Servers; s++ {
+				qlist := conns[cl][s].qps
+				var slot int
+				switch cfg.Transport {
+				case TransportLockShare:
+					slot = th / cfg.ThreadsPerQP
+				case TransportUD:
+					slot = 0
+				default:
+					if asg != nil {
+						slot = asg[uint32(th)]
+					} else {
+						slot = th % len(qlist)
+					}
+				}
+				if slot >= len(qlist) {
+					slot = len(qlist) - 1
+				}
+				tm.qp = append(tm.qp, qlist[slot])
+			}
+			m.threads = append(m.threads, tm)
+		}
+	}
+}
+
+// Submit issues one request from th to server; done runs at completion
+// (on the engine goroutine).
+func (m *Model) Submit(th *threadModel, server int, spec ReqSpec, done func(*request)) {
+	r := &request{start: m.eng.Now(), spec: spec, th: th, server: server, done: done}
+	th.queue = append(th.queue, r)
+	if !th.busy {
+		th.busy = true
+		m.threadStep(th)
+	}
+}
+
+// ThreadWork occupies th's serial executor for dur of local CPU time,
+// then runs done. Transaction drivers use it for coordinator-side
+// processing: a thread's coroutines overlap network waits but serialize
+// on the thread's CPU (§8.5.2).
+func (m *Model) ThreadWork(th *threadModel, dur sim.Time, done func()) {
+	r := &request{start: m.eng.Now(), th: th, local: dur,
+		done: func(*request) { done() }}
+	th.queue = append(th.queue, r)
+	if !th.busy {
+		th.busy = true
+		m.threadStep(th)
+	}
+}
+
+// threadStep processes the thread's next queued submission. The thread is
+// a serial executor: while it acts as a combining leader it cannot submit
+// its next request — which is exactly why coroutines of one thread do not
+// coalesce with each other in the paper (§8.5.2) while threads sharing a
+// QP do.
+func (m *Model) threadStep(th *threadModel) {
+	r := th.queue[0]
+	copy(th.queue, th.queue[1:])
+	th.queue = th.queue[:len(th.queue)-1]
+
+	finish := func(busyFor sim.Time) {
+		m.eng.After(busyFor, func() {
+			if len(th.queue) > 0 {
+				m.threadStep(th)
+			} else {
+				th.busy = false
+			}
+		})
+	}
+
+	if r.local > 0 {
+		finish(r.local)
+		m.eng.After(r.local, func() { m.complete(r) })
+		return
+	}
+
+	switch m.cfg.Transport {
+	case TransportUD:
+		pkts := m.C.packets(r.spec.ReqSize)
+		submitCost := m.C.MMIO + sim.Time(float64(r.spec.ReqSize)*m.C.CopyPerByte)
+		finish(submitCost)
+		m.eng.After(submitCost, func() { m.udSend(r, pkts) })
+
+	case TransportFlock:
+		q := r.th.qp[r.server]
+		q.pending = append(q.pending, r)
+		if !q.leaderBusy {
+			q.leaderBusy = true
+			// The post event precedes the thread's own release at the
+			// window boundary: a thread never coalesces with itself
+			// (coroutines of one OS thread do not coalesce, §8.5.2).
+			m.eng.After(m.C.StageWindow, func() { m.leaderPost(q) })
+			finish(m.C.StageWindow) // this thread runs the leader path
+		} else {
+			finish(m.C.FollowerJoin)
+		}
+
+	case TransportNoShare:
+		q := r.th.qp[r.server]
+		cost := m.C.StageWindow // stage + doorbell, same work minus combining
+		finish(cost)
+		m.eng.After(cost, func() { m.sendMessage(q, []*request{r}) })
+
+	case TransportLockShare:
+		q := r.th.qp[r.server]
+		finish(m.C.StageWindow)
+		// The spinlock serializes the whole stage+post critical section.
+		q.lock.Use(m.C.StageWindow, func() { m.sendMessage(q, []*request{r}) })
+	}
+}
+
+// leaderPost fires at the end of a combining window: drain up to MaxBatch
+// pending requests into one message. Leftover requests immediately start
+// the successor leader (§4.2's leadership handoff).
+func (m *Model) leaderPost(q *qpModel) {
+	n := len(q.pending)
+	if n == 0 {
+		q.leaderBusy = false
+		return
+	}
+	if n > m.cfg.MaxBatch {
+		n = m.cfg.MaxBatch
+	}
+	batch := make([]*request, n)
+	copy(batch, q.pending)
+	rem := copy(q.pending, q.pending[n:])
+	q.pending = q.pending[:rem]
+	// Payload staging extends the critical path by the copy time — the
+	// head-of-line cost a large follower imposes on the whole message
+	// (§5.2's motivation).
+	var copyExtra sim.Time
+	for _, r := range batch {
+		copyExtra += sim.Time(float64(r.spec.ReqSize) * m.C.CopyPerByte)
+	}
+	if len(q.pending) > 0 {
+		m.eng.After(m.C.StageWindow+copyExtra, func() { m.leaderPost(q) })
+	} else {
+		q.leaderBusy = false
+	}
+	m.eng.After(copyExtra, func() { m.sendMessage(q, batch) })
+}
+
+// msgBytes computes the coalesced message's payload footprint (header,
+// per-item metadata, payloads, canary — §4.1's layout).
+func msgBytes(batch []*request, resp bool) int {
+	const header = 32
+	const meta = 24
+	const trailer = 8
+	n := header + trailer
+	for _, r := range batch {
+		sz := r.spec.ReqSize
+		if resp {
+			sz = r.spec.RespSize
+		}
+		n += meta + (sz+7)&^7
+	}
+	return n
+}
+
+// sendMessage moves one coalesced message through client NIC → wire →
+// server NIC → server CPU → response message back.
+func (m *Model) sendMessage(q *qpModel, batch []*request) {
+	bytes := m.C.wireBytes(msgBytes(batch, false))
+	srv := m.servers[q.server]
+	m.clientNICs[q.client].Use(m.C.nicService(bytes, false), func() {
+		m.eng.After(m.C.WireLat, func() {
+			miss := !srv.cache.access(q.gid)
+			srv.nic.Use(m.C.nicService(bytes, miss), func() {
+				m.serverProcess(q, batch)
+			})
+		})
+	})
+}
+
+// serverProcess charges the server CPU for the whole message and sends
+// the coalesced response.
+func (m *Model) serverProcess(q *qpModel, batch []*request) {
+	srv := m.servers[q.server]
+	if m.measuring {
+		m.msgs++
+		m.items += uint64(len(batch))
+	}
+	cost := m.C.PollFind + m.C.ScanPerQP*sim.Time(len(m.qps[q.server]))
+	for _, r := range batch {
+		cost += m.C.ItemDispatch + r.spec.Handler +
+			sim.Time(float64(r.spec.ReqSize)*m.C.CopyPerByte) +
+			m.C.RespStage + sim.Time(float64(r.spec.RespSize)*m.C.CopyPerByte)
+	}
+	cost += m.C.MMIO
+	srv.cores.Use(cost, func() {
+		respBytes := m.C.wireBytes(msgBytes(batch, true))
+		miss := !srv.cache.access(q.gid)
+		srv.nic.Use(m.C.nicService(respBytes, miss), func() {
+			m.eng.After(m.C.WireLat, func() {
+				m.clientNICs[q.client].Use(m.C.nicService(respBytes, false), func() {
+					for i, r := range batch {
+						r := r
+						m.eng.After(m.C.RespDispatch*sim.Time(i+1), func() {
+							m.complete(r)
+						})
+					}
+				})
+			})
+		})
+	})
+}
+
+// udSend moves one datagram request through the UD path: per-packet NIC
+// work, per-packet server CPU (CQ poll + recv recycle), handler, response
+// datagrams back.
+func (m *Model) udSend(r *request, pkts int) {
+	srv := m.servers[r.server]
+	bytes := m.C.wireBytes(r.spec.ReqSize)
+	m.clientNICs[r.th.client].Use(m.C.NICBaseWR*sim.Time(pkts)+sim.Time(float64(bytes)*m.C.WirePerByte), func() {
+		m.eng.After(m.C.WireLat, func() {
+			srv.cache.access(0) // single datagram context: always resident
+			srv.nic.Use(m.C.NICBaseWR*sim.Time(pkts)+sim.Time(float64(bytes)*m.C.WirePerByte), func() {
+				if m.measuring {
+					m.msgs++
+					m.items++
+				}
+				respPkts := m.C.packets(r.spec.RespSize)
+				cpu := m.C.UDPktRX*sim.Time(pkts) + r.spec.Handler + m.C.UDPktTX*sim.Time(respPkts)
+				srv.cores.Use(cpu, func() {
+					respBytes := m.C.wireBytes(r.spec.RespSize)
+					srv.nic.Use(m.C.NICBaseWR*sim.Time(respPkts)+sim.Time(float64(respBytes)*m.C.WirePerByte), func() {
+						m.eng.After(m.C.WireLat, func() {
+							m.clientNICs[r.th.client].Use(m.C.NICBaseWR*sim.Time(respPkts), func() {
+								m.eng.After(m.C.UDClientPkt*sim.Time(respPkts), func() {
+									m.complete(r)
+								})
+							})
+						})
+					})
+				})
+			})
+		})
+	})
+}
+
+// OneSidedRead models an fl_read of a few bytes from a server's memory:
+// NIC and wire only, no server CPU (§6). done runs at completion.
+func (m *Model) OneSidedRead(th *threadModel, server int, bytes int, done func()) {
+	q := th.qp[server]
+	srv := m.servers[server]
+	wire := m.C.wireBytes(bytes)
+	m.clientNICs[th.client].Use(m.C.nicService(wire, false), func() {
+		m.eng.After(m.C.WireLat, func() {
+			miss := !srv.cache.access(q.gid)
+			srv.nic.Use(m.C.nicService(wire, miss), func() {
+				m.eng.After(m.C.WireLat, func() {
+					m.clientNICs[th.client].Use(m.C.nicService(wire, false), func() {
+						done()
+					})
+				})
+			})
+		})
+	})
+}
+
+// complete finishes one request: record, then hand to the driver.
+func (m *Model) complete(r *request) {
+	if r.local > 0 {
+		if r.done != nil {
+			r.done(r)
+		}
+		return
+	}
+	if m.measuring {
+		m.ops++
+		lat := uint64(m.eng.Now() - r.start)
+		m.lat.Record(lat)
+		h := m.byClass[r.spec.Class]
+		if h == nil {
+			h = stats.NewHist()
+			m.byClass[r.spec.Class] = h
+		}
+		h.Record(lat)
+	}
+	if r.done != nil {
+		r.done(r)
+	}
+}
+
+// Run drives the built-in closed loop: every thread keeps Outstanding
+// requests to server 0 in flight for Warmup+Duration, measuring after
+// warmup. Use it for the pure-RPC figures; transaction figures drive
+// Submit directly.
+func (m *Model) Run() Result {
+	cfg := m.cfg
+	var pump func(th *threadModel)
+	pump = func(th *threadModel) {
+		spec := cfg.NextReq(th.client, th.idx, th.rng)
+		m.Submit(th, 0, spec, func(done *request) { pump(th) })
+	}
+	for _, th := range m.threads {
+		for k := 0; k < cfg.Outstanding; k++ {
+			th := th
+			m.eng.After(sim.Time(th.idx%7)*10, func() { pump(th) })
+		}
+	}
+	m.eng.After(cfg.Warmup, m.startMeasuring)
+	m.eng.RunUntil(cfg.Warmup + cfg.Duration)
+	return m.Finish(cfg.Duration)
+}
+
+// startMeasuring begins the measurement window (txn drivers call it via
+// the engine at their warmup boundary).
+func (m *Model) startMeasuring() {
+	m.measuring = true
+	m.ops, m.msgs, m.items = 0, 0, 0
+	m.lat.Reset()
+	for _, h := range m.byClass {
+		h.Reset()
+	}
+	var busy sim.Time
+	for _, s := range m.servers {
+		busy += s.cores.BusyTime()
+	}
+	m.cpuBusy0 = busy
+	m.hits0, m.miss0 = 0, 0
+	for _, s := range m.servers {
+		h, mi := s.cache.stats()
+		m.hits0 += h
+		m.miss0 += mi
+	}
+}
+
+// Finish closes the measurement window and reports.
+func (m *Model) Finish(duration sim.Time) Result {
+	var busy sim.Time
+	var hits, misses uint64
+	for _, s := range m.servers {
+		busy += s.cores.BusyTime()
+		h, mi := s.cache.stats()
+		hits += h
+		misses += mi
+	}
+	res := Result{
+		Mops:    float64(m.ops) / (float64(duration) / 1000),
+		Lat:     m.lat,
+		ByClass: m.byClass,
+		Ops:     m.ops,
+	}
+	if m.msgs > 0 {
+		res.AvgDegree = float64(m.items) / float64(m.msgs)
+	}
+	totalCoreTime := float64(duration) * float64(m.C.ServerCores) * float64(len(m.servers))
+	res.ServerCPU = float64(busy-m.cpuBusy0) / totalCoreTime
+	if d := (hits + misses) - (m.hits0 + m.miss0); d > 0 {
+		res.NICMissRate = float64(misses-m.miss0) / float64(d)
+	}
+	return res
+}
+
+// lruCache is the NIC connection-context cache used by the models (same
+// policy as the functional rnic's, duplicated here to stay allocation-free
+// and engine-local).
+type lruCache struct {
+	capacity int
+	entries  map[int]*lruNode
+	head     *lruNode
+	tail     *lruNode
+	hits     uint64
+	misses   uint64
+}
+
+type lruNode struct {
+	key        int
+	prev, next *lruNode
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{capacity: capacity, entries: make(map[int]*lruNode)}
+}
+
+func (c *lruCache) stats() (uint64, uint64) { return c.hits, c.misses }
+
+// access touches key; true on hit.
+func (c *lruCache) access(key int) bool {
+	if c.capacity <= 0 {
+		return true
+	}
+	if n := c.entries[key]; n != nil {
+		c.hits++
+		if c.head != n {
+			c.unlink(n)
+			c.pushFront(n)
+		}
+		return true
+	}
+	c.misses++
+	n := &lruNode{key: key}
+	c.entries[key] = n
+	c.pushFront(n)
+	if len(c.entries) > c.capacity {
+		ev := c.tail
+		c.unlink(ev)
+		delete(c.entries, ev.key)
+	}
+	return false
+}
+
+func (c *lruCache) pushFront(n *lruNode) {
+	n.prev = nil
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *lruCache) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}

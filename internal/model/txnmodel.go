@@ -1,0 +1,375 @@
+package model
+
+import (
+	"flock/internal/sim"
+	"flock/internal/stats"
+	"flock/internal/workload"
+)
+
+// This file models FLockTX vs FaSST (Figures 14 and 15): distributed
+// transactions with OCC + 2PC + 3-way primary-backup replication over the
+// RPC model. Each client thread runs 19 concurrent transaction streams
+// plus a response-processing share — the paper's coroutine structure —
+// against 3 servers. Transactions follow Figure 13:
+//
+//	execution  → one RPC per involved partition (locks write set)
+//	validation → FLock: one-sided read per read-set key (no server CPU);
+//	             FaSST: a validation RPC per partition (UD has no reads)
+//	logging    → one RPC per replica of each written partition
+//	commit     → one RPC per written partition
+//
+// OCC conflict aborts affect both systems identically at equal key skew
+// and are not modeled; what separates the systems is per-message CPU and
+// the validation path, which the model captures.
+
+// TxnConfig parameterizes a transaction-model run.
+type TxnConfig struct {
+	// Workload is "tatp" or "smallbank".
+	Workload string
+	// Transport is TransportFlock (FLockTX) or TransportUD (FaSST).
+	Transport Transport
+	// Clients and ThreadsPerClient; the paper uses 20 clients.
+	Clients          int
+	ThreadsPerClient int
+	// Streams is the concurrent transactions per thread (19 request
+	// coroutines in the paper).
+	Streams int
+	// Servers is the partition count (3 in the paper).
+	Servers int
+	// Keys is the keyspace size (1M subscribers / 100k accounts ×2 keys).
+	Keys uint64
+
+	Costs    Costs
+	Seed     uint64
+	Warmup   sim.Time
+	Duration sim.Time
+	Quick    bool
+}
+
+func (c TxnConfig) withDefaults() TxnConfig {
+	if c.Clients <= 0 {
+		c.Clients = 20
+	}
+	if c.ThreadsPerClient <= 0 {
+		c.ThreadsPerClient = 1
+	}
+	if c.Streams <= 0 {
+		c.Streams = 19
+	}
+	if c.Servers <= 0 {
+		c.Servers = 3
+	}
+	if c.Keys == 0 {
+		c.Keys = 1_000_000
+	}
+	if (c.Costs == Costs{}) {
+		c.Costs = DefaultCosts()
+	}
+	if c.Warmup == 0 {
+		c.Warmup, c.Duration = durations(c.Quick)
+	}
+	return c
+}
+
+// Transaction-phase handler costs (server CPU per RPC), ns.
+const (
+	txExecBase   = 300 // message handling + store access setup
+	txExecPerKey = 200 // hash probe + lock/read per key
+	txValPerKey  = 120 // version re-read (RPC validation path)
+	txLogCost    = 250 // replica apply
+	txCommitCost = 250 // install + unlock
+
+	// Coordinator-side CPU per transaction (request building, response
+	// decoding, protocol state) charged on the client thread's serial
+	// executor. Coroutines hide network latency, not this work —
+	// low-thread-count configurations are client-CPU-bound, which is why
+	// throughput grows with threads in Figures 14/15.
+	txCoordWork = 2000
+)
+
+// TxnResult reports a transaction-model run.
+type TxnResult struct {
+	// Mtps is transaction throughput, millions per second.
+	Mtps float64
+	// Lat is the transaction latency distribution (ns).
+	Lat *stats.Hist
+	// AvgDegree and ServerCPU mirror the RPC-level metrics.
+	AvgDegree float64
+	ServerCPU float64
+}
+
+// txnDriver runs the streams over a Model.
+type txnDriver struct {
+	m    *Model
+	cfg  TxnConfig
+	gens []*genState // one per thread
+
+	measStart sim.Time
+	txns      uint64
+	lat       *stats.Hist
+}
+
+type genState struct {
+	tatp *workload.TATP
+	sb   *workload.Smallbank
+}
+
+func (g *genState) next() workload.Txn {
+	if g.tatp != nil {
+		return g.tatp.Next()
+	}
+	return g.sb.Next()
+}
+
+// RunTxnModel executes one Figure 14/15 data point.
+func RunTxnModel(cfg TxnConfig) TxnResult {
+	cfg = cfg.withDefaults()
+	rcfg := RPCConfig{
+		Transport:        cfg.Transport,
+		Costs:            cfg.Costs,
+		Servers:          cfg.Servers,
+		Clients:          cfg.Clients,
+		ThreadsPerClient: cfg.ThreadsPerClient,
+		// QPs: one per thread per server, as FLockTX (peer-thread model).
+		QPsPerConn: cfg.ThreadsPerClient,
+		NextReq: func(c, t int, rng *stats.RNG) ReqSpec {
+			return ReqSpec{ReqSize: 64, RespSize: 64, Handler: 300}
+		},
+		ThreadSched: true,
+		Seed:        cfg.Seed,
+		Warmup:      cfg.Warmup,
+		Duration:    cfg.Duration,
+	}
+	m := NewModel(rcfg)
+	d := &txnDriver{
+		m:         m,
+		cfg:       cfg,
+		measStart: cfg.Warmup,
+		lat:       stats.NewHist(),
+	}
+	for i := 0; i < cfg.Clients*cfg.ThreadsPerClient; i++ {
+		g := &genState{}
+		seed := cfg.Seed + uint64(i)*104729 + 11
+		if cfg.Workload == "smallbank" {
+			g.sb = workload.NewSmallbank(seed, cfg.Keys/2)
+		} else {
+			g.tatp = workload.NewTATP(seed, cfg.Keys)
+		}
+		d.gens = append(d.gens, g)
+	}
+	for ti, th := range m.threads {
+		for s := 0; s < cfg.Streams; s++ {
+			th, ti := th, ti
+			m.eng.After(sim.Time(s*37+ti%11), func() { d.stream(th, ti) })
+		}
+	}
+	m.eng.After(cfg.Warmup, m.startMeasuring)
+	m.eng.RunUntil(cfg.Warmup + cfg.Duration)
+	res := m.Finish(cfg.Duration)
+	return TxnResult{
+		Mtps:      float64(d.txns) / (float64(cfg.Duration) / 1000),
+		Lat:       d.lat,
+		AvgDegree: res.AvgDegree,
+		ServerCPU: res.ServerCPU,
+	}
+}
+
+// stream runs one transaction after another on its thread.
+func (d *txnDriver) stream(th *threadModel, threadIdx int) {
+	t := d.gens[threadIdx].next()
+	start := d.m.eng.Now()
+
+	// Group keys by partition. Iteration must be deterministic (the DES
+	// replays identically for a given seed), so keep first-touch order in
+	// a slice rather than ranging over a map.
+	type partKeys struct {
+		p             int
+		reads, writes int
+	}
+	var parts []*partKeys
+	touch := func(p int) *partKeys {
+		for _, pk := range parts {
+			if pk.p == p {
+				return pk
+			}
+		}
+		pk := &partKeys{p: p}
+		parts = append(parts, pk)
+		return pk
+	}
+	for _, k := range t.Reads {
+		touch(int(k%uint64(d.cfg.Servers))).reads++
+	}
+	for _, k := range t.Writes {
+		touch(int(k%uint64(d.cfg.Servers))).writes++
+	}
+
+	finish := func() {
+		if d.m.eng.Now() >= d.measStart {
+			d.txns++
+			d.lat.Record(uint64(d.m.eng.Now() - start))
+		}
+		d.stream(th, threadIdx) // next transaction
+	}
+
+	// Join helper: call cont after n completions.
+	join := func(n int, cont func()) func() {
+		if n == 0 {
+			cont()
+			return func() {}
+		}
+		remaining := n
+		return func() {
+			remaining--
+			if remaining == 0 {
+				cont()
+			}
+		}
+	}
+
+	// Phase 4: commit.
+	commit := func() {
+		nw := 0
+		for _, pk := range parts {
+			if pk.writes > 0 {
+				nw++
+			}
+		}
+		if nw == 0 {
+			finish()
+			return
+		}
+		j := join(nw, finish)
+		for _, pk := range parts {
+			if pk.writes == 0 {
+				continue
+			}
+			spec := ReqSpec{
+				ReqSize:  8 + 16*pk.writes,
+				RespSize: 8,
+				Handler:  txCommitCost + sim.Time(50*pk.writes),
+			}
+			d.m.Submit(th, pk.p, spec, func(*request) { j() })
+		}
+	}
+
+	// Phase 3: logging to each replica of each written partition.
+	logging := func() {
+		type logTarget struct {
+			server int
+			keys   int
+		}
+		var targets []logTarget
+		for _, pk := range parts {
+			if pk.writes == 0 {
+				continue
+			}
+			for r := 1; r < 3 && r < d.cfg.Servers; r++ {
+				targets = append(targets, logTarget{server: (pk.p + r) % d.cfg.Servers, keys: pk.writes})
+			}
+		}
+		if len(targets) == 0 {
+			commit()
+			return
+		}
+		j := join(len(targets), commit)
+		for _, tg := range targets {
+			spec := ReqSpec{
+				ReqSize:  8 + 16*tg.keys,
+				RespSize: 1,
+				Handler:  txLogCost + sim.Time(50*tg.keys),
+			}
+			d.m.Submit(th, tg.server, spec, func(*request) { j() })
+		}
+	}
+
+	// Phase 2: validation of the read set.
+	validate := func() {
+		nReads := len(t.Reads)
+		if nReads == 0 {
+			logging()
+			return
+		}
+		if d.cfg.Transport == TransportFlock {
+			// One-sided read per read-set key: NIC only, no server CPU.
+			j := join(nReads, logging)
+			for _, k := range t.Reads {
+				p := int(k % uint64(d.cfg.Servers))
+				d.m.OneSidedRead(th, p, 8, j)
+			}
+			return
+		}
+		// FaSST: validation RPC per partition holding read keys.
+		nparts := 0
+		for _, pk := range parts {
+			if pk.reads > 0 {
+				nparts++
+			}
+		}
+		j := join(nparts, logging)
+		for _, pk := range parts {
+			if pk.reads == 0 {
+				continue
+			}
+			spec := ReqSpec{
+				ReqSize:  8 + 8*pk.reads,
+				RespSize: 8 * pk.reads,
+				Handler:  sim.Time(txValPerKey * pk.reads),
+			}
+			d.m.Submit(th, pk.p, spec, func(*request) { j() })
+		}
+	}
+
+	// Phase 0: coordinator-side CPU, serialized on the thread.
+	// Phase 1: execution RPC per involved partition.
+	execute := func() {
+		j := join(len(parts), validate)
+		for _, pk := range parts {
+			spec := ReqSpec{
+				ReqSize:  8 + 8*(pk.reads+pk.writes),
+				RespSize: 4 + 24*pk.reads + 8*pk.writes,
+				Handler:  txExecBase + sim.Time(txExecPerKey*(pk.reads+pk.writes)),
+			}
+			d.m.Submit(th, pk.p, spec, func(*request) { j() })
+		}
+	}
+	d.m.ThreadWork(th, txCoordWork, execute)
+}
+
+// Fig14 regenerates Figure 14: TATP over FLockTX vs FaSST, 20 clients, 3
+// servers, thread sweep.
+func Fig14(quick bool) []Row {
+	return txnFigure("fig14", "tatp", 1_000_000, []int{1, 2, 4, 8, 16, 32}, quick)
+}
+
+// Fig15 regenerates Figure 15: Smallbank over FLockTX vs FaSST.
+func Fig15(quick bool) []Row {
+	return txnFigure("fig15", "smallbank", 200_000, []int{1, 2, 4, 8, 16}, quick)
+}
+
+func txnFigure(fig, wl string, keys uint64, threads []int, quick bool) []Row {
+	var rows []Row
+	for _, th := range threads {
+		for _, s := range []struct {
+			name string
+			tr   Transport
+		}{{"flocktx", TransportFlock}, {"fasst", TransportUD}} {
+			res := RunTxnModel(TxnConfig{
+				Workload:         wl,
+				Transport:        s.tr,
+				ThreadsPerClient: th,
+				Keys:             keys,
+				Quick:            quick,
+			})
+			rows = append(rows, Row{
+				Figure: fig, Series: s.name, X: float64(th),
+				Mops:   res.Mtps,
+				P50us:  float64(res.Lat.Median()) / 1000,
+				P99us:  float64(res.Lat.P99()) / 1000,
+				Degree: res.AvgDegree,
+				CPU:    res.ServerCPU,
+			})
+		}
+	}
+	return rows
+}

@@ -1,0 +1,113 @@
+package rnic
+
+import "sync"
+
+// connCache models the RNIC's on-chip connection-context cache (QP state,
+// congestion-control state — Figure 1 of the paper). It is an LRU over QP
+// numbers: each work request touches the context of the QP it executes on,
+// on both the requester and the responder device. A miss stands for a PCIe
+// fetch of the context from host memory; the functional tier counts it and
+// the DES tier charges it time.
+//
+// A capacity of zero disables the model (every access hits).
+type connCache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[cacheKey]*cacheNode
+	head     *cacheNode // most recently used
+	tail     *cacheNode // least recently used
+	hits     uint64
+	misses   uint64
+}
+
+// cacheKey identifies a cached connection context. Remote contexts (the
+// responder caching the requester's connection) are distinguished by node.
+type cacheKey struct {
+	node int
+	qpn  int
+}
+
+type cacheNode struct {
+	key        cacheKey
+	prev, next *cacheNode
+}
+
+func newConnCache(capacity int) *connCache {
+	return &connCache{
+		capacity: capacity,
+		entries:  make(map[cacheKey]*cacheNode),
+	}
+}
+
+// access touches the context for (node, qpn) and returns true on a hit.
+func (c *connCache) access(node, qpn int) bool {
+	if c.capacity <= 0 {
+		return true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := cacheKey{node, qpn}
+	if n := c.entries[k]; n != nil {
+		c.hits++
+		c.moveToFront(n)
+		return true
+	}
+	c.misses++
+	n := &cacheNode{key: k}
+	c.entries[k] = n
+	c.pushFront(n)
+	if len(c.entries) > c.capacity {
+		evict := c.tail
+		c.unlink(evict)
+		delete(c.entries, evict.key)
+	}
+	return false
+}
+
+// stats returns the hit and miss counters.
+func (c *connCache) stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// len reports the number of resident contexts.
+func (c *connCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+func (c *connCache) pushFront(n *cacheNode) {
+	n.prev = nil
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *connCache) unlink(n *cacheNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (c *connCache) moveToFront(n *cacheNode) {
+	if c.head == n {
+		return
+	}
+	c.unlink(n)
+	c.pushFront(n)
+}

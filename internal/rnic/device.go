@@ -1,0 +1,353 @@
+package rnic
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"flock/internal/fabric"
+)
+
+// Config configures a Device.
+type Config struct {
+	// Node is the device's fabric address.
+	Node fabric.NodeID
+	// CacheSize bounds the connection-context cache (Figure 1/2 of the
+	// paper). Zero disables the model: every access hits. The paper's
+	// ConnectX-5 sustains roughly a few hundred hot QPs before thrashing
+	// (peak at 176–704 QPs in Figure 2a); the DES calibrates to that.
+	CacheSize int
+	// CQDepth is the default depth for completion queues created by this
+	// device. Zero means 4096.
+	CQDepth int
+	// RNRRetries bounds how many times the pipeline re-attempts a send
+	// that finds no receive buffer on an RC responder before completing
+	// with StatusRNRExceeded. Zero means 1000.
+	RNRRetries int
+}
+
+// Counters aggregates device activity. All fields are written atomically by
+// the pipeline and may be read at any time via Device.Stats.
+type Counters struct {
+	// Doorbells counts PostSend calls — MMIO writes on real hardware.
+	Doorbells uint64
+	// WorkRequests counts posted send-queue WRs.
+	WorkRequests uint64
+	// Processed counts WRs the pipeline has executed.
+	Processed uint64
+	// CacheHits and CacheMisses count connection-context cache accesses
+	// on this device, both requester- and responder-side.
+	CacheHits   uint64
+	CacheMisses uint64
+	// CompletionsDelivered counts CQ entries generated; Suppressed counts
+	// successful unsignaled WRs that generated none (selective
+	// signaling's saving, §7).
+	CompletionsDelivered  uint64
+	CompletionsSuppressed uint64
+	// PacketsTX and BytesTX count outbound wire traffic.
+	PacketsTX uint64
+	BytesTX   uint64
+	// UDDropsNoRecv counts inbound UD sends discarded because the target
+	// QP had no receive buffer posted.
+	UDDropsNoRecv uint64
+	// UDDropsWire counts UD packets the fabric lost in flight.
+	UDDropsWire uint64
+	// RNRWaits counts responder-not-ready retry iterations on RC.
+	RNRWaits uint64
+	// AtomicOps counts executed fetch-add/cmp-swap verbs.
+	AtomicOps uint64
+}
+
+func (c *Counters) add(f *uint64, n uint64) { atomic.AddUint64(f, n) }
+
+// snapshot copies the counters with atomic loads.
+func (c *Counters) snapshot() Counters {
+	return Counters{
+		Doorbells:             atomic.LoadUint64(&c.Doorbells),
+		WorkRequests:          atomic.LoadUint64(&c.WorkRequests),
+		Processed:             atomic.LoadUint64(&c.Processed),
+		CacheHits:             atomic.LoadUint64(&c.CacheHits),
+		CacheMisses:           atomic.LoadUint64(&c.CacheMisses),
+		CompletionsDelivered:  atomic.LoadUint64(&c.CompletionsDelivered),
+		CompletionsSuppressed: atomic.LoadUint64(&c.CompletionsSuppressed),
+		PacketsTX:             atomic.LoadUint64(&c.PacketsTX),
+		BytesTX:               atomic.LoadUint64(&c.BytesTX),
+		UDDropsNoRecv:         atomic.LoadUint64(&c.UDDropsNoRecv),
+		UDDropsWire:           atomic.LoadUint64(&c.UDDropsWire),
+		RNRWaits:              atomic.LoadUint64(&c.RNRWaits),
+		AtomicOps:             atomic.LoadUint64(&c.AtomicOps),
+	}
+}
+
+// Device is one software RNIC attached to a fabric node. Its single
+// pipeline goroutine executes work requests in doorbell order, mirroring
+// the serialized processing unit of real NIC hardware; per-QP send
+// ordering follows from it.
+type Device struct {
+	cfg   Config
+	fab   *fabric.Fabric
+	cache *connCache
+
+	mu      sync.Mutex
+	qps     map[int]*QP
+	mrs     map[uint32]*MemRegion
+	nextQPN int
+	nextKey uint32
+
+	work     chan *QP
+	closed   chan struct{}
+	wg       sync.WaitGroup
+	inflight int64 // WRs posted but not yet fully executed
+
+	counters Counters
+}
+
+// NewDevice creates a device, registers it on the fabric, and starts its
+// pipeline. Close must be called to stop the pipeline.
+func NewDevice(fab *fabric.Fabric, cfg Config) (*Device, error) {
+	if cfg.RNRRetries <= 0 {
+		cfg.RNRRetries = 1000
+	}
+	if cfg.CQDepth <= 0 {
+		cfg.CQDepth = 4096
+	}
+	d := &Device{
+		cfg:     cfg,
+		fab:     fab,
+		cache:   newConnCache(cfg.CacheSize),
+		qps:     make(map[int]*QP),
+		mrs:     make(map[uint32]*MemRegion),
+		nextQPN: 1,
+		nextKey: 1,
+		work:    make(chan *QP, 4096),
+		closed:  make(chan struct{}),
+	}
+	if err := fab.Register(d); err != nil {
+		return nil, err
+	}
+	d.wg.Add(1)
+	go d.pipeline()
+	return d, nil
+}
+
+// Node implements fabric.Endpoint.
+func (d *Device) Node() fabric.NodeID { return d.cfg.Node }
+
+// Fabric returns the fabric this device is attached to.
+func (d *Device) Fabric() *fabric.Fabric { return d.fab }
+
+// Stats returns a snapshot of the device counters.
+func (d *Device) Stats() Counters { return d.counters.snapshot() }
+
+// CacheStats returns the connection-context cache hit/miss counts and the
+// number of resident contexts.
+func (d *Device) CacheStats() (hits, misses uint64, resident int) {
+	h, m := d.cache.stats()
+	return h, m, d.cache.len()
+}
+
+// Close stops the pipeline and detaches from the fabric. Posted but
+// unprocessed WRs are abandoned.
+func (d *Device) Close() {
+	d.mu.Lock()
+	select {
+	case <-d.closed:
+		d.mu.Unlock()
+		return
+	default:
+	}
+	close(d.closed)
+	d.mu.Unlock()
+	d.wg.Wait()
+	d.fab.Unregister(d.cfg.Node)
+}
+
+// CreateCQ makes a completion queue with the device default depth.
+func (d *Device) CreateCQ() *CQ { return NewCQ(d.cfg.CQDepth) }
+
+// CreateQP creates a queue pair of the given transport bound to the two
+// completion queues (which may be the same). UD QPs are immediately ready;
+// RC/UC QPs must be connected.
+func (d *Device) CreateQP(t Transport, sendCQ, recvCQ *CQ) (*QP, error) {
+	if sendCQ == nil || recvCQ == nil {
+		return nil, fmt.Errorf("rnic: CreateQP requires completion queues")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	select {
+	case <-d.closed:
+		return nil, ErrDeviceClosed
+	default:
+	}
+	q := &QP{
+		dev:       d,
+		qpn:       d.nextQPN,
+		transport: t,
+		sendCQ:    sendCQ,
+		recvCQ:    recvCQ,
+	}
+	if t == UD {
+		q.state = qpReady
+	}
+	d.nextQPN++
+	d.qps[q.qpn] = q
+	return q, nil
+}
+
+// QPByNumber returns the local QP with the given number, or nil.
+func (d *Device) QPByNumber(qpn int) *QP {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.qps[qpn]
+}
+
+// NumQPs reports how many QPs exist on the device.
+func (d *Device) NumQPs() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.qps)
+}
+
+// RegisterMR registers a fresh buffer of size bytes with the given remote
+// permissions and returns the region.
+func (d *Device) RegisterMR(size int, perms Perm) (*MemRegion, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("rnic: RegisterMR size %d", size)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	select {
+	case <-d.closed:
+		return nil, ErrDeviceClosed
+	default:
+	}
+	mr := &MemRegion{
+		buf:   make([]byte, size),
+		lkey:  d.nextKey,
+		rkey:  d.nextKey,
+		perms: perms,
+		node:  int(d.cfg.Node),
+	}
+	d.nextKey++
+	d.mrs[mr.rkey] = mr
+	return mr, nil
+}
+
+// lookupMR resolves an rkey to a region, nil if unknown.
+func (d *Device) lookupMR(rkey uint32) *MemRegion {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.mrs[rkey]
+}
+
+// ConnectPair creates one RC (or UC) QP on each of a and b, connects them
+// to each other, and returns them. Each QP gets its own send CQ and recv
+// CQ created with the device defaults. It is the in-process stand-in for
+// out-of-band connection exchange.
+func ConnectPair(a, b *Device, t Transport) (*QP, *QP, error) {
+	if t == UD {
+		return nil, nil, ErrWrongTranport
+	}
+	qa, err := a.CreateQP(t, a.CreateCQ(), a.CreateCQ())
+	if err != nil {
+		return nil, nil, err
+	}
+	qb, err := b.CreateQP(t, b.CreateCQ(), b.CreateCQ())
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := qa.Connect(int(b.Node()), qb.QPN()); err != nil {
+		return nil, nil, err
+	}
+	if err := qb.Connect(int(a.Node()), qa.QPN()); err != nil {
+		return nil, nil, err
+	}
+	return qa, qb, nil
+}
+
+// ring notifies the pipeline that q has pending work.
+func (d *Device) ring(q *QP) error {
+	atomic.AddInt64(&d.inflight, 1)
+	select {
+	case d.work <- q:
+		return nil
+	case <-d.closed:
+		atomic.AddInt64(&d.inflight, -1)
+		return ErrDeviceClosed
+	}
+}
+
+// Quiesce returns once every posted WR has been executed. It is a test and
+// benchmark aid; applications rely on completions instead.
+func (d *Device) Quiesce() {
+	for atomic.LoadInt64(&d.inflight) != 0 {
+		select {
+		case <-d.closed:
+			return
+		default:
+		}
+	}
+}
+
+// pipeline is the device's processing unit: it drains QP send queues in
+// doorbell order.
+func (d *Device) pipeline() {
+	defer d.wg.Done()
+	for {
+		select {
+		case q := <-d.work:
+			d.drain(q)
+			atomic.AddInt64(&d.inflight, -1)
+		case <-d.closed:
+			return
+		}
+	}
+}
+
+// drainBudget bounds how many WRs the pipeline executes from one QP before
+// arbitrating to the next pending QP, as NIC hardware round-robins WQE
+// processing across queue pairs. Without it one deep send queue could
+// starve every other connection.
+const drainBudget = 16
+
+// drain executes q's queued WRs until its send queue is observed empty or
+// the fairness budget is spent; in the latter case the QP is re-queued
+// behind the other pending doorbells.
+func (d *Device) drain(q *QP) {
+	spent := 0
+	for {
+		q.mu.Lock()
+		if len(q.sendq) == 0 {
+			q.ringing = false
+			q.mu.Unlock()
+			return
+		}
+		n := len(q.sendq)
+		if spent+n > drainBudget {
+			n = drainBudget - spent
+		}
+		batch := make([]SendWR, n)
+		copy(batch, q.sendq)
+		rem := copy(q.sendq, q.sendq[n:])
+		q.sendq = q.sendq[:rem]
+		q.mu.Unlock()
+
+		for i := range batch {
+			d.execute(q, &batch[i])
+			d.counters.add(&d.counters.Processed, 1)
+		}
+		spent += n
+		if spent >= drainBudget {
+			// Budget exhausted: hand the pipeline to the next QP if the
+			// work channel has room, else keep going ourselves.
+			atomic.AddInt64(&d.inflight, 1)
+			select {
+			case d.work <- q:
+				return
+			default:
+				atomic.AddInt64(&d.inflight, -1)
+				spent = 0
+			}
+		}
+	}
+}

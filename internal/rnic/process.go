@@ -1,0 +1,317 @@
+package rnic
+
+import (
+	"runtime"
+	"time"
+
+	"flock/internal/fabric"
+)
+
+// execute runs one work request on the device pipeline. It models the
+// requester NIC touching its own connection context, the wire transfer,
+// and the responder NIC touching its context and performing DMA against
+// the target memory region.
+func (d *Device) execute(q *QP, wr *SendWR) {
+	// Requester-side connection-context access (UD uses one context for
+	// all peers — that is precisely its scalability advantage, §2.2).
+	d.cacheAccess(int(d.cfg.Node), q.qpn)
+
+	var dstNode, dstQPN int
+	if q.transport == UD {
+		dstNode, dstQPN = wr.Dst.Node, wr.Dst.QPN
+	} else {
+		dstNode, dstQPN = q.Peer()
+	}
+
+	payload := d.gatherPayload(q, wr)
+
+	// Wire accounting. Reads move the payload in the response direction;
+	// everything else in the request direction. Atomics move 8 bytes each
+	// way; we charge the request direction.
+	txBytes := len(payload)
+	switch wr.Op {
+	case OpRead:
+		txBytes = 0 // request is header-only; response accounted below
+	case OpFetchAdd, OpCmpSwap:
+		txBytes = 8
+	}
+	pkts := d.fab.ChargeTX(d.cfg.Node, fabric.NodeID(dstNode), txBytes)
+	d.counters.add(&d.counters.PacketsTX, uint64(pkts))
+	d.counters.add(&d.counters.BytesTX, uint64(txBytes))
+
+	// UD wire loss: the sender still sees a successful completion — UD
+	// has no acknowledgements (Table 1).
+	if q.transport == UD && d.fab.DropUD(d.cfg.Node, fabric.NodeID(dstNode)) {
+		d.counters.add(&d.counters.UDDropsWire, 1)
+		d.complete(q, wr, StatusOK, len(payload))
+		return
+	}
+
+	peer, ok := d.fab.Lookup(fabric.NodeID(dstNode)).(*Device)
+	if peer == nil || !ok {
+		d.complete(q, wr, StatusRemoteAccess, 0)
+		q.setError()
+		return
+	}
+
+	// Responder-side connection-context access: the server NIC in a high
+	// fan-in pattern caches one context per client QP, which is what
+	// thrashes in Figure 2a.
+	peer.cacheAccess(int(d.cfg.Node), dstQPN)
+
+	status := StatusOK
+	byteLen := len(payload)
+	switch wr.Op {
+	case OpWrite, OpWriteImm:
+		status = d.execWrite(peer, dstQPN, wr, payload)
+	case OpRead:
+		status, byteLen = d.execRead(peer, wr)
+	case OpSend:
+		status = d.execSend(q, peer, dstQPN, wr, payload)
+	case OpFetchAdd, OpCmpSwap:
+		status = d.execAtomic(peer, wr)
+	}
+
+	if status != StatusOK && q.transport != UD {
+		// Fatal completions move connected QPs to the error state, like
+		// hardware.
+		defer q.setError()
+	}
+	d.complete(q, wr, status, byteLen)
+}
+
+// cacheAccess touches the device's connection cache and updates counters.
+// It returns true on a hit.
+func (d *Device) cacheAccess(node, qpn int) bool {
+	hit := d.cache.access(node, qpn)
+	if hit {
+		d.counters.add(&d.counters.CacheHits, 1)
+	} else {
+		d.counters.add(&d.counters.CacheMisses, 1)
+	}
+	return hit
+}
+
+// gatherPayload materializes the outbound bytes of wr (nil for reads and
+// atomics' request side).
+func (d *Device) gatherPayload(q *QP, wr *SendWR) []byte {
+	switch wr.Op {
+	case OpSend, OpWrite, OpWriteImm:
+		if wr.Inline != nil {
+			return wr.Inline
+		}
+		if wr.LocalMR != nil {
+			buf := make([]byte, wr.LocalLen)
+			wr.LocalMR.dmaRead(buf, wr.LocalOff)
+			return buf
+		}
+	}
+	return nil
+}
+
+// execWrite places payload into the responder's region. Write-with-imm
+// additionally consumes a receive WQE on the destination QP and delivers a
+// receive completion carrying the immediate.
+func (d *Device) execWrite(peer *Device, dstQPN int, wr *SendWR, payload []byte) Status {
+	mr := peer.lookupMR(wr.RKey)
+	if mr == nil || mr.perms&PermRemoteWrite == 0 {
+		return StatusRemoteAccess
+	}
+	if err := mr.checkRange(wr.RemoteOff, len(payload)); err != nil {
+		return StatusRemoteAccess
+	}
+	mr.dmaWriteChunked(payload, wr.RemoteOff, d.fab.MTU())
+
+	if wr.Op == OpWriteImm {
+		dq := peer.QPByNumber(dstQPN)
+		if dq == nil {
+			return StatusRemoteAccess
+		}
+		rwr, ok := d.waitRecv(dq)
+		if !ok {
+			return StatusRNRExceeded
+		}
+		peer.counters.add(&peer.counters.CompletionsDelivered, 1)
+		dq.recvCQ.push(Completion{
+			WRID:     rwr.WRID,
+			Status:   StatusOK,
+			Opcode:   OpRecv,
+			ByteLen:  len(payload),
+			Imm:      wr.Imm,
+			ImmValid: true,
+			QPN:      dq.qpn,
+			SrcNode:  int(d.cfg.Node),
+			SrcQPN:   wr.sourceQPN(),
+		})
+	}
+	return StatusOK
+}
+
+// execRead copies from the responder's region into the requester's local
+// region.
+func (d *Device) execRead(peer *Device, wr *SendWR) (Status, int) {
+	mr := peer.lookupMR(wr.RKey)
+	if mr == nil || mr.perms&PermRemoteRead == 0 {
+		return StatusRemoteAccess, 0
+	}
+	if err := mr.checkRange(wr.RemoteOff, wr.LocalLen); err != nil {
+		return StatusRemoteAccess, 0
+	}
+	buf := make([]byte, wr.LocalLen)
+	mr.dmaRead(buf, wr.RemoteOff)
+	wr.LocalMR.dmaWriteChunked(buf, wr.LocalOff, d.fab.MTU())
+
+	// Response-direction wire accounting.
+	pkts := d.fab.ChargeTX(peer.cfg.Node, d.cfg.Node, wr.LocalLen)
+	peer.counters.add(&peer.counters.PacketsTX, uint64(pkts))
+	peer.counters.add(&peer.counters.BytesTX, uint64(wr.LocalLen))
+	return StatusOK, wr.LocalLen
+}
+
+// execSend delivers a two-sided send into a posted receive buffer on the
+// destination QP.
+func (d *Device) execSend(q *QP, peer *Device, dstQPN int, wr *SendWR, payload []byte) Status {
+	dq := peer.QPByNumber(dstQPN)
+	if dq == nil {
+		if q.transport == UD {
+			peer.counters.add(&peer.counters.UDDropsNoRecv, 1)
+			return StatusOK // fire and forget
+		}
+		return StatusRemoteAccess
+	}
+	var rwr RecvWR
+	var ok bool
+	if q.transport == UD {
+		// No RNR on datagrams: absent a buffer the packet is dropped.
+		rwr, ok = dq.popRecv()
+		if !ok {
+			peer.counters.add(&peer.counters.UDDropsNoRecv, 1)
+			return StatusOK
+		}
+	} else {
+		rwr, ok = d.waitRecv(dq)
+		if !ok {
+			return StatusRNRExceeded
+		}
+	}
+	if len(payload) > rwr.Len {
+		if q.transport == UD {
+			peer.counters.add(&peer.counters.UDDropsNoRecv, 1)
+			return StatusOK
+		}
+		// RC: the responder completes the receive in error; requester too.
+		dq.recvCQ.push(Completion{
+			WRID: rwr.WRID, Status: StatusLenError, Opcode: OpRecv, QPN: dq.qpn,
+		})
+		peer.counters.add(&peer.counters.CompletionsDelivered, 1)
+		return StatusLenError
+	}
+	if rwr.MR != nil {
+		if err := rwr.MR.WriteAt(payload, rwr.Off); err != nil {
+			return StatusRemoteAccess
+		}
+	}
+	peer.counters.add(&peer.counters.CompletionsDelivered, 1)
+	dq.recvCQ.push(Completion{
+		WRID:     rwr.WRID,
+		Status:   StatusOK,
+		Opcode:   OpRecv,
+		ByteLen:  len(payload),
+		Imm:      wr.Imm,
+		ImmValid: wr.ImmValid,
+		QPN:      dq.qpn,
+		SrcNode:  int(d.cfg.Node),
+		SrcQPN:   q.qpn,
+	})
+	return StatusOK
+}
+
+// execAtomic runs a 64-bit atomic on the responder's region and stores the
+// prior value into the requester's local region.
+func (d *Device) execAtomic(peer *Device, wr *SendWR) Status {
+	mr := peer.lookupMR(wr.RKey)
+	if mr == nil || mr.perms&PermRemoteAtomic == 0 {
+		return StatusRemoteAccess
+	}
+	var old uint64
+	var err error
+	switch wr.Op {
+	case OpFetchAdd:
+		old, err = mr.atomic64(wr.RemoteOff, func(v uint64) uint64 { return v + wr.CompareAdd })
+	case OpCmpSwap:
+		old, err = mr.atomic64(wr.RemoteOff, func(v uint64) uint64 {
+			if v == wr.CompareAdd {
+				return wr.Swap
+			}
+			return v
+		})
+	}
+	if err != nil {
+		return StatusRemoteAccess
+	}
+	d.counters.add(&d.counters.AtomicOps, 1)
+	var out [8]byte
+	putLE64(out[:], old)
+	if err := wr.LocalMR.WriteAt(out[:], wr.LocalOff); err != nil {
+		return StatusRemoteAccess
+	}
+	return StatusOK
+}
+
+// waitRecv pops a receive buffer from dq, retrying while the responder is
+// not ready (RC receiver-not-ready flow control). Each retry yields the
+// processor; the stall is real head-of-line blocking for the pipeline,
+// as on hardware.
+func (d *Device) waitRecv(dq *QP) (RecvWR, bool) {
+	for attempt := 0; attempt < d.cfg.RNRRetries; attempt++ {
+		if rwr, ok := dq.popRecv(); ok {
+			return rwr, true
+		}
+		d.counters.add(&d.counters.RNRWaits, 1)
+		if attempt < 64 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(10 * time.Microsecond)
+		}
+		select {
+		case <-d.closed:
+			return RecvWR{}, false
+		default:
+		}
+	}
+	return RecvWR{}, false
+}
+
+// complete delivers (or suppresses) the requester-side completion for wr.
+func (d *Device) complete(q *QP, wr *SendWR, status Status, byteLen int) {
+	if status == StatusOK && !wr.Signaled {
+		d.counters.add(&d.counters.CompletionsSuppressed, 1)
+		return
+	}
+	d.counters.add(&d.counters.CompletionsDelivered, 1)
+	q.sendCQ.push(Completion{
+		WRID:    wr.WRID,
+		Status:  status,
+		Opcode:  wr.Op,
+		ByteLen: byteLen,
+		QPN:     q.qpn,
+	})
+}
+
+// sourceQPN lets write-imm receivers learn the sender QP; connected
+// transports know it implicitly, so 0 suffices here (the receive path
+// fills SrcQPN from the executing QP for sends).
+func (wr *SendWR) sourceQPN() int { return 0 }
+
+// putLE64 writes v little-endian into b[:8].
+func putLE64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}

@@ -1,0 +1,190 @@
+// Package rnic implements a software RDMA NIC: queue pairs, completion
+// queues, registered memory regions, and the verbs of Table 1 of the FLock
+// paper (send/recv, read, write, write-with-immediate, fetch-and-add,
+// compare-and-swap) over the three transports RC, UC and UD.
+//
+// It substitutes for the Mellanox ConnectX-5 hardware of the paper's
+// testbed. Two properties of the hardware that FLock's design depends on
+// are modeled explicitly:
+//
+//   - The connection-context cache. A real RNIC caches QP state in on-chip
+//     SRAM and fetches missing state over PCIe, which is the scalability
+//     cliff of the paper's Figure 2. Device keeps an LRU cache of QP
+//     contexts; every work request accounts a hit or a miss on both the
+//     requester and the responder NIC. The functional tier surfaces the
+//     miss counts; the DES tier (internal/model) converts them to time.
+//
+//   - Ordering. RC delivers work requests of one QP in order, and RDMA
+//     writes become visible in ascending address order (FLock's canary
+//     framing in §4.1 relies on this). The device applies RC writes in
+//     ascending MTU-sized chunks, so a concurrent poller genuinely
+//     observes partially-placed messages and the canary check is
+//     load-bearing.
+//
+// Each Device runs a single pipeline goroutine that drains QP send queues
+// in doorbell order, mirroring the serialized processing unit of a NIC.
+package rnic
+
+import "fmt"
+
+// Transport enumerates the RDMA transport types (Table 1).
+type Transport int
+
+const (
+	// RC is the reliable connection: all verbs, in-order, no loss.
+	RC Transport = iota
+	// UC is the unreliable connection: write and send/recv only.
+	UC
+	// UD is the unreliable datagram: send/recv only, 4 KB MTU,
+	// may drop packets.
+	UD
+)
+
+// String returns the conventional transport name.
+func (t Transport) String() string {
+	switch t {
+	case RC:
+		return "RC"
+	case UC:
+		return "UC"
+	case UD:
+		return "UD"
+	default:
+		return fmt.Sprintf("Transport(%d)", int(t))
+	}
+}
+
+// Opcode enumerates verb operations.
+type Opcode int
+
+const (
+	// OpSend is the two-sided send (consumes a receive WQE remotely).
+	OpSend Opcode = iota
+	// OpRecv marks receive completions.
+	OpRecv
+	// OpRead is the one-sided RDMA read.
+	OpRead
+	// OpWrite is the one-sided RDMA write.
+	OpWrite
+	// OpWriteImm is RDMA write-with-immediate: places data like OpWrite
+	// and additionally consumes a receive WQE remotely, delivering the
+	// 32-bit immediate in a receive completion. FLock's credit-renewal
+	// path (§7) uses it so the QP scheduler can poll a receive CQ without
+	// synchronizing with the request dispatchers.
+	OpWriteImm
+	// OpFetchAdd is the one-sided 64-bit atomic fetch-and-add.
+	OpFetchAdd
+	// OpCmpSwap is the one-sided 64-bit atomic compare-and-swap.
+	OpCmpSwap
+)
+
+// String returns the verb name.
+func (o Opcode) String() string {
+	switch o {
+	case OpSend:
+		return "send"
+	case OpRecv:
+		return "recv"
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpWriteImm:
+		return "write-imm"
+	case OpFetchAdd:
+		return "fetch-add"
+	case OpCmpSwap:
+		return "cmp-swap"
+	default:
+		return fmt.Sprintf("Opcode(%d)", int(o))
+	}
+}
+
+// Supports reports whether transport t can carry opcode o — the capability
+// matrix of Table 1. OpRecv is a completion-side opcode and is supported
+// wherever sends are.
+func (t Transport) Supports(o Opcode) bool {
+	switch t {
+	case RC:
+		return true
+	case UC:
+		return o == OpSend || o == OpRecv || o == OpWrite || o == OpWriteImm
+	case UD:
+		return o == OpSend || o == OpRecv
+	default:
+		return false
+	}
+}
+
+// Status is the completion status of a work request.
+type Status int
+
+const (
+	// StatusOK indicates success.
+	StatusOK Status = iota
+	// StatusRemoteAccess indicates an rkey/bounds/permission violation at
+	// the responder.
+	StatusRemoteAccess
+	// StatusRNRExceeded indicates the responder had no receive buffer and
+	// retries were exhausted (receiver-not-ready).
+	StatusRNRExceeded
+	// StatusQPError indicates the QP was in the error state.
+	StatusQPError
+	// StatusLenError indicates a receive buffer was too small for the
+	// incoming payload.
+	StatusLenError
+)
+
+// String returns a short status name.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusRemoteAccess:
+		return "remote-access-error"
+	case StatusRNRExceeded:
+		return "rnr-exceeded"
+	case StatusQPError:
+		return "qp-error"
+	case StatusLenError:
+		return "len-error"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Perm is a bitmask of remote-access permissions for a memory region.
+// Local read/write by the owning host is always allowed.
+type Perm int
+
+const (
+	// PermRemoteRead allows one-sided reads.
+	PermRemoteRead Perm = 1 << iota
+	// PermRemoteWrite allows one-sided writes (and write-imm).
+	PermRemoteWrite
+	// PermRemoteAtomic allows fetch-and-add and compare-and-swap.
+	PermRemoteAtomic
+)
+
+// Completion is a completion-queue entry.
+type Completion struct {
+	// WRID echoes the work request's identifier. FLock's memory-operation
+	// layer (§6) demultiplexes completions of different threads sharing a
+	// QP by WRID.
+	WRID uint64
+	// Status reports the outcome.
+	Status Status
+	// Opcode identifies the completed verb (OpRecv for inbound).
+	Opcode Opcode
+	// ByteLen is the payload length.
+	ByteLen int
+	// Imm carries the immediate value of a send/write-imm, valid when
+	// ImmValid.
+	Imm      uint32
+	ImmValid bool
+	// QPN is the local queue pair the completion belongs to.
+	QPN int
+	// SrcNode and SrcQPN identify the sender for UD receive completions.
+	SrcNode int
+	SrcQPN  int
+}

@@ -1,0 +1,129 @@
+package stats
+
+import "math"
+
+// Zipf generates Zipf-distributed values in [0, n) with skew parameter s,
+// using the rejection-inversion method of Hörmann (as in math/rand's Zipf,
+// reimplemented here so it runs on our deterministic RNG).
+//
+// Zipf is not safe for concurrent use.
+type Zipf struct {
+	rng              *RNG
+	n                uint64
+	s                float64
+	oneMinusS        float64
+	oneOverOneMinusS float64
+	hIntegralX1      float64
+	hIntegralN       float64
+	sDiv             float64
+}
+
+// NewZipf returns a Zipf generator over [0, n) with exponent s > 1 is not
+// required; any s >= 0, s != 1 works (s == 1 is nudged slightly).
+func NewZipf(rng *RNG, s float64, n uint64) *Zipf {
+	if n == 0 {
+		panic("stats: Zipf over empty domain")
+	}
+	if s == 1 {
+		s = 1.000001
+	}
+	z := &Zipf{rng: rng, n: n, s: s}
+	z.oneMinusS = 1 - s
+	z.oneOverOneMinusS = 1 / z.oneMinusS
+	z.hIntegralX1 = z.hIntegral(1.5) - 1
+	z.hIntegralN = z.hIntegral(float64(n) + 0.5)
+	z.sDiv = 2 - z.hIntegralInv(z.hIntegral(2.5)-z.h(2))
+	return z
+}
+
+func (z *Zipf) h(x float64) float64 {
+	return math.Exp(-z.s * math.Log(x))
+}
+
+func (z *Zipf) hIntegral(x float64) float64 {
+	logX := math.Log(x)
+	return helper2(z.oneMinusS*logX) * logX * z.h(x) * math.Pow(x, z.s)
+}
+
+func (z *Zipf) hIntegralInv(x float64) float64 {
+	t := x * z.oneMinusS
+	if t < -1 {
+		t = -1
+	}
+	return math.Exp(helper1(t) * x)
+}
+
+// helper1 computes log1p(x)/x with a stable series near zero.
+func helper1(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Log1p(x) / x
+	}
+	return 1 - x*(0.5-x*(1.0/3.0-0.25*x))
+}
+
+// helper2 computes expm1(x)/x with a stable series near zero.
+func helper2(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Expm1(x) / x
+	}
+	return 1 + x*0.5*(1+x*(1.0/3.0)*(1+0.25*x))
+}
+
+// Next returns the next Zipf-distributed value in [0, n). Rank 0 is the
+// most popular.
+func (z *Zipf) Next() uint64 {
+	for {
+		u := z.hIntegralN + z.rng.Float64()*(z.hIntegralX1-z.hIntegralN)
+		x := z.hIntegralInv(u)
+		k := math.Floor(x + 0.5)
+		if k < 1 {
+			k = 1
+		} else if k > float64(z.n) {
+			k = float64(z.n)
+		}
+		if k-x <= z.sDiv || u >= z.hIntegral(k+0.5)-z.h(k) {
+			return uint64(k) - 1
+		}
+	}
+}
+
+// HotSet draws keys such that hotFrac of the keyspace receives trafficFrac
+// of the accesses — the Smallbank skew in §8.5.2 is "4% of accounts are
+// accessed by 90% of transactions", i.e. HotSet{hotFrac: 0.04,
+// trafficFrac: 0.90}. Within the hot and cold regions keys are uniform.
+type HotSet struct {
+	rng         *RNG
+	n           uint64
+	hotKeys     uint64
+	trafficFrac float64
+}
+
+// NewHotSet builds a hot-set sampler over [0, n). hotFrac and trafficFrac
+// must be in (0, 1].
+func NewHotSet(rng *RNG, n uint64, hotFrac, trafficFrac float64) *HotSet {
+	if n == 0 {
+		panic("stats: HotSet over empty domain")
+	}
+	if hotFrac <= 0 || hotFrac > 1 || trafficFrac <= 0 || trafficFrac > 1 {
+		panic("stats: HotSet fractions must be in (0,1]")
+	}
+	hot := uint64(float64(n) * hotFrac)
+	if hot == 0 {
+		hot = 1
+	}
+	return &HotSet{rng: rng, n: n, hotKeys: hot, trafficFrac: trafficFrac}
+}
+
+// Next returns the next key. Keys [0, hotKeys) are the hot region.
+func (h *HotSet) Next() uint64 {
+	if h.rng.Float64() < h.trafficFrac {
+		return h.rng.Uint64n(h.hotKeys)
+	}
+	if h.hotKeys == h.n {
+		return h.rng.Uint64n(h.n)
+	}
+	return h.hotKeys + h.rng.Uint64n(h.n-h.hotKeys)
+}
+
+// HotKeys reports the size of the hot region.
+func (h *HotSet) HotKeys() uint64 { return h.hotKeys }

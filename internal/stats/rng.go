@@ -1,0 +1,98 @@
+// Package stats provides the measurement substrate shared by the FLock
+// library, the baselines, and the benchmark harness: deterministic random
+// number generation, latency histograms with percentile extraction,
+// streaming medians, and skewed key-distribution generators (Zipf, hot-set).
+//
+// Everything in this package is allocation-conscious: histograms and RNGs
+// are used on the per-request fast path of the simulators and benchmarks.
+package stats
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (xorshift128+). It is NOT safe for concurrent use; give each thread or
+// simulation actor its own instance seeded distinctly.
+//
+// The zero value is invalid; use NewRNG.
+type RNG struct {
+	s0, s1 uint64
+}
+
+// NewRNG returns a generator seeded from seed. Two generators with the same
+// seed produce identical streams, which the benchmark harness relies on for
+// reproducible figures.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator state. A zero seed is remapped to a fixed
+// non-zero constant because xorshift must not start at the all-zero state.
+func (r *RNG) Seed(seed uint64) {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	// SplitMix64 to spread the seed across both words.
+	z := seed
+	for i := 0; i < 2; i++ {
+		z += 0x9e3779b97f4a7c15
+		w := z
+		w = (w ^ (w >> 30)) * 0xbf58476d1ce4e5b9
+		w = (w ^ (w >> 27)) * 0x94d049bb133111eb
+		w ^= w >> 31
+		if i == 0 {
+			r.s0 = w
+		} else {
+			r.s1 = w
+		}
+	}
+	if r.s0 == 0 && r.s1 == 0 {
+		r.s1 = 1
+	}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	x, y := r.s0, r.s1
+	r.s0 = y
+	x ^= x << 23
+	x ^= x >> 17
+	x ^= y ^ (y >> 26)
+	r.s1 = x
+	return x + y
+}
+
+// Uint64n returns a uniform value in [0, n). n must be > 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("stats: Uint64n with n == 0")
+	}
+	// Lemire's multiply-shift rejection-free approximation is fine here:
+	// the bias for n << 2^64 is far below anything a benchmark can observe.
+	hi, _ := mul64(r.Uint64(), n)
+	return hi
+}
+
+// Intn returns a uniform value in [0, n). n must be > 0.
+func (r *RNG) Intn(n int) int {
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += x0 * y1
+	hi = x1*y1 + w2 + w1>>32
+	lo = x * y
+	return
+}

@@ -1,0 +1,196 @@
+package txn
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"flock/internal/kvstore"
+)
+
+// Registrar is the handler-registration surface both transports' servers
+// expose (core.Node and udrpc.Server).
+type Registrar interface {
+	RegisterHandler(rpcID uint32, fn func(req []byte) []byte)
+}
+
+// Server is one transaction server: primary for its own partition and
+// replica for Replication-1 neighbours. It is transport-neutral — wire it
+// to a FLock node or a UD server through Register.
+type Server struct {
+	cfg    Config
+	idx    int
+	stores map[int]*kvstore.Store // partition → store (primary or replica)
+
+	execs   atomic.Uint64
+	aborts  atomic.Uint64
+	commits atomic.Uint64
+	logs    atomic.Uint64
+}
+
+// NewServer builds server idx over the given per-partition arenas. arenas
+// must contain one Mem per partition this server hosts (its own plus the
+// partitions it replicates) — kvstore.ArenaSize(StoreCapacity, ValSize)
+// bytes each. The primary arena is the one remote validation reads, so
+// over FLock it should be an exported rnic.MemRegion.
+func NewServer(cfg Config, idx int, arenas map[int]kvstore.Mem) (*Server, error) {
+	cfg = cfg.WithDefaults()
+	s := &Server{cfg: cfg, idx: idx, stores: make(map[int]*kvstore.Store)}
+	for p, mem := range arenas {
+		if !cfg.HostsPartition(idx, p) {
+			return nil, fmt.Errorf("txn: server %d does not host partition %d", idx, p)
+		}
+		st, err := kvstore.New(mem, cfg.StoreCapacity, cfg.ValSize)
+		if err != nil {
+			return nil, err
+		}
+		s.stores[p] = st
+	}
+	if s.stores[idx] == nil {
+		return nil, fmt.Errorf("txn: server %d missing its primary arena", idx)
+	}
+	return s, nil
+}
+
+// Store returns the server's store for a partition (nil if not hosted).
+func (s *Server) Store(p int) *kvstore.Store { return s.stores[p] }
+
+// Stats reports (execs, commits, aborts, logs) handled.
+func (s *Server) Stats() (execs, commits, aborts, logs uint64) {
+	return s.execs.Load(), s.commits.Load(), s.aborts.Load(), s.logs.Load()
+}
+
+// Register binds the engine's five handlers on a transport server.
+func (s *Server) Register(r Registrar) {
+	r.RegisterHandler(RPCExec, s.handleExec)
+	r.RegisterHandler(RPCValidate, s.handleValidate)
+	r.RegisterHandler(RPCLog, s.handleLog)
+	r.RegisterHandler(RPCCommit, s.handleCommit)
+	r.RegisterHandler(RPCAbort, s.handleAbort)
+}
+
+// handleExec is the execution phase on the primary: lock the write set
+// (sorted, non-blocking — conflict aborts), read both sets, return values
+// + versions + version-word offsets for the read set.
+func (s *Server) handleExec(req []byte) []byte {
+	s.execs.Add(1)
+	reads, writes, err := decodeExecReq(req)
+	if err != nil {
+		return encodeExecResp(execLocked, nil, nil, s.cfg.ValSize)
+	}
+	st := s.stores[s.idx]
+
+	sorted := append([]uint64(nil), writes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	locked := sorted[:0]
+	for _, k := range sorted {
+		if err := st.Lock(k); err != nil {
+			for _, u := range locked {
+				st.Unlock(u, nil) //nolint:errcheck
+			}
+			s.aborts.Add(1)
+			return encodeExecResp(execLocked, nil, nil, s.cfg.ValSize)
+		}
+		locked = append(locked, k)
+	}
+
+	outReads := make([]execRead, 0, len(reads))
+	abort := func() []byte {
+		for _, u := range locked {
+			st.Unlock(u, nil) //nolint:errcheck
+		}
+		s.aborts.Add(1)
+		return encodeExecResp(execLocked, nil, nil, s.cfg.ValSize)
+	}
+	for _, k := range reads {
+		val := make([]byte, s.cfg.ValSize)
+		ver, err := st.Get(k, val)
+		if err != nil {
+			return abort()
+		}
+		off, err := st.VersionOffset(k)
+		if err != nil {
+			return abort()
+		}
+		outReads = append(outReads, execRead{verOff: uint64(off), version: ver, val: val})
+	}
+	writeVals := make([][]byte, 0, len(writes))
+	for _, k := range writes {
+		val := make([]byte, s.cfg.ValSize)
+		if err := st.GetLocked(k, val); err != nil {
+			return abort()
+		}
+		writeVals = append(writeVals, val)
+	}
+	return encodeExecResp(execOK, outReads, writeVals, s.cfg.ValSize)
+}
+
+// handleValidate re-reads version words for the read set — the RPC
+// fallback used by the UD (FaSST-style) transport where one-sided reads
+// are unavailable.
+func (s *Server) handleValidate(req []byte) []byte {
+	keys, err := decodeKeys(req)
+	if err != nil {
+		return nil
+	}
+	words := make([]uint64, len(keys))
+	st := s.stores[s.idx]
+	for i, k := range keys {
+		w, err := st.Version(k)
+		if err != nil {
+			w = ^uint64(0) // forces validation failure
+		}
+		words[i] = w
+	}
+	return encodeWords(words)
+}
+
+// handleLog applies logged updates on a replica (Figure 13's logging
+// phase); the returned byte is the ACK.
+func (s *Server) handleLog(req []byte) []byte {
+	p, keys, vals, err := decodeUpdates(req, s.cfg.ValSize)
+	if err != nil {
+		return []byte{0}
+	}
+	st := s.stores[p]
+	if st == nil {
+		return []byte{0}
+	}
+	for i, k := range keys {
+		if err := st.Apply(k, vals[i]); err != nil {
+			return []byte{0}
+		}
+	}
+	s.logs.Add(1)
+	return []byte{1}
+}
+
+// handleCommit installs new values and unlocks on the primary.
+func (s *Server) handleCommit(req []byte) []byte {
+	_, keys, vals, err := decodeUpdates(req, s.cfg.ValSize)
+	if err != nil {
+		return []byte{0}
+	}
+	st := s.stores[s.idx]
+	for i, k := range keys {
+		if err := st.Unlock(k, vals[i]); err != nil {
+			return []byte{0}
+		}
+	}
+	s.commits.Add(1)
+	return []byte{1}
+}
+
+// handleAbort unlocks the write set without applying.
+func (s *Server) handleAbort(req []byte) []byte {
+	keys, err := decodeKeys(req)
+	if err != nil {
+		return []byte{0}
+	}
+	st := s.stores[s.idx]
+	for _, k := range keys {
+		st.Unlock(k, nil) //nolint:errcheck // already-unlocked keys are fine on abort races
+	}
+	s.aborts.Add(1)
+	return []byte{1}
+}

@@ -1,0 +1,162 @@
+package txn
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"flock/internal/core"
+	"flock/internal/fabric"
+	"flock/internal/kvstore"
+)
+
+// PrimaryRegionName is the exported-region name under which each FLock
+// transaction server publishes its primary partition's arena, so
+// coordinators can validate read sets with one-sided reads.
+const PrimaryRegionName = "flocktx-primary"
+
+// FlockTransport runs the coordinator over FLock connection handles: RPCs
+// ride the coalescing RPC layer, and validation uses fl_read against the
+// exported primary arenas (the full FLockTX configuration of §8.5).
+//
+// One FlockTransport serves one coordinator thread.
+type FlockTransport struct {
+	threads []*core.Thread       // one per server
+	regions []*core.RemoteRegion // exported primary arenas
+}
+
+// NewFlockServerNode provisions the server side: it exports the primary
+// arena plus replica arenas on the FLock node, builds the txn.Server, and
+// registers its handlers. Call before clients connect.
+func NewFlockServerNode(node *core.Node, cfg Config, idx int) (*Server, error) {
+	cfg = cfg.WithDefaults()
+	arenas := make(map[int]kvstore.Mem)
+	size := kvstore.ArenaSize(cfg.StoreCapacity, cfg.ValSize)
+	primary, err := node.ExportMR(PrimaryRegionName, size)
+	if err != nil {
+		return nil, err
+	}
+	arenas[idx] = primary
+	for p := 0; p < cfg.Servers; p++ {
+		if p != idx && cfg.HostsPartition(idx, p) {
+			mr, err := node.ExportMR(fmt.Sprintf("flocktx-replica-%d", p), size)
+			if err != nil {
+				return nil, err
+			}
+			arenas[p] = mr
+		}
+	}
+	srv, err := NewServer(cfg, idx, arenas)
+	if err != nil {
+		return nil, err
+	}
+	srv.Register(registrarFunc(node.RegisterHandler))
+	return srv, nil
+}
+
+// registrarFunc adapts a RegisterHandler method with a concrete handler
+// type to the engine's Registrar interface.
+type registrarFunc func(uint32, core.Handler)
+
+func (f registrarFunc) RegisterHandler(rpcID uint32, fn func([]byte) []byte) {
+	f(rpcID, fn)
+}
+
+// NewFlockTransport connects a client node to every server node and
+// attaches their primary arenas. serverIDs[i] must be the fabric address
+// of txn server i.
+func NewFlockTransport(client *core.Node, serverIDs []fabric.NodeID) (*FlockTransport, error) {
+	t := &FlockTransport{}
+	for _, id := range serverIDs {
+		conn, err := client.Connect(id)
+		if err != nil {
+			return nil, err
+		}
+		th := conn.RegisterThread()
+		region, err := conn.AttachNamed(PrimaryRegionName)
+		if err != nil {
+			return nil, err
+		}
+		t.threads = append(t.threads, th)
+		t.regions = append(t.regions, region)
+	}
+	return t, nil
+}
+
+// NewFlockTransportShared builds a transport from already-connected
+// connection handles (one per server, in server order); each coordinator
+// thread registers its own Thread on the shared connections, which is the
+// multi-threaded-client shape the paper evaluates.
+func NewFlockTransportShared(conns []*core.Conn) (*FlockTransport, error) {
+	t := &FlockTransport{}
+	for _, conn := range conns {
+		th := conn.RegisterThread()
+		region, err := conn.AttachNamed(PrimaryRegionName)
+		if err != nil {
+			return nil, err
+		}
+		t.threads = append(t.threads, th)
+		t.regions = append(t.regions, region)
+	}
+	return t, nil
+}
+
+// CallMulti pipelines the requests: send all, then collect all, matching
+// responses by sequence ID.
+func (t *FlockTransport) CallMulti(servers []int, rpcID uint32, reqs [][]byte) ([][]byte, error) {
+	type slot struct {
+		server int
+		seq    uint64
+	}
+	slots := make([]slot, len(servers))
+	for i, s := range servers {
+		seq, err := t.threads[s].SendRPC(rpcID, reqs[i])
+		if err != nil {
+			return nil, err
+		}
+		slots[i] = slot{server: s, seq: seq}
+	}
+	// Stash responses that complete out of order (two requests to the
+	// same server in one phase may resolve in either order).
+	type key struct {
+		server int
+		seq    uint64
+	}
+	stash := make(map[key]core.Response)
+	out := make([][]byte, len(servers))
+	for i, sl := range slots {
+		k := key{sl.server, sl.seq}
+		r, hit := stash[k]
+		for !hit {
+			var err error
+			r, err = t.threads[sl.server].RecvRes()
+			if err != nil {
+				return nil, err
+			}
+			if r.Seq == sl.seq {
+				break
+			}
+			stash[key{sl.server, r.Seq}] = r
+		}
+		delete(stash, k)
+		if r.Status != core.StatusOK {
+			return nil, fmt.Errorf("txn: rpc %d failed with status %d", rpcID, r.Status)
+		}
+		out[i] = r.Data
+	}
+	return out, nil
+}
+
+// ReadWord validates with a one-sided read of the primary arena.
+func (t *FlockTransport) ReadWord(server, off int) (uint64, bool, error) {
+	var buf [8]byte
+	if err := t.threads[server].Read(t.regions[server], off, buf[:]); err != nil {
+		return 0, true, err
+	}
+	return binary.LittleEndian.Uint64(buf[:]), true, nil
+}
+
+// Threads exposes the per-server FLock threads (benchmarks inspect them).
+func (t *FlockTransport) Threads() []*core.Thread { return t.threads }
+
+// assert the interface is satisfied.
+var _ Transport = (*FlockTransport)(nil)

@@ -1,0 +1,116 @@
+package txn
+
+import (
+	"flock/internal/baseline/udrpc"
+	"flock/internal/kvstore"
+	"flock/internal/rnic"
+)
+
+// UDTransport runs the coordinator over the UD RPC baseline — the
+// FaSST-style configuration of §8.5.2. UD has no one-sided verbs
+// (Table 1), so ReadWord reports unsupported and the coordinator falls
+// back to validation RPCs, exactly the extra round trips FaSST pays.
+type UDTransport struct {
+	threads []*udrpc.ClientThread // one per server
+}
+
+// NewUDServer provisions the server side over a UD RPC server: plain
+// process-local arenas (no RDMA registration needed — nothing reads them
+// one-sided) and handler registration.
+func NewUDServer(usrv *udrpc.Server, cfg Config, idx int) (*Server, error) {
+	cfg = cfg.WithDefaults()
+	arenas := make(map[int]kvstore.Mem)
+	size := kvstore.ArenaSize(cfg.StoreCapacity, cfg.ValSize)
+	for p := 0; p < cfg.Servers; p++ {
+		if cfg.HostsPartition(idx, p) {
+			arenas[p] = kvstore.NewMem(size)
+		}
+	}
+	srv, err := NewServer(cfg, idx, arenas)
+	if err != nil {
+		return nil, err
+	}
+	srv.Register(udRegistrar{usrv})
+	return srv, nil
+}
+
+// udRegistrar adapts udrpc.Server to the engine's Registrar.
+type udRegistrar struct{ s *udrpc.Server }
+
+func (r udRegistrar) RegisterHandler(rpcID uint32, fn func([]byte) []byte) {
+	r.s.RegisterHandler(rpcID, udrpc.Handler(fn))
+}
+
+// NewUDTransport builds the client side: one UD client thread per server.
+// servers[i] is txn server i's UD endpoint; the thread hashes onto one of
+// its QPs, as FaSST pins client threads to server threads.
+func NewUDTransport(dev *rnic.Device, cfg udrpc.Config, servers []*udrpc.Server, threadIdx int) (*UDTransport, error) {
+	t := &UDTransport{}
+	for _, s := range servers {
+		qpns := s.QPNs()
+		ct, err := udrpc.NewClientThread(dev, cfg, int(s.Node()), qpns[threadIdx%len(qpns)])
+		if err != nil {
+			return nil, err
+		}
+		t.threads = append(t.threads, ct)
+	}
+	return t, nil
+}
+
+// CallMulti pipelines over the datagram clients.
+func (t *UDTransport) CallMulti(servers []int, rpcID uint32, reqs [][]byte) ([][]byte, error) {
+	type slot struct {
+		server int
+		seq    uint32
+	}
+	slots := make([]slot, len(servers))
+	for i, s := range servers {
+		seq, err := t.threads[s].Send(rpcID, reqs[i])
+		if err != nil {
+			return nil, err
+		}
+		slots[i] = slot{server: s, seq: seq}
+	}
+	// Stash out-of-order completions: under loss and retransmission a
+	// later request's response can land first.
+	type key struct {
+		server int
+		seq    uint32
+	}
+	stash := make(map[key][]byte)
+	out := make([][]byte, len(servers))
+	for i, sl := range slots {
+		k := key{sl.server, sl.seq}
+		data, hit := stash[k]
+		for !hit {
+			r, err := t.threads[sl.server].Recv()
+			if err != nil {
+				return nil, err
+			}
+			if r.Seq == sl.seq {
+				data = r.Data
+				break
+			}
+			stash[key{sl.server, r.Seq}] = r.Data
+		}
+		delete(stash, k)
+		out[i] = data
+	}
+	return out, nil
+}
+
+// ReadWord is unsupported over UD; the coordinator validates by RPC.
+func (t *UDTransport) ReadWord(server, off int) (uint64, bool, error) {
+	return 0, false, nil
+}
+
+// Retransmits sums software-reliability retransmissions across servers.
+func (t *UDTransport) Retransmits() uint64 {
+	var n uint64
+	for _, th := range t.threads {
+		n += th.Retransmits()
+	}
+	return n
+}
+
+var _ Transport = (*UDTransport)(nil)

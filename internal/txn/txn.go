@@ -1,0 +1,285 @@
+// Package txn implements FLockTX (§8.5 of the FLock paper): a distributed
+// transaction processing system with optimistic concurrency control,
+// two-phase commit, and primary-backup replication over a partitioned
+// key-value store (internal/kvstore). The protocol follows Figure 13:
+//
+//  1. Execution: the coordinator sends per-partition RPCs; each primary
+//     locks the write-set keys (abort on conflict) and returns values,
+//     versions, and — for read-set keys — the arena offset of the
+//     version word.
+//  2. Validation: the coordinator re-checks read-set versions. Over FLock
+//     this is a one-sided RDMA read (fl_read) of the version word; over
+//     the UD baseline (FaSST-style) it is an RPC, since UD has no
+//     one-sided verbs (Table 1).
+//  3. Logging: write-set updates go to every replica of each written
+//     partition; replicas ACK after applying.
+//  4. Commit: primaries apply the new values and unlock. Aborts unlock
+//     without applying.
+//
+// The engine is transport-agnostic: Transport abstracts pipelined RPCs
+// plus the optional one-sided word read, with implementations over FLock
+// (transport_flock.go) and over the UD RPC baseline (transport_ud.go) so
+// the §8.5 comparison runs both sides on identical logic.
+package txn
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// RPC handler IDs used by the engine.
+const (
+	RPCExec uint32 = 100 + iota
+	RPCValidate
+	RPCLog
+	RPCCommit
+	RPCAbort
+)
+
+// Exec response status.
+const (
+	execOK     = 0
+	execLocked = 1
+)
+
+// Errors.
+var (
+	// ErrAborted reports an OCC conflict; the transaction may be retried.
+	ErrAborted = errors.New("txn: aborted (conflict)")
+	errDecode  = errors.New("txn: malformed message")
+)
+
+// Config fixes the cluster geometry.
+type Config struct {
+	// Servers is the number of partitions (one primary each).
+	Servers int
+	// Replication is the copy count including the primary; the paper
+	// uses 3-way. Capped at Servers.
+	Replication int
+	// StoreCapacity is the slot count per partition store.
+	StoreCapacity int
+	// ValSize is the value size in bytes; 8 covers both benchmarks.
+	ValSize int
+}
+
+// WithDefaults fills zero fields.
+func (c Config) WithDefaults() Config {
+	if c.Servers <= 0 {
+		c.Servers = 1
+	}
+	if c.Replication <= 0 {
+		c.Replication = 3
+	}
+	if c.Replication > c.Servers {
+		c.Replication = c.Servers
+	}
+	if c.StoreCapacity <= 0 {
+		c.StoreCapacity = 1 << 16
+	}
+	if c.ValSize <= 0 {
+		c.ValSize = 8
+	}
+	return c
+}
+
+// PartitionOf maps a key to its partition (= primary server index).
+func (c Config) PartitionOf(key uint64) int {
+	return int(key % uint64(c.Servers))
+}
+
+// ReplicasOf lists the replica servers (excluding the primary) of a
+// partition.
+func (c Config) ReplicasOf(p int) []int {
+	out := make([]int, 0, c.Replication-1)
+	for i := 1; i < c.Replication; i++ {
+		out = append(out, (p+i)%c.Servers)
+	}
+	return out
+}
+
+// HostsPartition reports whether server s stores partition p (as primary
+// or replica).
+func (c Config) HostsPartition(s, p int) bool {
+	if s == p {
+		return true
+	}
+	for _, r := range c.ReplicasOf(p) {
+		if r == s {
+			return true
+		}
+	}
+	return false
+}
+
+// --- Wire encoding -------------------------------------------------------
+//
+// All engine messages are little-endian with uvarint-free fixed layouts so
+// the two transports ship identical bytes.
+
+// execReq: u32 nReads, u32 nWrites, reads..., writes... (u64 keys).
+func encodeExecReq(reads, writes []uint64) []byte {
+	b := make([]byte, 8+8*(len(reads)+len(writes)))
+	binary.LittleEndian.PutUint32(b[0:], uint32(len(reads)))
+	binary.LittleEndian.PutUint32(b[4:], uint32(len(writes)))
+	off := 8
+	for _, k := range append(append([]uint64{}, reads...), writes...) {
+		binary.LittleEndian.PutUint64(b[off:], k)
+		off += 8
+	}
+	return b
+}
+
+func decodeExecReq(b []byte) (reads, writes []uint64, err error) {
+	if len(b) < 8 {
+		return nil, nil, errDecode
+	}
+	nr := int(binary.LittleEndian.Uint32(b[0:]))
+	nw := int(binary.LittleEndian.Uint32(b[4:]))
+	if len(b) != 8+8*(nr+nw) {
+		return nil, nil, errDecode
+	}
+	off := 8
+	for i := 0; i < nr; i++ {
+		reads = append(reads, binary.LittleEndian.Uint64(b[off:]))
+		off += 8
+	}
+	for i := 0; i < nw; i++ {
+		writes = append(writes, binary.LittleEndian.Uint64(b[off:]))
+		off += 8
+	}
+	return reads, writes, nil
+}
+
+// execResp: u32 status, then per read key {u64 verOff, u64 version,
+// val[ValSize]}, then per write key {val[ValSize]}.
+type execRead struct {
+	verOff  uint64
+	version uint64
+	val     []byte
+}
+
+func encodeExecResp(status uint32, reads []execRead, writeVals [][]byte, valSize int) []byte {
+	n := 4 + len(reads)*(16+valSize) + len(writeVals)*valSize
+	b := make([]byte, n)
+	binary.LittleEndian.PutUint32(b[0:], status)
+	off := 4
+	for _, r := range reads {
+		binary.LittleEndian.PutUint64(b[off:], r.verOff)
+		binary.LittleEndian.PutUint64(b[off+8:], r.version)
+		copy(b[off+16:off+16+valSize], r.val)
+		off += 16 + valSize
+	}
+	for _, v := range writeVals {
+		copy(b[off:off+valSize], v)
+		off += valSize
+	}
+	return b
+}
+
+func decodeExecResp(b []byte, nReads, nWrites, valSize int) (status uint32, reads []execRead, writeVals [][]byte, err error) {
+	if len(b) < 4 {
+		return 0, nil, nil, errDecode
+	}
+	status = binary.LittleEndian.Uint32(b[0:])
+	if status != execOK {
+		return status, nil, nil, nil
+	}
+	want := 4 + nReads*(16+valSize) + nWrites*valSize
+	if len(b) != want {
+		return 0, nil, nil, fmt.Errorf("%w: exec resp %d != %d", errDecode, len(b), want)
+	}
+	off := 4
+	for i := 0; i < nReads; i++ {
+		r := execRead{
+			verOff:  binary.LittleEndian.Uint64(b[off:]),
+			version: binary.LittleEndian.Uint64(b[off+8:]),
+			val:     append([]byte(nil), b[off+16:off+16+valSize]...),
+		}
+		reads = append(reads, r)
+		off += 16 + valSize
+	}
+	for i := 0; i < nWrites; i++ {
+		writeVals = append(writeVals, append([]byte(nil), b[off:off+valSize]...))
+		off += valSize
+	}
+	return status, reads, writeVals, nil
+}
+
+// keysMsg: u32 count, u64 keys... (validate and abort requests).
+func encodeKeys(keys []uint64) []byte {
+	b := make([]byte, 4+8*len(keys))
+	binary.LittleEndian.PutUint32(b[0:], uint32(len(keys)))
+	for i, k := range keys {
+		binary.LittleEndian.PutUint64(b[4+8*i:], k)
+	}
+	return b
+}
+
+func decodeKeys(b []byte) ([]uint64, error) {
+	if len(b) < 4 {
+		return nil, errDecode
+	}
+	n := int(binary.LittleEndian.Uint32(b[0:]))
+	if len(b) != 4+8*n {
+		return nil, errDecode
+	}
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = binary.LittleEndian.Uint64(b[4+8*i:])
+	}
+	return keys, nil
+}
+
+// wordsMsg: u64 words... (validate response).
+func encodeWords(words []uint64) []byte {
+	b := make([]byte, 8*len(words))
+	for i, w := range words {
+		binary.LittleEndian.PutUint64(b[8*i:], w)
+	}
+	return b
+}
+
+func decodeWords(b []byte, n int) ([]uint64, error) {
+	if len(b) != 8*n {
+		return nil, errDecode
+	}
+	words := make([]uint64, n)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(b[8*i:])
+	}
+	return words, nil
+}
+
+// updatesMsg: u32 partition, u32 count, {u64 key, val[ValSize]}...
+// (log and commit requests).
+func encodeUpdates(partition int, keys []uint64, vals [][]byte, valSize int) []byte {
+	b := make([]byte, 8+len(keys)*(8+valSize))
+	binary.LittleEndian.PutUint32(b[0:], uint32(partition))
+	binary.LittleEndian.PutUint32(b[4:], uint32(len(keys)))
+	off := 8
+	for i, k := range keys {
+		binary.LittleEndian.PutUint64(b[off:], k)
+		copy(b[off+8:off+8+valSize], vals[i])
+		off += 8 + valSize
+	}
+	return b
+}
+
+func decodeUpdates(b []byte, valSize int) (partition int, keys []uint64, vals [][]byte, err error) {
+	if len(b) < 8 {
+		return 0, nil, nil, errDecode
+	}
+	partition = int(binary.LittleEndian.Uint32(b[0:]))
+	n := int(binary.LittleEndian.Uint32(b[4:]))
+	if len(b) != 8+n*(8+valSize) {
+		return 0, nil, nil, errDecode
+	}
+	off := 8
+	for i := 0; i < n; i++ {
+		keys = append(keys, binary.LittleEndian.Uint64(b[off:]))
+		vals = append(vals, append([]byte(nil), b[off+8:off+8+valSize]...))
+		off += 8 + valSize
+	}
+	return partition, keys, vals, nil
+}

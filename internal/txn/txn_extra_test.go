@@ -1,0 +1,142 @@
+package txn
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+
+	"flock/internal/baseline/udrpc"
+	"flock/internal/fabric"
+	"flock/internal/workload"
+)
+
+// Additional engine coverage: the UD transport with the §9 coalescing
+// extension, read-validation under concurrent writers, and workload-level
+// integration.
+
+func TestUDTxnWithCoalescedResponses(t *testing.T) {
+	uc := newUDCluster(t, Config{Servers: 3, StoreCapacity: 1 << 10}, fabric.Config{})
+	// Replace transports with coalescing-enabled clients.
+	loadCluster(t, uc.cfg, uc.servers, keyRange(24), 5)
+	tr, err := NewUDTransport(uc.cdev, udrpc.Config{CoalesceResponses: true}, uc.usrvs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := NewCoordinator(uc.cfg, tr)
+	for i := 0; i < 100; i++ {
+		txn := workload.Txn{Reads: []uint64{uint64(i % 24)}, Writes: []uint64{uint64((i + 3) % 24)}, Delta: 1}
+		if _, err := co.RunRetry(&txn, 50); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if co.Commits != 100 {
+		t.Fatalf("commits = %d", co.Commits)
+	}
+}
+
+func TestReadersSeeConsistentSnapshots(t *testing.T) {
+	// A writer moves one unit at a time between two keys on different
+	// partitions using separate transactions (-1 from key 0, then +1 to
+	// key 1); concurrent read-only transactions snapshot both keys. OCC
+	// validation guarantees no reader observes a torn write-transaction;
+	// after all moves complete, the pair sum is exactly preserved.
+	fc := newFlockCluster(t, Config{Servers: 3, StoreCapacity: 1 << 10})
+	const pairSum = 1000
+	loadCluster(t, fc.cfg, fc.servers, []uint64{0}, pairSum)
+	loadCluster(t, fc.cfg, fc.servers, []uint64{1}, 0)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // writer: 100 move pairs
+		defer wg.Done()
+		tr, err := NewFlockTransport(fc.client, fc.serverIDs)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		co := NewCoordinator(fc.cfg, tr)
+		for i := 0; i < 100; i++ {
+			down := workload.Txn{Writes: []uint64{0}, Delta: ^uint64(0)} // -1
+			up := workload.Txn{Writes: []uint64{1}, Delta: 1}
+			if _, err := co.RunRetry(&down, 200); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := co.RunRetry(&up, 200); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() { // readers: snapshot both keys transactionally
+			defer wg.Done()
+			tr, err := NewFlockTransport(fc.client, fc.serverIDs)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			co := NewCoordinator(fc.cfg, tr)
+			for i := 0; i < 150; i++ {
+				ro := workload.Txn{Reads: []uint64{0, 1}}
+				if _, err := co.RunRetry(&ro, 500); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	var v0, v1 [8]byte
+	fc.servers[0].Store(0).Get(0, v0[:])                     //nolint:errcheck
+	fc.servers[fc.cfg.PartitionOf(1)].Store(1).Get(1, v1[:]) //nolint:errcheck
+	sum := binary.LittleEndian.Uint64(v0[:]) + binary.LittleEndian.Uint64(v1[:])
+	if sum != pairSum {
+		t.Fatalf("pair sum %d, want %d", sum, pairSum)
+	}
+	if got := binary.LittleEndian.Uint64(v1[:]); got != 100 {
+		t.Fatalf("key 1 = %d, want 100", got)
+	}
+}
+
+func TestTATPOverUD(t *testing.T) {
+	uc := newUDCluster(t, Config{Servers: 3, StoreCapacity: 1 << 12}, fabric.Config{})
+	loadCluster(t, uc.cfg, uc.servers, keyRange(1000), 1)
+	tr, err := NewUDTransport(uc.cdev, udrpc.Config{}, uc.usrvs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := NewCoordinator(uc.cfg, tr)
+	gen := workload.NewTATP(13, 1000)
+	commits := 0
+	for i := 0; i < 200; i++ {
+		txn := gen.Next()
+		if _, err := co.RunRetry(&txn, 30); err != nil {
+			t.Fatal(err)
+		}
+		commits++
+	}
+	if commits != 200 {
+		t.Fatalf("commits = %d", commits)
+	}
+}
+
+func TestSingleServerDegenerateCluster(t *testing.T) {
+	// Servers=1 with Replication clamped to 1: no logging phase at all.
+	fc := newFlockCluster(t, Config{Servers: 1, Replication: 3, StoreCapacity: 1 << 8})
+	if fc.cfg.Replication != 1 {
+		t.Fatalf("replication not clamped: %d", fc.cfg.Replication)
+	}
+	loadCluster(t, fc.cfg, fc.servers, keyRange(8), 0)
+	co := fc.coordinator(t)
+	w := workload.Txn{Reads: []uint64{1}, Writes: []uint64{2}, Delta: 9}
+	if err := co.Run(&w); err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, logs := fc.servers[0].Stats()
+	if logs != 0 {
+		t.Fatalf("replication-1 cluster logged %d records", logs)
+	}
+}

@@ -1,0 +1,225 @@
+// Package workload generates the transaction mixes of the FLockTX
+// evaluation (§8.5): TATP, the read-intensive telecom benchmark (70 %
+// single-key reads, 10 % multi-key reads, 20 % updates), and Smallbank,
+// the write-intensive banking benchmark (85 % of transactions update
+// keys; 4 % of the accounts receive 90 % of the traffic). It also provides
+// the synthetic RPC size mixes of §8.2/§8.3.
+//
+// Generators are deterministic for a given seed and are not safe for
+// concurrent use; give each client thread its own.
+package workload
+
+import (
+	"flock/internal/stats"
+)
+
+// TxnKind classifies a generated transaction for accounting.
+type TxnKind int
+
+// Transaction kinds across both benchmarks.
+const (
+	// TATP (the paper runs the standard mix; names follow the benchmark).
+	TATPGetSubscriberData TxnKind = iota // single-key read (35%... see mix)
+	TATPGetNewDestination                // multi-key read
+	TATPGetAccessData                    // single-key read
+	TATPUpdateSubscriber                 // single-key update
+	TATPUpdateLocation                   // single-key update
+	// Smallbank.
+	SBBalance         // read-only: checking + savings
+	SBDepositChecking // update checking
+	SBTransactSavings // update savings
+	SBAmalgamate      // move both balances of A to checking of B
+	SBWriteCheck      // read both, update checking
+	SBSendPayment     // move between two checkings
+)
+
+// String names the transaction kind.
+func (k TxnKind) String() string {
+	switch k {
+	case TATPGetSubscriberData:
+		return "tatp.get-subscriber-data"
+	case TATPGetNewDestination:
+		return "tatp.get-new-destination"
+	case TATPGetAccessData:
+		return "tatp.get-access-data"
+	case TATPUpdateSubscriber:
+		return "tatp.update-subscriber"
+	case TATPUpdateLocation:
+		return "tatp.update-location"
+	case SBBalance:
+		return "smallbank.balance"
+	case SBDepositChecking:
+		return "smallbank.deposit-checking"
+	case SBTransactSavings:
+		return "smallbank.transact-savings"
+	case SBAmalgamate:
+		return "smallbank.amalgamate"
+	case SBWriteCheck:
+		return "smallbank.write-check"
+	case SBSendPayment:
+		return "smallbank.send-payment"
+	default:
+		return "unknown"
+	}
+}
+
+// Txn is one generated transaction: the keys it reads and the keys it
+// writes (writes are read-modify-write; the execution engine reads them
+// too). Apply computes the new write-set values from the current values
+// of reads ∪ writes, in that order; nil Apply writes Delta-filled values.
+type Txn struct {
+	Kind   TxnKind
+	Reads  []uint64
+	Writes []uint64
+	// Delta parameterizes the update (deposit amount etc.); the engines
+	// fold it into written values so runs are deterministic.
+	Delta uint64
+}
+
+// ReadOnly reports whether the transaction has an empty write set.
+func (t *Txn) ReadOnly() bool { return len(t.Writes) == 0 }
+
+// TATP generates the TATP mix over nSubscribers per partition across
+// nPartitions; keys are globally partitioned as key % nPartitions →
+// partition (matching the engines' placement).
+type TATP struct {
+	rng         *stats.RNG
+	subscribers uint64
+}
+
+// NewTATP creates a generator over the given total subscriber count (the
+// paper uses one million per server).
+func NewTATP(seed, subscribers uint64) *TATP {
+	return &TATP{rng: stats.NewRNG(seed), subscribers: subscribers}
+}
+
+// Next draws one transaction. Mix per the TATP spec as the paper
+// summarizes it: 70 % single-key reads, 10 % multi-key reads, 20 %
+// updates.
+func (g *TATP) Next() Txn {
+	sub := g.rng.Uint64n(g.subscribers)
+	switch p := g.rng.Uint64n(100); {
+	case p < 35:
+		return Txn{Kind: TATPGetSubscriberData, Reads: []uint64{sub}}
+	case p < 70:
+		return Txn{Kind: TATPGetAccessData, Reads: []uint64{sub}}
+	case p < 80:
+		// Multi-key read: subscriber, special facility, call forwarding.
+		k2 := g.rng.Uint64n(g.subscribers)
+		k3 := g.rng.Uint64n(g.subscribers)
+		return Txn{Kind: TATPGetNewDestination, Reads: dedup(sub, k2, k3)}
+	case p < 94:
+		return Txn{Kind: TATPUpdateLocation, Writes: []uint64{sub}, Delta: g.rng.Uint64n(1 << 16)}
+	default:
+		return Txn{Kind: TATPUpdateSubscriber, Writes: []uint64{sub}, Delta: g.rng.Uint64n(1 << 16)}
+	}
+}
+
+// Smallbank generates the Smallbank mix over nAccounts. Each account has
+// two keys: checking (2·acct) and savings (2·acct+1). The paper's skew:
+// 4 % of accounts get 90 % of the traffic.
+type Smallbank struct {
+	rng      *stats.RNG
+	hot      *stats.HotSet
+	accounts uint64
+}
+
+// NewSmallbank creates a generator over nAccounts with the paper's
+// hot-set skew.
+func NewSmallbank(seed, nAccounts uint64) *Smallbank {
+	rng := stats.NewRNG(seed)
+	return &Smallbank{
+		rng:      rng,
+		hot:      stats.NewHotSet(rng, nAccounts, 0.04, 0.90),
+		accounts: nAccounts,
+	}
+}
+
+// CheckingKey and SavingsKey map an account to its two keys.
+func CheckingKey(acct uint64) uint64 { return acct * 2 }
+
+// SavingsKey maps an account to its savings key.
+func SavingsKey(acct uint64) uint64 { return acct*2 + 1 }
+
+// Next draws one transaction. The standard Smallbank mix is uniform over
+// six transaction types, five of which write — ~85 % write transactions
+// when weighted as in the paper's summary.
+func (g *Smallbank) Next() Txn {
+	a := g.hot.Next()
+	amount := g.rng.Uint64n(100) + 1
+	switch g.rng.Uint64n(100) {
+	case 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14: // 15% balance (read-only)
+		return Txn{Kind: SBBalance, Reads: []uint64{CheckingKey(a), SavingsKey(a)}}
+	default:
+	}
+	switch g.rng.Uint64n(5) {
+	case 0:
+		return Txn{Kind: SBDepositChecking, Writes: []uint64{CheckingKey(a)}, Delta: amount}
+	case 1:
+		return Txn{Kind: SBTransactSavings, Writes: []uint64{SavingsKey(a)}, Delta: amount}
+	case 2:
+		b := g.hot.Next()
+		if b == a {
+			b = (a + 1) % g.accounts
+		}
+		return Txn{
+			Kind:   SBAmalgamate,
+			Writes: []uint64{CheckingKey(a), SavingsKey(a), CheckingKey(b)},
+			Delta:  amount,
+		}
+	case 3:
+		return Txn{
+			Kind:   SBWriteCheck,
+			Reads:  []uint64{SavingsKey(a)},
+			Writes: []uint64{CheckingKey(a)},
+			Delta:  amount,
+		}
+	default:
+		b := g.hot.Next()
+		if b == a {
+			b = (a + 1) % g.accounts
+		}
+		return Txn{
+			Kind:   SBSendPayment,
+			Writes: []uint64{CheckingKey(a), CheckingKey(b)},
+			Delta:  amount,
+		}
+	}
+}
+
+// dedup returns the distinct keys among the arguments, order-preserving.
+func dedup(keys ...uint64) []uint64 {
+	out := keys[:0]
+	for i, k := range keys {
+		seen := false
+		for j := 0; j < i; j++ {
+			if keys[j] == k {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// SizeMix draws request payload sizes for the §8.3.2 experiment: 90 % of
+// threads issue small requests, 10 % issue large ones.
+type SizeMix struct {
+	// Small and Large are the two payload sizes.
+	Small, Large int
+	// LargeFrac is the fraction of threads issuing Large requests.
+	LargeFrac float64
+}
+
+// SizeForThread deterministically assigns a payload size to a thread
+// index, giving the first ⌈LargeFrac·n⌉ threads the large size.
+func (m SizeMix) SizeForThread(thread, totalThreads int) int {
+	largeThreads := int(m.LargeFrac*float64(totalThreads) + 0.5)
+	if thread < largeThreads {
+		return m.Large
+	}
+	return m.Small
+}

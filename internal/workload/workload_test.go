@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestTATPMix(t *testing.T) {
+	g := NewTATP(1, 1_000_000)
+	const n = 100_000
+	var singleReads, multiReads, updates int
+	kinds := map[TxnKind]int{}
+	for i := 0; i < n; i++ {
+		txn := g.Next()
+		kinds[txn.Kind]++
+		switch {
+		case txn.ReadOnly() && len(txn.Reads) == 1:
+			singleReads++
+		case txn.ReadOnly():
+			multiReads++
+		default:
+			updates++
+		}
+		for _, k := range append(txn.Reads, txn.Writes...) {
+			if k >= 1_000_000 {
+				t.Fatalf("key %d out of range", k)
+			}
+		}
+	}
+	// Paper: 70% single-key reads, 10% multi-key reads, 20% updates.
+	check := func(name string, got int, want float64) {
+		frac := float64(got) / n
+		if frac < want-0.02 || frac > want+0.02 {
+			t.Errorf("%s fraction %.3f, want ~%.2f", name, frac, want)
+		}
+	}
+	check("single-read", singleReads, 0.70)
+	// Multi-key reads occasionally dedup to one key; allow wider band.
+	if frac := float64(multiReads) / n; frac < 0.07 || frac > 0.11 {
+		t.Errorf("multi-read fraction %.3f, want ~0.10", frac)
+	}
+	check("update", updates, 0.20)
+	for k, c := range kinds {
+		if c == 0 {
+			t.Errorf("kind %v never generated", k)
+		}
+	}
+}
+
+func TestTATPDeterminism(t *testing.T) {
+	a, b := NewTATP(42, 1000), NewTATP(42, 1000)
+	for i := 0; i < 1000; i++ {
+		x, y := a.Next(), b.Next()
+		if x.Kind != y.Kind || len(x.Reads) != len(y.Reads) || len(x.Writes) != len(y.Writes) {
+			t.Fatalf("divergence at %d", i)
+		}
+	}
+}
+
+func TestSmallbankMix(t *testing.T) {
+	g := NewSmallbank(2, 100_000)
+	const n = 100_000
+	writes := 0
+	kinds := map[TxnKind]int{}
+	hotAccesses, total := 0, 0
+	for i := 0; i < n; i++ {
+		txn := g.Next()
+		kinds[txn.Kind]++
+		if !txn.ReadOnly() {
+			writes++
+		}
+		for _, k := range append(txn.Reads, txn.Writes...) {
+			total++
+			if k/2 < 4000 { // hot region: 4% of 100k accounts
+				hotAccesses++
+			}
+		}
+	}
+	// Paper: 85% of transactions update keys.
+	if frac := float64(writes) / n; frac < 0.82 || frac > 0.88 {
+		t.Errorf("write fraction %.3f, want ~0.85", frac)
+	}
+	// Paper: 4% of accounts receive 90% of accesses.
+	if frac := float64(hotAccesses) / float64(total); frac < 0.85 || frac > 0.95 {
+		t.Errorf("hot access fraction %.3f, want ~0.90", frac)
+	}
+	for _, kind := range []TxnKind{SBBalance, SBDepositChecking, SBTransactSavings, SBAmalgamate, SBWriteCheck, SBSendPayment} {
+		if kinds[kind] == 0 {
+			t.Errorf("kind %v never generated", kind)
+		}
+	}
+}
+
+func TestSmallbankKeysDistinct(t *testing.T) {
+	g := NewSmallbank(3, 100)
+	for i := 0; i < 10_000; i++ {
+		txn := g.Next()
+		seen := map[uint64]bool{}
+		for _, k := range txn.Writes {
+			if seen[k] {
+				t.Fatalf("%v has duplicate write key %d", txn.Kind, k)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+func TestCheckingSavingsKeys(t *testing.T) {
+	if CheckingKey(5) != 10 || SavingsKey(5) != 11 {
+		t.Fatal("account key mapping broken")
+	}
+	if CheckingKey(0) == SavingsKey(0) {
+		t.Fatal("keys collide")
+	}
+}
+
+func TestDedup(t *testing.T) {
+	got := dedup(1, 2, 1, 3, 2)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("dedup: %v", got)
+	}
+}
+
+func TestSizeMix(t *testing.T) {
+	m := SizeMix{Small: 64, Large: 1024, LargeFrac: 0.1}
+	large := 0
+	const threads = 320
+	for th := 0; th < threads; th++ {
+		if m.SizeForThread(th, threads) == 1024 {
+			large++
+		}
+	}
+	if large != 32 {
+		t.Fatalf("%d large threads, want 32 (10%% of %d)", large, threads)
+	}
+	// A thread's size is stable.
+	if m.SizeForThread(5, threads) != m.SizeForThread(5, threads) {
+		t.Fatal("size not deterministic")
+	}
+}
+
+func TestTxnKindStrings(t *testing.T) {
+	for k := TATPGetSubscriberData; k <= SBSendPayment; k++ {
+		if k.String() == "unknown" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if TxnKind(99).String() != "unknown" {
+		t.Fatal("bogus kind named")
+	}
+}
