@@ -1,0 +1,11 @@
+#!/bin/sh
+# ci.sh — the checks every change must pass, in the order CI runs them.
+# The race run is scoped to the concurrent packages (the FLock core and
+# the software RNIC); the model/simulation packages are single-threaded
+# and dominate wall-clock, so racing them buys nothing.
+set -eux
+
+go vet ./...
+go build ./...
+go test ./...
+go test -race ./internal/core ./internal/rnic

@@ -6,9 +6,11 @@
 //	flockload -clients 2 -threads 8 -qps 2 -payload 64 -window 8 -dur 2s
 //	flockload -mem -payload 512            # one-sided read/write mix
 //	flockload -threads 16 -no-coalesce     # MaxBatch=1 ablation, live
+//	flockload -faults rc-loss=0.01,flap=1  # lossy fabric + flapping QP
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -32,6 +34,8 @@ func main() {
 		noCoalesce = flag.Bool("no-coalesce", false, "disable leader coalescing (MaxBatch=1)")
 		workers    = flag.Int("workers", 0, "server RPC worker pool size (0 = inline)")
 		maxAQP     = flag.Int("max-aqp", 0, "MAX_AQP override (0 = default 256)")
+		faults     = flag.String("faults", "", "fault spec, e.g. seed=7,rc-loss=0.01,flap=3 (see fabric.ParseFaultPlan)")
+		rpcTimeout = flag.Duration("rpc-timeout", 0, "per-RPC deadline (0 = none; implied 100ms when -faults is set)")
 	)
 	flag.Parse()
 
@@ -39,13 +43,24 @@ func main() {
 		QPsPerConn:   *qps,
 		Workers:      *workers,
 		MaxActiveQPs: *maxAQP,
+		RPCTimeout:   *rpcTimeout,
 	}
 	if *noCoalesce {
 		opts.MaxBatch = 1
 	}
+	if *faults != "" && opts.RPCTimeout == 0 {
+		opts.RPCTimeout = 100 * time.Millisecond
+	}
 
 	net := flock.NewNetwork(flock.FabricConfig{})
 	defer net.Close()
+	if *faults != "" {
+		plan, err := flock.ParseFaultPlan(*faults)
+		if err != nil {
+			log.Fatal(err)
+		}
+		net.Fabric().SetFaultPlan(plan)
+	}
 	server, err := net.NewNode(0, opts, 0)
 	if err != nil {
 		log.Fatal(err)
@@ -56,17 +71,20 @@ func main() {
 	}
 
 	type worker struct {
-		th   *flock.Thread
-		reg  *flock.RemoteRegion
-		hist *stats.Hist
-		ops  uint64
+		th     *flock.Thread
+		reg    *flock.RemoteRegion
+		hist   *stats.Hist
+		ops    uint64
+		failed uint64
 	}
 	var workersList []*worker
+	var clientNodes []*flock.Node
 	for c := 0; c < *clients; c++ {
 		client, err := net.NewNode(flock.NodeID(c+1), opts, 0)
 		if err != nil {
 			log.Fatal(err)
 		}
+		clientNodes = append(clientNodes, client)
 		conn, err := client.Connect(0)
 		if err != nil {
 			log.Fatal(err)
@@ -109,11 +127,21 @@ func main() {
 						err = w.th.Read(w.reg, int(w.ops)%1024, buf)
 					}
 					if err != nil {
+						if errors.Is(err, flock.ErrTimeout) || errors.Is(err, flock.ErrQPBroken) {
+							w.failed++
+							continue
+						}
 						return
 					}
 					w.hist.Record(uint64(time.Since(t0).Nanoseconds()))
 					w.ops++
 				}
+			}
+			// Transient faults (deadline expiry, a QP breaking under the
+			// window) abandon the in-flight batch and keep driving; any
+			// other error is fatal for the worker.
+			transient := func(err error) bool {
+				return errors.Is(err, flock.ErrTimeout) || errors.Is(err, flock.ErrQPBroken)
 			}
 			type sent struct{ at time.Time }
 			pending := map[uint64]sent{}
@@ -126,12 +154,24 @@ func main() {
 				for len(pending) < *window {
 					seq, err := w.th.SendRPC(1, buf)
 					if err != nil {
+						if transient(err) {
+							w.failed++
+							break
+						}
 						return
 					}
 					pending[seq] = sent{at: time.Now()}
 				}
+				if len(pending) == 0 {
+					continue
+				}
 				resp, err := w.th.RecvRes()
 				if err != nil {
+					if transient(err) {
+						w.failed += uint64(len(pending))
+						pending = map[uint64]sent{}
+						continue
+					}
 					return
 				}
 				if p, ok := pending[resp.Seq]; ok {
@@ -172,6 +212,25 @@ func main() {
 	st := server.Device().Stats()
 	fmt.Printf("server NIC  doorbells=%d wrs=%d pkts=%d suppressed-cqe=%d\n",
 		st.Doorbells, st.WorkRequests, st.PacketsTX, st.CompletionsSuppressed)
+	if *faults != "" {
+		var failed uint64
+		for _, w := range workersList {
+			failed += w.failed
+		}
+		fs := net.Fabric().FaultCounters()
+		fmt.Printf("faults      rc-dropped=%d link-down=%d corrupted=%d delayed=%d failed-ops=%d\n",
+			fs.RCDropped, fs.LinkDownDrops, fs.Corrupted, fs.RCDelayed, failed)
+		var rec flock.NodeMetrics
+		for _, cn := range clientNodes {
+			cm := cn.Metrics()
+			rec.QPRecycles += cm.QPRecycles
+			rec.QPQuarantines += cm.QPQuarantines
+			rec.RPCTimeouts += cm.RPCTimeouts
+		}
+		fmt.Printf("recovery    recycles=%d quarantines=%d rpc-timeouts=%d (clients) recycles=%d quarantines=%d (server)\n",
+			rec.QPRecycles, rec.QPQuarantines, rec.RPCTimeouts,
+			m.QPRecycles, m.QPQuarantines)
+	}
 	if totalOps == 0 {
 		os.Exit(1)
 	}

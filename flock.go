@@ -79,6 +79,12 @@ type (
 	NodeID = fabric.NodeID
 	// OpError reports a failed one-sided operation.
 	OpError = core.OpError
+	// FaultPlan is a seeded fault-injection schedule for the fabric.
+	FaultPlan = fabric.FaultPlan
+	// LinkFault is one scheduled per-link (optionally per-QP) outage.
+	LinkFault = fabric.LinkFault
+	// FaultStats aggregates the fabric's fault-injection counters.
+	FaultStats = fabric.FaultStats
 )
 
 // Errors re-exported from the implementation.
@@ -91,6 +97,15 @@ var (
 	ErrNotServing = core.ErrNotServing
 	// ErrNoSuchNode reports a Connect to an unknown node ID.
 	ErrNoSuchNode = core.ErrNoSuchNode
+	// ErrTimeout reports an RPC that missed its per-call deadline
+	// (Options.RPCTimeout or CallWithDeadline); it is safe to retry.
+	ErrTimeout = core.ErrTimeout
+	// ErrQPBroken reports an operation failed by a QP entering the error
+	// state; the connection recycles the QP in the background.
+	ErrQPBroken = core.ErrQPBroken
+	// ErrConnClosed reports an operation poisoned by connection teardown;
+	// it wraps ErrClosed.
+	ErrConnClosed = core.ErrConnClosed
 )
 
 // Response status codes.
@@ -105,6 +120,12 @@ const (
 
 // NewNetwork creates a network over a fresh in-process fabric.
 func NewNetwork(cfg FabricConfig) *Network { return core.NewNetwork(cfg) }
+
+// ParseFaultPlan parses the compact key=value fault spec accepted by
+// flockload's -faults flag, e.g. "seed=7,rc-loss=0.01,flap=3".
+func ParseFaultPlan(spec string) (*FaultPlan, error) {
+	return fabric.ParseFaultPlan(spec)
+}
 
 // AssignThreads exposes the sender-side scheduling policy (Algorithm 1)
 // as a pure function; the benchmark models exercise it directly.

@@ -103,10 +103,26 @@ type connQP struct {
 	msgSeq      uint64 // selective-signaling counter
 
 	refreshPending atomic.Bool
+
+	// Fault state. broken marks the QP failed and under recycle: leaders
+	// bail out via active(), the dispatcher skips it, and the recycler owns
+	// all of the QP's state once the leaders and polling counters drain to
+	// zero. Clearing broken is the release edge that republishes the
+	// recycled state. disabled marks a QP quarantined for good after
+	// breaking more than Options.FlapThreshold times.
+	broken   atomic.Bool
+	disabled atomic.Bool
+	leaders  atomic.Int32 // threads currently inside the leader path
+	polling  atomic.Int32 // dispatcher inside this QP's poll section
+	breaks   atomic.Uint32
+	timeouts atomic.Uint32 // consecutive RPC-deadline strikes
 }
 
-// active reports the scheduler-controlled activation flag (§5.1).
-func (q *connQP) active() bool { return q.ctrl.Load64(ctrlActiveOff) == 1 }
+// active reports whether leaders may use the QP: the scheduler-controlled
+// activation flag (§5.1) gated by the local fault state.
+func (q *connQP) active() bool {
+	return !q.broken.Load() && !q.disabled.Load() && q.ctrl.Load64(ctrlActiveOff) == 1
+}
 
 // granted reports the total credits granted by the server.
 func (q *connQP) granted() uint64 { return q.ctrl.Load64(ctrlGrantedOff) }
@@ -274,9 +290,6 @@ func (c *Conn) isClosed() bool {
 // (connection-level teardown messages are future work, as in the paper's
 // prototype).
 func (c *Conn) Close() {
-	if c.failed.Swap(true) {
-		return
-	}
 	n := c.node
 	n.connMu.Lock()
 	for i, other := range n.conns {
@@ -286,11 +299,22 @@ func (c *Conn) Close() {
 		}
 	}
 	n.connMu.Unlock()
-	// Release threads blocked on their mailboxes: deliver a poison
-	// response to each registered thread so RecvRes callers wake.
+	c.fail(ErrConnClosed)
+}
+
+// fail marks the connection fatally failed and releases threads blocked on
+// their mailboxes with a typed poison response.
+func (c *Conn) fail(err error) {
+	if c.failed.Swap(true) {
+		return
+	}
 	for _, t := range c.snapshotThreads() {
 		select {
-		case t.respCh <- Response{Status: StatusConnClosed}:
+		case t.respCh <- Response{Status: StatusConnClosed, err: err}:
+		default:
+		}
+		select {
+		case t.memCh <- rnic.StatusQPError:
 		default:
 		}
 	}

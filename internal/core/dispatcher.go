@@ -53,6 +53,16 @@ func (n *Node) clientDispatch() {
 		busy := false
 		for _, c := range n.snapshotConns() {
 			for _, q := range c.qps {
+				// Broken QPs are owned by their recycler; the polling
+				// counter tells it when the dispatcher has left.
+				if q.broken.Load() {
+					continue
+				}
+				q.polling.Add(1)
+				if q.broken.Load() {
+					q.polling.Add(-1)
+					continue
+				}
 				// Response ring: deliver coalesced responses.
 				for {
 					h, items, ok := q.respCons.poll()
@@ -76,6 +86,7 @@ func (n *Node) clientDispatch() {
 						c.routeSendCompletion(q, comp)
 					}
 				}
+				q.polling.Add(-1)
 			}
 		}
 		if busy {
@@ -102,37 +113,71 @@ func (c *Conn) deliverResponse(it decodedItem) {
 		Status: it.meta.status,
 		Data:   data,
 	}
-	select {
-	case t.respCh <- r:
-		t.outstanding.Add(-1)
-	case <-c.node.done:
+	// The dispatcher must never block on a mailbox: a thread that
+	// abandoned a deadline-expired call stops draining, and its late
+	// responses would otherwise fill the channel and wedge delivery for
+	// every other thread on the node. A full mailbox holds only abandoned
+	// responses (a thread has at most RespWindow live operations), so the
+	// oldest entry is evicted to make room for the fresh one.
+	for i := 0; i < 2; i++ {
+		select {
+		case t.respCh <- r:
+			t.outstanding.Add(-1)
+			return
+		default:
+		}
+		select {
+		case <-t.respCh:
+		default:
+		}
 	}
+	// Still full (a concurrent poisoner keeps winning the slot): drop the
+	// response; the caller's deadline retry re-issues the request.
 }
 
 // routeSendCompletion demultiplexes one send-side completion by wr_id tag
 // (§6): memory operations to their thread, head refreshes to the producer
-// cache, message-write errors to connection failure.
+// cache. Error completions are classified: a QP failure (retry
+// exhaustion, flush) triggers the recycle path, anything else — a
+// protocol-level error that a fresh QP would just reproduce — fails the
+// connection.
 func (c *Conn) routeSendCompletion(q *connQP, comp rnic.Completion) {
 	switch comp.WRID & tagMask {
 	case tagMem:
+		if qpFailureStatus(comp.Status) {
+			c.markBroken(q)
+		}
 		t := c.thread(memWRThread(comp.WRID))
 		if t == nil {
 			return
 		}
+		// Non-blocking: at most one memory op waits per thread, and a full
+		// slot means a wakeup (completion or poison) is already pending.
 		select {
 		case t.memCh <- comp.Status:
-		case <-c.node.done:
+		default:
 		}
 	case tagFresh:
-		q.prod.updateCached(q.readback.Load64(0))
+		if comp.Status == rnic.StatusOK {
+			q.prod.updateCached(q.readback.Load64(0))
+			q.refreshPending.Store(false)
+			return
+		}
 		q.refreshPending.Store(false)
-		if comp.Status != rnic.StatusOK {
-			c.failed.Store(true)
+		if qpFailureStatus(comp.Status) {
+			c.markBroken(q)
+		} else {
+			c.fail(ErrConnClosed)
 		}
 	default:
 		// Message writes, markers, renewals: only errors matter.
-		if comp.Status != rnic.StatusOK {
-			c.failed.Store(true)
+		if comp.Status == rnic.StatusOK {
+			return
+		}
+		if qpFailureStatus(comp.Status) {
+			c.markBroken(q)
+		} else {
+			c.fail(ErrConnClosed)
 		}
 	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -92,7 +93,7 @@ func TestDeactivatedQPDeclinesAndMigrates(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if got := th.curQP; got != 1 {
+	if got := th.curQP.Load(); got != 1 {
 		t.Fatalf("thread still on deactivated QP (cur=%d)", got)
 	}
 	// Reactivate; the thread scheduler may move threads back eventually,
@@ -238,6 +239,147 @@ func TestReadLargerThanScratch(t *testing.T) {
 	}
 }
 
+func TestConnCloseRacesInflightRPCs(t *testing.T) {
+	// Close the connection while calls are mid-flight AND the link is
+	// flapping, so some threads are inside the recovery path when the
+	// poison lands. Every call must return promptly with either a real
+	// response or a typed error — never hang, never surface an untyped
+	// failure — and the node must accept a fresh connection afterwards.
+	sOpts := Options{QPsPerConn: 2}
+	cOpts := Options{
+		QPsPerConn:    2,
+		RPCTimeout:    50 * time.Millisecond,
+		StallTimeout:  5 * time.Millisecond,
+		FlapThreshold: -1,
+		RCRetries:     2,
+	}
+	tc := newTestCluster(t, 1, sOpts, cOpts)
+	registerEcho(tc.server)
+	conn, err := tc.clients[0].Connect(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.net.Fabric().SetFaultPlan(&fabric.FaultPlan{
+		Seed: 4,
+		Links: []fabric.LinkFault{{
+			Src: tc.clients[0].ID(), Dst: tc.server.ID(),
+			DownAfter: 60, DownFor: 60, Repeat: true,
+		}},
+	})
+
+	const nThreads = 4
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < nThreads; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := conn.RegisterThread()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_, err := th.Call(echoID, []byte("racing"))
+				if err == nil || errors.Is(err, ErrTimeout) || errors.Is(err, ErrQPBroken) {
+					continue
+				}
+				if errors.Is(err, ErrClosed) {
+					return // the expected terminal error after Close
+				}
+				t.Errorf("untyped error racing Close: %v", err)
+				return
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond) // let calls overlap fault windows
+	conn.Close()
+	closedAt := time.Now()
+	finished := make(chan struct{})
+	go func() { wg.Wait(); close(finished) }()
+	select {
+	case <-finished:
+	case <-time.After(chaosDeadline):
+		t.Fatal("caller hung across Conn.Close during faults")
+	}
+	close(stop)
+	// Callers must observe the close within roughly one retry cycle, not
+	// only after draining long backoffs.
+	if waited := time.Since(closedAt); waited > 10*time.Second {
+		t.Fatalf("callers took %v to observe Close", waited)
+	}
+
+	// The node itself is healthy: a new connection works once the fault
+	// plan is cleared.
+	tc.net.Fabric().SetFaultPlan(nil)
+	conn2, err := tc.clients[0].Connect(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th2 := conn2.RegisterThread()
+	callUntilOK(t, th2, []byte("post-close"))
+}
+
+func TestCreditRenewalSurvivesLoss(t *testing.T) {
+	// Credit renewal under lossy RC: with a tiny credit budget the leader
+	// renews constantly, so seeded loss keeps hitting renewal write-imms
+	// (retransmitted by the NIC) and outage windows break QPs with
+	// renewals in flight (recovered by recycling, which resets the credit
+	// state on both ends). Traffic must never deadlock waiting on credits
+	// that were lost with the old QP.
+	sOpts := Options{QPsPerConn: 2, Credits: 4}
+	cOpts := Options{
+		QPsPerConn:    2,
+		Credits:       4,
+		RPCTimeout:    100 * time.Millisecond,
+		StallTimeout:  10 * time.Millisecond,
+		FlapThreshold: -1,
+		RCRetries:     3,
+	}
+	tc := newTestCluster(t, 1, sOpts, cOpts)
+	registerEcho(tc.server)
+	conn, err := tc.clients[0].Connect(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.net.Fabric().SetFaultPlan(&fabric.FaultPlan{
+		Seed:       5,
+		RCLossProb: 0.05,
+		Links: []fabric.LinkFault{{
+			Src: tc.clients[0].ID(), Dst: tc.server.ID(),
+			DownAfter: 300, DownFor: 150, Repeat: true,
+		}},
+	})
+
+	const nThreads, perThread = 3, 40
+	var wg sync.WaitGroup
+	for g := 0; g < nThreads; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			th := conn.RegisterThread()
+			for i := 0; i < perThread; i++ {
+				callUntilOK(t, th, []byte(fmt.Sprintf("c%02d-%04d", g, i)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if fs := tc.net.Fabric().FaultCounters(); fs.RCDropped == 0 {
+		t.Fatal("no RC loss injected — the renewal-loss run was vacuous")
+	}
+	// Clear faults; a full credit budget's worth of back-to-back calls
+	// proves renewal still circulates after the lossy phase.
+	tc.net.Fabric().SetFaultPlan(nil)
+	th := conn.RegisterThread()
+	for i := 0; i < 32; i++ {
+		callUntilOK(t, th, []byte(fmt.Sprintf("renew-%04d", i)))
+	}
+}
+
 func TestConnCloseReleasesAndRejects(t *testing.T) {
 	tc := newTestCluster(t, 1, Options{}, Options{})
 	registerEcho(tc.server)
@@ -253,10 +395,12 @@ func TestConnCloseReleasesAndRejects(t *testing.T) {
 	}()
 	time.Sleep(2 * time.Millisecond)
 	conn.Close()
-	if err := <-blocked; err != ErrClosed {
+	// Close poisons in-flight waiters with the typed ErrConnClosed, which
+	// wraps ErrClosed for legacy callers.
+	if err := <-blocked; !errors.Is(err, ErrClosed) {
 		t.Fatalf("blocked RecvRes after Close: %v", err)
 	}
-	if _, err := th.SendRPC(echoID, []byte("x")); err != ErrClosed {
+	if _, err := th.SendRPC(echoID, []byte("x")); !errors.Is(err, ErrClosed) {
 		t.Fatalf("SendRPC after Close: %v", err)
 	}
 	conn.Close() // idempotent

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"errors"
 	"runtime"
+	"time"
 
 	"flock/internal/rnic"
 )
@@ -17,19 +19,28 @@ func (c *Conn) submit(th *Thread, q *connQP, n *tcqNode) uint32 {
 	if q.tcq.push(n) {
 		return c.lead(th, q, n)
 	}
-	v := n.awaitVerdict(q.reqStaging)
+	v := n.awaitVerdict(q.reqStaging, c.node.opts.StallTimeout)
 	if v == stateLeader {
 		return c.lead(th, q, n)
 	}
 	return v
 }
 
-// lead executes the leader protocol for the batch headed by own.
+// lead executes the leader protocol for the batch headed by own. The
+// leaders counter tells a QP recycler when straggling leaders have left;
+// verdicts are only stored on nodes still owned by this leader (claimed
+// during processBatch) — a node whose follower timed out and left is
+// skipped.
 func (c *Conn) lead(th *Thread, q *connQP, own *tcqNode) uint32 {
+	q.leaders.Add(1)
+	defer q.leaders.Add(-1)
+	if leaderStallHook != nil {
+		leaderStallHook(c, q)
+	}
 	batch := q.tcq.claimBatch(own, c.node.opts.MaxBatch)
 	verdict := c.processBatch(th, q, batch)
 	for _, n := range batch {
-		if n != own {
+		if n != own && n.state.Load() != stateTimedOut {
 			n.state.Store(verdict)
 		}
 	}
@@ -48,8 +59,15 @@ func (c *Conn) processBatch(th *Thread, q *connQP, batch []*tcqNode) uint32 {
 		return stateMigrate
 	}
 
+	// Claim every follower node before using it: the CAS from waiting is
+	// the race with the follower's stall timeout, and whoever wins owns
+	// the node. A node the leader fails to claim was abandoned — its
+	// follower already left to retry elsewhere — and must not be staged.
 	var rpc, mem []*tcqNode
 	for _, n := range batch {
+		if n != batch[0] && !n.state.CompareAndSwap(stateWaiting, stateClaimed) {
+			continue // timed out and gone
+		}
 		if n.kind == opRPC {
 			rpc = append(rpc, n)
 		} else {
@@ -106,7 +124,7 @@ func (c *Conn) processBatch(th *Thread, q *connQP, batch []*tcqNode) uint32 {
 				}
 				n.copied.Store(1)
 			} else {
-				n.state.Store(stateCopy)
+				n.state.Store(stateCopy) // claimed above; follower copies
 			}
 		}
 
@@ -161,16 +179,35 @@ func (c *Conn) processBatch(th *Thread, q *connQP, batch []*tcqNode) uint32 {
 		return stateSent
 	}
 	if err := q.qp.PostSend(wrs...); err != nil {
-		c.failed.Store(true)
-		return stateAborted
+		return c.postFailure(q, err)
 	}
 	return stateSent
 }
 
+// postFailure classifies a PostSend error: a QP in (or entering) the error
+// state is recoverable by recycle and the batch migrates; anything else is
+// fatal to the connection.
+func (c *Conn) postFailure(q *connQP, err error) uint32 {
+	if errors.Is(err, rnic.ErrQPErrorState) || errors.Is(err, rnic.ErrQPNotReady) {
+		c.markBroken(q)
+		return stateMigrate
+	}
+	c.fail(ErrConnClosed)
+	return stateAborted
+}
+
 // awaitCredits blocks (spinning) until the QP has `need` credits,
 // requesting renewal as required. Returns stateSent on success or a
-// failure verdict.
+// failure verdict. The wait is bounded by StallTimeout: a server whose QP
+// end died stops granting, and the only way out is breaking the QP so the
+// recycle re-bootstraps credits on both ends.
 func (c *Conn) awaitCredits(q *connQP, need int) uint32 {
+	stall := c.node.opts.StallTimeout
+	var deadline time.Time
+	if stall > 0 {
+		deadline = time.Now().Add(stall)
+	}
+	spins := 0
 	for {
 		granted := q.granted()
 		if q.askOut && granted > q.askSnapshot {
@@ -187,8 +224,14 @@ func (c *Conn) awaitCredits(q *connQP, need int) uint32 {
 		}
 		if !q.askOut {
 			if err := c.postRenewal(q); err != nil {
-				c.failed.Store(true)
-				return stateAborted
+				return c.postFailure(q, err)
+			}
+		}
+		if stall > 0 {
+			spins++
+			if spins%256 == 0 && time.Now().After(deadline) {
+				c.noteLeaderStall(q)
+				return stateMigrate
 			}
 		}
 		runtime.Gosched()
@@ -196,8 +239,17 @@ func (c *Conn) awaitCredits(q *connQP, need int) uint32 {
 }
 
 // awaitSpace reserves ring space, triggering a one-sided head refresh when
-// the cached head is stale (§4.1: "the sender rarely reads").
+// the cached head is stale (§4.1: "the sender rarely reads"). Like
+// awaitCredits the wait is stall-bounded: a flushed message write leaves a
+// hole the strictly-in-order server consumer can never pass, so a full
+// ring that never drains means the QP needs a recycle.
 func (c *Conn) awaitSpace(q *connQP, msgLen int) (reservation, uint32) {
+	stall := c.node.opts.StallTimeout
+	var deadline time.Time
+	if stall > 0 {
+		deadline = time.Now().Add(stall)
+	}
+	spins := 0
 	for {
 		res, ok := q.prod.reserve(msgLen)
 		if ok {
@@ -206,7 +258,17 @@ func (c *Conn) awaitSpace(q *connQP, msgLen int) (reservation, uint32) {
 		if c.isClosed() {
 			return res, stateAborted
 		}
+		if !q.active() {
+			return res, stateMigrate
+		}
 		c.requestHeadRefresh(q)
+		if stall > 0 {
+			spins++
+			if spins%256 == 0 && time.Now().After(deadline) {
+				c.noteLeaderStall(q)
+				return res, stateMigrate
+			}
+		}
 		runtime.Gosched()
 	}
 }
@@ -226,7 +288,7 @@ func (c *Conn) requestHeadRefresh(q *connQP) {
 	})
 	if err != nil {
 		q.refreshPending.Store(false)
-		c.failed.Store(true)
+		c.postFailure(q, err)
 	}
 }
 

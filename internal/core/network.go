@@ -17,6 +17,20 @@ var (
 	ErrNotServing      = errors.New("flock: remote node is not serving")
 	ErrNoSuchNode      = errors.New("flock: no such node")
 	ErrReadTooLarge    = errors.New("flock: read larger than thread scratch region")
+
+	// ErrTimeout reports that an RPC's deadline expired before a response
+	// arrived (CallWithDeadline / Options.RPCTimeout). The request may
+	// still execute on the server: deadline recovery is at-least-once.
+	ErrTimeout = errors.New("flock: RPC deadline exceeded")
+	// ErrQPBroken reports that the QP carrying an in-flight operation
+	// entered the error state (retry exhaustion, flush, stall). The
+	// operation's fate is unknown; the connection recycles the QP in the
+	// background and the caller may retry on it or another QP.
+	ErrQPBroken = errors.New("flock: queue pair broken; in-flight operation failed")
+	// ErrConnClosed reports that the connection handle was closed or
+	// failed fatally. It wraps ErrClosed so errors.Is(err, ErrClosed)
+	// keeps matching for callers that don't care which.
+	ErrConnClosed = fmt.Errorf("flock: connection closed: %w", ErrClosed)
 )
 
 // Response status codes carried in response item metadata.
@@ -66,7 +80,9 @@ func (nw *Network) NewNode(id fabric.NodeID, opts Options, nicCacheSize int) (*N
 	if err := opts.withDefaults().validate(); err != nil {
 		return nil, err
 	}
-	dev, err := rnic.NewDevice(nw.fab, rnic.Config{Node: id, CacheSize: nicCacheSize})
+	dev, err := rnic.NewDevice(nw.fab, rnic.Config{
+		Node: id, CacheSize: nicCacheSize, RCRetries: opts.RCRetries,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -122,6 +138,18 @@ type NodeMetrics struct {
 	QPDeactivations uint64
 	// ThreadMigrations counts sender-side thread reassignments applied.
 	ThreadMigrations uint64
+	// QPRecycles counts broken QPs torn down and re-established (client
+	// and server role combined).
+	QPRecycles uint64
+	// QPQuarantines counts QPs permanently retired after flapping past
+	// Options.FlapThreshold.
+	QPQuarantines uint64
+	// RPCTimeouts counts per-attempt RPC deadline expiries observed by
+	// CallWithDeadline / Call-with-RPCTimeout.
+	RPCTimeouts uint64
+	// LeaderStalls counts combining-leader credit/space waits that hit
+	// StallTimeout and broke their QP.
+	LeaderStalls uint64
 }
 
 // Node is one FLock endpoint. A node can serve inbound connections
@@ -158,6 +186,7 @@ type Node struct {
 	metrics struct {
 		msgsIn, itemsIn, msgsOut, itemsOut          atomic.Uint64
 		renewals, activations, deactivations, migrs atomic.Uint64
+		recycles, quarantines, timeouts, stalls     atomic.Uint64
 	}
 
 	done chan struct{}
@@ -197,6 +226,10 @@ func (n *Node) Metrics() NodeMetrics {
 		QPActivations:    n.metrics.activations.Load(),
 		QPDeactivations:  n.metrics.deactivations.Load(),
 		ThreadMigrations: n.metrics.migrs.Load(),
+		QPRecycles:       n.metrics.recycles.Load(),
+		QPQuarantines:    n.metrics.quarantines.Load(),
+		RPCTimeouts:      n.metrics.timeouts.Load(),
+		LeaderStalls:     n.metrics.stalls.Load(),
 	}
 }
 

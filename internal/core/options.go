@@ -44,6 +44,18 @@ const (
 	// DefaultSchedInterval is the period of both the receiver-side QP
 	// scheduler and the sender-side thread scheduler.
 	DefaultSchedInterval = 2 * time.Millisecond
+	// DefaultStallTimeout bounds leader credit/space waits and follower
+	// verdict waits before the stall guard declares the QP (or its leader)
+	// stuck and recovers.
+	DefaultStallTimeout = 20 * time.Millisecond
+	// DefaultFlapThreshold is how many times a QP may break and be
+	// recycled before the connection quarantines it for good.
+	DefaultFlapThreshold = 3
+	// timeoutStrikes is how many consecutive per-attempt RPC timeouts on
+	// one QP it takes before the client declares the QP broken. Server-side
+	// failures (the server end of the QP erroring, responses lost) are
+	// invisible to the client NIC, so repeated timeouts are the signal.
+	timeoutStrikes = 3
 )
 
 // Options configures a Node. The zero value is usable: every field falls
@@ -88,6 +100,25 @@ type Options struct {
 	DisableQPSched bool
 	// Seed seeds per-node RNGs (canary generation, initial placement).
 	Seed uint64
+	// RPCTimeout is the default per-call deadline Thread.Call applies.
+	// Zero disables deadlines (legacy unbounded waits);
+	// Thread.CallWithDeadline always applies its explicit budget.
+	RPCTimeout time.Duration
+	// StallTimeout bounds how long a combining leader waits for credits or
+	// ring space, and how long a follower waits for a leader verdict,
+	// before the stall guard recovers (breaking the QP or re-electing on
+	// another). Zero means DefaultStallTimeout; negative disables the
+	// guard entirely.
+	StallTimeout time.Duration
+	// FlapThreshold is how many times one QP may break and be recycled
+	// before the connection quarantines it instead (graceful degradation
+	// for repeatedly flapping links). Zero means DefaultFlapThreshold;
+	// negative recycles forever.
+	FlapThreshold int
+	// RCRetries is the RC retransmission budget handed to the NIC. Zero
+	// uses the NIC default (7). Only matters when the fabric carries a
+	// fault plan; a clean fabric never retransmits.
+	RCRetries int
 }
 
 // withDefaults returns a copy of o with zero fields replaced by defaults.
@@ -124,6 +155,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Workers < 0 {
 		o.Workers = 0
+	}
+	if o.StallTimeout == 0 {
+		o.StallTimeout = DefaultStallTimeout
+	}
+	if o.FlapThreshold == 0 {
+		o.FlapThreshold = DefaultFlapThreshold
 	}
 	return o
 }

@@ -58,11 +58,18 @@ func (n *Node) qpScheduler() {
 // total into the client's control region. Declining — not granting — is
 // how the scheduler deactivates load from a QP (§5.1).
 func (n *Node) handleRenewal(sqp *serverQP, degree uint32) {
+	if !sqp.enter() {
+		return // under recycle; the renewal rides on a dead QP anyway
+	}
+	defer sqp.exit()
 	sqp.util += float64(degree)
 	sqp.renews++
 	// Replenish the receive WQE the write-imm consumed.
 	sqp.qp.PostRecv(rnic.RecvWR{WRID: uint64(sqp.qp.QPN())}) //nolint:errcheck
 
+	if sqp.quarantined.Load() {
+		return // permanently declined
+	}
 	if !sqp.active.Load() && !n.opts.DisableQPSched {
 		return // declined
 	}
@@ -107,6 +114,10 @@ func (n *Node) redistribute() {
 			for _, sqp := range sc.qps {
 				sqp.util = 0
 				sqp.renews = 0
+				if sqp.quarantined.Load() {
+					sqp.active.Store(false) // stays retired
+					continue
+				}
 				if !sqp.active.Load() {
 					n.activate(sqp)
 				}
@@ -138,6 +149,10 @@ func (n *Node) redistribute() {
 			sqp := sc.qps[j]
 			sqp.util = 0
 			sqp.renews = 0
+			if sqp.quarantined.Load() {
+				sqp.active.Store(false) // stays retired; its share shifts
+				continue
+			}
 			if rank < keep {
 				if !sqp.active.Load() {
 					n.activate(sqp)
@@ -149,11 +164,16 @@ func (n *Node) redistribute() {
 	}
 }
 
-// activate marks a QP active and publishes the flag to the client.
+// activate marks a QP active and publishes the flag to the client. The
+// publish is skipped while the QP is under recycle — recycleAccept
+// re-bootstraps both ends to the active state anyway.
 func (n *Node) activate(sqp *serverQP) {
 	sqp.active.Store(true)
 	n.metrics.activations.Add(1)
-	n.writeClientCtrl(sqp, ctrlActiveOff, 1)
+	if sqp.enter() {
+		n.writeClientCtrl(sqp, ctrlActiveOff, 1)
+		sqp.exit()
+	}
 }
 
 // deactivate marks a QP inactive and publishes the flag; from now on its
@@ -162,7 +182,10 @@ func (n *Node) activate(sqp *serverQP) {
 func (n *Node) deactivate(sqp *serverQP) {
 	sqp.active.Store(false)
 	n.metrics.deactivations.Add(1)
-	n.writeClientCtrl(sqp, ctrlActiveOff, 0)
+	if sqp.enter() {
+		n.writeClientCtrl(sqp, ctrlActiveOff, 0)
+		sqp.exit()
+	}
 }
 
 // RedistributeQPs computes each sender's active-QP count from per-QP

@@ -1,0 +1,293 @@
+package core
+
+import (
+	"runtime"
+
+	"flock/internal/fabric"
+	"flock/internal/rnic"
+)
+
+// This file is QP fault recovery. A connection detects that one of its
+// shared QPs broke — retry-budget exhaustion, flushed work requests, or a
+// stall-guard trip — fails the in-flight operations on it with typed
+// errors, and recycles the QP in the background: the rnic queue pairs on
+// both ends are destroyed (flushing any straggling work requests still in
+// the device pipelines) and re-created, the rings are zeroed, and the
+// credit state is re-bootstrapped. The memory regions and rkeys survive the
+// recycle; only the queue pairs and the ring positions are new. A QP that
+// breaks more than Options.FlapThreshold times is quarantined instead —
+// permanently retired so the thread scheduler and the receiver-side QP
+// scheduler redistribute its load (graceful degradation).
+//
+// Exclusion protocol, client end: markBroken wins the broken flag, then
+// the recycler waits for the leaders and polling counters to drain. From
+// then on every leader bails out via active() and the dispatcher skips the
+// QP, so the recycler owns all of its state; clearing broken is the
+// release edge that republishes it. Server end: recycleAccept sets the
+// server QP's broken flag, waits out the dispatcher/scheduler inuse
+// counter, and holds respMu against response flushers.
+
+// leaderStallHook, when non-nil, runs at every leader-path entry. It
+// exists so tests can wedge a leader in place and exercise the follower
+// timeout / re-election path; production leaves it nil.
+var leaderStallHook func(c *Conn, q *connQP)
+
+// qpFailureStatus reports whether a completion status means the QP itself
+// broke, as opposed to a per-operation protocol error.
+func qpFailureStatus(st rnic.Status) bool {
+	switch st {
+	case rnic.StatusRetryExceeded, rnic.StatusWRFlush, rnic.StatusQPError, rnic.StatusRNRExceeded:
+		return true
+	}
+	return false
+}
+
+// markBroken transitions a QP into the broken state exactly once: fails
+// the in-flight operations of threads parked on it and starts the
+// background recycle.
+func (c *Conn) markBroken(q *connQP) {
+	if q.disabled.Load() || q.broken.Swap(true) {
+		return
+	}
+	c.failInflight(q, ErrQPBroken)
+	n := c.node
+	// Spawn under connMu so the Add cannot race Node.Close's final Wait
+	// (Close closes done while holding connMu).
+	n.connMu.Lock()
+	select {
+	case <-n.done:
+		n.connMu.Unlock()
+		return
+	default:
+	}
+	n.wg.Add(1)
+	n.connMu.Unlock()
+	go c.recycleQP(q)
+}
+
+// failInflight releases threads whose operations were riding the broken
+// QP: each outstanding RPC gets a poison response carrying err, and a
+// waiting memory operation gets a QP-error status. Delivery is best-effort
+// non-blocking — a thread with a full mailbox has work to drain and is not
+// parked.
+func (c *Conn) failInflight(q *connQP, err error) {
+	for _, t := range c.snapshotThreads() {
+		if t.curQP.Load() != int32(q.idx) {
+			continue
+		}
+		k := t.outstanding.Swap(0)
+		for i := int32(0); i < k; i++ {
+			select {
+			case t.respCh <- Response{err: err}:
+			default:
+			}
+		}
+		select {
+		case t.memCh <- rnic.StatusQPError:
+		default:
+		}
+	}
+}
+
+// noteTimeout records one per-attempt RPC deadline expiry against the QP
+// the thread was using. Repeated strikes break the QP: a dead server end
+// (its QP errored, responses lost) is invisible to the client NIC, so
+// timeouts are the only signal that forces the recycle that heals both
+// ends.
+func (c *Conn) noteTimeout(q *connQP) {
+	c.node.metrics.timeouts.Add(1)
+	if q == nil || q.broken.Load() || q.disabled.Load() {
+		return
+	}
+	if q.timeouts.Add(1) >= timeoutStrikes {
+		q.timeouts.Store(0)
+		c.markBroken(q)
+	}
+}
+
+// noteLeaderStall records a leader credit/space wait that hit StallTimeout
+// and breaks the QP — the stall means credits or ring-head updates stopped
+// flowing, which a recycle resolves by re-bootstrapping both ends.
+func (c *Conn) noteLeaderStall(q *connQP) {
+	c.node.metrics.stalls.Add(1)
+	c.markBroken(q)
+}
+
+// recycleQP is the background recovery goroutine for one broken QP.
+func (c *Conn) recycleQP(q *connQP) {
+	n := c.node
+	defer n.wg.Done()
+	if strikes := int(q.breaks.Add(1)); n.opts.FlapThreshold > 0 && strikes > n.opts.FlapThreshold {
+		c.quarantine(q)
+		return
+	}
+	// Wait for straggler leaders and the dispatcher to leave the QP; they
+	// all observe broken and exit promptly.
+	for q.leaders.Load() != 0 || q.polling.Load() != 0 {
+		if c.isClosed() {
+			return
+		}
+		runtime.Gosched()
+	}
+	oldQPN := q.qp.QPN()
+	_, peerQPN := q.qp.Peer()
+	// Destroy before zeroing: the old QP's WRs still queued in the device
+	// flush as errors instead of landing, so no stale write can hit the
+	// rings after the reset below.
+	n.dev.DestroyQP(oldQPN)
+
+	qp, err := n.dev.CreateQP(rnic.RC, n.dev.CreateCQ(), n.dev.CreateCQ())
+	if err != nil {
+		c.fail(ErrConnClosed)
+		return
+	}
+	rnode := n.net.node(c.remote)
+	if rnode == nil {
+		c.fail(ErrConnClosed)
+		return
+	}
+	reply, err := rnode.recycleAccept(recycleArgs{
+		clientNode:   n.id,
+		oldServerQPN: peerQPN,
+		newClientQPN: qp.QPN(),
+	})
+	if err != nil {
+		c.fail(ErrConnClosed)
+		return
+	}
+	if err := qp.Connect(int(c.remote), reply.serverQPN); err != nil {
+		c.fail(ErrConnClosed)
+		return
+	}
+
+	// Re-bootstrap the client end: empty rings, position zero, C credits,
+	// QP active. MRs and rkeys are stable across the recycle.
+	zeroMR(q.respRing)
+	q.prod.reset()
+	q.respCons.reset()
+	q.consumed, q.askMark, q.askOut, q.askSnapshot = 0, 0, false, 0
+	q.msgSeq = 0
+	q.refreshPending.Store(false)
+	q.timeouts.Store(0)
+	q.ctrl.Store64(ctrlGrantedOff, uint64(n.opts.Credits))
+	q.ctrl.Store64(ctrlActiveOff, 1)
+	q.qp = qp
+	n.metrics.recycles.Add(1)
+	// Release edge: republish the recycled state to leaders and the
+	// dispatcher.
+	q.broken.Store(false)
+}
+
+// quarantine permanently retires a QP that broke more than FlapThreshold
+// times. The broken flag stays set (the dispatcher keeps skipping it) and
+// disabled makes the retirement stick through active(). The server end is
+// told so its scheduler stops granting and redistributes the active-QP
+// budget. If no usable QP remains the connection is failed.
+func (c *Conn) quarantine(q *connQP) {
+	q.disabled.Store(true)
+	c.node.metrics.quarantines.Add(1)
+	_, peerQPN := q.qp.Peer()
+	if rnode := c.node.net.node(c.remote); rnode != nil {
+		rnode.quarantineServerQP(peerQPN)
+	}
+	for _, o := range c.qps {
+		if !o.disabled.Load() {
+			return
+		}
+	}
+	c.fail(ErrConnClosed)
+}
+
+// zeroMR clears an entire memory region (ring reset during recycle).
+func zeroMR(mr *rnic.MemRegion) {
+	z := make([]byte, 4096)
+	for off := 0; off < mr.Len(); off += len(z) {
+		k := mr.Len() - off
+		if k > len(z) {
+			k = len(z)
+		}
+		mr.WriteAt(z[:k], off) //nolint:errcheck // in range by construction
+	}
+}
+
+// recycleArgs is the client half of the out-of-band recycle handshake; it
+// identifies the server QP by the number the client was connected to.
+type recycleArgs struct {
+	clientNode   fabric.NodeID
+	oldServerQPN int
+	newClientQPN int
+}
+
+// recycleReply carries the replacement server QP number. Ring rkeys are
+// unchanged — the regions survive the recycle.
+type recycleReply struct {
+	serverQPN int
+}
+
+// recycleAccept is the server side of a QP recycle: destroy the broken
+// server QP, build a fresh one on the scheduler's shared recv CQ, zero the
+// request ring, rewind both ring positions, and restore the credit
+// bootstrap. Runs on the client's recycle goroutine (the in-process
+// stand-in for an out-of-band reconnect exchange).
+func (n *Node) recycleAccept(a recycleArgs) (recycleReply, error) {
+	if !n.Serving() {
+		return recycleReply{}, ErrNotServing
+	}
+	sqp := n.byQPN.Load().(map[int]*serverQP)[a.oldServerQPN]
+	if sqp == nil || sqp.sender != a.clientNode {
+		return recycleReply{}, ErrNoSuchNode
+	}
+	sqp.broken.Store(true)
+	for sqp.inuse.Load() != 0 {
+		select {
+		case <-n.done:
+			return recycleReply{}, ErrClosed
+		default:
+		}
+		runtime.Gosched()
+	}
+	// respMu excludes response flushers (workers and inline dispatch);
+	// broken+inuse excluded the dispatcher and the QP scheduler above.
+	sqp.respMu.Lock()
+	defer sqp.respMu.Unlock()
+
+	n.dev.DestroyQP(a.oldServerQPN) // flush stragglers before ring zeroing
+	qp, err := n.dev.CreateQP(rnic.RC, n.dev.CreateCQ(), n.schedRCQ)
+	if err != nil {
+		return recycleReply{}, err
+	}
+	if err := qp.Connect(int(a.clientNode), a.newClientQPN); err != nil {
+		return recycleReply{}, err
+	}
+	for r := 0; r < recvDepth; r++ {
+		if err := qp.PostRecv(rnic.RecvWR{WRID: uint64(qp.QPN())}); err != nil {
+			return recycleReply{}, err
+		}
+	}
+	zeroMR(sqp.reqRing)
+	sqp.reqCons.reset()
+	sqp.respProd.reset()
+	sqp.refresh.Store(false)
+	sqp.granted = uint64(n.opts.Credits)
+	sqp.active.Store(true)
+	n.sconnMu.Lock()
+	sqp.qp = qp
+	n.rebuildQPNIndexLocked()
+	n.sconnMu.Unlock()
+	n.metrics.recycles.Add(1)
+	sqp.broken.Store(false)
+	return recycleReply{serverQPN: qp.QPN()}, nil
+}
+
+// quarantineServerQP retires the server end of a client-quarantined QP so
+// the QP scheduler stops granting credits on it and excludes it from
+// redistribution.
+func (n *Node) quarantineServerQP(qpn int) {
+	sqp := n.byQPN.Load().(map[int]*serverQP)[qpn]
+	if sqp == nil {
+		return
+	}
+	sqp.quarantined.Store(true)
+	sqp.active.Store(false)
+	n.metrics.quarantines.Add(1)
+}

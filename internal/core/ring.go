@@ -31,6 +31,14 @@ func (p *ringProducer) free() int {
 	return p.size - int(p.tail-p.cached.Load())
 }
 
+// reset returns the producer to the fresh-ring state after a QP recycle:
+// nothing produced, nothing known consumed. The caller must have excluded
+// every concurrent producer and cache-updater first.
+func (p *ringProducer) reset() {
+	p.tail = 0
+	p.cached.Store(0)
+}
+
 // updateCached advances the cached consumed head (monotonic, so stale
 // piggybacked values are harmless).
 func (p *ringProducer) updateCached(h uint64) {
@@ -116,6 +124,14 @@ func newRingConsumer(mr *rnic.MemRegion, base, size int, publishMR *rnic.MemRegi
 
 // consumed returns the monotonic consumed-head counter.
 func (c *ringConsumer) consumed() uint64 { return c.head.Load() }
+
+// reset rewinds the consumer to offset zero and republishes, matching a
+// recycled producer that restarts at tail zero. The caller must have
+// excluded the polling dispatcher first.
+func (c *ringConsumer) reset() {
+	c.head.Store(0)
+	c.publish()
+}
 
 // poll checks the head position for one complete message. It returns the
 // decoded header and items (both referencing c.scratch, valid until the

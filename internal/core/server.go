@@ -48,10 +48,35 @@ type serverQP struct {
 	// Scheduler-owned state (§5.1). active is atomic because accept and
 	// metrics paths read it.
 	active  atomic.Bool
-	granted uint64  // scheduler-only
+	granted uint64  // scheduler-only (recycleAccept resets it under exclusion)
 	util    float64 // Σ reported coalescing degrees since last interval
 	renews  uint64  // renewals seen since last interval
+
+	// Fault state: broken excludes the dispatcher and scheduler while
+	// recycleAccept rebuilds the QP (inuse counts them in their critical
+	// sections); quarantined permanently retires the QP from scheduling.
+	broken      atomic.Bool
+	inuse       atomic.Int32
+	quarantined atomic.Bool
 }
+
+// enter begins a dispatcher/scheduler critical section on the QP. It
+// returns false when the QP is broken (under recycle) and must be skipped;
+// a true return must be paired with exit.
+func (sqp *serverQP) enter() bool {
+	if sqp.broken.Load() {
+		return false
+	}
+	sqp.inuse.Add(1)
+	if sqp.broken.Load() {
+		sqp.inuse.Add(-1)
+		return false
+	}
+	return true
+}
+
+// exit ends a critical section begun by enter.
+func (sqp *serverQP) exit() { sqp.inuse.Add(-1) }
 
 // workUnit carries one inbound coalesced message's requests to the worker
 // pool; the worker executes every handler and flushes the coalesced
@@ -192,6 +217,9 @@ func (n *Node) serveDispatch(i int) {
 				if sqp.gid%n.opts.Dispatchers != i {
 					continue
 				}
+				if !sqp.enter() {
+					continue // under recycle
+				}
 				if n.pumpRequests(sqp) {
 					busy = true
 				}
@@ -205,6 +233,7 @@ func (n *Node) serveDispatch(i int) {
 						sqp.routeCompletion(comp)
 					}
 				}
+				sqp.exit()
 			}
 		}
 		if busy {
@@ -318,6 +347,12 @@ func (n *Node) flushResponses(sqp *serverQP, out []respOut) {
 
 	var res reservation
 	for i := 0; ; i++ {
+		if sqp.broken.Load() {
+			// QP under recycle: the client already failed these requests;
+			// drop the responses rather than wedge the flush path (and the
+			// recycler waiting on respMu) against a dead consumer.
+			return
+		}
 		var ok bool
 		res, ok = sqp.respProd.reserve(msgLen)
 		if ok {
@@ -401,10 +436,14 @@ func (sqp *serverQP) requestRespHeadRefresh() {
 	}
 }
 
-// routeCompletion handles one server-side send completion.
+// routeCompletion handles one server-side send completion. A failed
+// refresh read leaves the cached head alone (the readback slot holds
+// garbage); the client-driven recycle heals the QP.
 func (sqp *serverQP) routeCompletion(comp rnic.Completion) {
 	if comp.WRID&tagMask == tagFresh {
-		sqp.respProd.updateCached(sqp.readback.Load64(0))
+		if comp.Status == rnic.StatusOK {
+			sqp.respProd.updateCached(sqp.readback.Load64(0))
+		}
 		sqp.refresh.Store(false)
 	}
 }

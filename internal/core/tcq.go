@@ -3,6 +3,7 @@ package core
 import (
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"flock/internal/rnic"
 )
@@ -32,14 +33,25 @@ const (
 	opMem
 )
 
-// Node states / verdicts. waiting→leader or waiting→{copy→}sent/migrate.
+// Node states / verdicts. waiting→leader, or
+// waiting→claimed{→copy→claimed}→sent/migrate, or waiting→timedout.
+//
+// The claimed/timedout pair is the stall-guard protocol: a leader must win
+// a CAS from waiting before touching a follower's node, and a follower
+// gives up waiting only by winning the same CAS. Whoever wins owns the
+// node; the loser walks away. A follower whose node was claimed can no
+// longer time out — the leader's own waits are stall-bounded, so a verdict
+// is guaranteed — and a leader never stages or posts a node it failed to
+// claim.
 const (
-	stateWaiting uint32 = iota
-	stateLeader         // promoted: this thread must run the leader path
-	stateCopy           // follower: buffer assigned, copy payload now
-	stateSent           // verdict: operation posted on the QP
-	stateMigrate        // verdict: QP deactivated, re-submit on another QP
-	stateAborted        // verdict: connection closing
+	stateWaiting  uint32 = iota
+	stateLeader          // promoted: this thread must run the leader path
+	stateClaimed         // leader owns the node; follower timeout disabled
+	stateCopy            // follower: buffer assigned, copy payload now
+	stateSent            // verdict: operation posted on the QP
+	stateMigrate         // verdict: QP deactivated, re-submit on another QP
+	stateAborted         // verdict: connection closing
+	stateTimedOut        // follower abandoned the node after a stall timeout
 )
 
 // tcqNode is one thread's slot in the combining queue.
@@ -103,29 +115,46 @@ func (q *tcq) claimBatch(head *tcqNode, max int) []*tcqNode {
 	return batch
 }
 
-// handoff passes leadership after the leader finished with batch. If a
-// node beyond the batch exists (or arrives concurrently), it is promoted
-// to leader; otherwise the queue is closed out.
+// handoff passes leadership after the leader finished with batch. The
+// first successor still waiting is promoted by CAS; successors that timed
+// out and left are skipped (their abandoned nodes stay linked in the chain
+// purely as stepping stones). If no live successor exists, the queue is
+// closed out.
 func (q *tcq) handoff(last *tcqNode) {
-	next := last.next.Load()
-	if next == nil {
-		if q.tail.CompareAndSwap(last, nil) {
-			return // queue empty
+	cur := last
+	for {
+		next := cur.next.Load()
+		if next == nil {
+			if q.tail.CompareAndSwap(cur, nil) {
+				return // queue empty
+			}
+			// A successor swapped the tail; wait for the link.
+			for next == nil {
+				runtime.Gosched()
+				next = cur.next.Load()
+			}
 		}
-		// A successor swapped the tail; wait for the link.
-		for next == nil {
-			runtime.Gosched()
-			next = last.next.Load()
+		if next.state.CompareAndSwap(stateWaiting, stateLeader) {
+			return
 		}
+		// The successor abandoned its node (timed out); keep walking.
+		cur = next
 	}
-	next.state.Store(stateLeader)
 }
 
 // awaitVerdict spins until a final verdict (sent/migrate/aborted) or a
 // leadership promotion, passing through the copy phase by copying the
 // payload into staging. A stateLeader return means the caller must run the
-// leader path for its own node.
-func (n *tcqNode) awaitVerdict(staging *rnic.MemRegion) uint32 {
+// leader path for its own node. If stall > 0 and no leader has claimed the
+// node within that budget, the follower abandons it and returns
+// stateTimedOut — the caller re-submits a fresh node, preferably on
+// another QP (leader re-election around a stalled or descheduled leader).
+func (n *tcqNode) awaitVerdict(staging *rnic.MemRegion, stall time.Duration) uint32 {
+	var deadline time.Time
+	if stall > 0 {
+		deadline = time.Now().Add(stall)
+	}
+	spins := 0
 	for {
 		switch s := n.state.Load(); s {
 		case stateSent, stateMigrate, stateAborted, stateLeader:
@@ -137,7 +166,18 @@ func (n *tcqNode) awaitVerdict(staging *rnic.MemRegion) uint32 {
 				staging.WriteAt(n.payload, n.bufOff) //nolint:errcheck // leader sized the slot
 			}
 			n.copied.Store(1)
-			n.state.CompareAndSwap(stateCopy, stateWaiting)
+			n.state.CompareAndSwap(stateCopy, stateClaimed)
+		case stateWaiting:
+			if stall > 0 {
+				spins++
+				if spins%256 == 0 && time.Now().After(deadline) &&
+					n.state.CompareAndSwap(stateWaiting, stateTimedOut) {
+					return stateTimedOut
+				}
+			}
+		case stateClaimed:
+			// A leader owns the node; its waits are stall-bounded, so a
+			// verdict is coming. The timeout no longer applies.
 		}
 		runtime.Gosched()
 	}

@@ -29,7 +29,7 @@ func runTCQ(t *testing.T, nThreads, opsPerThread, maxBatch int) []int {
 				if !lead {
 					// Followers wait for a verdict or promotion (no
 					// staging region needed for opMem nodes).
-					if v := n.awaitVerdict(nil); v != stateLeader {
+					if v := n.awaitVerdict(nil, 0); v != stateLeader {
 						if v != stateSent {
 							t.Errorf("verdict %d", v)
 						}
@@ -156,7 +156,7 @@ func TestTCQCopyPhaseHandshake(t *testing.T) {
 
 	done := make(chan uint32, 1)
 	go func() {
-		done <- follower.awaitVerdict(nil)
+		done <- follower.awaitVerdict(nil, 0)
 	}()
 	// Leader assigns the copy phase and polls the flag.
 	follower.state.Store(stateCopy)

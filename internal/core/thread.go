@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"flock/internal/rnic"
 	"flock/internal/stats"
@@ -27,7 +28,8 @@ type Thread struct {
 	scratch     *rnic.MemRegion
 
 	assigned atomic.Int32 // scheduler-written QP index
-	curQP    int32        // thread-local: QP in current use
+	curQP    atomic.Int32 // QP in current use (recovery paths read it)
+	avoidQP  int32        // thread-local: QP to sidestep after a follower timeout
 
 	// Request statistics consumed by the thread scheduler; guarded by
 	// statMu because the scheduler reads-and-resets them.
@@ -49,6 +51,10 @@ type Response struct {
 	Status uint32
 	// Data is the response payload; owned by the caller.
 	Data []byte
+
+	// err marks a poison response injected by recovery paths (ErrQPBroken,
+	// ErrConnClosed) rather than a response off the wire.
+	err error
 }
 
 // RegisterThread creates a thread handle. The initial QP assignment is
@@ -73,7 +79,8 @@ func (c *Conn) RegisterThread() *Thread {
 		median:  stats.NewRunningMedian(32),
 	}
 	t.assigned.Store(int32(int(id) % len(c.qps)))
-	t.curQP = t.assigned.Load()
+	t.curQP.Store(t.assigned.Load())
+	t.avoidQP = -1
 	c.threadMu.Lock()
 	c.threads[id] = t
 	c.threadMu.Unlock()
@@ -99,26 +106,37 @@ func (t *Thread) pickQP() *connQP {
 	if idx < 0 || int(idx) >= len(c.qps) {
 		idx = 0
 	}
-	cur := t.curQP
-	if cur != idx && t.outstanding.Load() > 0 && c.qps[cur].active() {
-		// Finish in-flight traffic on the old QP before migrating.
+	cur := t.curQP.Load()
+	if cur != idx && t.outstanding.Load() > 1 && c.qps[cur].active() {
+		// Finish in-flight traffic on the old QP before migrating. The
+		// caller has already counted the operation being placed, so only
+		// a count above one means earlier responses are still due.
 		idx = cur
 	}
 	q := c.qps[idx]
-	if !q.active() {
+	// Scan away from a deactivated choice, and from a QP whose leader just
+	// stalled on us (avoidQP) when an alternative exists — that sidestep is
+	// the re-election onto a live QP.
+	if !q.active() || (idx == t.avoidQP && len(c.qps) > 1) {
 		for off := 1; off <= len(c.qps); off++ {
 			cand := c.qps[(int(idx)+off)%len(c.qps)]
-			if cand.active() {
+			if cand.active() && int32(cand.idx) != t.avoidQP {
 				q = cand
 				idx = int32(cand.idx)
 				break
 			}
 		}
+		if !q.active() && t.avoidQP >= 0 && int(t.avoidQP) < len(c.qps) &&
+			c.qps[t.avoidQP].active() {
+			// The avoided QP is the only active one left; use it.
+			q = c.qps[t.avoidQP]
+			idx = t.avoidQP
+		}
 	}
-	if t.curQP != idx {
+	if cur != idx {
 		c.node.metrics.migrs.Add(1)
 	}
-	t.curQP = idx
+	t.curQP.Store(idx)
 	return q
 }
 
@@ -154,16 +172,22 @@ func (t *Thread) takeStat() (ThreadStat, bool) {
 // ID. The request is coalesced with concurrent threads' requests via
 // FLock synchronization; the response arrives through RecvRes.
 func (t *Thread) SendRPC(rpcID uint32, payload []byte) (uint64, error) {
+	return t.sendRPC(rpcID, payload, time.Time{})
+}
+
+// sendRPC is SendRPC with an optional deadline bounding the submit retry
+// loop (migrations, follower timeouts).
+func (t *Thread) sendRPC(rpcID uint32, payload []byte, deadline time.Time) (uint64, error) {
 	if len(payload) > t.conn.node.opts.MaxPayload {
 		return 0, ErrPayloadTooLarge
 	}
 	if t.conn.isClosed() {
-		return 0, ErrClosed
+		return 0, t.conn.closedErr()
 	}
 	t.seq++
 	seq := t.seq
 	t.outstanding.Add(1)
-	for {
+	for i := 0; ; i++ {
 		q := t.pickQP()
 		n := &tcqNode{
 			kind:     opRPC,
@@ -174,31 +198,59 @@ func (t *Thread) SendRPC(rpcID uint32, payload []byte) (uint64, error) {
 		}
 		switch t.conn.submit(t, q, n) {
 		case stateSent:
+			t.avoidQP = -1
 			t.recordStat(len(payload))
 			return seq, nil
+		case stateTimedOut:
+			// Our leader stalled before claiming us: re-elect on another
+			// QP if one exists.
+			t.avoidQP = int32(q.idx)
+			fallthrough
 		case stateMigrate:
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				t.outstanding.Add(-1)
+				return 0, ErrTimeout
+			}
+			idleBackoff(i)
 			continue // re-read assignment and retry (§5.2)
 		default:
 			t.outstanding.Add(-1)
-			return 0, ErrClosed
+			return 0, t.conn.closedErr()
 		}
 	}
 }
 
+// closedErr picks the error matching why the connection is unusable.
+func (c *Conn) closedErr() error {
+	if c.failed.Load() {
+		return ErrConnClosed
+	}
+	return ErrClosed
+}
+
 // RecvRes blocks until the next RPC response for this thread arrives
 // (fl_recv_res). Responses may arrive in any order when multiple requests
-// are outstanding; match them by Response.Seq.
+// are outstanding; match them by Response.Seq. Poison responses injected
+// by recovery surface as typed errors: ErrQPBroken for in-flight requests
+// lost to a broken QP (retry at the caller's discretion), ErrConnClosed
+// when the handle is closed.
 func (t *Thread) RecvRes() (Response, error) {
 	select {
 	case r := <-t.respCh:
+		if r.err != nil {
+			return Response{}, r.err
+		}
 		if r.Status == StatusConnClosed {
-			return Response{}, ErrClosed
+			return Response{}, ErrConnClosed
 		}
 		return r, nil
 	case <-t.conn.closedCh():
 		// Drain anything already delivered before reporting closure.
 		select {
 		case r := <-t.respCh:
+			if r.err != nil {
+				return Response{}, r.err
+			}
 			return r, nil
 		default:
 			return Response{}, ErrClosed
@@ -207,11 +259,15 @@ func (t *Thread) RecvRes() (Response, error) {
 }
 
 // Call is the synchronous convenience wrapper: SendRPC then RecvRes.
-// Don't interleave Call with outstanding async requests on the same
-// thread — the response it returns is matched by sequence ID, and any
+// When Options.RPCTimeout is set it behaves as CallWithDeadline with that
+// budget. Don't interleave Call with outstanding async requests on the
+// same thread — the response it returns is matched by sequence ID, and any
 // other responses received while waiting are surfaced to RecvRes callers
 // in order, which a mixed usage pattern would confuse.
 func (t *Thread) Call(rpcID uint32, payload []byte) (Response, error) {
+	if to := t.conn.node.opts.RPCTimeout; to > 0 {
+		return t.CallWithDeadline(rpcID, payload, to)
+	}
 	seq, err := t.SendRPC(rpcID, payload)
 	if err != nil {
 		return Response{}, err
@@ -228,14 +284,143 @@ func (t *Thread) Call(rpcID uint32, payload []byte) (Response, error) {
 	}
 }
 
+// CallWithDeadline is Call bounded by a total time budget. Attempts whose
+// per-attempt wait expires are retried with a fresh sequence ID and an
+// exponentially growing wait until the budget runs out, then ErrTimeout.
+// Each expiry is a strike against the QP in use; enough strikes break it
+// and trigger the background recycle (the server end of a QP failing is
+// invisible to the client NIC — timeouts are the detection signal).
+//
+// Delivery is at-least-once under retries: a request whose response was
+// merely late may execute on the server more than once. Responses to
+// abandoned attempts are dropped by sequence matching, so the caller sees
+// exactly one response.
+func (t *Thread) CallWithDeadline(rpcID uint32, payload []byte, budget time.Duration) (Response, error) {
+	if budget <= 0 {
+		return t.Call(rpcID, payload)
+	}
+	deadline := time.Now().Add(budget)
+	// First attempt gets a quarter of the budget (at least a millisecond),
+	// leaving room for recovery plus retry; later attempts double.
+	attemptWait := budget / 4
+	if attemptWait < time.Millisecond {
+		attemptWait = time.Millisecond
+	}
+	timer := time.NewTimer(attemptWait)
+	defer timer.Stop()
+	for {
+		seq, err := t.sendRPC(rpcID, payload, deadline)
+		if err != nil {
+			return Response{}, err
+		}
+		aDeadline := time.Now().Add(attemptWait)
+		if aDeadline.After(deadline) {
+			aDeadline = deadline
+		}
+		r, err, ok := t.recvSeq(seq, aDeadline, timer)
+		if err != nil {
+			return Response{}, err
+		}
+		if ok {
+			cur := t.curQP.Load()
+			if cur >= 0 && int(cur) < len(t.conn.qps) {
+				t.conn.qps[cur].timeouts.Store(0) // healthy again
+			}
+			return r, nil
+		}
+		// Attempt failed (timeout or broken QP): the request is abandoned,
+		// so release its outstanding slot — recovery sizes its poison burst
+		// from this counter, and a leaked slot per failed attempt keeps the
+		// mailbox saturated with poison. A late response is dropped as
+		// stale either way. CAS (rather than Add) avoids racing a
+		// concurrent failInflight Swap(0) into negative counts.
+		if o := t.outstanding.Load(); o > 0 {
+			t.outstanding.CompareAndSwap(o, o-1)
+		}
+		cur := t.curQP.Load()
+		if cur >= 0 && int(cur) < len(t.conn.qps) {
+			t.conn.noteTimeout(t.conn.qps[cur])
+		}
+		if !time.Now().Before(deadline) {
+			return Response{}, ErrTimeout
+		}
+		attemptWait *= 2
+	}
+}
+
+// recvSeq waits for the response matching seq until aDeadline. It returns
+// (resp, nil, true) on a match; (_, nil, false) when the attempt should be
+// retried (deadline expired, or the in-flight request died with its QP);
+// (_, err, false) on fatal errors. Stale responses from abandoned attempts
+// are dropped.
+func (t *Thread) recvSeq(seq uint64, aDeadline time.Time, timer *time.Timer) (Response, error, bool) {
+	for {
+		d := time.Until(aDeadline)
+		if d <= 0 {
+			return Response{}, nil, false
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(d)
+		select {
+		case r := <-t.respCh:
+			for {
+				if r.err != nil {
+					if r.err != ErrQPBroken {
+						return Response{}, r.err, false
+					}
+					// Poison from a broken QP: absorb the whole burst
+					// already queued before retrying — returning on the
+					// first one would leave the mailbox saturated with
+					// stale poison and starve real responses forever.
+					select {
+					case r = <-t.respCh:
+						continue
+					default:
+					}
+					return Response{}, nil, false // retry on a recycled/other QP
+				}
+				if r.Status == StatusConnClosed {
+					return Response{}, ErrConnClosed, false
+				}
+				if r.Seq == seq {
+					return r, nil, true
+				}
+				// Stale response from an abandoned attempt; drop it.
+				break
+			}
+		case <-timer.C:
+			return Response{}, nil, false
+		case <-t.conn.closedCh():
+			return Response{}, t.conn.closedErr(), false
+		}
+	}
+}
+
 // memOp runs one one-sided operation through FLock synchronization and
-// waits for its completion (§6).
+// waits for its completion (§6). With Options.RPCTimeout set, the
+// completion wait is bounded and expiry returns ErrTimeout.
 func (t *Thread) memOp(wr rnic.SendWR, size int) (rnic.Status, error) {
 	if t.conn.isClosed() {
-		return rnic.StatusQPError, ErrClosed
+		return rnic.StatusQPError, t.conn.closedErr()
+	}
+	// Drain a stale wakeup left over from a poisoned earlier operation (the
+	// channel has capacity one and recovery sends are non-blocking, so a
+	// leftover token would satisfy this op's wait prematurely).
+	select {
+	case <-t.memCh:
+	default:
 	}
 	t.seq++
-	for {
+	var deadline time.Time
+	if to := t.conn.node.opts.RPCTimeout; to > 0 {
+		deadline = time.Now().Add(to)
+	}
+	for i := 0; ; i++ {
 		q := t.pickQP()
 		n := &tcqNode{
 			kind:     opMem,
@@ -245,17 +430,38 @@ func (t *Thread) memOp(wr rnic.SendWR, size int) (rnic.Status, error) {
 		}
 		switch t.conn.submit(t, q, n) {
 		case stateSent:
+			t.avoidQP = -1
 			t.recordStat(size)
+			if deadline.IsZero() {
+				select {
+				case st := <-t.memCh:
+					return st, nil
+				case <-t.conn.closedCh():
+					return rnic.StatusQPError, t.conn.closedErr()
+				}
+			}
+			timer := time.NewTimer(time.Until(deadline))
+			defer timer.Stop()
 			select {
 			case st := <-t.memCh:
 				return st, nil
+			case <-timer.C:
+				t.conn.noteTimeout(q)
+				return rnic.StatusQPError, ErrTimeout
 			case <-t.conn.closedCh():
-				return rnic.StatusQPError, ErrClosed
+				return rnic.StatusQPError, t.conn.closedErr()
 			}
+		case stateTimedOut:
+			t.avoidQP = int32(q.idx)
+			fallthrough
 		case stateMigrate:
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				return rnic.StatusQPError, ErrTimeout
+			}
+			idleBackoff(i)
 			continue
 		default:
-			return rnic.StatusQPError, ErrClosed
+			return rnic.StatusQPError, t.conn.closedErr()
 		}
 	}
 }
@@ -334,8 +540,14 @@ func (t *Thread) CompareSwap(r *RemoteRegion, off int, expect, swap uint64) (uin
 	return t.scratch.Load64(0), nil
 }
 
-// statusError converts a completion status to an error.
+// statusError converts a completion status to an error. QP-failure
+// statuses map to ErrQPBroken — the operation was lost to a broken QP
+// (now recycling in the background) and may be retried; other statuses
+// are protocol errors wrapped in OpError.
 func statusError(st rnic.Status) error {
+	if qpFailureStatus(st) {
+		return ErrQPBroken
+	}
 	return &OpError{Status: st}
 }
 

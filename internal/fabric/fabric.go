@@ -62,6 +62,15 @@ type Fabric struct {
 	endpoints map[NodeID]Endpoint
 	links     map[linkKey]*LinkStats
 	rng       *stats.RNG
+
+	// Fault injection (faults.go). plan and faultRNG are nil until
+	// SetFaultPlan installs a plan; manualDown holds links forced down via
+	// SetLinkDown.
+	plan       *FaultPlan
+	faultRNG   *stats.RNG
+	faults     []*linkFaultState
+	manualDown map[linkKey]bool
+	fstats     FaultStats
 }
 
 type linkKey struct {
@@ -137,11 +146,17 @@ func (f *Fabric) ChargeTX(src, dst NodeID, bytes int) int {
 // DropUD decides whether an unreliable datagram from src to dst is lost in
 // flight, recording the drop if so.
 func (f *Fabric) DropUD(src, dst NodeID) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	// Link-down windows drop datagrams too: a flapped link carries nothing.
+	if (len(f.faults) > 0 || len(f.manualDown) > 0) && f.stepLinkFaultsLocked(src, dst, 0) {
+		f.fstats.LinkDownDrops++
+		f.link(src, dst).Dropped++
+		return true
+	}
 	if f.cfg.UDLossProb <= 0 {
 		return false
 	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
 	if f.rng.Float64() >= f.cfg.UDLossProb {
 		return false
 	}

@@ -24,6 +24,13 @@ type Config struct {
 	// that finds no receive buffer on an RC responder before completing
 	// with StatusRNRExceeded. Zero means 1000.
 	RNRRetries int
+	// RCRetries bounds how many times the pipeline retransmits an RC work
+	// request whose transmission the fabric faults (loss, corruption,
+	// link-down) before completing it with StatusRetryExceeded and moving
+	// the QP to the error state — the IBTA transport retry counter. Zero
+	// means 7, the hardware maximum. Faults only occur when the fabric has
+	// a FaultPlan installed.
+	RCRetries int
 }
 
 // Counters aggregates device activity. All fields are written atomically by
@@ -56,6 +63,16 @@ type Counters struct {
 	RNRWaits uint64
 	// AtomicOps counts executed fetch-add/cmp-swap verbs.
 	AtomicOps uint64
+	// RCRetransmits counts RC transmission attempts repeated after an
+	// injected fault; RCRetryExhausted counts WRs whose retry budget ran
+	// out (each moves its QP to the error state).
+	RCRetransmits    uint64
+	RCRetryExhausted uint64
+	// WRFlushed counts work requests flushed with StatusWRFlush when
+	// their QP entered the error state.
+	WRFlushed uint64
+	// UDCorrupted counts UD payloads delivered corrupted by the fabric.
+	UDCorrupted uint64
 }
 
 func (c *Counters) add(f *uint64, n uint64) { atomic.AddUint64(f, n) }
@@ -76,6 +93,10 @@ func (c *Counters) snapshot() Counters {
 		UDDropsWire:           atomic.LoadUint64(&c.UDDropsWire),
 		RNRWaits:              atomic.LoadUint64(&c.RNRWaits),
 		AtomicOps:             atomic.LoadUint64(&c.AtomicOps),
+		RCRetransmits:         atomic.LoadUint64(&c.RCRetransmits),
+		RCRetryExhausted:      atomic.LoadUint64(&c.RCRetryExhausted),
+		WRFlushed:             atomic.LoadUint64(&c.WRFlushed),
+		UDCorrupted:           atomic.LoadUint64(&c.UDCorrupted),
 	}
 }
 
@@ -107,6 +128,9 @@ type Device struct {
 func NewDevice(fab *fabric.Fabric, cfg Config) (*Device, error) {
 	if cfg.RNRRetries <= 0 {
 		cfg.RNRRetries = 1000
+	}
+	if cfg.RCRetries <= 0 {
+		cfg.RCRetries = 7
 	}
 	if cfg.CQDepth <= 0 {
 		cfg.CQDepth = 4096
@@ -192,6 +216,20 @@ func (d *Device) CreateQP(t Transport, sendCQ, recvCQ *CQ) (*QP, error) {
 	d.nextQPN++
 	d.qps[q.qpn] = q
 	return q, nil
+}
+
+// DestroyQP removes the QP with the given number from the device's table,
+// flushing any queued work requests as error completions first. Recovery
+// layers that recycle broken QPs use it so repeatedly flapping connections
+// do not accumulate dead queue pairs.
+func (d *Device) DestroyQP(qpn int) {
+	d.mu.Lock()
+	q := d.qps[qpn]
+	delete(d.qps, qpn)
+	d.mu.Unlock()
+	if q != nil {
+		q.enterError()
+	}
 }
 
 // QPByNumber returns the local QP with the given number, or nil.

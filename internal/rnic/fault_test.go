@@ -1,0 +1,151 @@
+package rnic
+
+import (
+	"testing"
+	"time"
+
+	"flock/internal/fabric"
+)
+
+// pollDeadline drains cq until a completion arrives or the deadline
+// passes, yielding between polls.
+func pollDeadline(t *testing.T, cq *CQ, d time.Duration) (Completion, bool) {
+	t.Helper()
+	var buf [1]Completion
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cq.Poll(buf[:]) == 1 {
+			return buf[0], true
+		}
+		time.Sleep(10 * time.Microsecond)
+	}
+	return Completion{}, false
+}
+
+func TestRCRetransmitRecovers(t *testing.T) {
+	// Moderate injected loss with a healthy retry budget: every WR still
+	// completes OK, but the device records retransmissions.
+	d1, d2 := testPair(t, fabric.Config{}, Config{RCRetries: 16}, Config{})
+	d1.Fabric().SetFaultPlan(&fabric.FaultPlan{Seed: 42, RCLossProb: 0.3})
+	qa, _, err := ConnectPair(d1, d2, RC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, _ := d2.RegisterMR(4096, PermRemoteWrite)
+	for i := 0; i < 50; i++ {
+		if err := qa.PostSend(SendWR{
+			WRID: uint64(i), Op: OpWrite, Inline: []byte("x"),
+			RKey: remote.RKey(), RemoteOff: i, Signaled: true,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		c, ok := pollDeadline(t, qa.SendCQ(), 5*time.Second)
+		if !ok || c.Status != StatusOK {
+			t.Fatalf("wr %d: ok=%v comp=%+v", i, ok, c)
+		}
+	}
+	if st := d1.Stats(); st.RCRetransmits == 0 {
+		t.Fatal("0.3 loss over 50 WRs produced no retransmissions")
+	} else if st.RCRetryExhausted != 0 {
+		t.Fatalf("retry budget 16 exhausted %d times", st.RCRetryExhausted)
+	}
+}
+
+func TestRCRetryExhaustionBreaksQPAndFlushes(t *testing.T) {
+	// A down link exhausts the retry budget: the first WR completes with
+	// StatusRetryExceeded, everything queued behind it flushes, and the QP
+	// rejects further posts.
+	d1, d2 := testPair(t, fabric.Config{}, Config{RCRetries: 3}, Config{})
+	qa, _, err := ConnectPair(d1, d2, RC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, _ := d2.RegisterMR(4096, PermRemoteWrite)
+	d1.Fabric().SetLinkDown(d1.Node(), d2.Node(), true)
+
+	var wrs []SendWR
+	for i := 0; i < 5; i++ {
+		wrs = append(wrs, SendWR{
+			WRID: uint64(i), Op: OpWrite, Inline: []byte("x"),
+			RKey: remote.RKey(), RemoteOff: i, Signaled: true,
+		})
+	}
+	if err := qa.PostSend(wrs...); err != nil {
+		t.Fatal(err)
+	}
+	statuses := map[uint64]Status{}
+	for len(statuses) < 5 {
+		c, ok := pollDeadline(t, qa.SendCQ(), 5*time.Second)
+		if !ok {
+			t.Fatalf("only %d of 5 completions arrived", len(statuses))
+		}
+		statuses[c.WRID] = c.Status
+	}
+	if statuses[0] != StatusRetryExceeded {
+		t.Fatalf("wr 0 status = %v, want retry-exceeded", statuses[0])
+	}
+	for i := uint64(1); i < 5; i++ {
+		if statuses[i] != StatusWRFlush {
+			t.Fatalf("wr %d status = %v, want wr-flush", i, statuses[i])
+		}
+	}
+	if !qa.InError() {
+		t.Fatal("QP not in error state after retry exhaustion")
+	}
+	if err := qa.PostSend(SendWR{Op: OpWrite, Inline: []byte("x"), RKey: remote.RKey()}); err != ErrQPErrorState {
+		t.Fatalf("post on broken QP: %v", err)
+	}
+	st := d1.Stats()
+	if st.RCRetryExhausted != 1 || st.WRFlushed < 4 {
+		t.Fatalf("exhausted=%d flushed=%d", st.RCRetryExhausted, st.WRFlushed)
+	}
+
+	// The link coming back does not resurrect the QP — recovery is the
+	// owner's business (QP recycle in internal/core).
+	d1.Fabric().SetLinkDown(d1.Node(), d2.Node(), false)
+	if !qa.InError() {
+		t.Fatal("QP left error state on its own")
+	}
+}
+
+func TestLinkFlapSchedule(t *testing.T) {
+	// A scheduled flap: first DownAfter attempts pass, the next DownFor
+	// attempts drop, then the link recovers.
+	fab := fabric.New(fabric.Config{})
+	fab.SetFaultPlan(&fabric.FaultPlan{
+		Links: []fabric.LinkFault{{Src: 1, Dst: 2, DownAfter: 3, DownFor: 2}},
+	})
+	want := []bool{false, false, false, true, true, false, false}
+	for i, w := range want {
+		drop, _ := fab.FaultRC(1, 2, 0)
+		if drop != w {
+			t.Fatalf("attempt %d: drop=%v want %v", i, drop, w)
+		}
+	}
+	// Wrong direction is unaffected.
+	if drop, _ := fab.FaultRC(2, 1, 0); drop {
+		t.Fatal("reverse link dropped")
+	}
+	if fs := fab.FaultCounters(); fs.LinkDownDrops != 2 {
+		t.Fatalf("LinkDownDrops = %d", fs.LinkDownDrops)
+	}
+}
+
+func TestDestroyQPFlushesQueued(t *testing.T) {
+	d1, d2 := testPair(t, fabric.Config{}, Config{}, Config{})
+	qa, _, err := ConnectPair(d1, d2, RC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := qa.PostRecv(RecvWR{WRID: 9}); err != nil {
+		t.Fatal(err)
+	}
+	d1.DestroyQP(qa.QPN())
+	if d1.QPByNumber(qa.QPN()) != nil {
+		t.Fatal("destroyed QP still resolvable")
+	}
+	c, ok := pollDeadline(t, qa.RecvCQ(), time.Second)
+	if !ok || c.Status != StatusWRFlush || c.WRID != 9 {
+		t.Fatalf("recv flush: ok=%v comp=%+v", ok, c)
+	}
+}

@@ -12,6 +12,15 @@ import (
 // and the responder NIC touching its context and performing DMA against
 // the target memory region.
 func (d *Device) execute(q *QP, wr *SendWR) {
+	// A QP that entered the error state while this WR sat in the pipeline
+	// flushes it unexecuted, exactly as enterError does for still-queued
+	// WRs.
+	if q.transport != UD && q.InError() {
+		d.counters.add(&d.counters.WRFlushed, 1)
+		d.complete(q, wr, StatusWRFlush, 0)
+		return
+	}
+
 	// Requester-side connection-context access (UD uses one context for
 	// all peers — that is precisely its scalability advantage, §2.2).
 	d.cacheAccess(int(d.cfg.Node), q.qpn)
@@ -41,16 +50,38 @@ func (d *Device) execute(q *QP, wr *SendWR) {
 
 	// UD wire loss: the sender still sees a successful completion — UD
 	// has no acknowledgements (Table 1).
-	if q.transport == UD && d.fab.DropUD(d.cfg.Node, fabric.NodeID(dstNode)) {
-		d.counters.add(&d.counters.UDDropsWire, 1)
-		d.complete(q, wr, StatusOK, len(payload))
-		return
+	if q.transport == UD {
+		if d.fab.DropUD(d.cfg.Node, fabric.NodeID(dstNode)) {
+			d.counters.add(&d.counters.UDDropsWire, 1)
+			d.complete(q, wr, StatusOK, len(payload))
+			return
+		}
+		// UD has no end-to-end integrity check: injected corruption is
+		// delivered.
+		if mangled, ok := d.fab.MangleUD(d.cfg.Node, fabric.NodeID(dstNode), payload); ok {
+			d.counters.add(&d.counters.UDCorrupted, 1)
+			payload = mangled
+		}
+	}
+
+	// RC reliability: retransmit faulted attempts with exponential backoff
+	// until the retry budget runs out, then complete in error and break the
+	// QP, flushing everything behind this WR.
+	if q.transport == RC {
+		if !d.transmitRC(q, fabric.NodeID(dstNode), txBytes) {
+			d.counters.add(&d.counters.RCRetryExhausted, 1)
+			d.complete(q, wr, StatusRetryExceeded, 0)
+			q.enterError()
+			return
+		}
 	}
 
 	peer, ok := d.fab.Lookup(fabric.NodeID(dstNode)).(*Device)
 	if peer == nil || !ok {
 		d.complete(q, wr, StatusRemoteAccess, 0)
-		q.setError()
+		if q.transport != UD {
+			q.enterError()
+		}
 		return
 	}
 
@@ -74,10 +105,48 @@ func (d *Device) execute(q *QP, wr *SendWR) {
 
 	if status != StatusOK && q.transport != UD {
 		// Fatal completions move connected QPs to the error state, like
-		// hardware.
-		defer q.setError()
+		// hardware; queued WRs behind the failure flush.
+		defer q.enterError()
 	}
 	d.complete(q, wr, status, byteLen)
+}
+
+// transmitRC models the requester side of RC reliability: each wire
+// attempt may be faulted by the fabric (random loss, detected corruption,
+// a link-down window); lost attempts are retransmitted with exponential
+// backoff up to Config.RCRetries. Retransmissions re-charge the wire. It
+// returns false when the retry budget is exhausted or the device closes.
+func (d *Device) transmitRC(q *QP, dst fabric.NodeID, txBytes int) bool {
+	for attempt := 0; ; attempt++ {
+		drop, delay := d.fab.FaultRC(d.cfg.Node, dst, q.qpn)
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		if !drop {
+			return true
+		}
+		if attempt >= d.cfg.RCRetries {
+			return false
+		}
+		d.counters.add(&d.counters.RCRetransmits, 1)
+		pkts := d.fab.ChargeTX(d.cfg.Node, dst, txBytes)
+		d.counters.add(&d.counters.PacketsTX, uint64(pkts))
+		d.counters.add(&d.counters.BytesTX, uint64(txBytes))
+		if attempt < 2 {
+			runtime.Gosched()
+		} else {
+			back := time.Microsecond << uint(attempt)
+			if back > 64*time.Microsecond {
+				back = 64 * time.Microsecond
+			}
+			time.Sleep(back)
+		}
+		select {
+		case <-d.closed:
+			return false
+		default:
+		}
+	}
 }
 
 // cacheAccess touches the device's connection cache and updates counters.

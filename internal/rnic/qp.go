@@ -283,11 +283,33 @@ func (q *QP) popRecv() (RecvWR, bool) {
 	return wr, true
 }
 
-// setError moves the QP to the error state; subsequent posts fail.
-func (q *QP) setError() {
+// enterError moves the QP to the error state and flushes every queued work
+// request — send and receive — as a StatusWRFlush error completion, the
+// way hardware retires outstanding WQEs of a broken QP (IBTA WR_FLUSH_ERR).
+// Owners of in-flight requests observe the flushes on the CQs and can
+// recover; subsequent posts fail with ErrQPErrorState.
+func (q *QP) enterError() {
 	q.mu.Lock()
 	q.state = qpError
+	sends := q.sendq
+	recvs := q.recvq
+	q.sendq = nil
+	q.recvq = nil
 	q.mu.Unlock()
+	for i := range sends {
+		q.dev.counters.add(&q.dev.counters.WRFlushed, 1)
+		q.dev.counters.add(&q.dev.counters.CompletionsDelivered, 1)
+		q.sendCQ.push(Completion{
+			WRID: sends[i].WRID, Status: StatusWRFlush, Opcode: sends[i].Op, QPN: q.qpn,
+		})
+	}
+	for i := range recvs {
+		q.dev.counters.add(&q.dev.counters.WRFlushed, 1)
+		q.dev.counters.add(&q.dev.counters.CompletionsDelivered, 1)
+		q.recvCQ.push(Completion{
+			WRID: recvs[i].WRID, Status: StatusWRFlush, Opcode: OpRecv, QPN: q.qpn,
+		})
+	}
 }
 
 // InError reports whether the QP is in the error state.

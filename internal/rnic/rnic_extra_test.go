@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"flock/internal/fabric"
 )
@@ -76,10 +77,13 @@ func TestSharedCQAcrossQPs(t *testing.T) {
 		}
 	}
 	// All four immediates land on the one shared CQ, each naming its QP.
+	// Drain against a time deadline, yielding between polls: an
+	// iteration-count spin can burn its whole budget before the device
+	// pipeline goroutine is ever scheduled on a small GOMAXPROCS.
 	seen := map[int]bool{}
 	var buf [8]Completion
-	deadline := 0
-	for len(seen) < 4 && deadline < 1_000_000 {
+	deadline := time.Now().Add(5 * time.Second)
+	for len(seen) < 4 && time.Now().Before(deadline) {
 		n := shared.Poll(buf[:])
 		for _, c := range buf[:n] {
 			if !c.ImmValid {
@@ -87,7 +91,9 @@ func TestSharedCQAcrossQPs(t *testing.T) {
 			}
 			seen[c.QPN] = true
 		}
-		deadline++
+		if n == 0 {
+			runtime.Gosched()
+		}
 	}
 	if len(seen) != 4 {
 		t.Fatalf("saw %d distinct QPNs on shared CQ", len(seen))

@@ -133,6 +133,15 @@ const (
 	// StatusLenError indicates a receive buffer was too small for the
 	// incoming payload.
 	StatusLenError
+	// StatusRetryExceeded indicates the RC retransmission budget was
+	// exhausted (transport retry counter, like IBTA retry_cnt): the fabric
+	// faulted every attempt and the QP moved to the error state.
+	StatusRetryExceeded
+	// StatusWRFlush indicates the work request was flushed without
+	// execution because its QP entered the error state (IBTA
+	// WR_FLUSH_ERR). Outstanding WRs of a broken QP complete with this
+	// status so their owners can recover.
+	StatusWRFlush
 )
 
 // String returns a short status name.
@@ -148,6 +157,10 @@ func (s Status) String() string {
 		return "qp-error"
 	case StatusLenError:
 		return "len-error"
+	case StatusRetryExceeded:
+		return "retry-exceeded"
+	case StatusWRFlush:
+		return "wr-flush"
 	default:
 		return fmt.Sprintf("Status(%d)", int(s))
 	}
