@@ -1,11 +1,20 @@
 #!/bin/sh
 # ci.sh — the checks every change must pass, in the order CI runs them.
-# The race run is scoped to the concurrent packages (the FLock core and
-# the software RNIC); the model/simulation packages are single-threaded
-# and dominate wall-clock, so racing them buys nothing.
+# The race run is scoped to the concurrent packages (the FLock core, the
+# software RNIC, and the buffer pool); the model/simulation packages are
+# single-threaded and dominate wall-clock, so racing them buys nothing.
 set -eux
 
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/core ./internal/rnic
+go test -race ./internal/core ./internal/rnic ./internal/mem
+
+# Allocation-regression gate: the pooled hot path must stay near its
+# measured 2 allocs/op echo exchange (ceiling enforced by the test).
+go test -run TestEchoAllocRegressionGate -count=1 .
+
+# One-iteration benchmark smoke: every benchmark must still build and run
+# (catches bit-rot in the bench harness without paying full measurement
+# time).
+go test -run '^$' -bench . -benchtime=1x ./...

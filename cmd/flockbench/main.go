@@ -198,9 +198,11 @@ func liveEchoThroughput(opts core.Options, nClients, nThreads, window int, dur t
 						}
 					}
 					for k := 0; k < window; k++ {
-						if _, err := th.RecvRes(); err != nil {
+						r, err := th.RecvRes()
+						if err != nil {
 							return
 						}
+						r.Release()
 						ops.Add(1)
 					}
 				}
@@ -267,9 +269,11 @@ func runSignalAblation(quick bool) {
 						return
 					default:
 					}
-					if _, err := th.Call(1, []byte("signal-sweep")); err != nil {
+					r, err := th.Call(1, []byte("signal-sweep"))
+					if err != nil {
 						return
 					}
+					r.Release()
 					ops.Add(1)
 				}
 			}()
@@ -374,9 +378,11 @@ func runSyncMicro(quick bool) {
 						return
 					default:
 					}
-					if _, err := th.Call(1, buf); err != nil {
+					r, err := th.Call(1, buf)
+					if err != nil {
 						return
 					}
+					r.Release()
 					ops.Add(1)
 				}
 			}()

@@ -15,6 +15,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -36,6 +39,7 @@ func main() {
 		maxAQP     = flag.Int("max-aqp", 0, "MAX_AQP override (0 = default 256)")
 		faults     = flag.String("faults", "", "fault spec, e.g. seed=7,rc-loss=0.01,flap=3 (see fabric.ParseFaultPlan)")
 		rpcTimeout = flag.Duration("rpc-timeout", 0, "per-RPC deadline (0 = none; implied 100ms when -faults is set)")
+		pprofDir   = flag.String("pprof", "", "directory to write cpu.pprof and heap.pprof into")
 	)
 	flag.Parse()
 
@@ -103,6 +107,25 @@ func main() {
 			})
 		}
 	}
+
+	var cpuProf *os.File
+	if *pprofDir != "" {
+		if err := os.MkdirAll(*pprofDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		cpuProf, err = os.Create(filepath.Join(*pprofDir, "cpu.pprof"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(cpuProf); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// MemStats baseline after setup: the deltas below isolate the steady
+	// state of the measurement window from node/connection construction.
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
@@ -179,6 +202,7 @@ func main() {
 					w.hist.Record(uint64(time.Since(p.at).Nanoseconds()))
 					w.ops++
 				}
+				resp.Release() // recycle the pooled response buffer
 			}
 		}(w)
 	}
@@ -186,6 +210,13 @@ func main() {
 	close(stop)
 	wg.Wait()
 	elapsed := time.Since(start)
+
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
+	if cpuProf != nil {
+		pprof.StopCPUProfile()
+		cpuProf.Close() //nolint:errcheck
+	}
 
 	all := stats.NewHist()
 	var totalOps uint64
@@ -212,6 +243,29 @@ func main() {
 	st := server.Device().Stats()
 	fmt.Printf("server NIC  doorbells=%d wrs=%d pkts=%d suppressed-cqe=%d\n",
 		st.Doorbells, st.WorkRequests, st.PacketsTX, st.CompletionsSuppressed)
+	if totalOps > 0 {
+		// Process-wide deltas over the measurement window: allocation count
+		// and bytes per completed operation, plus GC cycles. These are the
+		// numbers the pooled hot path is meant to hold flat as load grows.
+		mallocs := msAfter.Mallocs - msBefore.Mallocs
+		heapB := msAfter.TotalAlloc - msBefore.TotalAlloc
+		fmt.Printf("memory      allocs/op=%.1f heap-bytes/op=%.0f gc-cycles=%d heap-live=%dKB\n",
+			float64(mallocs)/float64(totalOps), float64(heapB)/float64(totalOps),
+			msAfter.NumGC-msBefore.NumGC, msAfter.HeapAlloc/1024)
+	}
+	if *pprofDir != "" {
+		hp, err := os.Create(filepath.Join(*pprofDir, "heap.pprof"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC() // up-to-date heap profile
+		if err := pprof.WriteHeapProfile(hp); err != nil {
+			log.Fatal(err)
+		}
+		hp.Close() //nolint:errcheck
+		fmt.Printf("pprof       wrote %s and %s\n",
+			filepath.Join(*pprofDir, "cpu.pprof"), filepath.Join(*pprofDir, "heap.pprof"))
+	}
 	if *faults != "" {
 		var failed uint64
 		for _, w := range workersList {

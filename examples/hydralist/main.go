@@ -117,6 +117,7 @@ func main() {
 				if err != nil {
 					return
 				}
+				resp.Release() // only Seq is needed; recycle the buffer
 				p, ok := pending[resp.Seq]
 				if !ok {
 					continue

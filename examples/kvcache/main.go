@@ -88,17 +88,21 @@ func main() {
 				key := uint64(w*1000 + i)
 				binary.LittleEndian.PutUint64(req[0:], key)
 				binary.LittleEndian.PutUint64(req[8:], key*7)
-				if r, err := th.Call(rpcPut, req); err != nil || r.Data[0] != 1 {
+				r, err := th.Call(rpcPut, req)
+				if err != nil || r.Data[0] != 1 {
 					log.Printf("put %d failed: %v", key, err)
 					return
 				}
+				r.Release()
 				puts.Add(1)
-				r, err := th.Call(rpcGet, req[:8])
+				r, err = th.Call(rpcGet, req[:8])
 				if err != nil {
 					log.Printf("get %d failed: %v", key, err)
 					return
 				}
-				if got := binary.LittleEndian.Uint64(r.Data); got != key*7 {
+				got := binary.LittleEndian.Uint64(r.Data)
+				r.Release()
+				if got != key*7 {
 					log.Printf("get %d = %d, want %d", key, got, key*7)
 					return
 				}

@@ -47,6 +47,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("rpc: %s\n", resp.Data)
+	resp.Release() // Data is a view of a pooled buffer; recycle it
 
 	// --- One-sided memory operations (fl_attach_mreg, fl_read, fl_write) ---
 	region, err := conn.AttachMemRegion(4096)
@@ -84,10 +85,12 @@ func main() {
 			defer wg.Done()
 			t := conn.RegisterThread()
 			for j := 0; j < 500; j++ {
-				if _, err := t.Call(1, []byte{byte(i), byte(j)}); err != nil {
+				r, err := t.Call(1, []byte{byte(i), byte(j)})
+				if err != nil {
 					log.Println(err)
 					return
 				}
+				r.Release()
 			}
 		}(i)
 	}

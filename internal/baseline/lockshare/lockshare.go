@@ -20,8 +20,26 @@ import (
 	"time"
 
 	"flock/internal/fabric"
+	"flock/internal/mem"
 	"flock/internal/rnic"
 )
+
+// zeroPage backs ring zeroing after consumption, replacing the per-request
+// zero-slab allocation.
+var zeroPage [4096]byte
+
+// zeroRange clears n bytes of mr starting at off using the shared zero page.
+func zeroRange(mr *rnic.MemRegion, off, n int) {
+	for n > 0 {
+		k := n
+		if k > len(zeroPage) {
+			k = len(zeroPage)
+		}
+		mr.WriteAt(zeroPage[:k], off) //nolint:errcheck // in range by construction
+		off += k
+		n -= k
+	}
+}
 
 // Message layout: 24-byte header, payload (8-aligned), 8-byte trailer.
 //
@@ -96,6 +114,7 @@ type qpShare struct {
 	respRing  *rnic.MemRegion // server writes responses here
 	tail      uint64          // request ring tail (under mu)
 	reqHead   uint64          // consumed head as last piggybacked (under mu)
+	wrScratch []rnic.SendWR   // post batch staging (under mu; PostSend copies)
 
 	// Per-thread response slots: the server writes thread t's response at
 	// slot t, so concurrent threads on one QP don't contend on response
@@ -241,8 +260,7 @@ func (s *Server) serveOne(sq *serverQP) bool {
 		return false
 	}
 	if totalLen == ^uint32(0) { // wrap marker
-		zero := make([]byte, 8)
-		sq.reqRing.WriteAt(zero, off) //nolint:errcheck
+		sq.reqRing.WriteAt(zeroPage[:8], off) //nolint:errcheck
 		sq.head += uint64(sq.ringBytes - off)
 		return true
 	}
@@ -253,7 +271,11 @@ func (s *Server) serveOne(sq *serverQP) bool {
 	if canary == 0 || sq.reqRing.Load64(off+int(totalLen)-tailBytes) != canary {
 		return false // incomplete
 	}
-	buf := make([]byte, totalLen)
+	// Copy the message once into a pooled buffer; the handler may return a
+	// view of it (echo), so the lease is held until respond has staged the
+	// response into the mirror MR.
+	b := mem.Get(int(totalLen))
+	buf := b.Data()
 	sq.reqRing.ReadAt(buf, off) //nolint:errcheck
 	size := binary.LittleEndian.Uint32(buf[4:])
 	threadID := binary.LittleEndian.Uint32(buf[16:])
@@ -268,13 +290,13 @@ func (s *Server) serveOne(sq *serverQP) bool {
 	s.served.Add(1)
 
 	// Zero and advance.
-	zeros := make([]byte, totalLen)
-	sq.reqRing.WriteAt(zeros, off) //nolint:errcheck
+	zeroRange(sq.reqRing, off, int(totalLen))
 	sq.head += uint64(totalLen)
 
 	// Respond into the thread's slot with the consumed head piggybacked
 	// in place of the canary-protected header's reserved word.
 	s.respond(sq, threadID, rpcID, resp)
+	b.Release()
 	return true
 }
 
@@ -285,7 +307,14 @@ func (s *Server) respond(sq *serverQP, threadID, rpcID uint32, resp []byte) {
 	}
 	msgLen := hdrBytes + 8 + pad8(len(resp)) + tailBytes // +8 carries the consumed head
 	slotOff := int(threadID%uint32(s.cfg.ThreadsPerQP)) * sq.slotBytes
-	buf := make([]byte, msgLen)
+	// Staging lease: the message is copied into the mirror MR below, so the
+	// buffer is recycled as soon as WriteAt returns. Clear the pad bytes
+	// between payload and canary (recycled buffers carry old data).
+	b := mem.Get(msgLen)
+	buf := b.Data()
+	for i := hdrBytes + 8 + len(resp); i < msgLen-tailBytes; i++ {
+		buf[i] = 0
+	}
 	canary := uint64(time.Now().UnixNano())<<1 | 1
 	binary.LittleEndian.PutUint32(buf[0:], uint32(msgLen))
 	binary.LittleEndian.PutUint32(buf[4:], uint32(len(resp)))
@@ -296,7 +325,8 @@ func (s *Server) respond(sq *serverQP, threadID, rpcID uint32, resp []byte) {
 	copy(buf[hdrBytes+8:], resp)
 	binary.LittleEndian.PutUint64(buf[msgLen-tailBytes:], canary)
 	sq.respMirror.WriteAt(buf, slotOff) //nolint:errcheck
-	sq.qp.PostSend(rnic.SendWR{         //nolint:errcheck
+	b.Release()
+	sq.qp.PostSend(rnic.SendWR{ //nolint:errcheck
 		Op: rnic.OpWrite, LocalMR: sq.respMirror, LocalOff: slotOff, LocalLen: msgLen,
 		RKey: sq.respRKey, RemoteOff: slotOff,
 	})
@@ -412,7 +442,7 @@ func (t *Thread) Call(rpcID uint32, payload []byte) ([]byte, error) {
 		runtime.Gosched() // wait for a response to piggyback the head
 	}
 	off := int(sh.tail) % t.c.cfg.RingBytes
-	var wrs []rnic.SendWR
+	wrs := sh.wrScratch[:0]
 	if off+msgLen > t.c.cfg.RingBytes {
 		rem := t.c.cfg.RingBytes - off
 		var marker [8]byte
@@ -425,7 +455,14 @@ func (t *Thread) Call(rpcID uint32, payload []byte) ([]byte, error) {
 		sh.tail += uint64(rem)
 		off = 0
 	}
-	buf := make([]byte, msgLen)
+	// Pooled staging lease: WriteAt copies the message into the mirror MR,
+	// so the buffer is recycled before the post. Pad bytes between payload
+	// and canary are cleared (recycled buffers carry old data).
+	b := mem.Get(msgLen)
+	buf := b.Data()
+	for i := hdrBytes + len(payload); i < msgLen-tailBytes; i++ {
+		buf[i] = 0
+	}
 	binary.LittleEndian.PutUint32(buf[0:], uint32(msgLen))
 	binary.LittleEndian.PutUint32(buf[4:], uint32(len(payload)))
 	binary.LittleEndian.PutUint64(buf[8:], canary)
@@ -434,12 +471,14 @@ func (t *Thread) Call(rpcID uint32, payload []byte) ([]byte, error) {
 	copy(buf[hdrBytes:], payload)
 	binary.LittleEndian.PutUint64(buf[msgLen-tailBytes:], canary)
 	sh.reqMirror.WriteAt(buf, off) //nolint:errcheck
+	b.Release()
 	sh.tail += uint64(msgLen)
 	wrs = append(wrs, rnic.SendWR{
 		Op: rnic.OpWrite, LocalMR: sh.reqMirror, LocalOff: off, LocalLen: msgLen,
 		RKey: sh.reqRKey, RemoteOff: off,
 	})
 	err := sh.qp.PostSend(wrs...)
+	sh.wrScratch = wrs[:0]
 	sh.mu.Unlock()
 	if err != nil {
 		return nil, err
@@ -454,7 +493,8 @@ func (t *Thread) Call(rpcID uint32, payload []byte) ([]byte, error) {
 			can := sh.respRing.Load64(slotOff + 8)
 			if can != 0 && can != t.lastSeen &&
 				sh.respRing.Load64(slotOff+int(totalLen)-tailBytes) == can {
-				rbuf := make([]byte, totalLen)
+				rb := mem.Get(int(totalLen))
+				rbuf := rb.Data()
 				sh.respRing.ReadAt(rbuf, slotOff) //nolint:errcheck
 				size := binary.LittleEndian.Uint32(rbuf[4:])
 				head := binary.LittleEndian.Uint64(rbuf[hdrBytes:])
@@ -465,8 +505,11 @@ func (t *Thread) Call(rpcID uint32, payload []byte) ([]byte, error) {
 					sh.reqHead = head
 				}
 				sh.mu.Unlock()
+				// The caller owns the returned payload, so this one copy
+				// out of the lease remains.
 				out := make([]byte, size)
 				copy(out, rbuf[hdrBytes+8:hdrBytes+8+size])
+				rb.Release()
 				return out, nil
 			}
 		}

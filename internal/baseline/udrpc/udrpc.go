@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"flock/internal/fabric"
+	"flock/internal/mem"
 	"flock/internal/rnic"
 )
 
@@ -374,23 +375,27 @@ func (s *Server) flushResponses(qp *rnic.QP, out []pendingResp) {
 				group = group[1:]
 				continue
 			}
-			payload := make([]byte, used)
-			off := 0
+			// Stage sub-responses directly into a pooled datagram buffer
+			// (no intermediate payload slab); ownership transfers to the
+			// device via SendWR.Pooled.
+			b := mem.Get(hdrBytes + used)
+			pkt := b.Data()
+			off := hdrBytes
 			for _, q := range group[:n] {
-				putLE32(payload[off:], q.seq)
-				putLE32(payload[off+4:], q.rpcID)
-				putLE32(payload[off+8:], uint32(len(q.data)))
-				copy(payload[off+12:], q.data)
+				putLE32(pkt[off:], q.seq)
+				putLE32(pkt[off+4:], q.rpcID)
+				putLE32(pkt[off+8:], uint32(len(q.data)))
+				copy(pkt[off+12:], q.data)
 				off += 12 + len(q.data)
 			}
 			s.batched.Add(uint64(n))
-			pkt := make([]byte, hdrBytes+len(payload))
 			putPktHeader(pkt, pktHeader{
 				kind: kindBatch, client: client,
-				fragCnt: uint16(n), totalLen: uint32(len(payload)),
+				fragCnt: uint16(n), totalLen: uint32(used),
 			})
-			copy(pkt[hdrBytes:], payload)
-			qp.PostSend(rnic.SendWR{Op: rnic.OpSend, Inline: pkt, Dst: group[0].dst}) //nolint:errcheck
+			if err := qp.PostSend(rnic.SendWR{Op: rnic.OpSend, Inline: pkt, Pooled: b, Dst: group[0].dst}); err != nil {
+				b.Release() // post rejected: lease stays with the caller
+			}
 			group = group[n:]
 		}
 	}
@@ -502,15 +507,21 @@ func sendFragments(qp *rnic.QP, mtu int, dst rnic.Address, kind uint8, rpcID uin
 		if hi > len(payload) {
 			hi = len(payload)
 		}
-		pkt := make([]byte, hdrBytes+hi-lo)
+		b := mem.Get(hdrBytes + hi - lo)
+		pkt := b.Data()
 		putPktHeader(pkt, pktHeader{
 			kind: kind, rpcID: rpcID, client: client, seq: seq, ackBelow: ackBelow,
 			frag: uint16(f), fragCnt: uint16(fragCnt), totalLen: uint32(len(payload)),
 		})
 		copy(pkt[hdrBytes:], payload[lo:hi])
-		qp.PostSend(rnic.SendWR{ //nolint:errcheck // UD send failures surface as timeouts
-			Op: rnic.OpSend, Inline: pkt, Dst: dst,
-		})
+		// Pooled transfers the lease to the device; it is released when the
+		// WR completes or flushes. Send failures surface as timeouts, but the
+		// lease must still come back on a rejected post.
+		if err := qp.PostSend(rnic.SendWR{
+			Op: rnic.OpSend, Inline: pkt, Pooled: b, Dst: dst,
+		}); err != nil {
+			b.Release()
+		}
 	}
 }
 

@@ -52,6 +52,7 @@ func callUntilOK(t *testing.T, th *Thread, payload []byte) {
 			if !bytes.Equal(resp.Data, payload) {
 				t.Errorf("response/request mismatch: %q != %q", resp.Data, payload)
 			}
+			resp.Release()
 			return
 		}
 		if !errors.Is(err, ErrTimeout) && !errors.Is(err, ErrQPBroken) {
@@ -124,7 +125,9 @@ func kvDrive(t *testing.T, th *Thread, key, rounds uint64) uint64 {
 		deadline := time.Now().Add(chaosDeadline)
 		for {
 			resp, err := th.Call(kvPutID, req)
-			if err == nil && resp.Status == StatusOK && len(resp.Data) == 1 && resp.Data[0] == 0 {
+			applied := err == nil && resp.Status == StatusOK && len(resp.Data) == 1 && resp.Data[0] == 0
+			resp.Release() // nil-safe on the error path
+			if applied {
 				acked = i
 				break
 			}
@@ -142,9 +145,11 @@ func kvDrive(t *testing.T, th *Thread, key, rounds uint64) uint64 {
 		}
 		resp, err := th.Call(kvGetID, req[:8])
 		if err != nil || resp.Status != StatusOK || len(resp.Data) < 8 {
+			resp.Release()
 			continue // transient; monotonicity is checked on the next get
 		}
 		got := binary.LittleEndian.Uint64(resp.Data[:8])
+		resp.Release()
 		if got < acked || got > i {
 			t.Errorf("kv get: counter %d outside [%d,%d] — lost or replayed put", got, acked, i)
 			return acked
@@ -233,11 +238,14 @@ func TestChaosRetryExhaustionRecycles(t *testing.T) {
 			if err == nil && len(resp.Data) >= 8 {
 				break
 			}
+			resp.Release()
 			if time.Now().After(deadline) {
 				t.Fatalf("final kv get: %v (%d bytes)", err, len(resp.Data))
 			}
 		}
-		if got := binary.LittleEndian.Uint64(resp.Data[:8]); got != kvRounds {
+		got := binary.LittleEndian.Uint64(resp.Data[:8])
+		resp.Release()
+		if got != kvRounds {
 			t.Fatalf("final kv counter %d != %d", got, kvRounds)
 		}
 	}
@@ -380,6 +388,7 @@ func TestChaosLinkFlapQuarantine(t *testing.T) {
 					t.Errorf("bad status %d", resp.Status)
 					return
 				}
+				resp.Release()
 				if err != nil && !errors.Is(err, ErrTimeout) && !errors.Is(err, ErrQPBroken) {
 					t.Errorf("fatal error under flaps: %v", err)
 					return

@@ -102,6 +102,13 @@ type connQP struct {
 	degrees     *stats.RunningMedian
 	msgSeq      uint64 // selective-signaling counter
 
+	// Batch-processing scratch, reused across leader turns (leader-owned
+	// like the fields above, so no locking). PostSend copies WRs, making
+	// reuse after it returns safe.
+	wrScratch  []rnic.SendWR
+	rpcScratch []*tcqNode
+	memScratch []*tcqNode
+
 	refreshPending atomic.Bool
 
 	// Fault state. broken marks the QP failed and under recycle: leaders
@@ -203,6 +210,8 @@ func (n *Node) Connect(remote fabric.NodeID) (*Conn, error) {
 
 	n.connMu.Lock()
 	n.conns = append(n.conns, c)
+	n.allConns = append(n.allConns, c)
+	n.publishConnsLocked()
 	n.connMu.Unlock()
 	n.ensureClientSide()
 	return c, nil
@@ -298,6 +307,7 @@ func (c *Conn) Close() {
 			break
 		}
 	}
+	n.publishConnsLocked()
 	n.connMu.Unlock()
 	c.fail(ErrConnClosed)
 }

@@ -43,6 +43,25 @@ func newTestCluster(t *testing.T, nClients int, serverOpts, clientOpts Options) 
 // echoID is the RPC used by most tests: echoes the request back.
 const echoID = 1
 
+// callDrop is Call for tests that don't inspect the response: the pooled
+// lease is released immediately so the package leak gate stays clean.
+func callDrop(th *Thread, rpcID uint32, payload []byte) error {
+	r, err := th.Call(rpcID, payload)
+	if err == nil {
+		r.Release()
+	}
+	return err
+}
+
+// recvDrop is RecvRes with the response lease released.
+func recvDrop(th *Thread) error {
+	r, err := th.RecvRes()
+	if err == nil {
+		r.Release()
+	}
+	return err
+}
+
 func registerEcho(n *Node) {
 	n.RegisterHandler(echoID, func(req []byte) []byte {
 		out := make([]byte, len(req))
@@ -71,6 +90,7 @@ func TestRPCEcho(t *testing.T) {
 		if !bytes.Equal(resp.Data, msg) {
 			t.Fatalf("echo mismatch: %q != %q", resp.Data, msg)
 		}
+		resp.Release()
 	}
 }
 
@@ -84,6 +104,7 @@ func TestRPCEmptyAndLargePayload(t *testing.T) {
 	if err != nil || len(resp.Data) != 0 {
 		t.Fatalf("empty echo: %v %v", err, resp.Data)
 	}
+	resp.Release()
 
 	big := make([]byte, tc.clients[0].Options().MaxPayload)
 	for i := range big {
@@ -96,6 +117,7 @@ func TestRPCEmptyAndLargePayload(t *testing.T) {
 	if !bytes.Equal(resp.Data, big) {
 		t.Fatal("max payload echo corrupted")
 	}
+	resp.Release()
 
 	if _, err := th.SendRPC(echoID, make([]byte, tc.clients[0].Options().MaxPayload+1)); err != ErrPayloadTooLarge {
 		t.Fatalf("oversized payload: %v", err)
@@ -113,6 +135,7 @@ func TestRPCNoHandler(t *testing.T) {
 	if resp.Status != StatusNoHandler {
 		t.Fatalf("status = %d, want StatusNoHandler", resp.Status)
 	}
+	resp.Release()
 }
 
 func TestRPCHandlerPanic(t *testing.T) {
@@ -128,10 +151,12 @@ func TestRPCHandlerPanic(t *testing.T) {
 	if resp.Status != StatusHandlerPanic {
 		t.Fatalf("status = %d, want StatusHandlerPanic", resp.Status)
 	}
+	resp.Release()
 	// The server survives and keeps serving.
 	if resp, err = th.Call(echoID, []byte("alive")); err != nil || string(resp.Data) != "alive" {
 		t.Fatalf("server dead after panic: %v %q", err, resp.Data)
 	}
+	resp.Release()
 }
 
 func TestRPCConcurrentThreadsShareQPs(t *testing.T) {
@@ -161,6 +186,7 @@ func TestRPCConcurrentThreadsShareQPs(t *testing.T) {
 					errs <- fmt.Errorf("mismatch %q != %q", resp.Data, msg)
 					return
 				}
+				resp.Release()
 			}
 		}(i)
 	}
@@ -199,7 +225,7 @@ func TestCoalescingUnderBurst(t *testing.T) {
 					}
 				}
 				for k := 0; k < window; k++ {
-					if _, err := th.RecvRes(); err != nil {
+					if err := recvDrop(th); err != nil {
 						t.Error(err)
 						return
 					}
@@ -251,6 +277,7 @@ func TestRPCOutstandingWindow(t *testing.T) {
 				t.Fatalf("seq %d: %q != %q", resp.Seq, resp.Data, want)
 			}
 			delete(seqs, resp.Seq)
+			resp.Release()
 		}
 	}
 	if th.Outstanding() != 0 {
@@ -266,7 +293,7 @@ func TestCreditRenewalFlows(t *testing.T) {
 	conn, _ := tc.clients[0].Connect(0)
 	th := conn.RegisterThread()
 	for i := 0; i < 500; i++ {
-		if _, err := th.Call(echoID, []byte("credit")); err != nil {
+		if err := callDrop(th, echoID, []byte("credit")); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -292,6 +319,7 @@ func TestRingWrapUnderLoad(t *testing.T) {
 		if resp.Data[0] != byte(i) {
 			t.Fatalf("round %d corrupted", i)
 		}
+		resp.Release()
 	}
 }
 
@@ -323,7 +351,7 @@ func TestQPSchedulerDeactivatesUnderBudget(t *testing.T) {
 						return
 					default:
 					}
-					if _, err := th.Call(echoID, []byte("load")); err != nil {
+					if err := callDrop(th, echoID, []byte("load")); err != nil {
 						return
 					}
 				}
@@ -359,7 +387,7 @@ func TestAllQPsStayActiveUnderThreshold(t *testing.T) {
 	conn, _ := tc.clients[0].Connect(0)
 	th := conn.RegisterThread()
 	for i := 0; i < 200; i++ {
-		if _, err := th.Call(echoID, []byte("x")); err != nil {
+		if err := callDrop(th, echoID, []byte("x")); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -456,7 +484,7 @@ func TestMixedRPCAndMemoryOps(t *testing.T) {
 			th := conn.RegisterThread()
 			for j := 0; j < 100; j++ {
 				if id%2 == 0 {
-					if _, err := th.Call(echoID, []byte("rpc")); err != nil {
+					if err := callDrop(th, echoID, []byte("rpc")); err != nil {
 						t.Error(err)
 						return
 					}
@@ -493,6 +521,7 @@ func TestWorkerPoolMode(t *testing.T) {
 					t.Errorf("mismatch: %q", resp.Data)
 					return
 				}
+				resp.Release()
 			}
 		}(i)
 	}
@@ -514,7 +543,7 @@ func TestMultipleDispatchers(t *testing.T) {
 				defer wg.Done()
 				th := c.RegisterThread()
 				for j := 0; j < 150; j++ {
-					if _, err := th.Call(echoID, []byte("d")); err != nil {
+					if err := callDrop(th, echoID, []byte("d")); err != nil {
 						t.Error(err)
 						return
 					}
@@ -552,7 +581,7 @@ func TestCloseUnblocksCallers(t *testing.T) {
 	th := conn.RegisterThread()
 	done := make(chan error, 1)
 	go func() {
-		_, err := th.RecvRes() // nothing outstanding: blocks until close
+		err := recvDrop(th) // nothing outstanding: blocks until close
 		done <- err
 	}()
 	time.Sleep(10 * time.Millisecond)
@@ -577,7 +606,7 @@ func TestSelectiveSignalingReducesCompletions(t *testing.T) {
 	conn, _ := tc.clients[0].Connect(0)
 	th := conn.RegisterThread()
 	for i := 0; i < 400; i++ {
-		if _, err := th.Call(echoID, []byte("s")); err != nil {
+		if err := callDrop(th, echoID, []byte("s")); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -608,7 +637,7 @@ func TestDisabledSchedulers(t *testing.T) {
 			defer wg.Done()
 			th := conn.RegisterThread()
 			for j := 0; j < 200; j++ {
-				if _, err := th.Call(echoID, []byte("x")); err != nil {
+				if err := callDrop(th, echoID, []byte("x")); err != nil {
 					t.Error(err)
 					return
 				}
@@ -630,7 +659,7 @@ func TestSingleThreadNoCoalescing(t *testing.T) {
 	conn, _ := tc.clients[0].Connect(0)
 	th := conn.RegisterThread()
 	for i := 0; i < 100; i++ {
-		if _, err := th.Call(echoID, []byte("solo")); err != nil {
+		if err := callDrop(th, echoID, []byte("solo")); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -665,8 +694,10 @@ func TestBidirectionalNodes(t *testing.T) {
 	if err != nil || string(ra.Data) != "from-b" {
 		t.Fatalf("a→b: %v %q", err, ra.Data)
 	}
+	ra.Release()
 	rb, err := thb.Call(1, nil)
 	if err != nil || string(rb.Data) != "from-a" {
 		t.Fatalf("b→a: %v %q", err, rb.Data)
 	}
+	rb.Release()
 }

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"time"
 
+	"flock/internal/mem"
 	"flock/internal/rnic"
 )
 
@@ -63,17 +64,20 @@ func (n *Node) clientDispatch() {
 					q.polling.Add(-1)
 					continue
 				}
-				// Response ring: deliver coalesced responses.
+				// Response ring: deliver coalesced responses. The poll
+				// buffer is retained once per delivered response and the
+				// dispatcher's own reference dropped after the fan-out.
 				for {
-					h, items, ok := q.respCons.poll()
+					h, items, mbuf, ok := q.respCons.poll()
 					if !ok {
 						break
 					}
 					busy = true
 					q.prod.updateCached(h.piggyHead)
-					for _, it := range items {
-						c.deliverResponse(it)
+					for i := range items {
+						c.deliverResponse(&items[i], mbuf)
 					}
+					mbuf.Release()
 				}
 				// Send CQ: route memory-op and refresh completions.
 				for {
@@ -98,27 +102,31 @@ func (n *Node) clientDispatch() {
 	}
 }
 
-// deliverResponse copies one decoded response out of the ring scratch and
-// hands it to the owning thread's mailbox.
-func (c *Conn) deliverResponse(it decodedItem) {
+// deliverResponse hands one decoded response to the owning thread's
+// mailbox without copying: the Response's Data views the pooled message
+// buffer, covered by a reference retained here. Whoever removes the
+// Response from the mailbox — the application, the eviction below, or the
+// Close-time drain — owns that reference.
+func (c *Conn) deliverResponse(it *decodedItem, mbuf *mem.Buf) {
 	t := c.thread(it.meta.threadID)
 	if t == nil {
 		return // thread never registered; drop
 	}
-	data := make([]byte, len(it.data))
-	copy(data, it.data)
+	mbuf.Retain()
 	r := Response{
 		Seq:    it.meta.seqID,
 		RPCID:  it.meta.rpcID,
 		Status: it.meta.status,
-		Data:   data,
+		Data:   it.data,
+		buf:    mbuf,
 	}
 	// The dispatcher must never block on a mailbox: a thread that
 	// abandoned a deadline-expired call stops draining, and its late
 	// responses would otherwise fill the channel and wedge delivery for
 	// every other thread on the node. A full mailbox holds only abandoned
 	// responses (a thread has at most RespWindow live operations), so the
-	// oldest entry is evicted to make room for the fresh one.
+	// oldest entry is evicted to make room for the fresh one — and its
+	// buffer lease recycled.
 	for i := 0; i < 2; i++ {
 		select {
 		case t.respCh <- r:
@@ -127,12 +135,14 @@ func (c *Conn) deliverResponse(it decodedItem) {
 		default:
 		}
 		select {
-		case <-t.respCh:
+		case ev := <-t.respCh:
+			ev.Release()
 		default:
 		}
 	}
 	// Still full (a concurrent poisoner keeps winning the slot): drop the
 	// response; the caller's deadline retry re-issues the request.
+	r.Release()
 }
 
 // routeSendCompletion demultiplexes one send-side completion by wr_id tag

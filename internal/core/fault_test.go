@@ -72,6 +72,7 @@ func TestRingGarbageIsNotConsumed(t *testing.T) {
 	if err != nil || !bytes.Equal(resp.Data, []byte("after-corruption")) {
 		t.Fatalf("traffic after corruption: %v %q", err, resp.Data)
 	}
+	resp.Release()
 }
 
 func TestDeactivatedQPDeclinesAndMigrates(t *testing.T) {
@@ -81,7 +82,7 @@ func TestDeactivatedQPDeclinesAndMigrates(t *testing.T) {
 	registerEcho(tc.server)
 	conn, _ := tc.clients[0].Connect(0)
 	th := conn.RegisterThread()
-	if _, err := th.Call(echoID, []byte("warm")); err != nil {
+	if err := callDrop(th, echoID, []byte("warm")); err != nil {
 		t.Fatal(err)
 	}
 
@@ -89,7 +90,7 @@ func TestDeactivatedQPDeclinesAndMigrates(t *testing.T) {
 	// would land.
 	conn.qps[0].ctrl.Store64(ctrlActiveOff, 0)
 	for i := 0; i < 200; i++ {
-		if _, err := th.Call(echoID, []byte("migrated")); err != nil {
+		if err := callDrop(th, echoID, []byte("migrated")); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -99,7 +100,7 @@ func TestDeactivatedQPDeclinesAndMigrates(t *testing.T) {
 	// Reactivate; the thread scheduler may move threads back eventually,
 	// but traffic must flow either way.
 	conn.qps[0].ctrl.Store64(ctrlActiveOff, 1)
-	if _, err := th.Call(echoID, []byte("back")); err != nil {
+	if err := callDrop(th, echoID, []byte("back")); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -123,7 +124,7 @@ func TestSchedulerReactivatesWhenLoadShifts(t *testing.T) {
 				defer wg.Done()
 				th := conn.RegisterThread()
 				for i := 0; i < rounds; i++ {
-					if _, err := th.Call(echoID, []byte("skew")); err != nil {
+					if err := callDrop(th, echoID, []byte("skew")); err != nil {
 						return
 					}
 				}
@@ -175,6 +176,7 @@ func TestManyConnsFromOneClientNode(t *testing.T) {
 					t.Errorf("conn %d: %v %q", i, err, resp.Data)
 					return
 				}
+				resp.Release()
 			}
 		}(i, conn)
 	}
@@ -281,7 +283,7 @@ func TestConnCloseRacesInflightRPCs(t *testing.T) {
 					return
 				default:
 				}
-				_, err := th.Call(echoID, []byte("racing"))
+				err := callDrop(th, echoID, []byte("racing"))
 				if err == nil || errors.Is(err, ErrTimeout) || errors.Is(err, ErrQPBroken) {
 					continue
 				}
@@ -385,12 +387,12 @@ func TestConnCloseReleasesAndRejects(t *testing.T) {
 	registerEcho(tc.server)
 	conn, _ := tc.clients[0].Connect(0)
 	th := conn.RegisterThread()
-	if _, err := th.Call(echoID, []byte("pre-close")); err != nil {
+	if err := callDrop(th, echoID, []byte("pre-close")); err != nil {
 		t.Fatal(err)
 	}
 	blocked := make(chan error, 1)
 	go func() {
-		_, err := th.RecvRes()
+		err := recvDrop(th)
 		blocked <- err
 	}()
 	time.Sleep(2 * time.Millisecond)
@@ -411,7 +413,9 @@ func TestConnCloseReleasesAndRejects(t *testing.T) {
 		t.Fatal(err)
 	}
 	th2 := conn2.RegisterThread()
-	if resp, err := th2.Call(echoID, []byte("new-conn")); err != nil || string(resp.Data) != "new-conn" {
+	resp, err := th2.Call(echoID, []byte("new-conn"))
+	if err != nil || string(resp.Data) != "new-conn" {
 		t.Fatalf("fresh conn: %v %q", err, resp.Data)
 	}
+	resp.Release()
 }

@@ -63,7 +63,7 @@ func (c *Conn) processBatch(th *Thread, q *connQP, batch []*tcqNode) uint32 {
 	// the race with the follower's stall timeout, and whoever wins owns
 	// the node. A node the leader fails to claim was abandoned — its
 	// follower already left to retry elsewhere — and must not be staged.
-	var rpc, mem []*tcqNode
+	rpc, mem := q.rpcScratch[:0], q.memScratch[:0]
 	for _, n := range batch {
 		if n != batch[0] && !n.state.CompareAndSwap(stateWaiting, stateClaimed) {
 			continue // timed out and gone
@@ -74,9 +74,11 @@ func (c *Conn) processBatch(th *Thread, q *connQP, batch []*tcqNode) uint32 {
 			mem = append(mem, n)
 		}
 	}
+	q.rpcScratch, q.memScratch = rpc[:0], mem[:0]
 
 	opts := &c.node.opts
-	var wrs []rnic.SendWR
+	wrs := q.wrScratch[:0]
+	defer func() { q.wrScratch = wrs[:0] }()
 
 	// Memory operations: link each thread's prepared work request (§6).
 	for _, n := range mem {

@@ -171,12 +171,17 @@ type Node struct {
 	sconnMu  sync.Mutex
 	sconns   []*serverConn // one per inbound connection handle; a client
 	// node may hold several (the paper's multi-process clients, §8.4)
-	byQPN  atomic.Value // map[int]*serverQP snapshot
-	workCh chan workUnit
+	sconnsSnap atomic.Value // []*serverConn snapshot for the dispatch loops
+	byQPN      atomic.Value // map[int]*serverQP snapshot
+	workCh     chan workUnit
 
 	// Client role.
-	connMu      sync.Mutex
-	conns       []*Conn
+	connMu    sync.Mutex
+	conns     []*Conn
+	connsSnap atomic.Value // []*Conn snapshot for the dispatch loop
+	allConns  []*Conn      // every conn ever opened, kept for the
+	// Close-time mailbox drain (Conn.Close prunes conns but leases may
+	// still sit in closed handles' mailboxes)
 	clientState atomic.Bool // client goroutines started
 
 	// Named regions exported for remote one-sided access.
@@ -203,6 +208,8 @@ func newNode(nw *Network, id fabric.NodeID, dev *rnic.Device, opts Options) *Nod
 	}
 	n.handlers.Store(map[uint32]Handler{})
 	n.byQPN.Store(map[int]*serverQP{})
+	n.connsSnap.Store([]*Conn{})
+	n.sconnsSnap.Store([]*serverConn{})
 	return n
 }
 
@@ -298,7 +305,42 @@ func (n *Node) Close() {
 	close(n.done)
 	n.connMu.Unlock()
 	n.wg.Wait()
+	n.drainLeases()
 	n.dev.Close()
+}
+
+// drainLeases recycles pooled buffers still parked in mailboxes and the
+// worker channel at shutdown. It runs after wg.Wait — dispatchers and
+// workers are gone, so nothing refills what it drains. Application threads
+// may still race a concurrent RecvRes; the channel hands each Response to
+// exactly one receiver, so no lease is released twice.
+func (n *Node) drainLeases() {
+	n.connMu.Lock()
+	all := make([]*Conn, len(n.allConns))
+	copy(all, n.allConns)
+	n.connMu.Unlock()
+	for _, c := range all {
+		for _, t := range c.snapshotThreads() {
+			for more := true; more; {
+				select {
+				case r := <-t.respCh:
+					r.Release()
+				default:
+					more = false
+				}
+			}
+		}
+	}
+	if n.workCh != nil {
+		for more := true; more; {
+			select {
+			case u := <-n.workCh:
+				u.buf.Release()
+			default:
+				more = false
+			}
+		}
+	}
 }
 
 // ensureClientSide lazily starts the client-role goroutines: the response
@@ -312,11 +354,17 @@ func (n *Node) ensureClientSide() {
 	go n.threadScheduler()
 }
 
-// snapshotConns returns the current outbound connections.
+// snapshotConns returns the current outbound connections. The returned
+// slice is a shared immutable snapshot — callers must not mutate it. The
+// dispatcher reads it every spin, so it is cached and republished only
+// when the set changes (Connect, Conn.Close) rather than copied per call.
 func (n *Node) snapshotConns() []*Conn {
-	n.connMu.Lock()
-	defer n.connMu.Unlock()
+	return n.connsSnap.Load().([]*Conn)
+}
+
+// publishConnsLocked refreshes the dispatch snapshot; caller holds connMu.
+func (n *Node) publishConnsLocked() {
 	out := make([]*Conn, len(n.conns))
 	copy(out, n.conns)
-	return out
+	n.connsSnap.Store(out)
 }

@@ -198,15 +198,15 @@ func (c *Conn) quarantine(q *connQP) {
 	c.fail(ErrConnClosed)
 }
 
-// zeroMR clears an entire memory region (ring reset during recycle).
+// zeroMR clears an entire memory region (ring reset during recycle) using
+// the package's shared zero page instead of allocating a slab per recycle.
 func zeroMR(mr *rnic.MemRegion) {
-	z := make([]byte, 4096)
-	for off := 0; off < mr.Len(); off += len(z) {
+	for off := 0; off < mr.Len(); off += len(zeroPage) {
 		k := mr.Len() - off
-		if k > len(z) {
-			k = len(z)
+		if k > len(zeroPage) {
+			k = len(zeroPage)
 		}
-		mr.WriteAt(z[:k], off) //nolint:errcheck // in range by construction
+		mr.WriteAt(zeroPage[:k], off) //nolint:errcheck // in range by construction
 	}
 }
 

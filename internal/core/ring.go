@@ -4,8 +4,14 @@ import (
 	"encoding/binary"
 	"sync/atomic"
 
+	"flock/internal/mem"
 	"flock/internal/rnic"
 )
+
+// zeroPage is a shared read-only slab of zeros used to clear consumed ring
+// space and reset regions during QP recycle. One page for the whole
+// package: the writers only ever read from it.
+var zeroPage [4096]byte
 
 // ringProducer is the sender's view of one ring buffer (§4): a local
 // staging region mirroring the receiver's ring, a monotonic tail, and a
@@ -106,8 +112,7 @@ type ringConsumer struct {
 	publishMR  *rnic.MemRegion // control region carrying the consumed head
 	publishOff int
 
-	scratch []byte // reusable copy buffer
-	zeros   []byte // reusable zero slab
+	items []decodedItem // reusable decode scratch, overwritten per poll
 }
 
 // newRingConsumer builds a consumer over mr[base : base+size].
@@ -118,7 +123,6 @@ func newRingConsumer(mr *rnic.MemRegion, base, size int, publishMR *rnic.MemRegi
 		size:       size,
 		publishMR:  publishMR,
 		publishOff: publishOff,
-		zeros:      make([]byte, 4096),
 	}
 }
 
@@ -134,16 +138,19 @@ func (c *ringConsumer) reset() {
 }
 
 // poll checks the head position for one complete message. It returns the
-// decoded header and items (both referencing c.scratch, valid until the
-// next poll) and true, or false if no complete message is available.
+// decoded header, the items (views into a pooled message buffer), the
+// pooled buffer itself, and true; or false if no complete message is
+// available. The caller owns one reference on the returned buffer: it must
+// Release after distributing the items (retaining per item it hands on).
+// The item slice is consumer-owned scratch, overwritten by the next poll.
 // Incomplete messages — header visible but trailing canary not yet placed —
 // are left untouched for the next poll, exactly the §4.1 protocol.
-func (c *ringConsumer) poll() (header, []decodedItem, bool) {
+func (c *ringConsumer) poll() (header, []decodedItem, *mem.Buf, bool) {
 	off := int(c.head.Load()) % c.size
 	word := c.mr.Load64(c.base + off)
 	totalLen := uint32(word)
 	if totalLen == 0 {
-		return header{}, nil, false
+		return header{}, nil, nil, false
 	}
 	if totalLen == wrapMarker {
 		c.zeroRange(off, 8)
@@ -153,51 +160,51 @@ func (c *ringConsumer) poll() (header, []decodedItem, bool) {
 		word = c.mr.Load64(c.base + off)
 		totalLen = uint32(word)
 		if totalLen == 0 || totalLen == wrapMarker {
-			return header{}, nil, false
+			return header{}, nil, nil, false
 		}
 	}
 	if int(totalLen) < headerBytes+trailerBytes || int(totalLen) > c.size-off {
 		// Torn or corrupt length; wait for more bytes. A length that can
 		// never be valid will be caught by decode once canaries match.
-		return header{}, nil, false
+		return header{}, nil, nil, false
 	}
 	canary := c.mr.Load64(c.base + off + 8)
 	if canary == 0 {
-		return header{}, nil, false
+		return header{}, nil, nil, false
 	}
 	tail := c.mr.Load64(c.base + off + int(totalLen) - trailerBytes)
 	if tail != canary {
-		return header{}, nil, false // incomplete: trailing canary not placed yet
+		return header{}, nil, nil, false // incomplete: trailing canary not placed yet
 	}
-	if cap(c.scratch) < int(totalLen) {
-		c.scratch = make([]byte, totalLen)
-	}
-	buf := c.scratch[:totalLen]
+	mbuf := mem.Get(int(totalLen))
+	buf := mbuf.Data()
 	c.mr.ReadAt(buf, c.base+off) //nolint:errcheck // in range by construction
-	h, items, err := decodeMessage(buf)
+	h, items, err := decodeMessageInto(buf, c.items)
+	c.items = items[:0]
 	if err != nil {
 		// Structurally corrupt despite matching canaries: drop the
 		// message to keep the ring live. This cannot happen with a
 		// well-behaved producer.
+		mbuf.Release()
 		c.zeroRange(off, int(totalLen))
 		c.head.Add(uint64(totalLen))
 		c.publish()
-		return header{}, nil, false
+		return header{}, nil, nil, false
 	}
 	c.zeroRange(off, int(totalLen))
 	c.head.Add(uint64(totalLen))
 	c.publish()
-	return h, items, true
+	return h, items, mbuf, true
 }
 
 // zeroRange clears [off, off+n) of the ring so the slot is reusable.
 func (c *ringConsumer) zeroRange(off, n int) {
 	for n > 0 {
 		k := n
-		if k > len(c.zeros) {
-			k = len(c.zeros)
+		if k > len(zeroPage) {
+			k = len(zeroPage)
 		}
-		c.mr.WriteAt(c.zeros[:k], c.base+off) //nolint:errcheck // in range by construction
+		c.mr.WriteAt(zeroPage[:k], c.base+off) //nolint:errcheck // in range by construction
 		off += k
 		n -= k
 	}

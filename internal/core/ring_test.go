@@ -76,14 +76,15 @@ func (rp *ringPair) produce(t *testing.T, canary uint64, payloads ...[]byte) {
 func TestRingProduceConsume(t *testing.T) {
 	rp := newRingPair(t, 4096)
 	rp.produce(t, 7, []byte("hello"), []byte("world!"))
-	h, items, ok := rp.cons.poll()
+	h, items, mbuf, ok := rp.cons.poll()
 	if !ok {
 		t.Fatal("message not consumed")
 	}
+	defer mbuf.Release()
 	if h.count != 2 || string(items[0].data) != "hello" || string(items[1].data) != "world!" {
 		t.Fatalf("decoded: %+v", items)
 	}
-	if _, _, ok := rp.cons.poll(); ok {
+	if _, _, _, ok := rp.cons.poll(); ok {
 		t.Fatal("phantom second message")
 	}
 	// Consumed head advanced and was published.
@@ -105,17 +106,20 @@ func TestRingWrapMarker(t *testing.T) {
 		big[i] = 0x55
 	}
 	rp.produce(t, 3, big)
-	if _, _, ok := rp.cons.poll(); !ok {
+	if _, _, b, ok := rp.cons.poll(); !ok {
 		t.Fatal("first message lost")
+	} else {
+		b.Release()
 	}
 	rp.prod.updateCached(rp.cons.consumed())
 
 	// Tail is now ~364; a 200-byte payload message (~256 total) wraps.
 	rp.produce(t, 4, make([]byte, 200))
-	h, items, ok := rp.cons.poll()
+	h, items, mbuf, ok := rp.cons.poll()
 	if !ok {
 		t.Fatal("wrapped message not consumed")
 	}
+	defer mbuf.Release()
 	if h.count != 1 || len(items[0].data) != 200 {
 		t.Fatalf("wrapped decode: count=%d", h.count)
 	}
@@ -139,8 +143,10 @@ func TestRingBackpressure(t *testing.T) {
 	if _, ok := rp.prod.reserve(len(msg)); ok {
 		t.Fatal("reserve succeeded with a full ring")
 	}
-	if _, _, ok := rp.cons.poll(); !ok {
+	if _, _, b, ok := rp.cons.poll(); !ok {
 		t.Fatal("consume failed")
+	} else {
+		b.Release()
 	}
 	rp.prod.updateCached(rp.cons.consumed())
 	if _, ok := rp.prod.reserve(len(msg)); !ok {
@@ -156,13 +162,15 @@ func TestRingIncompleteMessageNotConsumed(t *testing.T) {
 	// Deliver everything except the trailing canary: the poller must not
 	// consume the torn message.
 	rp.shuttle(res.msgOff, len(msg)-trailerBytes)
-	if _, _, ok := rp.cons.poll(); ok {
+	if _, _, _, ok := rp.cons.poll(); ok {
 		t.Fatal("torn message consumed")
 	}
 	// Now deliver the tail; consumption succeeds.
 	rp.shuttle(res.msgOff+len(msg)-trailerBytes, trailerBytes)
-	if _, _, ok := rp.cons.poll(); !ok {
+	if _, _, b, ok := rp.cons.poll(); !ok {
 		t.Fatal("completed message not consumed")
+	} else {
+		b.Release()
 	}
 }
 
@@ -173,13 +181,14 @@ func TestRingManyLaps(t *testing.T) {
 	for lap := 0; lap < 200; lap++ {
 		payload[0] = byte(lap)
 		rp.produce(t, uint64(lap)+1, payload)
-		_, items, ok := rp.cons.poll()
+		_, items, mbuf, ok := rp.cons.poll()
 		if !ok {
 			t.Fatalf("lap %d: message lost", lap)
 		}
 		if items[0].data[0] != byte(lap) {
 			t.Fatalf("lap %d: wrong payload %d", lap, items[0].data[0])
 		}
+		mbuf.Release()
 		rp.prod.updateCached(rp.cons.consumed())
 	}
 }
@@ -230,7 +239,7 @@ func TestRingModelBasedProperty(t *testing.T) {
 			fifo = append(fifo, sentMsg{payload: payload})
 			produced++
 		} else {
-			h, items, ok := rp.cons.poll()
+			h, items, mbuf, ok := rp.cons.poll()
 			if !ok {
 				continue
 			}
@@ -245,19 +254,21 @@ func TestRingModelBasedProperty(t *testing.T) {
 			if items[0].meta.seqID != uint64(consumed) {
 				t.Fatalf("step %d: seq %d, want %d", step, items[0].meta.seqID, consumed)
 			}
+			mbuf.Release()
 			consumed++
 			rp.prod.updateCached(rp.cons.consumed())
 		}
 	}
 	// Drain the tail.
 	for len(fifo) > 0 {
-		_, items, ok := rp.cons.poll()
+		_, items, mbuf, ok := rp.cons.poll()
 		if !ok {
 			t.Fatalf("ring wedged with %d messages outstanding", len(fifo))
 		}
 		if !bytes.Equal(items[0].data, fifo[0].payload) {
 			t.Fatal("tail message corrupted")
 		}
+		mbuf.Release()
 		fifo = fifo[1:]
 		consumed++
 		rp.prod.updateCached(rp.cons.consumed())

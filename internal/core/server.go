@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"flock/internal/fabric"
+	"flock/internal/mem"
 	"flock/internal/rnic"
 	"flock/internal/stats"
 )
@@ -58,6 +59,13 @@ type serverQP struct {
 	broken      atomic.Bool
 	inuse       atomic.Int32
 	quarantined atomic.Bool
+
+	// outScratch is the inline-mode response batch, reused across messages;
+	// only the owning dispatcher touches it. wrScratch stages the flush work
+	// requests under respMu (PostSend copies WRs, so reuse after it returns
+	// is safe).
+	outScratch []respOut
+	wrScratch  []rnic.SendWR
 }
 
 // enter begins a dispatcher/scheduler critical section on the QP. It
@@ -79,15 +87,16 @@ func (sqp *serverQP) enter() bool {
 func (sqp *serverQP) exit() { sqp.inuse.Add(-1) }
 
 // workUnit carries one inbound coalesced message's requests to the worker
-// pool; the worker executes every handler and flushes the coalesced
-// response.
+// pool; the worker executes every handler, flushes the coalesced response,
+// and releases buf — the pooled message buffer every item payload views,
+// whose reference the unit owns.
 type workUnit struct {
 	sqp   *serverQP
 	items []workItem
+	buf   *mem.Buf
 }
 
-// workItem is one decoded request with its payload copied out of the ring
-// scratch.
+// workItem is one decoded request; payload views the unit's pooled buffer.
 type workItem struct {
 	meta    itemMeta
 	payload []byte
@@ -173,6 +182,9 @@ func (n *Node) accept(args connectArgs) (connectReply, error) {
 	}
 	n.sconns = append(n.sconns, sc)
 	n.rebuildQPNIndexLocked()
+	snap := make([]*serverConn, len(n.sconns))
+	copy(snap, n.sconns)
+	n.sconnsSnap.Store(snap)
 	return reply, nil
 }
 
@@ -188,15 +200,11 @@ func (n *Node) rebuildQPNIndexLocked() {
 	n.byQPN.Store(m)
 }
 
-// snapshotSconns copies the inbound connection set.
+// snapshotSconns returns the inbound connection set: a shared immutable
+// snapshot republished by accept (the set only grows), so the dispatch
+// loops don't allocate a copy every spin.
 func (n *Node) snapshotSconns() []*serverConn {
-	n.sconnMu.Lock()
-	defer n.sconnMu.Unlock()
-	out := make([]*serverConn, 0, len(n.sconns))
-	for _, sc := range n.sconns {
-		out = append(out, sc)
-	}
-	return out
+	return n.sconnsSnap.Load().([]*serverConn)
 }
 
 // serveDispatch is one request-dispatcher goroutine; dispatcher i owns the
@@ -251,7 +259,7 @@ func (n *Node) serveDispatch(i int) {
 func (n *Node) pumpRequests(sqp *serverQP) bool {
 	busy := false
 	for {
-		h, items, ok := sqp.reqCons.poll()
+		h, items, mbuf, ok := sqp.reqCons.poll()
 		if !ok {
 			return busy
 		}
@@ -260,25 +268,32 @@ func (n *Node) pumpRequests(sqp *serverQP) bool {
 		n.metrics.itemsIn.Add(uint64(len(items)))
 		sqp.respProd.updateCached(h.piggyHead)
 		if n.workCh != nil {
-			unit := workUnit{sqp: sqp, items: make([]workItem, len(items))}
+			// Hand the poll reference to the unit; payloads stay views into
+			// the pooled message buffer and the worker releases it after the
+			// flush.
+			unit := workUnit{sqp: sqp, items: make([]workItem, len(items)), buf: mbuf}
 			for k, it := range items {
-				p := make([]byte, len(it.data))
-				copy(p, it.data)
-				unit.items[k] = workItem{meta: it.meta, payload: p}
+				unit.items[k] = workItem{meta: it.meta, payload: it.data}
 			}
 			select {
 			case n.workCh <- unit:
 			case <-n.done:
+				mbuf.Release()
 				return busy
 			}
 			continue
 		}
-		// Inline mode: execute handlers on the dispatcher (§4.3).
-		out := make([]respOut, len(items))
-		for k, it := range items {
-			out[k] = n.execute(it.meta, it.data)
+		// Inline mode: execute handlers on the dispatcher (§4.3). The
+		// handler contract (no retaining req) plus flushResponses staging
+		// the output synchronously make releasing after the flush safe even
+		// for handlers that return their input.
+		out := sqp.outScratch[:0]
+		for k := range items {
+			out = append(out, n.execute(items[k].meta, items[k].data))
 		}
 		n.flushResponses(sqp, out)
+		sqp.outScratch = out[:0]
+		mbuf.Release()
 	}
 }
 
@@ -296,6 +311,7 @@ func (n *Node) worker() {
 				out[k] = n.execute(it.meta, it.payload)
 			}
 			n.flushResponses(unit.sqp, out)
+			unit.buf.Release()
 		}
 	}
 }
@@ -401,7 +417,7 @@ func (n *Node) flushResponses(sqp *serverQP, out []respOut) {
 	})
 	staging.WriteAt(hdr[:], res.msgOff) //nolint:errcheck
 
-	var wrs []rnic.SendWR
+	wrs := sqp.wrScratch[:0]
 	if res.markerOff >= 0 {
 		wrs = append(wrs, rnic.SendWR{
 			WRID: tagMarker, Op: rnic.OpWrite,
@@ -416,6 +432,7 @@ func (n *Node) flushResponses(sqp *serverQP, out []respOut) {
 		RKey: sqp.respProd.rkey, RemoteOff: res.msgOff,
 		Signaled: sqp.msgSeq%uint64(n.opts.SignalEvery) == 0,
 	})
+	sqp.wrScratch = wrs[:0]
 	sqp.qp.PostSend(wrs...) //nolint:errcheck // device closing is benign here
 }
 

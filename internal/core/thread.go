@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"flock/internal/mem"
 	"flock/internal/rnic"
 	"flock/internal/stats"
 )
@@ -49,12 +50,33 @@ type Response struct {
 	RPCID uint32
 	// Status is StatusOK, StatusNoHandler or StatusHandlerPanic.
 	Status uint32
-	// Data is the response payload; owned by the caller.
+	// Data is the response payload. It views a pooled buffer leased to
+	// this Response: it stays valid until Release is called, and forever
+	// for callers that never Release (the garbage collector reclaims the
+	// lease instead of the pool recycling it).
 	Data []byte
+
+	// buf is the pool lease backing Data; nil for poison responses and
+	// responses whose payload was copied.
+	buf *mem.Buf
 
 	// err marks a poison response injected by recovery paths (ErrQPBroken,
 	// ErrConnClosed) rather than a response off the wire.
 	err error
+}
+
+// Release returns the response's payload buffer to the pool. Call it once
+// the Data has been consumed (or copied out); after Release the Data slice
+// must not be touched. Release is idempotent on the same Response value
+// and a no-op for responses without a pooled payload, so legacy callers
+// that never Release — and code handling poison responses — stay correct;
+// they merely forgo buffer recycling.
+func (r *Response) Release() {
+	if b := r.buf; b != nil {
+		r.buf = nil
+		r.Data = nil
+		b.Release()
+	}
 }
 
 // RegisterThread creates a thread handle. The initial QP assignment is
@@ -281,6 +303,7 @@ func (t *Thread) Call(rpcID uint32, payload []byte) (Response, error) {
 			return r, nil
 		}
 		// A stale response from a previous timed-out exchange; drop it.
+		r.Release()
 	}
 }
 
@@ -391,6 +414,7 @@ func (t *Thread) recvSeq(seq uint64, aDeadline time.Time, timer *time.Timer) (Re
 					return r, nil, true
 				}
 				// Stale response from an abandoned attempt; drop it.
+				r.Release()
 				break
 			}
 		case <-timer.C:

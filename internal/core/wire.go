@@ -122,6 +122,13 @@ type decodedItem struct {
 // error if the message is structurally corrupt. Canary validation is the
 // caller's business (the caller polls; decode assumes completeness).
 func decodeMessage(buf []byte) (header, []decodedItem, error) {
+	return decodeMessageInto(buf, nil)
+}
+
+// decodeMessageInto is decodeMessage appending into items[:0], so a
+// polling loop can reuse one item slice across messages instead of
+// allocating per poll.
+func decodeMessageInto(buf []byte, items []decodedItem) (header, []decodedItem, error) {
 	if len(buf) < headerBytes+trailerBytes {
 		return header{}, nil, fmt.Errorf("core: message shorter than framing (%d)", len(buf))
 	}
@@ -133,7 +140,7 @@ func decodeMessage(buf []byte) (header, []decodedItem, error) {
 	if tail != h.canary {
 		return header{}, nil, fmt.Errorf("core: canary mismatch")
 	}
-	items := make([]decodedItem, 0, h.count)
+	items = items[:0]
 	off := headerBytes
 	for i := uint32(0); i < h.count; i++ {
 		if off+itemMetaBytes > len(buf)-trailerBytes {

@@ -1,0 +1,166 @@
+package mem
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// TestGetServesEverySize: property — for any non-negative size, Get
+// returns a lease whose Data has exactly that length and whose backing
+// capacity covers it.
+func TestGetServesEverySize(t *testing.T) {
+	p := NewPool()
+	prop := func(raw uint32) bool {
+		n := int(raw % (3 << 20)) // 0 .. 3 MiB spans every class plus the direct path
+		b := p.Get(n)
+		ok := len(b.Data()) == n && cap(b.data) >= n
+		b.Release()
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Outstanding(); got != 0 {
+		t.Fatalf("outstanding after release-all = %d, want 0", got)
+	}
+}
+
+// TestLeaseIsolation: property — two concurrently live leases never share
+// bytes: writing a fill pattern into one does not disturb the other.
+func TestLeaseIsolation(t *testing.T) {
+	p := NewPool()
+	prop := func(na, nb uint16, fa, fb byte) bool {
+		a, b := p.Get(int(na)), p.Get(int(nb))
+		defer a.Release()
+		defer b.Release()
+		for i := range a.Data() {
+			a.Data()[i] = fa
+		}
+		for i := range b.Data() {
+			b.Data()[i] = fb
+		}
+		for _, v := range a.Data() {
+			if v != fa {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecycleReuse: a released buffer of the same class comes back on the
+// next Get without allocating a new backing array.
+func TestRecycleReuse(t *testing.T) {
+	p := NewPool()
+	a := p.Get(100)
+	backing := &a.data[0]
+	a.Release()
+	b := p.Get(128) // same class (128 B)
+	defer b.Release()
+	if &b.data[0] != backing {
+		t.Fatal("same-class Get after Release did not reuse the backing array")
+	}
+	if s := p.Stats(); s.Hits != 1 {
+		t.Fatalf("hits = %d, want 1", s.Hits)
+	}
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	p := NewPool()
+	b := p.Get(64)
+	b.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Release did not panic")
+		}
+	}()
+	b.Release()
+}
+
+func TestRetainAfterFinalReleasePanics(t *testing.T) {
+	p := NewPool()
+	b := p.Get(64)
+	b.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Retain after final Release did not panic")
+		}
+	}()
+	b.Retain()
+}
+
+// TestRetainRelease: refcounting — the buffer recycles only after every
+// holder releases, and Outstanding tracks the lease, not the holders.
+func TestRetainRelease(t *testing.T) {
+	p := NewPool()
+	b := p.Get(64)
+	b.Retain()
+	b.Retain()
+	b.Release()
+	b.Release()
+	if got := p.Outstanding(); got != 1 {
+		t.Fatalf("outstanding with one holder left = %d, want 1", got)
+	}
+	b.Release()
+	if got := p.Outstanding(); got != 0 {
+		t.Fatalf("outstanding after final release = %d, want 0", got)
+	}
+}
+
+// TestConcurrentLeases hammers Get/Retain/Release from many goroutines;
+// run under -race this doubles as the pool's synchronization test.
+func TestConcurrentLeases(t *testing.T) {
+	p := NewPool()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				b := p.Get(64 << (i % 6))
+				b.Data()[0] = byte(g)
+				b.Retain()
+				b.Release()
+				if b.Data()[0] != byte(g) {
+					panic("lease bytes shared across goroutines")
+				}
+				b.Release()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := p.Outstanding(); got != 0 {
+		t.Fatalf("outstanding after drain = %d, want 0", got)
+	}
+}
+
+func TestOversizedDirectAlloc(t *testing.T) {
+	p := NewPool()
+	b := p.Get(3 << 20) // above the 2 MiB class ceiling
+	if b.class != -1 {
+		t.Fatalf("class = %d, want -1 (direct)", b.class)
+	}
+	if len(b.Data()) != 3<<20 {
+		t.Fatalf("len = %d", len(b.Data()))
+	}
+	b.Release()
+	if got := p.Outstanding(); got != 0 {
+		t.Fatalf("outstanding = %d, want 0", got)
+	}
+}
+
+func TestClassFor(t *testing.T) {
+	cases := []struct{ n, class int }{
+		{0, 0}, {1, 0}, {64, 0}, {65, 1}, {128, 1}, {129, 2},
+		{1 << 20, 14}, {1<<21 - 1, 15}, {1 << 21, 15}, {1<<21 + 1, -1},
+	}
+	for _, c := range cases {
+		if got := classFor(c.n); got != c.class {
+			t.Errorf("classFor(%d) = %d, want %d", c.n, got, c.class)
+		}
+	}
+}

@@ -120,6 +120,11 @@ type Device struct {
 	wg       sync.WaitGroup
 	inflight int64 // WRs posted but not yet fully executed
 
+	// drainScratch stages one batch of WRs popped from a QP send queue.
+	// It is touched only by the pipeline goroutine, so reusing it across
+	// drain rounds is race-free and saves one allocation per round.
+	drainScratch [drainBudget]SendWR
+
 	counters Counters
 }
 
@@ -184,6 +189,26 @@ func (d *Device) Close() {
 	d.mu.Unlock()
 	d.wg.Wait()
 	d.fab.Unregister(d.cfg.Node)
+
+	// The pipeline is gone; release pool leases owned by WRs it never got
+	// to, so abandoning work at shutdown cannot leak buffers.
+	d.mu.Lock()
+	qps := make([]*QP, 0, len(d.qps))
+	for _, q := range d.qps {
+		qps = append(qps, q)
+	}
+	d.mu.Unlock()
+	for _, q := range qps {
+		q.mu.Lock()
+		sends := q.sendq
+		q.sendq = nil
+		q.mu.Unlock()
+		for i := range sends {
+			if sends[i].Pooled != nil {
+				sends[i].Pooled.Release()
+			}
+		}
+	}
 }
 
 // CreateCQ makes a completion queue with the device default depth.
@@ -364,7 +389,7 @@ func (d *Device) drain(q *QP) {
 		if spent+n > drainBudget {
 			n = drainBudget - spent
 		}
-		batch := make([]SendWR, n)
+		batch := d.drainScratch[:n]
 		copy(batch, q.sendq)
 		rem := copy(q.sendq, q.sendq[n:])
 		q.sendq = q.sendq[:rem]
@@ -373,6 +398,7 @@ func (d *Device) drain(q *QP) {
 		for i := range batch {
 			d.execute(q, &batch[i])
 			d.counters.add(&d.counters.Processed, 1)
+			batch[i] = SendWR{} // drop payload references until the next round
 		}
 		spent += n
 		if spent >= drainBudget {

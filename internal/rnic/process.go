@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"flock/internal/fabric"
+	"flock/internal/mem"
 )
 
 // execute runs one work request on the device pipeline. It models the
@@ -12,6 +13,14 @@ import (
 // and the responder NIC touching its context and performing DMA against
 // the target memory region.
 func (d *Device) execute(q *QP, wr *SendWR) {
+	// Every path through execute is terminal for the WR, so the pooled
+	// Inline lease (if the poster transferred one) dies here.
+	if wr.Pooled != nil {
+		defer func() {
+			wr.Pooled.Release()
+			wr.Pooled = nil
+		}()
+	}
 	// A QP that entered the error state while this WR sat in the pipeline
 	// flushes it unexecuted, exactly as enterError does for still-queued
 	// WRs.
@@ -32,7 +41,10 @@ func (d *Device) execute(q *QP, wr *SendWR) {
 		dstNode, dstQPN = q.Peer()
 	}
 
-	payload := d.gatherPayload(q, wr)
+	payload, pbuf := d.gatherPayload(q, wr)
+	if pbuf != nil {
+		defer pbuf.Release()
+	}
 
 	// Wire accounting. Reads move the payload in the response direction;
 	// everything else in the request direction. Atomics move 8 bytes each
@@ -162,20 +174,22 @@ func (d *Device) cacheAccess(node, qpn int) bool {
 }
 
 // gatherPayload materializes the outbound bytes of wr (nil for reads and
-// atomics' request side).
-func (d *Device) gatherPayload(q *QP, wr *SendWR) []byte {
+// atomics' request side). When the bytes are gathered out of a local MR
+// the staging space comes from the buffer pool; the returned *mem.Buf is
+// non-nil in that case and the caller releases it after fabric delivery.
+func (d *Device) gatherPayload(q *QP, wr *SendWR) ([]byte, *mem.Buf) {
 	switch wr.Op {
 	case OpSend, OpWrite, OpWriteImm:
 		if wr.Inline != nil {
-			return wr.Inline
+			return wr.Inline, nil
 		}
 		if wr.LocalMR != nil {
-			buf := make([]byte, wr.LocalLen)
-			wr.LocalMR.dmaRead(buf, wr.LocalOff)
-			return buf
+			b := mem.Get(wr.LocalLen)
+			wr.LocalMR.dmaRead(b.Data(), wr.LocalOff)
+			return b.Data(), b
 		}
 	}
-	return nil
+	return nil, nil
 }
 
 // execWrite places payload into the responder's region. Write-with-imm
@@ -226,9 +240,10 @@ func (d *Device) execRead(peer *Device, wr *SendWR) (Status, int) {
 	if err := mr.checkRange(wr.RemoteOff, wr.LocalLen); err != nil {
 		return StatusRemoteAccess, 0
 	}
-	buf := make([]byte, wr.LocalLen)
-	mr.dmaRead(buf, wr.RemoteOff)
-	wr.LocalMR.dmaWriteChunked(buf, wr.LocalOff, d.fab.MTU())
+	b := mem.Get(wr.LocalLen)
+	mr.dmaRead(b.Data(), wr.RemoteOff)
+	wr.LocalMR.dmaWriteChunked(b.Data(), wr.LocalOff, d.fab.MTU())
+	b.Release()
 
 	// Response-direction wire accounting.
 	pkts := d.fab.ChargeTX(peer.cfg.Node, d.cfg.Node, wr.LocalLen)

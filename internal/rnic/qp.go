@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"flock/internal/mem"
 )
 
 // Address identifies a remote queue pair for UD sends (the address-handle
@@ -49,6 +51,15 @@ type SendWR struct {
 	// Dst addresses the destination for UD sends; ignored on connected
 	// transports.
 	Dst Address
+
+	// Pooled transfers ownership of the Inline buffer's pool lease to the
+	// device: PostSend is asynchronous, so a caller staging Inline bytes in
+	// a pooled buffer cannot release it when PostSend returns — the
+	// pipeline reads Inline later. The device releases the lease when the
+	// WR reaches a terminal state (executed, flushed on QP error, or
+	// abandoned at Close). If PostSend returns an error, nothing was
+	// enqueued and the lease stays with the caller.
+	Pooled *mem.Buf
 }
 
 // RecvWR is a receive-queue work request: a buffer the NIC may place one
@@ -297,6 +308,10 @@ func (q *QP) enterError() {
 	q.recvq = nil
 	q.mu.Unlock()
 	for i := range sends {
+		if sends[i].Pooled != nil {
+			sends[i].Pooled.Release()
+			sends[i].Pooled = nil
+		}
 		q.dev.counters.add(&q.dev.counters.WRFlushed, 1)
 		q.dev.counters.add(&q.dev.counters.CompletionsDelivered, 1)
 		q.sendCQ.push(Completion{

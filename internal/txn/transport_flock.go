@@ -139,9 +139,13 @@ func (t *FlockTransport) CallMulti(servers []int, rpcID uint32, reqs [][]byte) (
 		}
 		delete(stash, k)
 		if r.Status != core.StatusOK {
+			r.Release()
 			return nil, fmt.Errorf("txn: rpc %d failed with status %d", rpcID, r.Status)
 		}
-		out[i] = r.Data
+		// The caller keeps the payloads past this call, so copy out of the
+		// pooled view and recycle the lease.
+		out[i] = append([]byte(nil), r.Data...)
+		r.Release()
 	}
 	return out, nil
 }
