@@ -15,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -43,7 +44,9 @@ func main() {
 	quick := flag.Bool("quick", false, "shortened measurement windows")
 	list := flag.Bool("list", false, "list experiment IDs")
 	csvPath := flag.String("csv", "", "also append figure rows as CSV to this file")
+	jsonPath := flag.String("json", "", "also write all results as a JSON document to this file")
 	flag.Parse()
+	jsonOut.enabled = *jsonPath != ""
 	if *csvPath != "" {
 		f, err := os.OpenFile(*csvPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
 		if err != nil {
@@ -73,15 +76,19 @@ func main() {
 				continue
 			}
 			fmt.Printf("== %s: %s\n", e.name, e.desc)
+			jsonOut.cur = e.name
 			e.run(*quick)
 			fmt.Println()
 		}
+		writeJSONOut(*jsonPath, *quick)
 		return
 	}
 	for _, e := range exps {
 		if e.name == *runFlag {
 			fmt.Printf("== %s: %s\n", e.name, e.desc)
+			jsonOut.cur = e.name
 			e.run(*quick)
+			writeJSONOut(*jsonPath, *quick)
 			return
 		}
 	}
@@ -91,6 +98,97 @@ func main() {
 
 // csvSink, when set, receives every figure row in CSV form.
 var csvSink *os.File
+
+// benchRecord is one machine-readable data point for -json. Figure rows
+// carry figure/series/x straight from the model row; live-library
+// experiments attach the telemetry snapshot of the run that produced them.
+type benchRecord struct {
+	Experiment string             `json:"experiment"`
+	Figure     string             `json:"figure,omitempty"`
+	Series     string             `json:"series,omitempty"`
+	X          float64            `json:"x"`
+	Metrics    map[string]float64 `json:"metrics"`
+	Telemetry  json.RawMessage    `json:"telemetry,omitempty"`
+}
+
+// jsonOut accumulates benchRecords across experiments; main writes the
+// document once at exit. cur is only written from the sequential main
+// loop; the mutex covers record emission from experiment bodies.
+var jsonOut struct {
+	enabled       bool
+	cur           string
+	mu            sync.Mutex
+	records       []benchRecord
+	lastTelemetry json.RawMessage
+}
+
+// emitRecord appends one data point, stamping the current experiment.
+func emitRecord(rec benchRecord) {
+	if !jsonOut.enabled {
+		return
+	}
+	jsonOut.mu.Lock()
+	defer jsonOut.mu.Unlock()
+	rec.Experiment = jsonOut.cur
+	jsonOut.records = append(jsonOut.records, rec)
+}
+
+// emitModelRow converts a DES figure row into a benchRecord.
+func emitModelRow(r model.Row) {
+	emitRecord(benchRecord{
+		Figure: r.Figure, Series: r.Series, X: r.X,
+		Metrics: map[string]float64{
+			"mops": r.Mops, "p50_us": r.P50us, "p99_us": r.P99us,
+			"degree": r.Degree, "cpu": r.CPU,
+		},
+	})
+}
+
+// stashTelemetry records the telemetry snapshot of a just-finished live
+// run; the caller's next emitRecord picks it up via takeTelemetry.
+func stashTelemetry(nw *core.Network) {
+	if !jsonOut.enabled {
+		return
+	}
+	b, err := json.Marshal(nw.TelemetrySnapshot())
+	if err != nil {
+		return
+	}
+	jsonOut.mu.Lock()
+	jsonOut.lastTelemetry = b
+	jsonOut.mu.Unlock()
+}
+
+// takeTelemetry returns and clears the stashed snapshot.
+func takeTelemetry() json.RawMessage {
+	jsonOut.mu.Lock()
+	defer jsonOut.mu.Unlock()
+	b := jsonOut.lastTelemetry
+	jsonOut.lastTelemetry = nil
+	return b
+}
+
+// writeJSONOut writes the accumulated records as one JSON document.
+func writeJSONOut(path string, quick bool) {
+	if path == "" {
+		return
+	}
+	doc := struct {
+		Tool    string        `json:"tool"`
+		Quick   bool          `json:"quick"`
+		Records []benchRecord `json:"records"`
+	}{Tool: "flockbench", Quick: quick, Records: jsonOut.records}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d records to %s\n", len(jsonOut.records), path)
+}
 
 // experiments enumerates every table/figure reproduction and ablation.
 func experiments() []experiment {
@@ -102,6 +200,7 @@ func experiments() []experiment {
 					fmt.Fprintf(csvSink, "%s,%s,%g,%.3f,%.2f,%.2f,%.3f,%.3f\n",
 						r.Figure, r.Series, r.X, r.Mops, r.P50us, r.P99us, r.Degree, r.CPU)
 				}
+				emitModelRow(r)
 			}
 		}
 	}
@@ -218,6 +317,7 @@ func liveEchoThroughput(opts core.Options, nClients, nThreads, window int, dur t
 	elapsed := time.Since(start)
 	close(stop)
 	wg.Wait()
+	stashTelemetry(nw)
 	return float64(measured) / elapsed.Seconds() / 1e6, server.Metrics()
 }
 
@@ -236,6 +336,13 @@ func runCreditAblation(quick bool) {
 			degree = float64(m.ItemsIn) / float64(m.MsgsIn)
 		}
 		fmt.Printf("%-6d %6.3f %9d %7.2f\n", credits, mops, m.CreditRenewals, degree)
+		emitRecord(benchRecord{
+			Series: "credits", X: float64(credits),
+			Metrics: map[string]float64{
+				"mops": mops, "renewals": float64(m.CreditRenewals), "degree": degree,
+			},
+			Telemetry: takeTelemetry(),
+		})
 	}
 }
 
@@ -285,6 +392,14 @@ func runSignalAblation(quick bool) {
 		fmt.Printf("%-12d %6.3f  suppressed=%d delivered=%d\n",
 			every, float64(ops.Load())/dur.Seconds()/1e6,
 			st.CompletionsSuppressed, st.CompletionsDelivered)
+		emitRecord(benchRecord{
+			Series: "signal_every", X: float64(every),
+			Metrics: map[string]float64{
+				"mops":       float64(ops.Load()) / dur.Seconds() / 1e6,
+				"suppressed": float64(st.CompletionsSuppressed),
+				"delivered":  float64(st.CompletionsDelivered),
+			},
+		})
 		nw.Close()
 	}
 }
@@ -339,6 +454,12 @@ func runUDCoalesceAblation(quick bool) {
 			name = "coalesced"
 		}
 		fmt.Printf("%-10s %9.0f %12d %8d\n", name, ops, pkts, batched)
+		emitRecord(benchRecord{
+			Series: name,
+			Metrics: map[string]float64{
+				"ops_per_s": ops, "srv_cli_pkts": float64(pkts), "batched": float64(batched),
+			},
+		})
 	}
 }
 
@@ -439,4 +560,11 @@ func runSyncMicro(quick bool) {
 	fmt.Printf("flock-sync  %10.0f ops/s\n", flockOps)
 	fmt.Printf("spinlock    %10.0f ops/s\n", lockOps)
 	fmt.Printf("ratio       %10.2fx (paper: lock-based up to 2.3x slower)\n", flockOps/lockOps)
+	emitRecord(benchRecord{
+		Metrics: map[string]float64{
+			"flock_ops_per_s":    flockOps,
+			"spinlock_ops_per_s": lockOps,
+			"ratio":              flockOps / lockOps,
+		},
+	})
 }

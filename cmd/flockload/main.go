@@ -11,9 +11,11 @@ package main
 
 import (
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -39,7 +41,11 @@ func main() {
 		maxAQP     = flag.Int("max-aqp", 0, "MAX_AQP override (0 = default 256)")
 		faults     = flag.String("faults", "", "fault spec, e.g. seed=7,rc-loss=0.01,flap=3 (see fabric.ParseFaultPlan)")
 		rpcTimeout = flag.Duration("rpc-timeout", 0, "per-RPC deadline (0 = none; implied 100ms when -faults is set)")
-		pprofDir   = flag.String("pprof", "", "directory to write cpu.pprof and heap.pprof into")
+		pprofDir   = flag.String("pprof", "", "directory to write cpu/heap/mutex/block .pprof files into")
+		metrics    = flag.Bool("metrics", false, "dump the full telemetry snapshot as JSON after the run")
+		expvarAddr = flag.String("expvar", "", "serve the telemetry snapshot on this addr via expvar (e.g. :8080)")
+		traceEvery = flag.Int("trace", 0, "record the RPC lifecycle trace, sampling 1 in N requests (0 = off)")
+		nicCache   = flag.Int("nic-cache", 0, "NIC connection-context cache size (0 = unconstrained)")
 	)
 	flag.Parse()
 
@@ -49,8 +55,19 @@ func main() {
 		MaxActiveQPs: *maxAQP,
 		RPCTimeout:   *rpcTimeout,
 	}
+	if *traceEvery > 0 {
+		opts.Trace = true
+		opts.TraceSample = *traceEvery
+	}
 	if *noCoalesce {
 		opts.MaxBatch = 1
+	}
+	if *pprofDir != "" {
+		// Contended-lock and blocking profiles are pay-to-play: the runtime
+		// only samples them when the rates are set, so plain runs keep the
+		// hot path unperturbed.
+		runtime.SetMutexProfileFraction(100)
+		runtime.SetBlockProfileRate(int(time.Microsecond))
 	}
 	if *faults != "" && opts.RPCTimeout == 0 {
 		opts.RPCTimeout = 100 * time.Millisecond
@@ -65,9 +82,19 @@ func main() {
 		}
 		net.Fabric().SetFaultPlan(plan)
 	}
-	server, err := net.NewNode(0, opts, 0)
+	server, err := net.NewNode(0, opts, *nicCache)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *expvarAddr != "" {
+		expvar.Publish("flock", expvar.Func(func() interface{} {
+			return net.TelemetrySnapshot()
+		}))
+		go func() {
+			if err := http.ListenAndServe(*expvarAddr, nil); err != nil {
+				log.Printf("expvar server: %v", err)
+			}
+		}()
 	}
 	server.RegisterHandler(1, func(req []byte) []byte { return req })
 	if err := server.Serve(); err != nil {
@@ -84,7 +111,7 @@ func main() {
 	var workersList []*worker
 	var clientNodes []*flock.Node
 	for c := 0; c < *clients; c++ {
-		client, err := net.NewNode(flock.NodeID(c+1), opts, 0)
+		client, err := net.NewNode(flock.NodeID(c+1), opts, *nicCache)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -263,8 +290,17 @@ func main() {
 			log.Fatal(err)
 		}
 		hp.Close() //nolint:errcheck
-		fmt.Printf("pprof       wrote %s and %s\n",
-			filepath.Join(*pprofDir, "cpu.pprof"), filepath.Join(*pprofDir, "heap.pprof"))
+		for _, prof := range []string{"mutex", "block"} {
+			f, err := os.Create(filepath.Join(*pprofDir, prof+".pprof"))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := pprof.Lookup(prof).WriteTo(f, 0); err != nil {
+				log.Fatal(err)
+			}
+			f.Close() //nolint:errcheck
+		}
+		fmt.Printf("pprof       wrote cpu/heap/mutex/block .pprof in %s\n", *pprofDir)
 	}
 	if *faults != "" {
 		var failed uint64
@@ -284,6 +320,15 @@ func main() {
 		fmt.Printf("recovery    recycles=%d quarantines=%d rpc-timeouts=%d (clients) recycles=%d quarantines=%d (server)\n",
 			rec.QPRecycles, rec.QPQuarantines, rec.RPCTimeouts,
 			m.QPRecycles, m.QPQuarantines)
+	}
+	if *metrics {
+		snap := net.TelemetrySnapshot()
+		b, err := snap.JSON()
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(b) //nolint:errcheck
+		fmt.Println()      // trailing newline after the JSON document
 	}
 	if totalOps == 0 {
 		os.Exit(1)

@@ -44,6 +44,7 @@ package flock
 import (
 	"flock/internal/core"
 	"flock/internal/fabric"
+	"flock/internal/telemetry"
 )
 
 // Core types re-exported from the implementation package. The aliases keep
@@ -85,6 +86,14 @@ type (
 	LinkFault = fabric.LinkFault
 	// FaultStats aggregates the fabric's fault-injection counters.
 	FaultStats = fabric.FaultStats
+	// TelemetrySnapshot is a point-in-time, JSON-encodable copy of the
+	// telemetry registries (Network.TelemetrySnapshot, Node.Telemetry).
+	TelemetrySnapshot = telemetry.Snapshot
+	// TelemetryRegistry is a named collection of counters, gauges,
+	// histograms, and the RPC-lifecycle trace ring.
+	TelemetryRegistry = telemetry.Registry
+	// TraceEvent is one recorded RPC-lifecycle event.
+	TraceEvent = telemetry.TraceEvent
 )
 
 // Errors re-exported from the implementation.

@@ -8,6 +8,7 @@ import (
 	"flock/internal/fabric"
 	"flock/internal/rnic"
 	"flock/internal/stats"
+	"flock/internal/telemetry"
 )
 
 // Control-region layout. Each QP has a small control MR on each side,
@@ -100,7 +101,8 @@ type connQP struct {
 	askOut      bool   // a renewal is outstanding
 	askSnapshot uint64 // granted value when the renewal was posted
 	degrees     *stats.RunningMedian
-	msgSeq      uint64 // selective-signaling counter
+	degHist     *telemetry.Hist // coalescing degree of every posted message
+	msgSeq      uint64          // selective-signaling counter
 
 	// Batch-processing scratch, reused across leader turns (leader-owned
 	// like the fields above, so no locking). PostSend copies WRs, making
@@ -249,6 +251,9 @@ func (n *Node) newConnQP(c *Conn, idx int) (*connQP, error) {
 		ctrl:       ctrl,
 		readback:   readback,
 		degrees:    stats.NewRunningMedian(32),
+		// Get-or-create so a recycled QP keeps accumulating into the same
+		// series (the per-QP view Figure 10's analysis wants).
+		degHist: n.tel.Hist(fmt.Sprintf("conn%d.qp%d.coalesce_degree", c.remote, idx)),
 	}
 	q.prod = &ringProducer{staging: staging, size: n.opts.RingBytes}
 	q.respCons = newRingConsumer(respRing, 0, n.opts.RingBytes, ctrl, ctrlRespHeadOff)

@@ -6,6 +6,7 @@ import (
 
 	"flock/internal/mem"
 	"flock/internal/rnic"
+	"flock/internal/telemetry"
 )
 
 // This file is the client-side response dispatcher (§4.3): a lightweight
@@ -74,6 +75,7 @@ func (n *Node) clientDispatch() {
 					}
 					busy = true
 					q.prod.updateCached(h.piggyHead)
+					n.trace.Record(telemetry.EvComplete, q.idx, 0, 0, uint64(len(items)))
 					for i := range items {
 						c.deliverResponse(&items[i], mbuf)
 					}
@@ -113,12 +115,14 @@ func (c *Conn) deliverResponse(it *decodedItem, mbuf *mem.Buf) {
 		return // thread never registered; drop
 	}
 	mbuf.Retain()
+	c.node.trace.Record(telemetry.EvDispatch, -1, it.meta.threadID, uint64(it.meta.seqID), uint64(len(it.data)))
 	r := Response{
 		Seq:    it.meta.seqID,
 		RPCID:  it.meta.rpcID,
 		Status: it.meta.status,
 		Data:   it.data,
 		buf:    mbuf,
+		trace:  c.node.trace,
 	}
 	// The dispatcher must never block on a mailbox: a thread that
 	// abandoned a deadline-expired call stops draining, and its late

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"flock/internal/rnic"
+	"flock/internal/telemetry"
 )
 
 // This file is the leader side of FLock synchronization: batch claiming,
@@ -37,6 +38,7 @@ func (c *Conn) lead(th *Thread, q *connQP, own *tcqNode) uint32 {
 	if leaderStallHook != nil {
 		leaderStallHook(c, q)
 	}
+	start := time.Now()
 	batch := q.tcq.claimBatch(own, c.node.opts.MaxBatch)
 	verdict := c.processBatch(th, q, batch)
 	for _, n := range batch {
@@ -45,6 +47,7 @@ func (c *Conn) lead(th *Thread, q *connQP, own *tcqNode) uint32 {
 		}
 	}
 	q.tcq.handoff(batch[len(batch)-1])
+	c.node.tenure.Observe(uint64(time.Since(start)))
 	return verdict
 }
 
@@ -168,8 +171,11 @@ func (c *Conn) processBatch(th *Thread, q *connQP, batch []*tcqNode) uint32 {
 
 		q.consumed += uint64(len(rpc))
 		q.degrees.Add(uint64(len(rpc)))
+		q.degHist.Observe(uint64(len(rpc)))
+		c.node.degOut.Observe(uint64(len(rpc)))
 		c.node.metrics.msgsOut.Add(1)
 		c.node.metrics.itemsOut.Add(uint64(len(rpc)))
+		c.node.trace.Record(telemetry.EvCombine, q.idx, th.id, 0, uint64(len(rpc)))
 	}
 
 	// Proactive renewal: ask for C more after consuming half (§5.1).
@@ -183,6 +189,7 @@ func (c *Conn) processBatch(th *Thread, q *connQP, batch []*tcqNode) uint32 {
 	if err := q.qp.PostSend(wrs...); err != nil {
 		return c.postFailure(q, err)
 	}
+	c.node.trace.Record(telemetry.EvPost, q.idx, th.id, 0, uint64(len(wrs)))
 	return stateSent
 }
 

@@ -7,7 +7,9 @@ import (
 	"sync/atomic"
 
 	"flock/internal/fabric"
+	"flock/internal/mem"
 	"flock/internal/rnic"
+	"flock/internal/telemetry"
 )
 
 // Errors surfaced by the public API.
@@ -56,6 +58,8 @@ type Handler func(req []byte) []byte
 // that real RDMA deployments perform.
 type Network struct {
 	fab *fabric.Fabric
+	tel *telemetry.Registry // network-scoped metrics: fabric wire/fault
+	// counters and the shared buffer pool
 
 	mu    sync.RWMutex
 	nodes map[fabric.NodeID]*Node
@@ -63,14 +67,39 @@ type Network struct {
 
 // NewNetwork creates an empty network over a fresh fabric.
 func NewNetwork(fcfg fabric.Config) *Network {
-	return &Network{
+	nw := &Network{
 		fab:   fabric.New(fcfg),
+		tel:   telemetry.New(),
 		nodes: make(map[fabric.NodeID]*Node),
 	}
+	nw.fab.PublishTelemetry(nw.tel, "fabric.")
+	mem.Default.PublishTelemetry(nw.tel, "mem.")
+	return nw
 }
 
 // Fabric exposes the underlying fabric (for traffic statistics).
 func (nw *Network) Fabric() *fabric.Fabric { return nw.fab }
+
+// Telemetry returns the network-scoped registry (fabric and buffer-pool
+// views). Per-node metrics live on each Node's registry; use
+// TelemetrySnapshot for the combined view.
+func (nw *Network) Telemetry() *telemetry.Registry { return nw.tel }
+
+// TelemetrySnapshot captures the whole deployment: the network registry
+// plus every node's registry merged under a "node<id>." prefix.
+func (nw *Network) TelemetrySnapshot() telemetry.Snapshot {
+	s := nw.tel.Snapshot()
+	nw.mu.RLock()
+	nodes := make([]*Node, 0, len(nw.nodes))
+	for _, n := range nw.nodes {
+		nodes = append(nodes, n)
+	}
+	nw.mu.RUnlock()
+	for _, n := range nodes {
+		s.Merge(fmt.Sprintf("node%d.", n.id), n.tel.Snapshot())
+	}
+	return s
+}
 
 // NewNode creates a FLock node with its own RNIC. nicCacheSize bounds the
 // device's connection-context cache: pass 0 for an unconstrained
@@ -150,6 +179,9 @@ type NodeMetrics struct {
 	// LeaderStalls counts combining-leader credit/space waits that hit
 	// StallTimeout and broke their QP.
 	LeaderStalls uint64
+	// QPRedistributions counts receiver-side scheduler rounds that changed
+	// the active-QP set (server role).
+	QPRedistributions uint64
 }
 
 // Node is one FLock endpoint. A node can serve inbound connections
@@ -188,11 +220,25 @@ type Node struct {
 	exportMu sync.Mutex
 	exports  map[string]*rnic.MemRegion
 
+	// metrics are sharded telemetry counters (zero value ready): msgsOut/
+	// itemsOut take hits from every combining leader, and striping keeps
+	// that off a single contended cache line. All of them are published on
+	// the node registry as snapshot views in newNode — never lazily.
 	metrics struct {
-		msgsIn, itemsIn, msgsOut, itemsOut          atomic.Uint64
-		renewals, activations, deactivations, migrs atomic.Uint64
-		recycles, quarantines, timeouts, stalls     atomic.Uint64
+		msgsIn, itemsIn, msgsOut, itemsOut          telemetry.Counter
+		renewals, activations, deactivations, migrs telemetry.Counter
+		recycles, quarantines, timeouts, stalls     telemetry.Counter
+		redistributions                             telemetry.Counter
 	}
+
+	// tel is the node's telemetry registry; the histograms and the trace
+	// ring hang off it. All handles are resolved at construction so the
+	// hot path never touches the registry map.
+	tel    *telemetry.Registry
+	degOut *telemetry.Hist // coalescing degree of outbound messages
+	degIn  *telemetry.Hist // coalescing degree of inbound messages
+	tenure *telemetry.Hist // leader tenure, nanoseconds
+	trace  *telemetry.TraceRing
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -204,14 +250,68 @@ func newNode(nw *Network, id fabric.NodeID, dev *rnic.Device, opts Options) *Nod
 		id:   id,
 		opts: opts.withDefaults(),
 		dev:  dev,
+		tel:  telemetry.New(),
 		done: make(chan struct{}),
 	}
 	n.handlers.Store(map[uint32]Handler{})
 	n.byQPN.Store(map[int]*serverQP{})
 	n.connsSnap.Store([]*Conn{})
 	n.sconnsSnap.Store([]*serverConn{})
+	n.publishTelemetry()
+	if n.opts.Trace {
+		n.trace.Enable(n.opts.TraceSample)
+	}
 	return n
 }
+
+// publishTelemetry registers every node-level metric on the node registry.
+// It runs once at construction — the alloc gate depends on nothing being
+// created lazily on the first RPC.
+func (n *Node) publishTelemetry() {
+	cf := func(name string, c *telemetry.Counter) {
+		n.tel.CounterFunc("core."+name, c.Load)
+	}
+	cf("msgs_in", &n.metrics.msgsIn)
+	cf("items_in", &n.metrics.itemsIn)
+	cf("msgs_out", &n.metrics.msgsOut)
+	cf("items_out", &n.metrics.itemsOut)
+	cf("credit_renewals", &n.metrics.renewals)
+	cf("qp_activations", &n.metrics.activations)
+	cf("qp_deactivations", &n.metrics.deactivations)
+	cf("thread_migrations", &n.metrics.migrs)
+	cf("qp_recycles", &n.metrics.recycles)
+	cf("qp_quarantines", &n.metrics.quarantines)
+	cf("rpc_timeouts", &n.metrics.timeouts)
+	cf("leader_stalls", &n.metrics.stalls)
+	cf("qp_redistributions", &n.metrics.redistributions)
+
+	n.degOut = n.tel.Hist("core.coalesce_degree_out")
+	n.degIn = n.tel.Hist("core.coalesce_degree_in")
+	n.tenure = n.tel.Hist("core.leader_tenure_ns")
+	n.trace = n.tel.Trace()
+
+	n.tel.GaugeFunc("core.active_qps", func() int64 {
+		var active int64
+		for _, sqp := range n.byQPN.Load().(map[int]*serverQP) {
+			if sqp.active.Load() {
+				active++
+			}
+		}
+		return active
+	})
+	n.tel.GaugeFunc("core.max_active_qps", func() int64 {
+		return int64(n.opts.MaxActiveQPs)
+	})
+
+	n.dev.PublishTelemetry(n.tel, "rnic.")
+}
+
+// Telemetry returns the node's metric registry.
+func (n *Node) Telemetry() *telemetry.Registry { return n.tel }
+
+// Trace returns the node's RPC-lifecycle trace ring. It is enabled at
+// construction by Options.Trace, or at any time via Enable.
+func (n *Node) Trace() *telemetry.TraceRing { return n.trace }
 
 // ID returns the node's fabric address.
 func (n *Node) ID() fabric.NodeID { return n.id }
@@ -225,19 +325,27 @@ func (n *Node) Options() Options { return n.opts }
 // Metrics snapshots the node's activity counters.
 func (n *Node) Metrics() NodeMetrics {
 	return NodeMetrics{
-		MsgsIn:           n.metrics.msgsIn.Load(),
-		ItemsIn:          n.metrics.itemsIn.Load(),
-		MsgsOut:          n.metrics.msgsOut.Load(),
-		ItemsOut:         n.metrics.itemsOut.Load(),
-		CreditRenewals:   n.metrics.renewals.Load(),
-		QPActivations:    n.metrics.activations.Load(),
-		QPDeactivations:  n.metrics.deactivations.Load(),
-		ThreadMigrations: n.metrics.migrs.Load(),
-		QPRecycles:       n.metrics.recycles.Load(),
-		QPQuarantines:    n.metrics.quarantines.Load(),
-		RPCTimeouts:      n.metrics.timeouts.Load(),
-		LeaderStalls:     n.metrics.stalls.Load(),
+		MsgsIn:            n.metrics.msgsIn.Load(),
+		ItemsIn:           n.metrics.itemsIn.Load(),
+		MsgsOut:           n.metrics.msgsOut.Load(),
+		ItemsOut:          n.metrics.itemsOut.Load(),
+		CreditRenewals:    n.metrics.renewals.Load(),
+		QPActivations:     n.metrics.activations.Load(),
+		QPDeactivations:   n.metrics.deactivations.Load(),
+		ThreadMigrations:  n.metrics.migrs.Load(),
+		QPRecycles:        n.metrics.recycles.Load(),
+		QPQuarantines:     n.metrics.quarantines.Load(),
+		RPCTimeouts:       n.metrics.timeouts.Load(),
+		LeaderStalls:      n.metrics.stalls.Load(),
+		QPRedistributions: n.metrics.redistributions.Load(),
 	}
+}
+
+// DegreeHistograms snapshots the node's coalescing-degree histograms:
+// outbound (client role, per combined message posted) and inbound (server
+// role, per coalesced message received).
+func (n *Node) DegreeHistograms() (out, in telemetry.HistSnapshot) {
+	return n.degOut.Snapshot(), n.degIn.Snapshot()
 }
 
 // RegisterHandler binds fn to rpcID (fl_reg_handler in Table 2).

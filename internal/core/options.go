@@ -51,6 +51,10 @@ const (
 	// DefaultFlapThreshold is how many times a QP may break and be
 	// recycled before the connection quarantines it for good.
 	DefaultFlapThreshold = 3
+	// DefaultTraceSample keeps one traced request lifecycle in 64 when
+	// Options.Trace is on — dense enough to see the pipeline, sparse
+	// enough that the trace mutex stays off the measured path.
+	DefaultTraceSample = 64
 	// timeoutStrikes is how many consecutive per-attempt RPC timeouts on
 	// one QP it takes before the client declares the QP broken. Server-side
 	// failures (the server end of the QP erroring, responses lost) are
@@ -119,6 +123,15 @@ type Options struct {
 	// uses the NIC default (7). Only matters when the fabric carries a
 	// fault plan; a clean fabric never retransmits.
 	RCRetries int
+	// Trace enables the node's RPC-lifecycle trace ring at construction.
+	// Disabled (the default), every trace probe on the hot path is a
+	// single atomic load.
+	Trace bool
+	// TraceSample keeps one traced request lifecycle per this many
+	// sequence numbers when Trace is on (rounded up to a power of two).
+	// Zero means DefaultTraceSample. Per-message events (combine, post,
+	// complete) are always recorded while tracing.
+	TraceSample int
 }
 
 // withDefaults returns a copy of o with zero fields replaced by defaults.
@@ -161,6 +174,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.FlapThreshold == 0 {
 		o.FlapThreshold = DefaultFlapThreshold
+	}
+	if o.TraceSample <= 0 {
+		o.TraceSample = DefaultTraceSample
 	}
 	return o
 }

@@ -110,6 +110,7 @@ func (n *Node) redistribute() {
 	if totalQPs <= n.opts.MaxActiveQPs {
 		// Under the thrashing threshold: everything stays active (§8.3.1:
 		// "FLock does not experience any QP sharing up to eight threads").
+		changed := false
 		for _, sc := range sconns {
 			for _, sqp := range sc.qps {
 				sqp.util = 0
@@ -120,8 +121,12 @@ func (n *Node) redistribute() {
 				}
 				if !sqp.active.Load() {
 					n.activate(sqp)
+					changed = true
 				}
 			}
+		}
+		if changed {
+			n.metrics.redistributions.Add(1)
 		}
 		return
 	}
@@ -134,6 +139,7 @@ func (n *Node) redistribute() {
 		}
 	}
 	counts := RedistributeQPs(utils, n.opts.MaxActiveQPs)
+	changed := false
 	for i, sc := range sconns {
 		// Prefer the most-utilized QPs of each sender; ties keep index
 		// order for stability.
@@ -156,11 +162,16 @@ func (n *Node) redistribute() {
 			if rank < keep {
 				if !sqp.active.Load() {
 					n.activate(sqp)
+					changed = true
 				}
 			} else if sqp.active.Load() {
 				n.deactivate(sqp)
+				changed = true
 			}
 		}
+	}
+	if changed {
+		n.metrics.redistributions.Add(1)
 	}
 }
 

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestAssignThreadsSeparatesBySize(t *testing.T) {
@@ -99,6 +102,135 @@ func TestAssignThreadsProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSchedulerObservabilityUnderSkew drives a skewed two-client workload
+// (2 conns × 4 QPs against MAX_AQP=4, one hot client and one near-idle
+// client) and asserts the telemetry the PR adds actually moves with the
+// scheduler: the coalescing-degree histograms account for every message,
+// and the receiver-side scheduler records redistributions and
+// deactivations as it shifts active QPs toward the hot sender.
+func TestSchedulerObservabilityUnderSkew(t *testing.T) {
+	serverOpts := Options{
+		QPsPerConn:    4,
+		MaxActiveQPs:  4, // 8 QPs total across 2 conns → sharing forced
+		SchedInterval: time.Millisecond,
+	}
+	clientOpts := Options{QPsPerConn: 4, SchedInterval: time.Millisecond}
+	tc := newTestCluster(t, 2, serverOpts, clientOpts)
+	registerEcho(tc.server)
+
+	hot, err := tc.clients[0].Connect(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := tc.clients[1].Connect(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Hot client: 6 threads with a deep window, to drive coalescing and
+	// concentrate utilization on conn 0's QPs.
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := hot.RegisterThread()
+			payload := make([]byte, 64)
+			const window = 8
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sent := 0
+				for k := 0; k < window; k++ {
+					if _, err := th.SendRPC(echoID, payload); err != nil {
+						return
+					}
+					sent++
+				}
+				for k := 0; k < sent; k++ {
+					if recvDrop(th) != nil {
+						return
+					}
+				}
+			}
+		}()
+	}
+	// Cold client: one thread, one RPC at a time with a pause — just
+	// enough traffic that its QPs report utilization near zero.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		th := cold.RegisterThread()
+		payload := make([]byte, 64)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if callDrop(th, echoID, payload) != nil {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	time.Sleep(400 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// The server-side degree histogram must account for exactly the
+	// messages and items the node counted: one Observe per coalesced
+	// message, the observed value being the number of items it carried.
+	m := tc.server.Metrics()
+	_, degIn := tc.server.DegreeHistograms()
+	if degIn.Count != m.MsgsIn {
+		t.Errorf("server degree-in hist count = %d, want MsgsIn = %d", degIn.Count, m.MsgsIn)
+	}
+	if degIn.Sum != m.ItemsIn {
+		t.Errorf("server degree-in hist sum = %d, want ItemsIn = %d", degIn.Sum, m.ItemsIn)
+	}
+	if m.MsgsIn == 0 {
+		t.Fatal("no traffic reached the server")
+	}
+
+	// Same invariant on the hot client's sender side.
+	hm := tc.clients[0].Metrics()
+	degOut, _ := tc.clients[0].DegreeHistograms()
+	if degOut.Count != hm.MsgsOut {
+		t.Errorf("client degree-out hist count = %d, want MsgsOut = %d", degOut.Count, hm.MsgsOut)
+	}
+	if degOut.Sum != hm.ItemsOut {
+		t.Errorf("client degree-out hist sum = %d, want ItemsOut = %d", degOut.Sum, hm.ItemsOut)
+	}
+
+	// With 8 QPs over a budget of 4 and skewed utilization, the scheduler
+	// must have applied at least one redistribution that deactivated QPs.
+	if m.QPRedistributions == 0 {
+		t.Error("scheduler recorded no QP redistributions under forced sharing")
+	}
+	if m.QPDeactivations == 0 {
+		t.Error("scheduler recorded no QP deactivations with 8 QPs over MAX_AQP=4")
+	}
+
+	// The per-QP coalescing histograms are registered in the client's
+	// telemetry and must have absorbed the hot client's messages.
+	snap := tc.clients[0].Telemetry().Snapshot()
+	var perQP uint64
+	for name, h := range snap.Hists {
+		if strings.HasPrefix(name, "conn") && strings.HasSuffix(name, "coalesce_degree") {
+			perQP += h.Count
+		}
+	}
+	if perQP != hm.MsgsOut {
+		t.Errorf("per-QP coalesce hists count %d messages, want MsgsOut = %d", perQP, hm.MsgsOut)
 	}
 }
 

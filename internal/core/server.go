@@ -266,6 +266,7 @@ func (n *Node) pumpRequests(sqp *serverQP) bool {
 		busy = true
 		n.metrics.msgsIn.Add(1)
 		n.metrics.itemsIn.Add(uint64(len(items)))
+		n.degIn.Observe(uint64(len(items)))
 		sqp.respProd.updateCached(h.piggyHead)
 		if n.workCh != nil {
 			// Hand the poll reference to the unit; payloads stay views into

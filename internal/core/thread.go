@@ -8,6 +8,7 @@ import (
 	"flock/internal/mem"
 	"flock/internal/rnic"
 	"flock/internal/stats"
+	"flock/internal/telemetry"
 )
 
 // Thread is a per-application-thread handle on a connection. FLock
@@ -60,6 +61,10 @@ type Response struct {
 	// responses whose payload was copied.
 	buf *mem.Buf
 
+	// trace, when non-nil, is the owning node's lifecycle ring; Release
+	// records the final EvRelease event on it. Set by the dispatcher.
+	trace *telemetry.TraceRing
+
 	// err marks a poison response injected by recovery paths (ErrQPBroken,
 	// ErrConnClosed) rather than a response off the wire.
 	err error
@@ -76,6 +81,9 @@ func (r *Response) Release() {
 		r.buf = nil
 		r.Data = nil
 		b.Release()
+		if r.trace != nil {
+			r.trace.Record(telemetry.EvRelease, -1, 0, r.Seq, 0)
+		}
 	}
 }
 
@@ -211,6 +219,7 @@ func (t *Thread) sendRPC(rpcID uint32, payload []byte, deadline time.Time) (uint
 	t.outstanding.Add(1)
 	for i := 0; ; i++ {
 		q := t.pickQP()
+		t.conn.node.trace.Record(telemetry.EvEnqueue, q.idx, t.id, seq, uint64(len(payload)))
 		n := &tcqNode{
 			kind:     opRPC,
 			rpcID:    rpcID,

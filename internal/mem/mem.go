@@ -26,6 +26,8 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
+
+	"flock/internal/telemetry"
 )
 
 // Size classes are powers of two from minClass (64 B — below that the Buf
@@ -80,8 +82,12 @@ func (b *Buf) Release() {
 type Pool struct {
 	classes     [classes]freeList
 	outstanding atomic.Int64
-	gets        atomic.Uint64
-	hits        atomic.Uint64
+	// gets and hits are telemetry counters (sharded, padded) because every
+	// dispatcher, server thread, and the device pipeline bump them on each
+	// lease — a single atomic here bounces one cache line across all of
+	// them.
+	gets telemetry.Counter
+	hits telemetry.Counter
 }
 
 type freeList struct {
@@ -176,4 +182,34 @@ type Stats struct {
 	Gets        uint64 // total leases handed out
 	Hits        uint64 // leases served from a free list (no allocation)
 	Outstanding int64  // live leases right now
+}
+
+// classLen reports the current free-list occupancy of one size class.
+func (p *Pool) classLen(class int) int {
+	fl := &p.classes[class]
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	return len(fl.bufs)
+}
+
+// PublishTelemetry registers snapshot-time views of the pool under prefix
+// (e.g. "mem."): cumulative gets/hits, the hit rate in percent, live
+// leases, and per-size-class free-list occupancy. The pool's write paths
+// are untouched.
+func (p *Pool) PublishTelemetry(reg *telemetry.Registry, prefix string) {
+	reg.CounterFunc(prefix+"pool_gets", p.gets.Load)
+	reg.CounterFunc(prefix+"pool_hits", p.hits.Load)
+	reg.GaugeFunc(prefix+"outstanding", p.outstanding.Load)
+	reg.GaugeFunc(prefix+"pool_hit_rate_pct", func() int64 {
+		gets := p.gets.Load()
+		if gets == 0 {
+			return 0
+		}
+		return int64(p.hits.Load() * 100 / gets)
+	})
+	for class := 0; class < classes; class++ {
+		class := class
+		name := fmt.Sprintf("%sclass_%db_free", prefix, 1<<(class+minShift))
+		reg.GaugeFunc(name, func() int64 { return int64(p.classLen(class)) })
+	}
 }

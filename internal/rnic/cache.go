@@ -11,13 +11,14 @@ import "sync"
 //
 // A capacity of zero disables the model (every access hits).
 type connCache struct {
-	mu       sync.Mutex
-	capacity int
-	entries  map[cacheKey]*cacheNode
-	head     *cacheNode // most recently used
-	tail     *cacheNode // least recently used
-	hits     uint64
-	misses   uint64
+	mu        sync.Mutex
+	capacity  int
+	entries   map[cacheKey]*cacheNode
+	head      *cacheNode // most recently used
+	tail      *cacheNode // least recently used
+	hits      uint64
+	misses    uint64
+	evictions uint64
 }
 
 // cacheKey identifies a cached connection context. Remote contexts (the
@@ -60,15 +61,16 @@ func (c *connCache) access(node, qpn int) bool {
 		evict := c.tail
 		c.unlink(evict)
 		delete(c.entries, evict.key)
+		c.evictions++
 	}
 	return false
 }
 
-// stats returns the hit and miss counters.
-func (c *connCache) stats() (hits, misses uint64) {
+// stats returns the hit, miss, and eviction counters.
+func (c *connCache) stats() (hits, misses, evictions uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return c.hits, c.misses, c.evictions
 }
 
 // len reports the number of resident contexts.

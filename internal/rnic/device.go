@@ -43,9 +43,19 @@ type Counters struct {
 	// Processed counts WRs the pipeline has executed.
 	Processed uint64
 	// CacheHits and CacheMisses count connection-context cache accesses
-	// on this device, both requester- and responder-side.
-	CacheHits   uint64
-	CacheMisses uint64
+	// on this device, both requester- and responder-side; CacheEvictions
+	// counts contexts pushed out by capacity pressure (each eviction is a
+	// future miss — the thrashing signature of Figure 2).
+	CacheHits      uint64
+	CacheMisses    uint64
+	CacheEvictions uint64
+	// PCIeFetchNanos accumulates the modeled time cost of fetching evicted
+	// connection contexts back over PCIe (pcieFetchNs per miss). The
+	// functional tier only accounts it; the DES tier charges it.
+	PCIeFetchNanos uint64
+	// MRLookups counts MTT/MPT translations: every rkey resolution on the
+	// responder side of a one-sided verb.
+	MRLookups uint64
 	// CompletionsDelivered counts CQ entries generated; Suppressed counts
 	// successful unsignaled WRs that generated none (selective
 	// signaling's saving, §7).
@@ -85,6 +95,9 @@ func (c *Counters) snapshot() Counters {
 		Processed:             atomic.LoadUint64(&c.Processed),
 		CacheHits:             atomic.LoadUint64(&c.CacheHits),
 		CacheMisses:           atomic.LoadUint64(&c.CacheMisses),
+		CacheEvictions:        atomic.LoadUint64(&c.CacheEvictions),
+		PCIeFetchNanos:        atomic.LoadUint64(&c.PCIeFetchNanos),
+		MRLookups:             atomic.LoadUint64(&c.MRLookups),
 		CompletionsDelivered:  atomic.LoadUint64(&c.CompletionsDelivered),
 		CompletionsSuppressed: atomic.LoadUint64(&c.CompletionsSuppressed),
 		PacketsTX:             atomic.LoadUint64(&c.PacketsTX),
@@ -165,13 +178,18 @@ func (d *Device) Node() fabric.NodeID { return d.cfg.Node }
 // Fabric returns the fabric this device is attached to.
 func (d *Device) Fabric() *fabric.Fabric { return d.fab }
 
-// Stats returns a snapshot of the device counters.
-func (d *Device) Stats() Counters { return d.counters.snapshot() }
+// Stats returns a snapshot of the device counters. Eviction counts live in
+// the connection cache and are folded in here.
+func (d *Device) Stats() Counters {
+	s := d.counters.snapshot()
+	_, _, s.CacheEvictions = d.cache.stats()
+	return s
+}
 
 // CacheStats returns the connection-context cache hit/miss counts and the
 // number of resident contexts.
 func (d *Device) CacheStats() (hits, misses uint64, resident int) {
-	h, m := d.cache.stats()
+	h, m, _ := d.cache.stats()
 	return h, m, d.cache.len()
 }
 
@@ -296,8 +314,10 @@ func (d *Device) RegisterMR(size int, perms Perm) (*MemRegion, error) {
 	return mr, nil
 }
 
-// lookupMR resolves an rkey to a region, nil if unknown.
+// lookupMR resolves an rkey to a region, nil if unknown. Each call models
+// one MTT/MPT translation on the responder NIC.
 func (d *Device) lookupMR(rkey uint32) *MemRegion {
+	d.counters.add(&d.counters.MRLookups, 1)
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.mrs[rkey]

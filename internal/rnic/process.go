@@ -161,6 +161,12 @@ func (d *Device) transmitRC(q *QP, dst fabric.NodeID, txBytes int) bool {
 	}
 }
 
+// pcieFetchNs is the modeled cost of one connection-context fetch over
+// PCIe after a cache miss — roughly the round-trip of a 256B DMA read on
+// a Gen3 x16 link, matching the stall the paper attributes to context
+// thrashing (§2.3).
+const pcieFetchNs = 600
+
 // cacheAccess touches the device's connection cache and updates counters.
 // It returns true on a hit.
 func (d *Device) cacheAccess(node, qpn int) bool {
@@ -169,6 +175,7 @@ func (d *Device) cacheAccess(node, qpn int) bool {
 		d.counters.add(&d.counters.CacheHits, 1)
 	} else {
 		d.counters.add(&d.counters.CacheMisses, 1)
+		d.counters.add(&d.counters.PCIeFetchNanos, pcieFetchNs)
 	}
 	return hit
 }

@@ -501,9 +501,12 @@ func TestConnCacheLRU(t *testing.T) {
 	if c.access(1, 3) != true {
 		t.Fatal("resident entry missed")
 	}
-	hits, misses := c.stats()
+	hits, misses, evictions := c.stats()
 	if hits != 2 || misses != 4 {
 		t.Fatalf("hits=%d misses=%d", hits, misses)
+	}
+	if evictions != 2 { // 1 evicted by 3's insert, then 2 evicted by 1's reinsert
+		t.Fatalf("evictions=%d", evictions)
 	}
 	if c.len() != 2 {
 		t.Fatalf("len = %d", c.len())

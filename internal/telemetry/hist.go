@@ -1,0 +1,112 @@
+package telemetry
+
+import "math/bits"
+
+// histBuckets is one bucket per possible bit length of a uint64, plus the
+// zero bucket: bucket 0 counts observations of exactly 0, bucket i counts
+// values in [2^(i-1), 2^i - 1].
+const histBuckets = 65
+
+// Hist is a lock-free power-of-two histogram. Observe is a pair of atomic
+// adds from any goroutine; Snapshot may run concurrently with observers
+// (bucket counts and the sum are each individually consistent). Resolution
+// is one octave — coarse next to stats.Hist, but enough for the shapes the
+// instrumentation cares about (coalescing degrees, tenure in nanoseconds)
+// at hot-path cost.
+type Hist struct {
+	buckets [histBuckets]pad64
+	sum     Counter
+}
+
+// Observe records one value.
+func (h *Hist) Observe(v uint64) {
+	h.buckets[bits.Len64(v)].v.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations so far.
+func (h *Hist) Count() uint64 {
+	var n uint64
+	for i := range h.buckets {
+		n += h.buckets[i].v.Load()
+	}
+	return n
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Hist) Snapshot() HistSnapshot {
+	s := HistSnapshot{Sum: h.sum.Load()}
+	for i := range h.buckets {
+		n := h.buckets[i].v.Load()
+		if n == 0 {
+			continue
+		}
+		le := ^uint64(0)
+		if i < 64 {
+			le = 1<<uint(i) - 1
+		}
+		s.Buckets = append(s.Buckets, HistBucket{Le: le, N: n})
+		s.Count += n
+	}
+	return s
+}
+
+// HistBucket is one non-empty bucket: N observations with value ≤ Le (and
+// greater than the previous bucket's Le).
+type HistBucket struct {
+	Le uint64 `json:"le"`
+	N  uint64 `json:"n"`
+}
+
+// HistSnapshot is a point-in-time copy of a Hist, JSON-encodable. Buckets
+// are ascending by Le and omit empty buckets.
+type HistSnapshot struct {
+	Count   uint64       `json:"count"`
+	Sum     uint64       `json:"sum"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Mean returns the arithmetic mean of the observations, 0 when empty.
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns the upper bound of the bucket containing the q-th
+// quantile (0 < q ≤ 1) — an over-estimate by at most one octave.
+func (s HistSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(s.Count))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for _, b := range s.Buckets {
+		seen += b.N
+		if seen >= target {
+			return b.Le
+		}
+	}
+	return s.Buckets[len(s.Buckets)-1].Le
+}
+
+// Sub returns the delta histogram cur − prev, for rate views over an
+// interval. Both snapshots must come from the same Hist (buckets are
+// matched by upper bound).
+func (s HistSnapshot) Sub(prev HistSnapshot) HistSnapshot {
+	out := HistSnapshot{Count: s.Count - prev.Count, Sum: s.Sum - prev.Sum}
+	old := make(map[uint64]uint64, len(prev.Buckets))
+	for _, b := range prev.Buckets {
+		old[b.Le] = b.N
+	}
+	for _, b := range s.Buckets {
+		if n := b.N - old[b.Le]; n > 0 {
+			out.Buckets = append(out.Buckets, HistBucket{Le: b.Le, N: n})
+		}
+	}
+	return out
+}

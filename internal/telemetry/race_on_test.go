@@ -1,0 +1,7 @@
+//go:build race
+
+package telemetry
+
+// raceEnabled reports that the race detector is active, which multiplies
+// atomic-op cost and would make the timing gate flaky.
+const raceEnabled = true

@@ -1,0 +1,192 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// Registry is a named collection of metrics, typically one per Node (plus
+// one per Network for fabric/pool-wide state). Metric handles are resolved
+// once at construction time — Counter/Gauge/Hist are get-or-create, so the
+// hot path holds direct pointers and never consults the registry again.
+// CounterFunc/GaugeFunc register read-at-snapshot views over counters that
+// already exist elsewhere (device counters, pool stats, fault stats),
+// which is how the pre-telemetry ad-hoc counters fold in without touching
+// their write paths.
+type Registry struct {
+	mu           sync.Mutex
+	counters     map[string]*Counter
+	gauges       map[string]*Gauge
+	hists        map[string]*Hist
+	counterFuncs map[string]func() uint64
+	gaugeFuncs   map[string]func() int64
+	trace        *TraceRing
+}
+
+// DefaultTraceDepth is the per-registry trace ring capacity.
+const DefaultTraceDepth = 4096
+
+// New creates an empty registry with a disabled trace ring.
+func New() *Registry {
+	return &Registry{
+		counters:     make(map[string]*Counter),
+		gauges:       make(map[string]*Gauge),
+		hists:        make(map[string]*Hist),
+		counterFuncs: make(map[string]func() uint64),
+		gaugeFuncs:   make(map[string]func() int64),
+		trace:        NewTraceRing(DefaultTraceDepth),
+	}
+}
+
+// Counter returns the counter registered under name, creating it if new.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if new.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Hist returns the histogram registered under name, creating it if new.
+func (r *Registry) Hist(name string) *Hist {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Hist{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// CounterFunc registers a snapshot-time counter view; f must be safe to
+// call from any goroutine. Re-registering a name replaces the function.
+func (r *Registry) CounterFunc(name string, f func() uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counterFuncs[name] = f
+}
+
+// GaugeFunc registers a snapshot-time gauge view.
+func (r *Registry) GaugeFunc(name string, f func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFuncs[name] = f
+}
+
+// Trace returns the registry's lifecycle trace ring.
+func (r *Registry) Trace() *TraceRing { return r.trace }
+
+// Snapshot reads every metric. It allocates freely — snapshots are for
+// reporting paths, never the hot path.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counters := make(map[string]uint64, len(r.counters)+len(r.counterFuncs))
+	for name, c := range r.counters {
+		counters[name] = c.Load()
+	}
+	gauges := make(map[string]int64, len(r.gauges)+len(r.gaugeFuncs))
+	for name, g := range r.gauges {
+		gauges[name] = g.Load()
+	}
+	hists := make(map[string]HistSnapshot, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h.Snapshot()
+	}
+	cfuncs := make(map[string]func() uint64, len(r.counterFuncs))
+	for name, f := range r.counterFuncs {
+		cfuncs[name] = f
+	}
+	gfuncs := make(map[string]func() int64, len(r.gaugeFuncs))
+	for name, f := range r.gaugeFuncs {
+		gfuncs[name] = f
+	}
+	r.mu.Unlock()
+
+	// Funcs run outside the registry lock: they may take other locks (the
+	// connection cache's, the fault-stats mutex) and must not nest under
+	// ours.
+	for name, f := range cfuncs {
+		counters[name] = f()
+	}
+	for name, f := range gfuncs {
+		gauges[name] = f()
+	}
+	s := Snapshot{Counters: counters, Gauges: gauges, Hists: hists}
+	if r.trace != nil {
+		s.Trace = r.trace.Events()
+	}
+	return s
+}
+
+// Snapshot is a point-in-time copy of a registry (or a merge of several),
+// JSON-encodable as the -metrics output of the load tools.
+type Snapshot struct {
+	Counters map[string]uint64       `json:"counters,omitempty"`
+	Gauges   map[string]int64        `json:"gauges,omitempty"`
+	Hists    map[string]HistSnapshot `json:"hists,omitempty"`
+	Trace    []TraceEvent            `json:"trace,omitempty"`
+}
+
+// Merge folds other into s with every name prefixed — how a network-wide
+// snapshot composes per-node registries ("node0.", "node1.", ...).
+func (s *Snapshot) Merge(prefix string, other Snapshot) {
+	if len(other.Counters) > 0 && s.Counters == nil {
+		s.Counters = make(map[string]uint64)
+	}
+	for name, v := range other.Counters {
+		s.Counters[prefix+name] = v
+	}
+	if len(other.Gauges) > 0 && s.Gauges == nil {
+		s.Gauges = make(map[string]int64)
+	}
+	for name, v := range other.Gauges {
+		s.Gauges[prefix+name] = v
+	}
+	if len(other.Hists) > 0 && s.Hists == nil {
+		s.Hists = make(map[string]HistSnapshot)
+	}
+	for name, v := range other.Hists {
+		s.Hists[prefix+name] = v
+	}
+	s.Trace = append(s.Trace, other.Trace...)
+}
+
+// Delta returns s − prev for the cumulative parts (counters and
+// histograms); gauges and trace are instantaneous and carried over from s.
+// A counter absent from prev is treated as starting at zero.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	out := Snapshot{
+		Counters: make(map[string]uint64, len(s.Counters)),
+		Gauges:   s.Gauges,
+		Hists:    make(map[string]HistSnapshot, len(s.Hists)),
+		Trace:    s.Trace,
+	}
+	for name, v := range s.Counters {
+		out.Counters[name] = v - prev.Counters[name]
+	}
+	for name, h := range s.Hists {
+		out.Hists[name] = h.Sub(prev.Hists[name])
+	}
+	return out
+}
+
+// JSON renders the snapshot as indented JSON.
+func (s Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

@@ -1,0 +1,204 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrentSum(t *testing.T) {
+	var c Counter
+	const goroutines, per = 16, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != goroutines*per {
+		t.Fatalf("Load = %d, want %d", got, goroutines*per)
+	}
+	c.Add(5)
+	if got := c.Load(); got != goroutines*per+5 {
+		t.Fatalf("after Add(5): %d", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Load(); got != 7 {
+		t.Fatalf("Load = %d, want 7", got)
+	}
+}
+
+func TestHistBucketsAndStats(t *testing.T) {
+	var h Hist
+	for _, v := range []uint64{0, 1, 2, 3, 4, 1024} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 6 {
+		t.Fatalf("Count = %d, want 6", s.Count)
+	}
+	if s.Sum != 1034 {
+		t.Fatalf("Sum = %d, want 1034", s.Sum)
+	}
+	// Expected buckets: le=0 (the zero), le=1 {1}, le=3 {2,3}, le=7 {4},
+	// le=1023? no — 1024 has bit length 11 → le=2047.
+	want := map[uint64]uint64{0: 1, 1: 1, 3: 2, 7: 1, 2047: 1}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v, want %v", s.Buckets, want)
+	}
+	for _, b := range s.Buckets {
+		if want[b.Le] != b.N {
+			t.Fatalf("bucket le=%d n=%d, want n=%d", b.Le, b.N, want[b.Le])
+		}
+	}
+	if m := s.Mean(); m < 172 || m > 173 {
+		t.Fatalf("Mean = %v", m)
+	}
+	if q := s.Quantile(0.5); q != 3 {
+		t.Fatalf("Quantile(0.5) = %d, want 3", q)
+	}
+	if q := s.Quantile(1.0); q != 2047 {
+		t.Fatalf("Quantile(1.0) = %d, want 2047", q)
+	}
+
+	// Delta over a second batch.
+	h.Observe(2)
+	d := h.Snapshot().Sub(s)
+	if d.Count != 1 || d.Sum != 2 {
+		t.Fatalf("delta = %+v", d)
+	}
+	if len(d.Buckets) != 1 || d.Buckets[0].Le != 3 || d.Buckets[0].N != 1 {
+		t.Fatalf("delta buckets = %+v", d.Buckets)
+	}
+}
+
+func TestHistConcurrent(t *testing.T) {
+	var h Hist
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 5000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(uint64(g*per + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*per {
+		t.Fatalf("Count = %d, want %d", got, goroutines*per)
+	}
+}
+
+func TestRegistrySnapshotAndJSON(t *testing.T) {
+	r := New()
+	r.Counter("core.msgs_out").Add(7)
+	r.Gauge("core.active_qps").Set(3)
+	r.Hist("core.degree").Observe(4)
+	r.CounterFunc("rnic.cache_hits", func() uint64 { return 42 })
+	r.GaugeFunc("mem.outstanding", func() int64 { return -1 })
+
+	// Same name twice returns the same metric (no lazy duplicates).
+	if r.Counter("core.msgs_out") != r.Counter("core.msgs_out") {
+		t.Fatal("Counter not idempotent")
+	}
+
+	s := r.Snapshot()
+	if s.Counters["core.msgs_out"] != 7 || s.Counters["rnic.cache_hits"] != 42 {
+		t.Fatalf("counters = %v", s.Counters)
+	}
+	if s.Gauges["core.active_qps"] != 3 || s.Gauges["mem.outstanding"] != -1 {
+		t.Fatalf("gauges = %v", s.Gauges)
+	}
+	if s.Hists["core.degree"].Count != 1 {
+		t.Fatalf("hists = %v", s.Hists)
+	}
+
+	b, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["core.msgs_out"] != 7 {
+		t.Fatalf("round trip lost counters: %s", b)
+	}
+}
+
+func TestSnapshotDeltaAndMerge(t *testing.T) {
+	r := New()
+	c := r.Counter("x")
+	c.Add(10)
+	before := r.Snapshot()
+	c.Add(5)
+	d := r.Snapshot().Delta(before)
+	if d.Counters["x"] != 5 {
+		t.Fatalf("delta = %v", d.Counters)
+	}
+
+	var merged Snapshot
+	merged.Merge("node0.", before)
+	merged.Merge("node1.", d)
+	if merged.Counters["node0.x"] != 10 || merged.Counters["node1.x"] != 5 {
+		t.Fatalf("merged = %v", merged.Counters)
+	}
+}
+
+func TestTraceRingSamplingAndWrap(t *testing.T) {
+	tr := NewTraceRing(4)
+	// Disabled: records nothing.
+	tr.Record(EvEnqueue, 0, 0, 0, 0)
+	if got := tr.Events(); len(got) != 0 {
+		t.Fatalf("disabled ring recorded %d events", len(got))
+	}
+
+	tr.Enable(4) // keep seq % 4 == 0
+	for seq := uint64(0); seq < 8; seq++ {
+		tr.Record(EvEnqueue, 1, 2, seq, 0)
+	}
+	evs := tr.Events()
+	if len(evs) != 2 || evs[0].Seq != 0 || evs[1].Seq != 4 {
+		t.Fatalf("sampled events = %+v", evs)
+	}
+
+	// Per-message events (seq 0) always pass; wrap keeps the last 4 in order.
+	for i := 0; i < 6; i++ {
+		tr.Record(EvPost, i, 0, 0, uint64(i))
+	}
+	evs = tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(evs))
+	}
+	for i, ev := range evs { // last four posts: args 2..5, oldest first
+		if ev.Arg != uint64(i+2) {
+			t.Fatalf("event %d arg = %d, events %+v", i, ev.Arg, evs)
+		}
+	}
+
+	tr.Disable()
+	tr.Record(EvPost, 9, 0, 0, 9)
+	if got := tr.Events(); len(got) != 4 {
+		t.Fatal("disabled ring kept recording")
+	}
+
+	if EvCombine.String() != "combine" || EventKind(99).String() != "unknown" {
+		t.Fatal("EventKind names wrong")
+	}
+	b, err := json.Marshal(EvRelease)
+	if err != nil || string(b) != `"release"` {
+		t.Fatalf("kind JSON = %s, %v", b, err)
+	}
+}

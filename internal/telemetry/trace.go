@@ -1,0 +1,156 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EventKind labels one stage of the RPC lifecycle (§4 of the paper): a
+// request enters its QP's thread combining queue, a leader claims and
+// combines the batch, the coalesced message is posted with one doorbell,
+// the response message completes on the client, the dispatcher delivers
+// the item to its thread, and the application releases the buffer lease.
+type EventKind uint8
+
+// RPC lifecycle stages, in path order.
+const (
+	EvEnqueue  EventKind = iota + 1 // TCQ enqueue (per request)
+	EvCombine                       // leader claimed a batch (per message)
+	EvPost                          // doorbell rung for the batch (per message)
+	EvComplete                      // response message arrived (per message)
+	EvDispatch                      // response delivered to thread (per request)
+	EvRelease                       // application released the lease (per request)
+)
+
+var kindNames = [...]string{
+	EvEnqueue:  "enqueue",
+	EvCombine:  "combine",
+	EvPost:     "post",
+	EvComplete: "complete",
+	EvDispatch: "dispatch",
+	EvRelease:  "release",
+}
+
+// String names the event kind.
+func (k EventKind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// MarshalJSON encodes the kind as its name.
+func (k EventKind) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + k.String() + `"`), nil
+}
+
+// TraceEvent is one recorded lifecycle event. Seq is the RPC sequence ID
+// for per-request kinds and 0 for per-message kinds; Arg carries a
+// kind-specific quantity (batch size for combine/post/complete, payload
+// bytes for enqueue).
+type TraceEvent struct {
+	TS     int64     `json:"ts_ns"` // UnixNano at record time
+	Kind   EventKind `json:"ev"`
+	QP     int       `json:"qp"` // QP index within the connection, -1 unknown
+	Thread uint32    `json:"thread"`
+	Seq    uint64    `json:"seq"`
+	Arg    uint64    `json:"arg"`
+}
+
+// TraceRing is a fixed-capacity ring of lifecycle events. It is disabled
+// by default: a disabled ring costs one atomic load per probe and records
+// nothing, which is what keeps always-on telemetry off the hot path's
+// allocation and latency budget. When enabled, per-request events are
+// sampled by sequence ID (seq % sample == 0) so a sampled request keeps
+// its complete lifecycle chain; per-message events (Seq 0) always record.
+// Recording takes a mutex — acceptable at sampled rates, and what keeps
+// the ring race-free under -race.
+type TraceRing struct {
+	enabled atomic.Bool
+	mask    atomic.Uint64 // sample-1; sample is a power of two
+
+	mu      sync.Mutex
+	buf     []TraceEvent
+	cap     int
+	next    int
+	wrapped bool
+}
+
+// NewTraceRing creates a disabled ring that will hold the last `capacity`
+// events once enabled (the buffer is allocated on Enable, off the hot
+// path, so idle nodes pay nothing).
+func NewTraceRing(capacity int) *TraceRing {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &TraceRing{cap: capacity}
+}
+
+// Enable starts recording, keeping every sample-th request lifecycle
+// (sample is rounded up to a power of two; values ≤ 1 record everything).
+func (t *TraceRing) Enable(sample int) {
+	if sample < 1 {
+		sample = 1
+	}
+	pow := 1
+	for pow < sample {
+		pow <<= 1
+	}
+	t.mu.Lock()
+	if t.buf == nil {
+		t.buf = make([]TraceEvent, t.cap)
+	}
+	t.mu.Unlock()
+	t.mask.Store(uint64(pow - 1))
+	t.enabled.Store(true)
+}
+
+// Disable stops recording; buffered events remain readable.
+func (t *TraceRing) Disable() { t.enabled.Store(false) }
+
+// Enabled reports whether the ring is recording.
+func (t *TraceRing) Enabled() bool { return t.enabled.Load() }
+
+// Record appends one event if the ring is enabled and seq passes the
+// sampling filter. The fast path out (disabled) is a single atomic load.
+func (t *TraceRing) Record(kind EventKind, qp int, thread uint32, seq, arg uint64) {
+	if !t.enabled.Load() {
+		return
+	}
+	if seq&t.mask.Load() != 0 {
+		return
+	}
+	ev := TraceEvent{
+		TS: time.Now().UnixNano(), Kind: kind,
+		QP: qp, Thread: thread, Seq: seq, Arg: arg,
+	}
+	t.mu.Lock()
+	if t.buf != nil {
+		t.buf[t.next] = ev
+		t.next++
+		if t.next == len(t.buf) {
+			t.next = 0
+			t.wrapped = true
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Events copies out the buffered events, oldest first.
+func (t *TraceRing) Events() []TraceEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.buf == nil {
+		return nil
+	}
+	var out []TraceEvent
+	if t.wrapped {
+		out = make([]TraceEvent, 0, len(t.buf))
+		out = append(out, t.buf[t.next:]...)
+		out = append(out, t.buf[:t.next]...)
+	} else {
+		out = append(out, t.buf[:t.next]...)
+	}
+	return out
+}
