@@ -8,7 +8,20 @@ set -eux
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/core ./internal/rnic ./internal/mem ./internal/telemetry
+go test -race ./internal/core ./internal/rnic ./internal/mem ./internal/telemetry ./internal/check
+
+# Mutation self-test: rebuild the schedule explorer with the three
+# known-bad protocol variants (flockmut build tag) and assert the
+# linearizability checker flags every one of them. This is the gate
+# that proves the harness can actually see bugs — a checker that
+# passes the mutants is itself broken.
+go test -tags flockmut -race ./internal/check
+
+# Coverage floor for the FLock core: the concurrency harness (ISSUE 4)
+# raised internal/core to ~85% statement coverage; hold the floor at
+# 70% so regressions in test reach fail loudly rather than rot quietly.
+cov=$(go test -count=1 -cover ./internal/core | awk '{for (i=1;i<=NF;i++) if ($i=="coverage:") print $(i+1)}' | tr -d '%')
+awk -v c="$cov" 'BEGIN { if (c+0 < 70.0) { print "internal/core coverage " c "% below 70% floor"; exit 1 } }'
 
 # Allocation-regression gate: the pooled hot path must stay near its
 # measured 2 allocs/op echo exchange (ceiling enforced by the test),

@@ -7,6 +7,15 @@
 //	flockload -mem -payload 512            # one-sided read/write mix
 //	flockload -threads 16 -no-coalesce     # MaxBatch=1 ablation, live
 //	flockload -faults rc-loss=0.01,flap=1  # lossy fabric + flapping QP
+//
+// The -check flag switches to flockcheck mode: instead of driving load, it
+// runs the internal/check schedule explorer — seed-derived adversarial
+// schedules against the simulated combining path, every history verified
+// by the linearizability checker. A failure prints the seed and the
+// minimal failing schedule, ready to paste into a replay:
+//
+//	flockload -check -check-seeds 5000            # all three workloads
+//	flockload -check -check-workload counter -check-seed 41 -check-seeds 1
 package main
 
 import (
@@ -24,6 +33,7 @@ import (
 	"time"
 
 	"flock"
+	"flock/internal/check"
 	"flock/internal/stats"
 )
 
@@ -46,8 +56,16 @@ func main() {
 		expvarAddr = flag.String("expvar", "", "serve the telemetry snapshot on this addr via expvar (e.g. :8080)")
 		traceEvery = flag.Int("trace", 0, "record the RPC lifecycle trace, sampling 1 in N requests (0 = off)")
 		nicCache   = flag.Int("nic-cache", 0, "NIC connection-context cache size (0 = unconstrained)")
+		checkMode  = flag.Bool("check", false, "flockcheck mode: explore schedules and verify linearizability instead of driving load")
+		checkSeeds = flag.Int("check-seeds", 1000, "schedules to explore per workload in -check mode")
+		checkSeed  = flag.Uint64("check-seed", 1, "first seed in -check mode (replay a CI failure with -check-seeds 1)")
+		checkWork  = flag.String("check-workload", "all", "workload to check: counter, echo, kv, or all")
 	)
 	flag.Parse()
+
+	if *checkMode {
+		os.Exit(runCheck(*checkWork, *checkSeed, *checkSeeds, *threads, *qps))
+	}
 
 	opts := flock.Options{
 		QPsPerConn:   *qps,
@@ -333,4 +351,39 @@ func main() {
 	if totalOps == 0 {
 		os.Exit(1)
 	}
+}
+
+// runCheck is flockcheck mode: sweep seed-derived adversarial schedules
+// through the simulated combining path and verify every recorded history
+// with the linearizability checker. Returns the process exit code.
+func runCheck(workload string, startSeed uint64, seeds, threads, qps int) int {
+	var workloads []check.Workload
+	switch workload {
+	case "counter":
+		workloads = []check.Workload{check.WorkloadCounter}
+	case "echo":
+		workloads = []check.Workload{check.WorkloadEcho}
+	case "kv":
+		workloads = []check.Workload{check.WorkloadKV}
+	case "all":
+		workloads = []check.Workload{check.WorkloadCounter, check.WorkloadEcho, check.WorkloadKV}
+	default:
+		log.Fatalf("unknown -check-workload %q (counter, echo, kv, all)", workload)
+	}
+	code := 0
+	for _, w := range workloads {
+		cfg := check.SimConfig{Threads: threads, QPs: qps, Workload: w}
+		start := time.Now()
+		res := check.Explore(cfg, check.MutNone, startSeed, seeds)
+		elapsed := time.Since(start)
+		if res.Failures == 0 {
+			fmt.Printf("flockcheck %-8s %d schedules (seeds %d..%d): all linearizable (%v)\n",
+				w, res.Runs, startSeed, startSeed+uint64(seeds)-1, elapsed.Round(time.Millisecond))
+			continue
+		}
+		code = 1
+		fmt.Printf("flockcheck %-8s %d/%d schedules FAILED (%v)\n%s\n",
+			w, res.Failures, res.Runs, elapsed.Round(time.Millisecond), res.First)
+	}
+	return code
 }

@@ -1,0 +1,241 @@
+package check
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// h builds an operation with explicit timestamps.
+func h(client int, call, ret int64, in, out interface{}) Operation {
+	return Operation{ClientID: client, Input: in, Output: out, Call: call, Return: ret}
+}
+
+func TestRegisterSequential(t *testing.T) {
+	hist := []Operation{
+		h(0, 1, 2, KVIn{Key: 7, Put: true, Val: 10}, KVOut{}),
+		h(0, 3, 4, KVIn{Key: 7}, KVOut{Val: 10, Found: true}),
+	}
+	if res := Check(RegisterModel(), hist); !res.Ok {
+		t.Fatalf("sequential put/get should be linearizable:\n%s", res)
+	}
+}
+
+func TestRegisterStaleReadRejected(t *testing.T) {
+	hist := []Operation{
+		h(0, 1, 2, KVIn{Key: 7, Put: true, Val: 10}, KVOut{}),
+		// Strictly after the put completed, a get misses: not linearizable.
+		h(1, 3, 4, KVIn{Key: 7}, KVOut{}),
+	}
+	res := Check(RegisterModel(), hist)
+	if res.Ok {
+		t.Fatal("stale read after completed put must be rejected")
+	}
+	if !strings.Contains(res.String(), "NOT linearizable") {
+		t.Fatalf("report should name the violation: %s", res)
+	}
+}
+
+func TestRegisterConcurrentPutAllowsEitherOrder(t *testing.T) {
+	// Two overlapping puts; a later get may observe either winner.
+	for _, val := range []uint64{10, 20} {
+		hist := []Operation{
+			h(0, 1, 4, KVIn{Key: 7, Put: true, Val: 10}, KVOut{}),
+			h(1, 2, 3, KVIn{Key: 7, Put: true, Val: 20}, KVOut{}),
+			h(0, 5, 6, KVIn{Key: 7}, KVOut{Val: val, Found: true}),
+		}
+		if res := Check(RegisterModel(), hist); !res.Ok {
+			t.Fatalf("get=%d should be legal for overlapping puts:\n%s", val, res)
+		}
+	}
+	// But a value no put wrote is not.
+	hist := []Operation{
+		h(0, 1, 4, KVIn{Key: 7, Put: true, Val: 10}, KVOut{}),
+		h(1, 2, 3, KVIn{Key: 7, Put: true, Val: 20}, KVOut{}),
+		h(0, 5, 6, KVIn{Key: 7}, KVOut{Val: 30, Found: true}),
+	}
+	if Check(RegisterModel(), hist).Ok {
+		t.Fatal("get of a never-written value must be rejected")
+	}
+}
+
+func TestRegisterPartitionIndependence(t *testing.T) {
+	// Key 1 is broken, key 2 is fine: the failure report must contain only
+	// key 1's sub-history.
+	hist := []Operation{
+		h(0, 1, 2, KVIn{Key: 1, Put: true, Val: 5}, KVOut{}),
+		h(0, 3, 4, KVIn{Key: 1}, KVOut{}), // stale miss: violation
+		h(1, 1, 2, KVIn{Key: 2, Put: true, Val: 9}, KVOut{}),
+		h(1, 3, 4, KVIn{Key: 2}, KVOut{Val: 9, Found: true}),
+	}
+	res := Check(RegisterModel(), hist)
+	if res.Ok {
+		t.Fatal("expected key-1 violation")
+	}
+	if res.Partitions != 2 {
+		t.Fatalf("Partitions = %d, want 2", res.Partitions)
+	}
+	for _, op := range res.FailedPartition {
+		if op.Input.(KVIn).Key != 1 {
+			t.Fatalf("failed partition leaked key %d", op.Input.(KVIn).Key)
+		}
+	}
+}
+
+func TestPendingOperationMayOrMayNotApply(t *testing.T) {
+	// A pending put may take effect (get sees it) or not (get misses):
+	// both observations are linearizable.
+	for _, out := range []KVOut{{}, {Val: 10, Found: true}} {
+		hist := []Operation{
+			h(0, 1, Infinity, KVIn{Key: 7, Put: true, Val: 10}, nil),
+			h(1, 2, 3, KVIn{Key: 7}, out),
+		}
+		if res := Check(RegisterModel(), hist); !res.Ok {
+			t.Fatalf("pending put with get=%+v should be legal:\n%s", out, res)
+		}
+	}
+	// A pending put cannot justify a value it never wrote.
+	hist := []Operation{
+		h(0, 1, Infinity, KVIn{Key: 7, Put: true, Val: 10}, nil),
+		h(1, 2, 3, KVIn{Key: 7}, KVOut{Val: 11, Found: true}),
+	}
+	if Check(RegisterModel(), hist).Ok {
+		t.Fatal("pending put must not justify an unwritten value")
+	}
+}
+
+func TestPendingCannotApplyBeforeCall(t *testing.T) {
+	// The get completes before the pending put is even invoked: the put
+	// cannot explain the observed value.
+	hist := []Operation{
+		h(1, 1, 2, KVIn{Key: 7}, KVOut{Val: 10, Found: true}),
+		h(0, 3, Infinity, KVIn{Key: 7, Put: true, Val: 10}, nil),
+	}
+	if Check(RegisterModel(), hist).Ok {
+		t.Fatal("a pending op must not linearize before its call")
+	}
+}
+
+func TestCounterModel(t *testing.T) {
+	ok := []Operation{
+		h(0, 1, 2, CounterIn{Add: true, Delta: 1}, CounterOut{Val: 0}),
+		h(1, 3, 4, CounterIn{Add: true, Delta: 1}, CounterOut{Val: 1}),
+		h(0, 5, 6, CounterIn{}, CounterOut{Val: 2}),
+	}
+	if res := Check(CounterModel(), ok); !res.Ok {
+		t.Fatalf("sequential fetch-adds should pass:\n%s", res)
+	}
+	// Duplicate apply: two sequential adds both returning pre-value 0.
+	dup := []Operation{
+		h(0, 1, 2, CounterIn{Add: true, Delta: 1}, CounterOut{Val: 0}),
+		h(1, 3, 4, CounterIn{Add: true, Delta: 1}, CounterOut{Val: 0}),
+	}
+	if Check(CounterModel(), dup).Ok {
+		t.Fatal("two sequential fetch-adds returning 0 must be rejected")
+	}
+	// Lost apply: add acked, later read doesn't see it.
+	lost := []Operation{
+		h(0, 1, 2, CounterIn{Add: true, Delta: 1}, CounterOut{Val: 0}),
+		h(0, 3, 4, CounterIn{}, CounterOut{Val: 0}),
+	}
+	if Check(CounterModel(), lost).Ok {
+		t.Fatal("a lost acknowledged add must be rejected")
+	}
+	// Concurrent adds may legally return the same pre-value? No — each
+	// fetch-add observes a distinct pre-value regardless of order.
+	conc := []Operation{
+		h(0, 1, 4, CounterIn{Add: true, Delta: 1}, CounterOut{Val: 0}),
+		h(1, 2, 3, CounterIn{Add: true, Delta: 1}, CounterOut{Val: 0}),
+	}
+	if Check(CounterModel(), conc).Ok {
+		t.Fatal("concurrent fetch-adds still return distinct pre-values")
+	}
+}
+
+func TestEchoModel(t *testing.T) {
+	ok := []Operation{
+		h(0, 1, 2, EchoIn{Payload: "a"}, EchoOut{Payload: "a"}),
+		h(1, 1, 2, EchoIn{Payload: "b"}, EchoOut{Payload: "b"}),
+	}
+	if res := Check(EchoModel(), ok); !res.Ok {
+		t.Fatalf("matching echoes should pass:\n%s", res)
+	}
+	crossed := []Operation{
+		h(0, 1, 2, EchoIn{Payload: "a"}, EchoOut{Payload: "b"}),
+	}
+	if Check(EchoModel(), crossed).Ok {
+		t.Fatal("a cross-wired echo response must be rejected")
+	}
+	badStatus := []Operation{
+		h(0, 1, 2, EchoIn{Payload: "a"}, EchoOut{Payload: "a", Status: 7}),
+	}
+	if Check(EchoModel(), badStatus).Ok {
+		t.Fatal("a non-OK echo status must be rejected")
+	}
+}
+
+func TestMonotonicKVAllowsDuplicates(t *testing.T) {
+	// The same put applied twice (retry) is legal under the monotonic
+	// model but a lost acknowledged put is not.
+	dup := []Operation{
+		h(0, 1, 2, KVIn{Key: 1, Put: true, Val: 5}, KVOut{}),
+		h(0, 3, 4, KVIn{Key: 1, Put: true, Val: 5}, KVOut{}),
+		h(0, 5, 6, KVIn{Key: 1}, KVOut{Val: 5, Found: true}),
+	}
+	if res := Check(MonotonicKVModel(), dup); !res.Ok {
+		t.Fatalf("duplicate puts should be legal:\n%s", res)
+	}
+	stale := []Operation{
+		h(0, 1, 2, KVIn{Key: 1, Put: true, Val: 5}, KVOut{}),
+		h(0, 3, 4, KVIn{Key: 1, Put: true, Val: 9}, KVOut{}),
+		h(0, 5, 6, KVIn{Key: 1}, KVOut{Val: 5, Found: true}),
+	}
+	if Check(MonotonicKVModel(), stale).Ok {
+		t.Fatal("a read older than the max acknowledged put must be rejected")
+	}
+}
+
+func TestCheckTimeout(t *testing.T) {
+	// A wide all-concurrent history with an expired deadline: the search
+	// must bail out reporting TimedOut, not hang.
+	var hist []Operation
+	for i := 0; i < 18; i++ {
+		hist = append(hist, h(i, 1, 100, CounterIn{Add: true, Delta: 1}, CounterOut{Val: uint64(i)}))
+	}
+	res := CheckTimeout(CounterModel(), hist, time.Nanosecond)
+	if !res.TimedOut && !res.Ok {
+		t.Fatalf("expected timeout or pass, got %+v", res)
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	rec := NewRecorder()
+	c1 := rec.Begin()
+	c2 := rec.Begin()
+	if c2 <= c1 {
+		t.Fatalf("clock not monotonic: %d then %d", c1, c2)
+	}
+	rec.End(0, c1, KVIn{Key: 1, Put: true, Val: 3}, KVOut{})
+	rec.EndPending(1, c2, KVIn{Key: 1})
+	hist := rec.History()
+	if len(hist) != 2 || rec.Len() != 2 {
+		t.Fatalf("history length = %d", len(hist))
+	}
+	var sawPending bool
+	for _, op := range hist {
+		if op.Return == Infinity {
+			sawPending = true
+			if op.Output != nil {
+				t.Fatal("pending op must have nil output")
+			}
+		} else if op.Return <= op.Call {
+			t.Fatalf("return %d not after call %d", op.Return, op.Call)
+		}
+	}
+	if !sawPending {
+		t.Fatal("pending op not recorded")
+	}
+	if res := Check(RegisterModel(), hist); !res.Ok {
+		t.Fatalf("recorded history should be linearizable:\n%s", res)
+	}
+}

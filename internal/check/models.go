@@ -1,0 +1,200 @@
+package check
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Models for the workloads this repository serves. Inputs and outputs are
+// small comparable structs (plus []byte payloads compared by value) so the
+// default state equality and the memoization cache stay cheap.
+
+// EchoIn is an echo-RPC invocation.
+type EchoIn struct{ Payload string }
+
+// EchoOut is an echo-RPC response.
+type EchoOut struct {
+	Payload string
+	Status  uint32
+}
+
+// EchoModel checks the echo contract: every completed call returns status
+// OK and its own payload, unchanged. Echo is stateless, so each operation
+// is its own partition — a cross-wired response (another thread's payload,
+// a torn or stale buffer) fails its partition immediately.
+func EchoModel() Model {
+	return Model{
+		Name: "echo",
+		Partition: func(ops []Operation) [][]Operation {
+			parts := make([][]Operation, len(ops))
+			for i, op := range ops {
+				parts[i] = []Operation{op}
+			}
+			return parts
+		},
+		Init: func() interface{} { return nil },
+		Step: func(state, input, output interface{}) (bool, interface{}) {
+			if output == nil {
+				return true, state // pending: unknown result
+			}
+			in, out := input.(EchoIn), output.(EchoOut)
+			return out.Status == 0 && out.Payload == in.Payload, state
+		},
+		Describe: func(op Operation) string {
+			return fmt.Sprintf("echo(%q) -> %v", op.Input.(EchoIn).Payload, op.Output)
+		},
+	}
+}
+
+// KVIn is a kvstore invocation: a put when Put is set, else a get.
+type KVIn struct {
+	Key uint64
+	Put bool
+	Val uint64
+}
+
+// KVOut is a kvstore response. For gets, Val is the observed value and
+// Found reports presence; puts carry no output state.
+type KVOut struct {
+	Val   uint64
+	Found bool
+}
+
+// kvPartition groups operations by key (P-compositionality: the store is
+// linearizable iff every per-key history is).
+func kvPartition(ops []Operation) [][]Operation {
+	byKey := make(map[uint64][]Operation)
+	var keys []uint64
+	for _, op := range ops {
+		k := op.Input.(KVIn).Key
+		if _, ok := byKey[k]; !ok {
+			keys = append(keys, k)
+		}
+		byKey[k] = append(byKey[k], op)
+	}
+	parts := make([][]Operation, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, byKey[k])
+	}
+	return parts
+}
+
+func describeKV(op Operation) string {
+	in := op.Input.(KVIn)
+	if in.Put {
+		return fmt.Sprintf("put(%d, %d) -> %v", in.Key, in.Val, op.Output)
+	}
+	return fmt.Sprintf("get(%d) -> %v", in.Key, op.Output)
+}
+
+// kvState is a per-key register value; ok distinguishes "never written".
+type kvState struct {
+	val uint64
+	ok  bool
+}
+
+// RegisterModel is the exact per-key register: put replaces the value, get
+// returns the last put. It requires exactly-once writes — use it on
+// fault-free histories, or with failed writes recorded as pending.
+func RegisterModel() Model {
+	return Model{
+		Name:      "kv-register",
+		Partition: kvPartition,
+		Init:      func() interface{} { return kvState{} },
+		Step: func(state, input, output interface{}) (bool, interface{}) {
+			s := state.(kvState)
+			in := input.(KVIn)
+			if in.Put {
+				return true, kvState{val: in.Val, ok: true}
+			}
+			if output == nil {
+				return true, s // pending get: unknown result
+			}
+			out := output.(KVOut)
+			if !s.ok {
+				return !out.Found, s
+			}
+			return out.Found && out.Val == s.val, s
+		},
+		Describe: describeKV,
+	}
+}
+
+// MonotonicKVModel is the at-least-once contract the chaos suite's guarded
+// put handler provides: put values per key come from a monotonic sequence,
+// the server applies only newer values (so a duplicated or late retry of
+// an older put is a no-op), and a get observes the maximum applied value.
+// Under this model retries and duplicate applies are legal, but a lost
+// acknowledged put or a stale read remain violations.
+func MonotonicKVModel() Model {
+	return Model{
+		Name:      "kv-monotonic",
+		Partition: kvPartition,
+		Init:      func() interface{} { return kvState{} },
+		Step: func(state, input, output interface{}) (bool, interface{}) {
+			s := state.(kvState)
+			in := input.(KVIn)
+			if in.Put {
+				if !s.ok || in.Val > s.val {
+					return true, kvState{val: in.Val, ok: true}
+				}
+				return true, s // older than applied: no-op by the guard
+			}
+			if output == nil {
+				return true, s
+			}
+			out := output.(KVOut)
+			if !s.ok {
+				return !out.Found, s
+			}
+			return out.Found && out.Val == s.val, s
+		},
+		Describe: describeKV,
+	}
+}
+
+// CounterIn is a fetch-add-counter invocation: a fetch-add of Delta when
+// Add is set, else a read.
+type CounterIn struct {
+	Add   bool
+	Delta uint64
+}
+
+// CounterOut carries the fetch-add's previous value, or the read's value.
+type CounterOut struct{ Val uint64 }
+
+// CounterModel checks a 64-bit fetch-add counter: fetch-add returns the
+// pre-add value and advances the state; read returns the current value.
+// It is the model for the fetch-add verb and for the simulated combining
+// path's counter workload: a duplicated apply (two combining leaders own
+// the same node) or a lost-but-acknowledged apply both break it.
+func CounterModel() Model {
+	return Model{
+		Name: "fetch-add",
+		Init: func() interface{} { return uint64(0) },
+		Step: func(state, input, output interface{}) (bool, interface{}) {
+			v := state.(uint64)
+			in := input.(CounterIn)
+			if in.Add {
+				if output == nil {
+					return true, v + in.Delta // pending add: effect unknown result
+				}
+				return output.(CounterOut).Val == v, v + in.Delta
+			}
+			if output == nil {
+				return true, v
+			}
+			return output.(CounterOut).Val == v, v
+		},
+		Describe: func(op Operation) string {
+			in := op.Input.(CounterIn)
+			if in.Add {
+				return fmt.Sprintf("fetch-add(%d) -> %v", in.Delta, op.Output)
+			}
+			return fmt.Sprintf("read() -> %v", op.Output)
+		},
+	}
+}
+
+// BytesEqual is a helper for models carrying raw payloads.
+func BytesEqual(a, b []byte) bool { return bytes.Equal(a, b) }

@@ -1,0 +1,37 @@
+//go:build !flockmut
+
+package check
+
+// Mutation selects an intentionally-broken protocol variant for the
+// mutation self-test. In normal builds only MutNone exists in spirit:
+// mutantOn is a constant false, so the compiler removes every mutant code
+// path from the simulator. Build with -tags flockmut to compile the three
+// known-bad variants in and run the self-test that proves the checker
+// catches each one.
+type Mutation int
+
+const (
+	// MutNone is the faithful protocol.
+	MutNone Mutation = iota
+	// MutClaimTimedOut: the leader's claim skips the waiting-state CAS
+	// and stages abandoned (timed-out) nodes — the bug the CAS in
+	// tcq.go's claim exists to prevent. The abandoned op executes twice:
+	// once via the mutant leader, once via its thread's re-election.
+	MutClaimTimedOut
+	// MutBatchDropTail: the leader stages all but the last item of a
+	// multi-item batch yet delivers a sent verdict for the whole batch —
+	// an off-by-one in batch staging. The dropped op is acknowledged with
+	// a stale slot but never applied.
+	MutBatchDropTail
+	// MutRecycleAckInflight: QP recycle acknowledges in-flight batches as
+	// sent instead of failing them — recovery that fabricates results for
+	// messages the server may never have seen.
+	MutRecycleAckInflight
+)
+
+// EnabledMutations lists the mutants compiled into this build: none.
+func EnabledMutations() []Mutation { return nil }
+
+// mutantOn reports whether mutant `want` is active. Without the flockmut
+// build tag this is constant false and mutant branches are dead code.
+func mutantOn(m, want Mutation) bool { return false }

@@ -1,0 +1,598 @@
+package check
+
+import (
+	"fmt"
+
+	"flock/internal/sim"
+	"flock/internal/stats"
+)
+
+// This file is a step-level model of FLock's combining path — the MCS
+// thread combining queue, transient-leader batching, credit gating, and QP
+// break/recycle recovery of internal/core — rebuilt as an explicit state
+// machine on internal/sim virtual time. Running it under the schedule
+// explorer gives what the real goroutine implementation cannot: the SAME
+// seed replays the SAME interleaving, every interesting race (leader
+// handoff vs follower timeout, recycle vs in-flight batch, renewal vs
+// starvation) is a scheduling decision the explorer controls, and a
+// failing schedule shrinks to a minimal reproducer.
+//
+// Protocol fidelity notes, keyed to internal/core:
+//
+//   - push/claim/handoff mirror tcq.go: the first enqueuer on an idle
+//     queue leads; a leader claims followers with a CAS-equivalent state
+//     check that races the follower stall timeout; handoff skips
+//     abandoned nodes (tcq.go handoff).
+//   - credits gate posting as in leader.go awaitCredits, with renewal
+//     grants arriving as scheduled events.
+//   - a QP break fails queued nodes with a migrate verdict (safe retry:
+//     nothing was sent) and turns posted-but-unresponded batches into
+//     ambiguous outcomes, exactly the at-least-once window recovery.go
+//     documents; a recycle event restores the QP and its credit bootstrap.
+//
+// The three `flockmut` mutants (mutants_on.go) each break one of these
+// rules the way a plausible implementation bug would.
+
+// Workload selects the operation mix the simulated threads run, and
+// thereby the model the history is checked against.
+type Workload int
+
+const (
+	// WorkloadCounter: every thread fetch-adds a shared counter, then
+	// reads it; checked with CounterModel. The most sensitive workload:
+	// any duplicated or lost apply is visible.
+	WorkloadCounter Workload = iota
+	// WorkloadEcho: unique payloads echoed back; checked with EchoModel.
+	WorkloadEcho
+	// WorkloadKV: per-thread keys, monotonic put values, interleaved
+	// gets; checked with RegisterModel (the sim applies puts exactly once
+	// or marks them pending, so the exact register applies).
+	WorkloadKV
+)
+
+func (w Workload) String() string {
+	switch w {
+	case WorkloadCounter:
+		return "counter"
+	case WorkloadEcho:
+		return "echo"
+	case WorkloadKV:
+		return "kv"
+	}
+	return fmt.Sprintf("workload(%d)", int(w))
+}
+
+// Model returns the checker model matching the workload.
+func (w Workload) Model() Model {
+	switch w {
+	case WorkloadEcho:
+		return EchoModel()
+	case WorkloadKV:
+		return RegisterModel()
+	default:
+		return CounterModel()
+	}
+}
+
+// SimConfig sizes one simulated run.
+type SimConfig struct {
+	Threads      int
+	OpsPerThread int
+	QPs          int
+	MaxBatch     int
+	Credits      int
+	Workload     Workload
+	// StallTimeout is the follower verdict wait bound (virtual time);
+	// zero uses 10µs.
+	StallTimeout sim.Time
+}
+
+func (c SimConfig) withDefaults() SimConfig {
+	if c.Threads <= 0 {
+		c.Threads = 4
+	}
+	if c.OpsPerThread <= 0 {
+		c.OpsPerThread = 6
+	}
+	if c.QPs <= 0 {
+		c.QPs = 2
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 4
+	}
+	if c.Credits <= 0 {
+		c.Credits = 4
+	}
+	if c.StallTimeout <= 0 {
+		c.StallTimeout = 10 * sim.Microsecond
+	}
+	return c
+}
+
+// Virtual-time constants for the simulated pipeline.
+const (
+	simClaimDelay   = 200 * sim.Nanosecond
+	simWireLatency  = 2 * sim.Microsecond
+	simRenewDelay   = 1 * sim.Microsecond
+	simRecycleDelay = 5 * sim.Microsecond
+	simMaxJitter    = 1 * sim.Microsecond
+	// simMaxRetries bounds per-op resubmissions under hostile schedules;
+	// past it the op is recorded pending (ambiguous), never dropped.
+	simMaxRetries = 64
+)
+
+// Node states, mirroring tcq.go's waiting/claimed/timedout protocol.
+const (
+	snWaiting = iota
+	snClaimed
+	snTimedOut
+)
+
+type simNode struct {
+	th    *simThread
+	state int
+	gen   int // thread op-attempt generation; stale responses are ignored
+}
+
+type simMsg struct {
+	qp    *simQP
+	nodes []*simNode
+	// dropped are nodes a mutant staged out of the message (acked but
+	// never applied); empty in correct runs.
+	dropped []*simNode
+	// poisoned marks the message lost to a QP break before delivery.
+	poisoned bool
+	// outs are the per-node results captured at server apply time.
+	outs []interface{}
+}
+
+type simQP struct {
+	idx        int
+	queue      []*simNode // arrival order; leaderNode at front when leading
+	leading    bool
+	leaderNode *simNode
+	credits    int
+	broken     bool
+	stallUntil sim.Time // leader-stall window: claims defer past it
+	starveTill sim.Time // credit-starvation window: grants defer past it
+	delayTill  sim.Time // delivery-delay window: posts get extra latency
+	delayExtra sim.Time
+	inflight   []*simMsg
+}
+
+type simThread struct {
+	id      int
+	opIdx   int
+	gen     int
+	call    int64
+	qp      int
+	avoid   int
+	retries int
+	done    bool
+}
+
+type simWorld struct {
+	cfg   SimConfig
+	eng   *sim.Engine
+	rng   *stats.RNG
+	rec   *Recorder
+	mut   Mutation
+	qps   []*simQP
+	thr   []*simThread
+	kv    map[uint64]uint64
+	count uint64
+	alive int
+}
+
+func newSimWorld(cfg SimConfig, seed uint64, mut Mutation) *simWorld {
+	cfg = cfg.withDefaults()
+	w := &simWorld{
+		cfg:   cfg,
+		eng:   sim.New(),
+		rng:   stats.NewRNG(seed*0x9E3779B97F4A7C15 + 0x1234567),
+		rec:   NewRecorder(),
+		mut:   mut,
+		kv:    make(map[uint64]uint64),
+		alive: cfg.Threads,
+	}
+	for i := 0; i < cfg.QPs; i++ {
+		w.qps = append(w.qps, &simQP{idx: i, credits: cfg.Credits})
+	}
+	for i := 0; i < cfg.Threads; i++ {
+		w.thr = append(w.thr, &simThread{id: i, qp: i % cfg.QPs, avoid: -1})
+	}
+	return w
+}
+
+func (w *simWorld) jitter() sim.Time {
+	return sim.Time(w.rng.Uint64n(uint64(simMaxJitter) + 1))
+}
+
+// opInput builds thread th's op number k. The last op of every thread is a
+// read/get observer, which is what makes lost or duplicated applies
+// visible to the checker.
+func (w *simWorld) opInput(th *simThread, k int) interface{} {
+	last := k == w.cfg.OpsPerThread-1
+	switch w.cfg.Workload {
+	case WorkloadEcho:
+		return EchoIn{Payload: fmt.Sprintf("t%d-op%d", th.id, k)}
+	case WorkloadKV:
+		key := uint64(th.id % 2) // shared keys: cross-thread visibility
+		if last || (k > 0 && k%3 == 0) {
+			return KVIn{Key: key}
+		}
+		return KVIn{Key: key, Put: true, Val: uint64(th.id+1)<<32 | uint64(k+1)}
+	default:
+		if last {
+			return CounterIn{}
+		}
+		return CounterIn{Add: true, Delta: 1}
+	}
+}
+
+// apply executes one op against the server state, returning its output.
+func (w *simWorld) apply(in interface{}) interface{} {
+	switch op := in.(type) {
+	case EchoIn:
+		return EchoOut{Payload: op.Payload}
+	case KVIn:
+		if op.Put {
+			w.kv[op.Key] = op.Val
+			return KVOut{}
+		}
+		v, ok := w.kv[op.Key]
+		return KVOut{Val: v, Found: ok}
+	case CounterIn:
+		if op.Add {
+			old := w.count
+			w.count += op.Delta
+			return CounterOut{Val: old}
+		}
+		return CounterOut{Val: w.count}
+	}
+	return nil
+}
+
+// startOp begins thread th's next op (or finishes the thread).
+func (w *simWorld) startOp(th *simThread) {
+	if th.opIdx >= w.cfg.OpsPerThread {
+		th.done = true
+		w.alive--
+		return
+	}
+	th.call = w.rec.Begin()
+	th.retries = 0
+	w.enqueue(th)
+}
+
+// finishOp records the outcome and moves the thread on.
+func (w *simWorld) finishOp(th *simThread, in, out interface{}, pending bool) {
+	if pending {
+		w.rec.EndPending(th.id, th.call, in)
+	} else {
+		w.rec.End(th.id, th.call, in, out)
+	}
+	th.opIdx++
+	th.gen++
+	th.avoid = -1
+	w.eng.After(w.jitter(), func() { w.startOp(th) })
+}
+
+// resubmit retries the current op attempt on another QP (migrate /
+// follower re-election). Past the retry bound the op goes pending.
+func (w *simWorld) resubmit(th *simThread, avoid int) {
+	th.gen++
+	th.retries++
+	if th.retries > simMaxRetries {
+		w.finishOp(th, w.opInput(th, th.opIdx), nil, true)
+		return
+	}
+	th.avoid = avoid
+	if len(w.qps) > 1 {
+		next := (avoid + 1 + w.rng.Intn(len(w.qps)-1)) % len(w.qps)
+		th.qp = next
+	}
+	w.eng.After(w.jitter(), func() { w.enqueue(th) })
+}
+
+// enqueue pushes the thread's current op onto its QP's combining queue —
+// tcq.push. The first enqueuer on an idle queue leads.
+func (w *simWorld) enqueue(th *simThread) {
+	if th.done || th.opIdx >= w.cfg.OpsPerThread {
+		return
+	}
+	q := w.qps[th.qp]
+	n := &simNode{th: th, state: snWaiting, gen: th.gen}
+	q.queue = append(q.queue, n)
+	if !q.leading {
+		q.leading = true
+		q.leaderNode = n
+		n.state = snClaimed // the leader's own node cannot time out
+		w.scheduleClaim(q)
+		return
+	}
+	// Follower: arm the stall timeout (awaitVerdict's deadline).
+	w.eng.After(w.cfg.StallTimeout, func() { w.followerTimeout(q, n) })
+}
+
+// followerTimeout is awaitVerdict's stall path: if no leader claimed the
+// node, abandon it and re-elect on another QP.
+func (w *simWorld) followerTimeout(q *simQP, n *simNode) {
+	if n.state != snWaiting {
+		return // claimed (or already resolved): the timeout no longer applies
+	}
+	n.state = snTimedOut
+	w.resubmit(n.th, q.idx)
+}
+
+func (w *simWorld) scheduleClaim(q *simQP) {
+	w.eng.After(simClaimDelay, func() { w.leadClaim(q) })
+}
+
+// leadClaim is the leader path: claim a batch, gate on credits, stage,
+// post, hand off. Mirrors leader.go processBatch.
+func (w *simWorld) leadClaim(q *simQP) {
+	now := w.eng.Now()
+	if now < q.stallUntil {
+		// Leader-stall perturbation: the leader is descheduled; its
+		// followers' timeouts keep running — the re-election race window.
+		w.eng.At(q.stallUntil, func() { w.leadClaim(q) })
+		return
+	}
+	if q.broken {
+		w.failQueue(q)
+		return
+	}
+	if q.leaderNode == nil {
+		q.leading = len(q.queue) > 0
+		if !q.leading {
+			return
+		}
+		q.leaderNode = q.queue[0]
+		q.leaderNode.state = snClaimed
+	}
+
+	// Claim up to MaxBatch nodes from the queue front. The leader's own
+	// node is first; followers are claimed only if still waiting — unless
+	// the claim mutant skips the CAS and stages abandoned nodes too.
+	var batch []*simNode
+	rest := q.queue
+	for len(batch) < w.cfg.MaxBatch && len(rest) > 0 {
+		n := rest[0]
+		if n == q.leaderNode || n.state == snWaiting || mutantOn(w.mut, MutClaimTimedOut) {
+			if n.state == snWaiting {
+				n.state = snClaimed
+			}
+			batch = append(batch, n)
+			rest = rest[1:]
+			continue
+		}
+		if n.state == snTimedOut {
+			rest = rest[1:] // abandoned node: skip, drop from the chain
+			continue
+		}
+		break
+	}
+	q.queue = rest
+
+	// Credit gate (awaitCredits): wait for a renewal grant when short.
+	if q.credits < len(batch) {
+		grantAt := now + simRenewDelay
+		if grantAt < q.starveTill {
+			grantAt = q.starveTill // starvation perturbation defers grants
+		}
+		// Put the batch back and retry the claim at grant time.
+		q.queue = append(batch, q.queue...)
+		w.eng.At(grantAt, func() {
+			q.credits += w.cfg.Credits
+			w.leadClaim(q)
+		})
+		return
+	}
+	q.credits -= len(batch)
+
+	// Stage and post. The drop-tail mutant stages all but the last item
+	// of a multi-item batch while still acking the whole batch.
+	msg := &simMsg{qp: q, nodes: batch}
+	if mutantOn(w.mut, MutBatchDropTail) && len(batch) > 1 {
+		msg.dropped = batch[len(batch)-1:]
+		msg.nodes = batch[:len(batch)-1]
+	}
+	q.inflight = append(q.inflight, msg)
+	delay := simWireLatency
+	if now < q.delayTill {
+		delay += q.delayExtra
+	}
+	w.eng.After(delay, func() { w.deliver(msg) })
+
+	// Handoff (tcq.handoff): promote the first still-waiting successor,
+	// skipping abandoned nodes.
+	q.leaderNode = nil
+	for len(q.queue) > 0 && q.queue[0].state == snTimedOut {
+		q.queue = q.queue[1:]
+	}
+	if len(q.queue) == 0 {
+		q.leading = false
+		return
+	}
+	q.leaderNode = q.queue[0]
+	q.leaderNode.state = snClaimed
+	w.scheduleClaim(q)
+}
+
+// failQueue gives every queued node a migrate verdict — the batch was
+// never posted, so resubmitting elsewhere is an exact retry.
+func (w *simWorld) failQueue(q *simQP) {
+	nodes := q.queue
+	q.queue = nil
+	q.leading = false
+	q.leaderNode = nil
+	for _, n := range nodes {
+		if n.state == snTimedOut {
+			continue
+		}
+		n.state = snClaimed
+		w.resubmit(n.th, q.idx)
+	}
+}
+
+// deliver is the message landing in the server's ring: apply each item and
+// schedule the response.
+func (w *simWorld) deliver(msg *simMsg) {
+	if msg.poisoned {
+		return // lost to a QP break before reaching the server
+	}
+	msg.outs = make([]interface{}, len(msg.nodes))
+	for i, n := range msg.nodes {
+		msg.outs[i] = w.apply(w.opInput(n.th, n.th.opIdx))
+	}
+	w.eng.After(simWireLatency, func() { w.respond(msg) })
+}
+
+// respond delivers verdicts and outputs back to the batch's threads.
+func (w *simWorld) respond(msg *simMsg) {
+	q := msg.qp
+	for i := range q.inflight {
+		if q.inflight[i] == msg {
+			q.inflight = append(q.inflight[:i], q.inflight[i+1:]...)
+			break
+		}
+	}
+	if msg.poisoned {
+		return
+	}
+	if q.broken {
+		// Responses lost with the QP: outcomes are ambiguous (the server
+		// did apply); threads see the break via failInflight.
+		w.ambiguous(msg)
+		return
+	}
+	for i, n := range msg.nodes {
+		w.respondNode(n, msg.outs[i])
+	}
+	// Drop-tail mutant: the dropped item was never applied, but the
+	// leader acks it anyway with whatever its unstaged slot held.
+	for _, n := range msg.dropped {
+		w.respondNode(n, w.fabricatedOut(n))
+	}
+}
+
+// respondNode completes one node's op, ignoring stale generations (the
+// thread already timed out and resubmitted this attempt).
+func (w *simWorld) respondNode(n *simNode, out interface{}) {
+	th := n.th
+	if n.gen != th.gen || th.done || th.opIdx >= w.cfg.OpsPerThread {
+		return
+	}
+	w.finishOp(th, w.opInput(th, th.opIdx), out, false)
+}
+
+// ambiguous marks every live node of a message pending: the op may or may
+// not have taken effect.
+func (w *simWorld) ambiguous(msg *simMsg) {
+	for _, n := range append(append([]*simNode{}, msg.nodes...), msg.dropped...) {
+		th := n.th
+		if n.gen != th.gen || th.done || th.opIdx >= w.cfg.OpsPerThread {
+			continue
+		}
+		w.finishOp(th, w.opInput(th, th.opIdx), nil, true)
+	}
+}
+
+// fabricatedOut is what an unstaged response slot reads as: the zero
+// value — a stale buffer in the real system.
+func (w *simWorld) fabricatedOut(n *simNode) interface{} {
+	switch w.cfg.Workload {
+	case WorkloadEcho:
+		return EchoOut{}
+	case WorkloadKV:
+		return KVOut{}
+	default:
+		return CounterOut{}
+	}
+}
+
+// breakQP is the QP-break perturbation: in-flight messages become
+// poisoned or ambiguous, queued nodes migrate, and a recycle event
+// restores the QP after a delay — recovery.go's markBroken/recycleQP.
+func (w *simWorld) breakQP(q *simQP, recycleAfter sim.Time) {
+	if q.broken {
+		return
+	}
+	q.broken = true
+	inflight := q.inflight
+	q.inflight = nil
+	for _, msg := range inflight {
+		if mutantOn(w.mut, MutRecycleAckInflight) {
+			// Recovery mutant: recycle acks the in-flight batch as sent
+			// instead of failing it — fabricated results for messages the
+			// server may never have seen.
+			m := msg
+			m.poisoned = true
+			for _, n := range m.nodes {
+				w.respondNode(n, w.fabricatedOut(n))
+			}
+			continue
+		}
+		if msg.outs == nil {
+			// Not yet delivered: the write flushes with the QP; the
+			// client cannot know that, so the outcome is ambiguous.
+			msg.poisoned = true
+		}
+		w.ambiguous(msg)
+	}
+	w.failQueue(q)
+	if recycleAfter <= 0 {
+		recycleAfter = simRecycleDelay
+	}
+	w.eng.After(recycleAfter, func() {
+		q.broken = false
+		q.credits = w.cfg.Credits
+		q.stallUntil, q.starveTill = 0, 0
+	})
+}
+
+// redistribute is the QP-redistribution perturbation: rotate every
+// thread's assignment, as the receiver-side scheduler shuffling the
+// active set would.
+func (w *simWorld) redistribute() {
+	for _, th := range w.thr {
+		th.qp = (th.qp + 1) % len(w.qps)
+	}
+}
+
+// run executes the whole simulation and returns the recorded history plus
+// whether every thread completed (false = the harness deadlocked, itself
+// a protocol bug).
+func (w *simWorld) run(sched Schedule) (history []Operation, completed bool) {
+	for _, p := range sched.Perturbs {
+		p := p
+		w.eng.At(p.At, func() { w.applyPerturb(p) })
+	}
+	for _, th := range w.thr {
+		th := th
+		w.eng.After(w.jitter(), func() { w.startOp(th) })
+	}
+	w.eng.Drain()
+	return w.rec.History(), w.alive == 0
+}
+
+func (w *simWorld) applyPerturb(p Perturbation) {
+	if p.QP >= len(w.qps) {
+		p.QP = 0
+	}
+	q := w.qps[p.QP]
+	switch p.Kind {
+	case PerturbLeaderStall:
+		q.stallUntil = w.eng.Now() + p.Dur
+	case PerturbQPBreak:
+		w.breakQP(q, p.Dur)
+	case PerturbDeliveryDelay:
+		q.delayTill = w.eng.Now() + 4*p.Dur
+		q.delayExtra = p.Dur
+	case PerturbCreditStarve:
+		q.starveTill = w.eng.Now() + p.Dur
+	case PerturbRedistribute:
+		w.redistribute()
+	}
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"flock/internal/fabric"
+)
+
+// Table-driven edge cases for recovery.go: each scenario forces one of
+// the narrow races the recovery design must survive — a recycle
+// contending with active combining leaders, quarantine landing while a
+// combine is in flight, and a per-call deadline expiring while the
+// response buffer is still a pooled lease in flight. Every case ends at
+// the same gate: traffic healthy again and zero outstanding pooled
+// leases.
+func TestRecoveryEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+		run  func(t *testing.T, tc *testCluster, conn *Conn)
+	}{
+		{
+			// A link outage breaks QPs while combining leaders — slowed
+			// by the stall hook so they are still inside lead() when
+			// markBroken fires — race the recycler's drain loop. The
+			// recycler must wait out every leader, and every call must
+			// still complete after migration/retry.
+			name: "qp-recycle-races-leader-handoff",
+			opts: Options{
+				QPsPerConn:    2,
+				RPCTimeout:    100 * time.Millisecond,
+				StallTimeout:  10 * time.Millisecond,
+				FlapThreshold: -1,
+				RCRetries:     2,
+			},
+			run: func(t *testing.T, tc *testCluster, conn *Conn) {
+				leaderStallHook = func(c *Conn, q *connQP) { time.Sleep(50 * time.Microsecond) }
+				defer func() { leaderStallHook = nil }()
+				tc.net.Fabric().SetFaultPlan(&fabric.FaultPlan{
+					Seed: 11,
+					Links: []fabric.LinkFault{
+						{Src: tc.clients[0].ID(), Dst: tc.server.ID(), DownAfter: 10, DownFor: 250},
+					},
+				})
+				const nThreads, perThread = 6, 12
+				var wg sync.WaitGroup
+				for g := 0; g < nThreads; g++ {
+					wg.Add(1)
+					go func(g int) {
+						defer wg.Done()
+						th := conn.RegisterThread()
+						for i := 0; i < perThread; i++ {
+							callUntilOK(t, th, []byte(fmt.Sprintf("rr-%d-%d", g, i)))
+						}
+					}(g)
+				}
+				wg.Wait()
+				if t.Failed() {
+					return
+				}
+				if m := tc.clients[0].Metrics(); m.QPRecycles == 0 {
+					t.Errorf("no recycle despite outage window (metrics %+v)", m)
+				}
+			},
+		},
+		{
+			// The flapping QP crosses FlapThreshold and is quarantined
+			// while combines are in flight on both QPs. The in-flight
+			// operations on the dying QP must fail over, the survivor must
+			// keep serving, and the retirement must stick.
+			name: "flap-quarantine-expiry-during-inflight-combine",
+			opts: Options{
+				QPsPerConn:    2,
+				RPCTimeout:    100 * time.Millisecond,
+				StallTimeout:  10 * time.Millisecond,
+				FlapThreshold: 2,
+				RCRetries:     2,
+			},
+			run: func(t *testing.T, tc *testCluster, conn *Conn) {
+				client, fab := tc.clients[0], tc.net.Fabric()
+				q0 := conn.qps[0]
+				stop := make(chan struct{})
+				var wg sync.WaitGroup
+				// Four threads keep combines in flight on both QPs for the
+				// whole flap/quarantine sequence.
+				for g := 0; g < 4; g++ {
+					wg.Add(1)
+					go func(g int) {
+						defer wg.Done()
+						th := conn.RegisterThread()
+						for i := 0; ; i++ {
+							select {
+							case <-stop:
+								return
+							default:
+							}
+							resp, err := th.Call(echoID, []byte(fmt.Sprintf("fq-%d-%d", g, i)))
+							resp.Release()
+							if err != nil && !errors.Is(err, ErrTimeout) && !errors.Is(err, ErrQPBroken) {
+								t.Errorf("fatal error under flaps: %v", err)
+								return
+							}
+						}
+					}(g)
+				}
+				qpn0, _ := qpnOfQP(q0)
+				fab.SetFaultPlan(&fabric.FaultPlan{Seed: 12})
+				fab.AddLinkFault(fabric.LinkFault{
+					Src: client.ID(), Dst: tc.server.ID(), QPN: qpn0, DownFor: 0,
+				})
+				lastRecycles := uint64(0)
+				waitFor(t, "flapping QP to be quarantined", func() bool {
+					if t.Failed() {
+						return true
+					}
+					m := client.Metrics()
+					if m.QPQuarantines >= 1 {
+						return true
+					}
+					if m.QPRecycles > lastRecycles {
+						if qpn, ok := qpnOfQP(q0); ok {
+							lastRecycles = m.QPRecycles
+							fab.ClearLinkFaults()
+							fab.AddLinkFault(fabric.LinkFault{
+								Src: client.ID(), Dst: tc.server.ID(), QPN: qpn, DownFor: 0,
+							})
+						}
+					}
+					return false
+				})
+				fab.ClearLinkFaults()
+				close(stop)
+				wg.Wait()
+				if t.Failed() {
+					return
+				}
+				if !q0.disabled.Load() {
+					t.Error("quarantined QP not disabled")
+				}
+				th := conn.RegisterThread()
+				for i := 0; i < 10; i++ {
+					callUntilOK(t, th, []byte(fmt.Sprintf("fq-post-%d", i)))
+				}
+			},
+		},
+		{
+			// CallWithDeadline expires while the response buffer is still
+			// a pooled lease in flight (the handler is slow, the response
+			// lands after abandonment). The late response must be dropped
+			// AND its lease released — this is the path that silently
+			// leaks buffers if the abandonment bookkeeping is wrong.
+			name: "deadline-expiry-while-holding-pooled-lease",
+			opts: Options{QPsPerConn: 1},
+			run: func(t *testing.T, tc *testCluster, conn *Conn) {
+				var slow atomic.Bool
+				slow.Store(true)
+				tc.server.RegisterHandler(7, func(req []byte) []byte {
+					if slow.Load() {
+						time.Sleep(5 * time.Millisecond)
+					}
+					return req
+				})
+				th := conn.RegisterThread()
+				timeouts := 0
+				for i := 0; i < 8; i++ {
+					resp, err := th.CallWithDeadline(7, []byte(fmt.Sprintf("dl-%d", i)), time.Millisecond)
+					if err == nil {
+						resp.Release()
+						continue
+					}
+					if !errors.Is(err, ErrTimeout) {
+						t.Fatalf("unexpected error: %v", err)
+					}
+					timeouts++
+				}
+				if timeouts == 0 {
+					t.Skip("no deadline ever expired; timing too coarse on this machine")
+				}
+				slow.Store(false)
+				// Healthy again: the abandoned responses drained through
+				// the mailbox-drop path without wedging the thread.
+				callUntilOK(t, th, []byte("dl-post"))
+				if m := tc.clients[0].Metrics(); m.RPCTimeouts == 0 {
+					t.Error("timeouts observed by the caller but not counted")
+				}
+			},
+		},
+	}
+	for _, tcase := range cases {
+		tcase := tcase
+		t.Run(tcase.name, func(t *testing.T) {
+			tc := newTestCluster(t, 1, Options{QPsPerConn: 2}, tcase.opts)
+			registerEcho(tc.server)
+			conn, err := tc.clients[0].Connect(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tcase.run(t, tc, conn)
+			if t.Failed() {
+				return
+			}
+			// The shared gate: every lease handed out during the scenario
+			// must come back to the pool.
+			if n := awaitLeaseDrain(5 * time.Second); n != 0 {
+				t.Errorf("%d pooled buffer leases outstanding after %s", n, tcase.name)
+			}
+		})
+	}
+}
