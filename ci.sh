@@ -10,7 +10,7 @@ go build ./...
 go test ./...
 go test -race ./internal/core ./internal/rnic ./internal/mem ./internal/telemetry ./internal/check
 
-# Mutation self-test: rebuild the schedule explorer with the three
+# Mutation self-test: rebuild the schedule explorer with the four
 # known-bad protocol variants (flockmut build tag) and assert the
 # linearizability checker flags every one of them. This is the gate
 # that proves the harness can actually see bugs — a checker that
@@ -34,6 +34,25 @@ go test -run TestEchoAllocRegressionGate -count=1 .
 # and every hot-path telemetry op — counter inc, gauge set, histogram
 # observe, disabled trace record — is allocation-free.
 go test -run 'TestCounterOverheadGate|TestHotPathNoAlloc' -count=1 ./internal/telemetry
+
+# Overload-chaos shard (ISSUE 6). Three gates: (1) the seeded
+# overload/dedup/drain/breaker tests run under the package leak gate,
+# which fails the binary if a single pooled lease is outstanding at
+# exit; (2) a live flockload run under admission pressure plus a lossy
+# fabric must report nonzero rejected/retries telemetry (vacuity check
+# — a shard that never sheds or retries proves nothing) and drain every
+# node to zero leases; (3) the flockbench goodput sweep must hold the
+# overload-chaos point within 20% of the no-fault plateau (no
+# congestion collapse) while regenerating BENCH_PR6.json.
+go test -run 'TestOverload|TestDedup|TestHedged|TestDrain|TestBreaker' -count=1 ./internal/core
+out=$(go run ./cmd/flockload -overload 4 -retry 6 -workers 2 -threads 8 -dur 500ms -faults seed=6,rc-loss=0.01)
+echo "$out"
+echo "$out" | grep -Eq 'resilience +rejected=[1-9]'
+echo "$out" | grep -Eq ' retries=[1-9]'
+echo "$out" | grep -q 'leases=0'
+bench=$(go run ./cmd/flockbench -run overload -json BENCH_PR6.json)
+echo "$bench"
+echo "$bench" | awk '/chaos-goodput/ { found=1; r=$2; sub(/ratio=/,"",r); if (r+0 < 0.80) { print "chaos goodput ratio " r " below 0.80 gate"; exit 1 } } END { exit found ? 0 : 1 }'
 
 # One-iteration benchmark smoke: every benchmark must still build and run
 # (catches bit-rot in the bench harness without paying full measurement

@@ -16,6 +16,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -227,6 +228,7 @@ func experiments() []experiment {
 		{"ablation-udcoalesce", "UD response coalescing (§9 extension) on the live library", runUDCoalesceAblation, ""},
 		{"ablation-signal", "selective signaling sweep on the live library", runSignalAblation, ""},
 		{"sync-micro", "live TCQ vs spinlock QP sharing (§1's 2.3× claim)", runSyncMicro, ""},
+		{"overload", "goodput vs offered load: resilience layer on vs off, plus overload-chaos ratio", runOverloadSweep, ""},
 	}
 }
 
@@ -461,6 +463,155 @@ func runUDCoalesceAblation(quick bool) {
 			},
 		})
 	}
+}
+
+// runOverloadSweep is ISSUE 6's goodput-vs-offered-load experiment on
+// the live library. One deliberately slow server (2 workers × ~1ms
+// service time ⇒ on the order of 1–2K ops/s capacity) is offered
+// stepped closed-loop load under a 20ms call deadline, twice per step:
+//
+//   - naive: no admission control; clients time out and immediately
+//     re-offer the same work. Once the queue outgrows the deadline the
+//     server burns its whole capacity on requests whose callers already
+//     gave up — congestion collapse.
+//   - resilient: AdmissionLimit bounds the admitted queue (excess is a
+//     cheap wire NACK, no handler execution) and client retries are
+//     budgeted with full-jitter backoff, so retry pressure
+//     self-extinguishes and admitted work always completes inside its
+//     deadline.
+//
+// The final row re-runs the heaviest resilient point under the seeded
+// overload-chaos plan (1% RC loss) and prints its goodput as a ratio of
+// the resilient no-fault plateau — the acceptance gate is ratio ≥ 0.8.
+// Service time is wall-clock sleep, so on a 1-CPU container the real
+// per-op cost lands at sleep-granularity (~1.2–1.5ms); the deadline and
+// admission limit are sized so that admitted work always clears the
+// 20ms/4 per-attempt window regardless.
+func runOverloadSweep(quick bool) {
+	dur := 600 * time.Millisecond
+	if quick {
+		dur = 200 * time.Millisecond
+	}
+	const serviceTime = time.Millisecond
+	loads := []int{2, 8, 32, 64}
+	if quick {
+		loads = []int{2, 32, 64}
+	}
+	run := func(threads int, resilient bool, plan *fabric.FaultPlan) (gops float64, sm, cm core.NodeMetrics) {
+		nw := core.NewNetwork(fabric.Config{})
+		defer nw.Close()
+		nw.Fabric().SetFaultPlan(plan)
+		sOpts := core.Options{Workers: 2}
+		cOpts := core.Options{RPCTimeout: 20 * time.Millisecond}
+		if resilient {
+			sOpts.AdmissionLimit = 8
+			cOpts.RetryMaxAttempts = 4
+		}
+		server, err := nw.NewNode(0, sOpts, 0)
+		if err != nil {
+			panic(err)
+		}
+		server.RegisterHandler(1, func(req []byte) []byte {
+			time.Sleep(serviceTime)
+			return req
+		})
+		server.Serve()
+		client, err := nw.NewNode(1, cOpts, 0)
+		if err != nil {
+			panic(err)
+		}
+		conn, err := client.Connect(0)
+		if err != nil {
+			panic(err)
+		}
+		var ok atomic.Uint64
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		for t := 0; t < threads; t++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				th := conn.RegisterThread()
+				buf := make([]byte, 64)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					var r core.Response
+					var err error
+					if resilient {
+						r, err = th.CallOpts(1, buf, core.CallOptions{})
+					} else {
+						r, err = th.Call(1, buf)
+					}
+					if err == nil {
+						r.Release()
+						ok.Add(1)
+						continue
+					}
+					// Both series re-offer failed work immediately — the
+					// collapse-vs-survival difference must come from the
+					// library, not from a polite benchmark loop.
+					if !errors.Is(err, core.ErrTimeout) && !errors.Is(err, core.ErrQPBroken) &&
+						!errors.Is(err, core.ErrOverloaded) {
+						return
+					}
+				}
+			}()
+		}
+		start := time.Now()
+		time.Sleep(dur)
+		measured := ok.Load()
+		elapsed := time.Since(start)
+		close(stop)
+		wg.Wait()
+		stashTelemetry(nw)
+		return float64(measured) / elapsed.Seconds(), server.Metrics(), client.Metrics()
+	}
+
+	fmt.Println("threads  naive(ops/s)  resilient(ops/s)  rejected  retries  budget-exhausted")
+	var plateau float64
+	for _, threads := range loads {
+		naive, _, _ := run(threads, false, nil)
+		res, sm, cm := run(threads, true, nil)
+		if res > plateau {
+			plateau = res
+		}
+		fmt.Printf("%-8d %12.0f %17.0f %9d %8d %17d\n",
+			threads, naive, res, sm.RPCRejected, cm.Retries, cm.RetryBudgetExhausted)
+		emitRecord(benchRecord{
+			Series: "naive", X: float64(threads),
+			Metrics: map[string]float64{"goodput_ops_s": naive},
+		})
+		emitRecord(benchRecord{
+			Series: "resilient", X: float64(threads),
+			Metrics: map[string]float64{
+				"goodput_ops_s": res, "rejected": float64(sm.RPCRejected),
+				"retries": float64(cm.Retries), "budget_exhausted": float64(cm.RetryBudgetExhausted),
+			},
+			Telemetry: takeTelemetry(),
+		})
+	}
+
+	// Overload chaos: heaviest resilient point plus a lossy fabric. The
+	// library's recovery (timeout-driven recycle) plus the resilience
+	// layer must hold goodput near the no-fault plateau.
+	chaosThreads := loads[len(loads)-1]
+	chaos, sm, cm := run(chaosThreads, true, &fabric.FaultPlan{Seed: 6, RCLossProb: 0.01})
+	ratio := chaos / plateau
+	fmt.Printf("chaos    %12s %17.0f %9d %8d %17d  (rc-loss=1%%)\n",
+		"-", chaos, sm.RPCRejected, cm.Retries, cm.RetryBudgetExhausted)
+	fmt.Printf("chaos-goodput ratio=%.2f of no-fault plateau (%.0f ops/s, gate >= 0.80)\n", ratio, plateau)
+	emitRecord(benchRecord{
+		Series: "chaos", X: float64(chaosThreads),
+		Metrics: map[string]float64{
+			"goodput_ops_s": chaos, "plateau_ops_s": plateau, "ratio": ratio,
+			"rejected": float64(sm.RPCRejected), "retries": float64(cm.Retries),
+		},
+		Telemetry: takeTelemetry(),
+	})
 }
 
 // runSyncMicro compares the live TCQ (FLock synchronization) against

@@ -7,6 +7,8 @@
 //	flockload -mem -payload 512            # one-sided read/write mix
 //	flockload -threads 16 -no-coalesce     # MaxBatch=1 ablation, live
 //	flockload -faults rc-loss=0.01,flap=1  # lossy fabric + flapping QP
+//	flockload -overload 16 -retry 4        # admission control + budgeted retries
+//	flockload -retry 4 -hedge 2ms          # hedged requests for tail latency
 //
 // The -check flag switches to flockcheck mode: instead of driving load, it
 // runs the internal/check schedule explorer — seed-derived adversarial
@@ -19,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"expvar"
 	"flag"
@@ -34,6 +37,7 @@ import (
 
 	"flock"
 	"flock/internal/check"
+	mempool "flock/internal/mem"
 	"flock/internal/stats"
 )
 
@@ -51,6 +55,9 @@ func main() {
 		maxAQP     = flag.Int("max-aqp", 0, "MAX_AQP override (0 = default 256)")
 		faults     = flag.String("faults", "", "fault spec, e.g. seed=7,rc-loss=0.01,flap=3 (see fabric.ParseFaultPlan)")
 		rpcTimeout = flag.Duration("rpc-timeout", 0, "per-RPC deadline (0 = none; implied 100ms when -faults is set)")
+		overload   = flag.Int("overload", 0, "server admission limit: excess requests are NACKed with ErrOverloaded (0 = unlimited)")
+		retry      = flag.Int("retry", 0, "client retry attempt cap: route calls through the resilient path with backoff + budget (0 = off)")
+		hedge      = flag.Duration("hedge", 0, "hedge delay: send a second request copy after this much silence (0 = off)")
 		pprofDir   = flag.String("pprof", "", "directory to write cpu/heap/mutex/block .pprof files into")
 		metrics    = flag.Bool("metrics", false, "dump the full telemetry snapshot as JSON after the run")
 		expvarAddr = flag.String("expvar", "", "serve the telemetry snapshot on this addr via expvar (e.g. :8080)")
@@ -87,9 +94,16 @@ func main() {
 		runtime.SetMutexProfileFraction(100)
 		runtime.SetBlockProfileRate(int(time.Microsecond))
 	}
-	if *faults != "" && opts.RPCTimeout == 0 {
+	// resilient selects the overload-control epilogue (drain + metrics
+	// line) and, for -retry/-hedge, the closed-loop resilient call path.
+	resilient := *overload > 0 || *retry > 0 || *hedge > 0
+	if (*faults != "" || resilient) && opts.RPCTimeout == 0 {
 		opts.RPCTimeout = 100 * time.Millisecond
 	}
+	serverOpts, clientOpts := opts, opts
+	serverOpts.AdmissionLimit = *overload
+	clientOpts.RetryMaxAttempts = *retry
+	clientOpts.HedgeDelay = *hedge
 
 	net := flock.NewNetwork(flock.FabricConfig{})
 	defer net.Close()
@@ -100,7 +114,7 @@ func main() {
 		}
 		net.Fabric().SetFaultPlan(plan)
 	}
-	server, err := net.NewNode(0, opts, *nicCache)
+	server, err := net.NewNode(0, serverOpts, *nicCache)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -129,7 +143,7 @@ func main() {
 	var workersList []*worker
 	var clientNodes []*flock.Node
 	for c := 0; c < *clients; c++ {
-		client, err := net.NewNode(flock.NodeID(c+1), opts, *nicCache)
+		client, err := net.NewNode(flock.NodeID(c+1), clientOpts, *nicCache)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -206,10 +220,37 @@ func main() {
 				}
 			}
 			// Transient faults (deadline expiry, a QP breaking under the
-			// window) abandon the in-flight batch and keep driving; any
-			// other error is fatal for the worker.
+			// window, overload pushback, an open breaker) abandon the
+			// in-flight batch and keep driving; any other error is fatal
+			// for the worker.
 			transient := func(err error) bool {
-				return errors.Is(err, flock.ErrTimeout) || errors.Is(err, flock.ErrQPBroken)
+				return errors.Is(err, flock.ErrTimeout) || errors.Is(err, flock.ErrQPBroken) ||
+					errors.Is(err, flock.ErrOverloaded) || errors.Is(err, flock.ErrCircuitOpen)
+			}
+			if *retry > 0 || *hedge > 0 {
+				// Resilient closed loop: CallOpts inherits the node's retry/
+				// hedge knobs, so backoff, budget accounting, idempotency
+				// keys, and hedges all happen inside the library. A call
+				// that still fails after its attempts counts once.
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					t0 := time.Now()
+					r, err := w.th.CallOpts(1, buf, flock.CallOptions{})
+					if err != nil {
+						if transient(err) {
+							w.failed++
+							continue
+						}
+						return
+					}
+					r.Release()
+					w.hist.Record(uint64(time.Since(t0).Nanoseconds()))
+					w.ops++
+				}
 			}
 			type sent struct{ at time.Time }
 			pending := map[uint64]sent{}
@@ -244,8 +285,15 @@ func main() {
 				}
 				if p, ok := pending[resp.Seq]; ok {
 					delete(pending, resp.Seq)
-					w.hist.Record(uint64(time.Since(p.at).Nanoseconds()))
-					w.ops++
+					if resp.Status != 0 {
+						// A pushback NACK (overloaded/draining) on the raw
+						// async path surfaces as a Status, not an error —
+						// it is shed work, not a completed op.
+						w.failed++
+					} else {
+						w.hist.Record(uint64(time.Since(p.at).Nanoseconds()))
+						w.ops++
+					}
 				}
 				resp.Release() // recycle the pooled response buffer
 			}
@@ -339,6 +387,20 @@ func main() {
 			rec.QPRecycles, rec.QPQuarantines, rec.RPCTimeouts,
 			m.QPRecycles, m.QPQuarantines)
 	}
+	if resilient {
+		var cl flock.NodeMetrics
+		for _, cn := range clientNodes {
+			cm := cn.Metrics()
+			cl.Retries += cm.Retries
+			cl.RetryBudgetExhausted += cm.RetryBudgetExhausted
+			cl.Hedges += cm.Hedges
+			cl.HedgesWon += cm.HedgesWon
+			cl.BreakerOpens += cm.BreakerOpens
+		}
+		fmt.Printf("resilience  rejected=%d draining=%d dedup-hits=%d credit-withheld=%d (server) retries=%d budget-exhausted=%d hedges=%d hedges-won=%d breaker-opens=%d (clients)\n",
+			m.RPCRejected, m.RPCRejectedDraining, m.DedupHits, m.CreditWithheld,
+			cl.Retries, cl.RetryBudgetExhausted, cl.Hedges, cl.HedgesWon, cl.BreakerOpens)
+	}
 	if *metrics {
 		snap := net.TelemetrySnapshot()
 		b, err := snap.JSON()
@@ -347,6 +409,27 @@ func main() {
 		}
 		os.Stdout.Write(b) //nolint:errcheck
 		fmt.Println()      // trailing newline after the JSON document
+	}
+	if resilient {
+		// Graceful-drain epilogue: every node must quiesce (zero admitted
+		// requests, zero outstanding client RPCs), and teardown must land
+		// the pooled-buffer ledger at exactly zero leases — the same
+		// invariant the package leak gate enforces on the test suite.
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		for _, cn := range clientNodes {
+			if err := cn.Drain(ctx); err != nil {
+				log.Fatalf("client drain: %v", err)
+			}
+		}
+		if err := server.Drain(ctx); err != nil {
+			log.Fatalf("server drain: %v", err)
+		}
+		net.Close()
+		if n := mempool.Default.Outstanding(); n != 0 {
+			log.Fatalf("lease leak: %d pooled buffers still outstanding after drain+close", n)
+		}
+		fmt.Println("drain       server=ok clients=ok leases=0")
 	}
 	if totalOps == 0 {
 		os.Exit(1)

@@ -94,6 +94,8 @@ type (
 	TelemetryRegistry = telemetry.Registry
 	// TraceEvent is one recorded RPC-lifecycle event.
 	TraceEvent = telemetry.TraceEvent
+	// CallOptions parameterizes one resilient call (Thread.CallOpts).
+	CallOptions = core.CallOptions
 )
 
 // Errors re-exported from the implementation.
@@ -115,6 +117,15 @@ var (
 	// ErrConnClosed reports an operation poisoned by connection teardown;
 	// it wraps ErrClosed.
 	ErrConnClosed = core.ErrConnClosed
+	// ErrOverloaded reports server-side admission pushback; retry after
+	// backoff (Options.RetryMaxAttempts does this automatically).
+	ErrOverloaded = core.ErrOverloaded
+	// ErrDraining reports a draining node refusing new work; it does not
+	// wrap ErrClosed — retry on another node.
+	ErrDraining = core.ErrDraining
+	// ErrCircuitOpen reports a call refused locally by the connection's
+	// open circuit breaker.
+	ErrCircuitOpen = core.ErrCircuitOpen
 )
 
 // Response status codes.
@@ -125,6 +136,10 @@ const (
 	StatusNoHandler = core.StatusNoHandler
 	// StatusHandlerPanic means the handler panicked.
 	StatusHandlerPanic = core.StatusHandlerPanic
+	// StatusOverloaded is the admission-control pushback NACK.
+	StatusOverloaded = core.StatusOverloaded
+	// StatusDraining is the graceful-drain pushback NACK.
+	StatusDraining = core.StatusDraining
 )
 
 // NewNetwork creates a network over a fresh in-process fabric.

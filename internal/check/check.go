@@ -243,9 +243,9 @@ type bitset []uint64
 
 func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
 
-func (b bitset) set(i int)        { b[i/64] |= 1 << (uint(i) % 64) }
-func (b bitset) clear(i int)      { b[i/64] &^= 1 << (uint(i) % 64) }
-func (b bitset) clone() bitset    { c := make(bitset, len(b)); copy(c, b); return c }
+func (b bitset) set(i int)     { b[i/64] |= 1 << (uint(i) % 64) }
+func (b bitset) clear(i int)   { b[i/64] &^= 1 << (uint(i) % 64) }
+func (b bitset) clone() bitset { c := make(bitset, len(b)); copy(c, b); return c }
 func (b bitset) equals(o bitset) bool {
 	for i := range b {
 		if b[i] != o[i] {

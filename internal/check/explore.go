@@ -34,6 +34,12 @@ const (
 	// PerturbRedistribute rotates every thread's QP assignment, as the
 	// receiver-side scheduler reshuffling the active set would.
 	PerturbRedistribute
+	// PerturbServiceInflate is the overload perturbation: server service
+	// time inflates by Dur for a 4×Dur window, pushing responses past
+	// attempt deadlines so clients retry under their idempotency keys.
+	// Only OverloadScheduleFromSeed derives it — the canonical
+	// ScheduleFromSeed pool is frozen so existing seeds stay replayable.
+	PerturbServiceInflate
 )
 
 func (k PerturbKind) String() string {
@@ -48,6 +54,8 @@ func (k PerturbKind) String() string {
 		return "starve"
 	case PerturbRedistribute:
 		return "redist"
+	case PerturbServiceInflate:
+		return "inflate"
 	}
 	return fmt.Sprintf("perturb(%d)", int(k))
 }
@@ -134,12 +142,64 @@ func ScheduleFromSeed(seed uint64, cfg SimConfig) Schedule {
 	return s
 }
 
+// OverloadScheduleFromSeed derives the overload-suite schedule for a
+// seed: one guaranteed service-inflation window plus 0–4 perturbations
+// drawn from the full kind set (inflation included). It is a separate
+// derivation — with its own RNG salt — so the canonical ScheduleFromSeed
+// pool is untouched and historical seeds keep replaying bit-identically.
+// Inflation windows are sized around the attempt timeout: some the
+// attempts ride out, some force abandonment and an idempotent retry.
+func OverloadScheduleFromSeed(seed uint64, cfg SimConfig) Schedule {
+	cfg = cfg.withDefaults()
+	rng := newScheduleRNG(seed ^ 0x0F10CC0AD5EED5A1)
+	at := cfg.AttemptTimeout
+	if at <= 0 {
+		at = 4 * cfg.StallTimeout
+	}
+	horizon := sim.Time(cfg.OpsPerThread) * (4 * simWireLatency)
+	inflate := func() Perturbation {
+		return Perturbation{
+			Kind: PerturbServiceInflate,
+			At:   sim.Time(rng.Uint64n(uint64(horizon) + 1)),
+			QP:   rng.Intn(cfg.QPs),
+			Dur:  at/2 + sim.Time(rng.Uint64n(uint64(at)*2)),
+		}
+	}
+	s := Schedule{Seed: seed, Perturbs: []Perturbation{inflate()}}
+	n := rng.Intn(5)
+	for i := 0; i < n; i++ {
+		p := Perturbation{
+			Kind: PerturbKind(rng.Intn(6)),
+			At:   sim.Time(rng.Uint64n(uint64(horizon) + 1)),
+			QP:   rng.Intn(cfg.QPs),
+		}
+		switch p.Kind {
+		case PerturbLeaderStall:
+			p.Dur = cfg.StallTimeout/2 + sim.Time(rng.Uint64n(uint64(cfg.StallTimeout)*3))
+		case PerturbQPBreak:
+			p.Dur = simRecycleDelay + sim.Time(rng.Uint64n(uint64(10*sim.Microsecond)))
+		case PerturbDeliveryDelay, PerturbCreditStarve:
+			p.Dur = sim.Time(rng.Uint64n(uint64(cfg.StallTimeout)*2) + 1)
+		case PerturbServiceInflate:
+			p = inflate()
+		}
+		s.Perturbs = append(s.Perturbs, p)
+	}
+	return s
+}
+
 // RunReport is the outcome of one simulated schedule.
 type RunReport struct {
 	Schedule  Schedule
 	Result    Result
 	Ops       int
 	Completed bool // false: a thread never finished — the protocol wedged
+	// Retried counts attempt abandonments (deadline expiry or ambiguous
+	// retry); DedupHits counts applies answered from the dedup memo. Both
+	// are vacuity signals for the overload suite: a sweep that never
+	// retries or never dedups proved nothing.
+	Retried   int
+	DedupHits int
 }
 
 // Failed reports whether the run violated the model or wedged.
@@ -152,7 +212,14 @@ func RunSchedule(cfg SimConfig, sched Schedule, mut Mutation) RunReport {
 	w := newSimWorld(cfg, sched.Seed, mut)
 	history, completed := w.run(sched)
 	res := Check(cfg.Workload.Model(), history)
-	return RunReport{Schedule: sched, Result: res, Ops: len(history), Completed: completed}
+	return RunReport{
+		Schedule:  sched,
+		Result:    res,
+		Ops:       len(history),
+		Completed: completed,
+		Retried:   w.retried,
+		DedupHits: w.dedupHits,
+	}
 }
 
 // FailureReport describes the first failing schedule of an exploration,
@@ -176,6 +243,10 @@ func (f FailureReport) String() string {
 type ExploreResult struct {
 	Runs     int
 	Failures int
+	// Retried and DedupHits are summed over the sweep (vacuity signals
+	// for the overload suite).
+	Retried   int
+	DedupHits int
 	// First is the first failure, shrunk; nil when all runs passed.
 	First *FailureReport
 }
@@ -184,12 +255,22 @@ type ExploreResult struct {
 // every history. On the first failure it shrinks the schedule and records
 // the report; remaining seeds still run so Failures counts the full sweep.
 func Explore(cfg SimConfig, mut Mutation, startSeed uint64, n int) ExploreResult {
+	return ExploreSchedules(cfg, mut, startSeed, n, ScheduleFromSeed)
+}
+
+// ExploreSchedules is Explore with a pluggable schedule derivation —
+// ScheduleFromSeed for the canonical pool, OverloadScheduleFromSeed for
+// the overload suite. Retried/DedupHits are summed across the sweep so
+// callers can assert the sweep actually exercised what it claims to.
+func ExploreSchedules(cfg SimConfig, mut Mutation, startSeed uint64, n int, derive func(uint64, SimConfig) Schedule) ExploreResult {
 	var res ExploreResult
 	for i := 0; i < n; i++ {
 		seed := startSeed + uint64(i)
-		sched := ScheduleFromSeed(seed, cfg)
+		sched := derive(seed, cfg)
 		rep := RunSchedule(cfg, sched, mut)
 		res.Runs++
+		res.Retried += rep.Retried
+		res.DedupHits += rep.DedupHits
 		if rep.Failed() {
 			res.Failures++
 			if res.First == nil {

@@ -5,7 +5,7 @@ package check
 // Mutation selects an intentionally-broken protocol variant for the
 // mutation self-test. In normal builds only MutNone exists in spirit:
 // mutantOn is a constant false, so the compiler removes every mutant code
-// path from the simulator. Build with -tags flockmut to compile the three
+// path from the simulator. Build with -tags flockmut to compile the four
 // known-bad variants in and run the self-test that proves the checker
 // catches each one.
 type Mutation int
@@ -27,6 +27,12 @@ const (
 	// sent instead of failing them — recovery that fabricates results for
 	// messages the server may never have seen.
 	MutRecycleAckInflight
+	// MutDedupSkip: the server forgets to consult the dedup window before
+	// applying, so an idempotency-keyed retry whose original already
+	// landed executes a second time — the double-apply the window exists
+	// to prevent. Only visible under the overload schedules, which are
+	// what manufacture retries.
+	MutDedupSkip
 )
 
 // EnabledMutations lists the mutants compiled into this build: none.

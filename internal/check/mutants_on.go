@@ -3,7 +3,7 @@
 package check
 
 // Mutation selects an intentionally-broken protocol variant. This is the
-// flockmut build: the three known-bad variants are compiled into the
+// flockmut build: the four known-bad variants are compiled into the
 // simulator and selectable at runtime, so the self-test can assert the
 // checker flags every one of them. See mutants_off.go for the per-variant
 // documentation.
@@ -14,6 +14,7 @@ const (
 	MutClaimTimedOut
 	MutBatchDropTail
 	MutRecycleAckInflight
+	MutDedupSkip
 )
 
 func (m Mutation) String() string {
@@ -26,13 +27,15 @@ func (m Mutation) String() string {
 		return "batch-drop-tail"
 	case MutRecycleAckInflight:
 		return "recycle-ack-inflight"
+	case MutDedupSkip:
+		return "dedup-skip"
 	}
 	return "unknown"
 }
 
 // EnabledMutations lists the mutants compiled into this build.
 func EnabledMutations() []Mutation {
-	return []Mutation{MutClaimTimedOut, MutBatchDropTail, MutRecycleAckInflight}
+	return []Mutation{MutClaimTimedOut, MutBatchDropTail, MutRecycleAckInflight, MutDedupSkip}
 }
 
 // mutantOn reports whether mutant `want` is the active one.

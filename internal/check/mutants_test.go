@@ -21,15 +21,23 @@ func mutantWorkload(m Mutation) Workload { return WorkloadCounter }
 
 func TestMutantsAreCaught(t *testing.T) {
 	muts := EnabledMutations()
-	if len(muts) != 3 {
-		t.Fatalf("expected 3 compiled mutants, got %d", len(muts))
+	if len(muts) != 4 {
+		t.Fatalf("expected 4 compiled mutants, got %d", len(muts))
 	}
 	for _, mut := range muts {
 		mut := mut
 		t.Run(mut.String(), func(t *testing.T) {
 			t.Parallel()
+			// The dedup mutant only bites when retries happen, so it gets
+			// the overload schedules; the combining-path mutants keep the
+			// canonical pool.
 			cfg := exploreCfg(mutantWorkload(mut))
-			res := Explore(cfg, mut, 1, mutantSeeds)
+			derive := ScheduleFromSeed
+			if mut == MutDedupSkip {
+				cfg = overloadCfg(mutantWorkload(mut))
+				derive = OverloadScheduleFromSeed
+			}
+			res := ExploreSchedules(cfg, mut, 1, mutantSeeds, derive)
 			if res.Failures == 0 {
 				t.Fatalf("mutant %s survived %d schedules: the checker is blind to it", mut, res.Runs)
 			}

@@ -1,0 +1,126 @@
+package check
+
+import (
+	"testing"
+
+	"flock/internal/sim"
+)
+
+// The overload suite: service-time inflation pushes attempts past their
+// deadline, clients resubmit under stable idempotency keys, and the
+// server's dedup memo must keep every history exactly-once linearizable.
+// overloadSeeds×3 workloads comfortably clears the ≥200-schedule floor.
+const overloadSeeds = 250
+
+// overloadCfg is exploreCfg plus the overload-control knobs: per-attempt
+// deadlines (which manufacture retries under inflation) and the dedup
+// window (which must absorb them). Also used by the flockmut build to
+// hunt MutDedupSkip.
+func overloadCfg(w Workload) SimConfig {
+	return SimConfig{
+		Threads:        4,
+		OpsPerThread:   6,
+		QPs:            2,
+		MaxBatch:       4,
+		Credits:        4,
+		Workload:       w,
+		AttemptTimeout: 15 * sim.Microsecond,
+		Dedup:          true,
+	}
+}
+
+// TestOverloadRetriesLinearizable sweeps overload schedules per model and
+// requires every history to be linearizable with every thread completing
+// — retried and deduped ops included. The vacuity gates reject a sweep
+// that never actually retried or never hit the dedup memo: such a run
+// would prove nothing about the overload path.
+func TestOverloadRetriesLinearizable(t *testing.T) {
+	for _, w := range []Workload{WorkloadCounter, WorkloadEcho, WorkloadKV} {
+		w := w
+		t.Run(w.String(), func(t *testing.T) {
+			t.Parallel()
+			res := ExploreSchedules(overloadCfg(w), MutNone, 1, overloadSeeds, OverloadScheduleFromSeed)
+			if res.Runs != overloadSeeds {
+				t.Fatalf("ran %d schedules, want %d", res.Runs, overloadSeeds)
+			}
+			if res.Failures != 0 {
+				t.Fatalf("%d/%d overload schedules failed; first:\n%s", res.Failures, res.Runs, res.First)
+			}
+			if res.Retried == 0 {
+				t.Fatal("no attempt was ever retried — the overload sweep was vacuous")
+			}
+			if res.DedupHits == 0 {
+				t.Fatal("the dedup window never absorbed a duplicate — the sweep proved nothing about it")
+			}
+			t.Logf("%s: %d schedules, %d retries, %d dedup hits", w, res.Runs, res.Retried, res.DedupHits)
+		})
+	}
+}
+
+// TestOverloadWithoutDedupDuplicates is the sensitivity check for the
+// suite above: the same schedules with the dedup window disabled must
+// produce at least one non-linearizable history, because an abandoned
+// attempt that was already claimed applies alongside its retry. If this
+// sweep passes clean, the overload schedules stopped exercising the
+// duplication window and the suite's green is meaningless.
+func TestOverloadWithoutDedupDuplicates(t *testing.T) {
+	cfg := overloadCfg(WorkloadCounter)
+	cfg.Dedup = false
+	res := ExploreSchedules(cfg, MutNone, 1, overloadSeeds, OverloadScheduleFromSeed)
+	if res.Retried == 0 {
+		t.Fatal("no attempt was ever retried — cannot exercise the duplication window")
+	}
+	if res.Failures == 0 {
+		t.Fatalf("retry-without-dedup survived %d schedules: the schedules no longer reach the double-apply window", res.Runs)
+	}
+	t.Logf("without dedup: %d/%d schedules caught the double-apply", res.Failures, res.Runs)
+}
+
+// TestOverloadScheduleDeterminism: same seed, same schedule — and the
+// overload pool is its own derivation: every schedule carries at least
+// one inflation window, while the canonical ScheduleFromSeed pool never
+// derives one (historical seeds must keep replaying bit-identically).
+func TestOverloadScheduleDeterminism(t *testing.T) {
+	cfg := overloadCfg(WorkloadCounter)
+	for seed := uint64(1); seed < 25; seed++ {
+		s1 := OverloadScheduleFromSeed(seed, cfg)
+		s2 := OverloadScheduleFromSeed(seed, cfg)
+		if s1.Hash() != s2.Hash() || s1.String() != s2.String() {
+			t.Fatalf("seed %d derived two different overload schedules", seed)
+		}
+		inflates := 0
+		for _, p := range s1.Perturbs {
+			if p.Kind == PerturbServiceInflate {
+				inflates++
+			}
+		}
+		if inflates == 0 {
+			t.Fatalf("seed %d overload schedule has no inflation window: %s", seed, s1)
+		}
+	}
+	for seed := uint64(1); seed <= exploreSeeds; seed++ {
+		for _, p := range ScheduleFromSeed(seed, exploreCfg(WorkloadCounter)).Perturbs {
+			if p.Kind == PerturbServiceInflate {
+				t.Fatalf("canonical pool derived an inflation perturbation at seed %d — frozen schedules changed", seed)
+			}
+		}
+	}
+}
+
+// TestOverloadScheduleCoversAllPerturbations: the overload pool must mix
+// inflation with every canonical perturbation kind, or the suite loses
+// the overload×fault interleavings it exists to explore.
+func TestOverloadScheduleCoversAllPerturbations(t *testing.T) {
+	cfg := overloadCfg(WorkloadCounter)
+	seen := map[PerturbKind]int{}
+	for seed := uint64(1); seed <= overloadSeeds; seed++ {
+		for _, p := range OverloadScheduleFromSeed(seed, cfg).Perturbs {
+			seen[p.Kind]++
+		}
+	}
+	for _, k := range []PerturbKind{PerturbLeaderStall, PerturbQPBreak, PerturbDeliveryDelay, PerturbCreditStarve, PerturbRedistribute, PerturbServiceInflate} {
+		if seen[k] == 0 {
+			t.Fatalf("perturbation %s never derived across %d overload seeds", k, overloadSeeds)
+		}
+	}
+}

@@ -85,6 +85,18 @@ type SimConfig struct {
 	// StallTimeout is the follower verdict wait bound (virtual time);
 	// zero uses 10µs.
 	StallTimeout sim.Time
+	// AttemptTimeout, when nonzero, arms a per-attempt response deadline
+	// (core's CallOpts attemptWait): a claimed op whose response has not
+	// arrived by then is abandoned and resubmitted under the same
+	// idempotency key. Zero disables attempt-level retries.
+	AttemptTimeout sim.Time
+	// Dedup models the server's dedup window (core's DedupWindow): each
+	// op's first apply is memoized by idempotency key, and every later
+	// copy — a retry racing its original, or a retry after an ambiguous
+	// outcome — is answered from the memo without re-executing. With
+	// Dedup set, ambiguous outcomes are retried to a definite result
+	// instead of going pending, so the checker demands exactly-once.
+	Dedup bool
 }
 
 func (c SimConfig) withDefaults() SimConfig {
@@ -131,7 +143,9 @@ const (
 type simNode struct {
 	th    *simThread
 	state int
-	gen   int // thread op-attempt generation; stale responses are ignored
+	gen   int    // thread op-attempt generation; stale responses are ignored
+	op    int    // op index captured at enqueue: stale copies apply the right op
+	key   uint64 // idempotency key, stable across retries of one op
 }
 
 type simMsg struct {
@@ -182,6 +196,14 @@ type simWorld struct {
 	kv    map[uint64]uint64
 	count uint64
 	alive int
+	// memo is the dedup window: first-apply output by idempotency key.
+	memo      map[uint64]interface{}
+	dedupHits int
+	retried   int
+	// Service-time inflation window (the overload perturbation): responses
+	// computed while now < inflateTill take inflateExtra longer.
+	inflateTill  sim.Time
+	inflateExtra sim.Time
 }
 
 func newSimWorld(cfg SimConfig, seed uint64, mut Mutation) *simWorld {
@@ -193,6 +215,7 @@ func newSimWorld(cfg SimConfig, seed uint64, mut Mutation) *simWorld {
 		rec:   NewRecorder(),
 		mut:   mut,
 		kv:    make(map[uint64]uint64),
+		memo:  make(map[uint64]interface{}),
 		alive: cfg.Threads,
 	}
 	for i := 0; i < cfg.QPs; i++ {
@@ -302,8 +325,18 @@ func (w *simWorld) enqueue(th *simThread) {
 		return
 	}
 	q := w.qps[th.qp]
-	n := &simNode{th: th, state: snWaiting, gen: th.gen}
+	n := &simNode{
+		th:    th,
+		state: snWaiting,
+		gen:   th.gen,
+		op:    th.opIdx,
+		key:   uint64(th.id+1)<<32 | uint64(th.opIdx+1),
+	}
 	q.queue = append(q.queue, n)
+	if w.cfg.AttemptTimeout > 0 {
+		gen := th.gen
+		w.eng.After(w.cfg.AttemptTimeout, func() { w.attemptExpire(th, gen) })
+	}
 	if !q.leading {
 		q.leading = true
 		q.leaderNode = n
@@ -321,8 +354,27 @@ func (w *simWorld) followerTimeout(q *simQP, n *simNode) {
 	if n.state != snWaiting {
 		return // claimed (or already resolved): the timeout no longer applies
 	}
+	if n.gen != n.th.gen {
+		// The thread already abandoned this attempt (attempt deadline);
+		// just mark the node so the handoff chain skips it.
+		n.state = snTimedOut
+		return
+	}
 	n.state = snTimedOut
 	w.resubmit(n.th, q.idx)
+}
+
+// attemptExpire is the per-attempt response deadline (CallOpts's
+// attemptWait): if the op attempt armed at generation gen is still the
+// thread's current one, abandon it and resubmit under the same
+// idempotency key. The stale copy may still be claimed, posted, and
+// applied — exactly the duplication window the dedup memo absorbs.
+func (w *simWorld) attemptExpire(th *simThread, gen int) {
+	if th.done || th.gen != gen || th.opIdx >= w.cfg.OpsPerThread {
+		return
+	}
+	w.retried++
+	w.resubmit(th, th.qp)
 }
 
 func (w *simWorld) scheduleClaim(q *simQP) {
@@ -428,7 +480,9 @@ func (w *simWorld) failQueue(q *simQP) {
 	q.leading = false
 	q.leaderNode = nil
 	for _, n := range nodes {
-		if n.state == snTimedOut {
+		if n.state == snTimedOut || n.gen != n.th.gen {
+			// Abandoned attempts resubmitted themselves already; migrating
+			// them again would double-enqueue the thread.
 			continue
 		}
 		n.state = snClaimed
@@ -437,16 +491,37 @@ func (w *simWorld) failQueue(q *simQP) {
 }
 
 // deliver is the message landing in the server's ring: apply each item and
-// schedule the response.
+// schedule the response. With Dedup, each item consults the memo first —
+// a retried copy of an already-applied op is answered from the cache, the
+// exactly-once guarantee server.go's execute gives idempotency-keyed
+// requests. Service-time inflation (the overload perturbation) stretches
+// the apply-to-respond latency, which is what pushes attempts past their
+// deadline and manufactures retries.
 func (w *simWorld) deliver(msg *simMsg) {
 	if msg.poisoned {
 		return // lost to a QP break before reaching the server
 	}
 	msg.outs = make([]interface{}, len(msg.nodes))
 	for i, n := range msg.nodes {
-		msg.outs[i] = w.apply(w.opInput(n.th, n.th.opIdx))
+		if w.cfg.Dedup && !mutantOn(w.mut, MutDedupSkip) {
+			if out, ok := w.memo[n.key]; ok {
+				w.dedupHits++
+				msg.outs[i] = out
+				continue
+			}
+		}
+		out := w.apply(w.opInput(n.th, n.op))
+		if w.cfg.Dedup {
+			// The mutant forgets to *check* the window, not to fill it.
+			w.memo[n.key] = out
+		}
+		msg.outs[i] = out
 	}
-	w.eng.After(simWireLatency, func() { w.respond(msg) })
+	delay := simWireLatency
+	if w.eng.Now() < w.inflateTill {
+		delay += w.inflateExtra
+	}
+	w.eng.After(delay, func() { w.respond(msg) })
 }
 
 // respond delivers verdicts and outputs back to the batch's threads.
@@ -487,12 +562,21 @@ func (w *simWorld) respondNode(n *simNode, out interface{}) {
 	w.finishOp(th, w.opInput(th, th.opIdx), out, false)
 }
 
-// ambiguous marks every live node of a message pending: the op may or may
-// not have taken effect.
+// ambiguous handles ops whose outcome was lost with their QP. Without
+// dedup the op may or may not have taken effect, so it is recorded
+// pending. With dedup the client retries under the same key instead: if
+// the apply landed, the retry replays the memoized result; if not, it
+// executes fresh — either way the outcome becomes definite, which is the
+// whole point of idempotency-keyed retries.
 func (w *simWorld) ambiguous(msg *simMsg) {
 	for _, n := range append(append([]*simNode{}, msg.nodes...), msg.dropped...) {
 		th := n.th
 		if n.gen != th.gen || th.done || th.opIdx >= w.cfg.OpsPerThread {
+			continue
+		}
+		if w.cfg.Dedup {
+			w.retried++
+			w.resubmit(th, msg.qp.idx)
 			continue
 		}
 		w.finishOp(th, w.opInput(th, th.opIdx), nil, true)
@@ -594,5 +678,11 @@ func (w *simWorld) applyPerturb(p Perturbation) {
 		q.starveTill = w.eng.Now() + p.Dur
 	case PerturbRedistribute:
 		w.redistribute()
+	case PerturbServiceInflate:
+		// Overload: the server's service time inflates for a window (the
+		// QP field is ignored — handler execution is shared). Responses
+		// slip past attempt deadlines, manufacturing retries.
+		w.inflateTill = w.eng.Now() + 4*p.Dur
+		w.inflateExtra = p.Dur
 	}
 }

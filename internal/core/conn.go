@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"flock/internal/fabric"
+	"flock/internal/resilience"
 	"flock/internal/rnic"
 	"flock/internal/stats"
 	"flock/internal/telemetry"
@@ -73,7 +74,17 @@ type Conn struct {
 	threads  map[uint32]*Thread
 	nextTID  atomic.Uint32
 
-	failed atomic.Bool
+	// failed marks the handle fatally dead; failErr remembers why, so
+	// closedErr can tell callers the true cause ("retry elsewhere" drain
+	// pushback vs "give up" closure) instead of a generic ErrConnClosed.
+	failed  atomic.Bool
+	failErr atomic.Pointer[error]
+
+	// retryBudget is the connection-wide token bucket gating retries on
+	// the resilient call path; breaker is the per-remote circuit breaker,
+	// nil unless Options.BreakerThreshold enables it.
+	retryBudget *resilience.Budget
+	breaker     *resilience.Breaker
 }
 
 // connQP is the client end of one shared queue pair.
@@ -178,9 +189,14 @@ func (n *Node) Connect(remote fabric.NodeID) (*Conn, error) {
 	}
 
 	c := &Conn{
-		node:    n,
-		remote:  remote,
-		threads: make(map[uint32]*Thread),
+		node:        n,
+		remote:      remote,
+		threads:     make(map[uint32]*Thread),
+		retryBudget: resilience.NewBudget(n.opts.RetryBudgetRatio, n.opts.RetryBudgetBurst),
+	}
+	if n.opts.BreakerThreshold > 0 {
+		c.breaker = resilience.NewBreaker(
+			n.opts.BreakerThreshold, n.opts.BreakerCooldown, n.opts.BreakerProbes, nil)
 	}
 	args := connectArgs{clientNode: n.id}
 	for i := 0; i < n.opts.QPsPerConn; i++ {
@@ -318,8 +334,12 @@ func (c *Conn) Close() {
 }
 
 // fail marks the connection fatally failed and releases threads blocked on
-// their mailboxes with a typed poison response.
+// their mailboxes with a typed poison response. The cause is recorded
+// before the failed flag is published, so closedErr never observes the
+// flag without it.
 func (c *Conn) fail(err error) {
+	cause := err
+	c.failErr.CompareAndSwap(nil, &cause)
 	if c.failed.Swap(true) {
 		return
 	}
@@ -340,6 +360,14 @@ func (c *Conn) thread(id uint32) *Thread {
 	c.threadMu.RLock()
 	defer c.threadMu.RUnlock()
 	return c.threads[id]
+}
+
+// breakerFailure records remote-failure evidence (attempt timeout, broken
+// QP) against the connection's circuit breaker, counting open transitions.
+func (c *Conn) breakerFailure() {
+	if c.breaker != nil && c.breaker.Failure() {
+		c.node.metrics.breakerOpens.Add(1)
+	}
 }
 
 // snapshotThreads copies the registered thread set.

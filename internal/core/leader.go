@@ -119,6 +119,7 @@ func (c *Conn) processBatch(th *Thread, q *connQP, batch []*tcqNode) uint32 {
 				threadID: n.threadID,
 				seqID:    n.seqID,
 				rpcID:    n.rpcID,
+				idemKey:  n.idemKey,
 			})
 			q.reqStaging.WriteAt(metaBuf[:], cursor) //nolint:errcheck // reserved span
 			n.bufOff = cursor + itemMetaBytes
@@ -151,6 +152,7 @@ func (c *Conn) processBatch(th *Thread, q *connQP, batch []*tcqNode) uint32 {
 			count:     uint32(len(rpc)),
 			canary:    canary,
 			piggyHead: q.ctrl.Load64(ctrlRespHeadOff),
+			flags:     flagItemMetaV2,
 		})
 		q.reqStaging.WriteAt(hdr[:], res.msgOff) //nolint:errcheck
 

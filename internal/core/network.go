@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -8,6 +9,7 @@ import (
 
 	"flock/internal/fabric"
 	"flock/internal/mem"
+	"flock/internal/resilience"
 	"flock/internal/rnic"
 	"flock/internal/telemetry"
 )
@@ -33,6 +35,21 @@ var (
 	// failed fatally. It wraps ErrClosed so errors.Is(err, ErrClosed)
 	// keeps matching for callers that don't care which.
 	ErrConnClosed = fmt.Errorf("flock: connection closed: %w", ErrClosed)
+
+	// ErrOverloaded reports server-side admission pushback: the request
+	// was rejected before any handler work (queue depth past
+	// AdmissionLimit, or a duplicate raced its still-executing original).
+	// Retryable after backoff.
+	ErrOverloaded = errors.New("flock: server overloaded; request rejected")
+	// ErrDraining reports that the node is draining: it finishes in-flight
+	// work but admits nothing new. Deliberately does NOT wrap ErrClosed —
+	// the node is healthy, so callers should retry elsewhere rather than
+	// give up.
+	ErrDraining = errors.New("flock: node draining; request rejected")
+	// ErrCircuitOpen reports that the connection's circuit breaker is
+	// open: recent history says the remote is failing, so the call was
+	// refused locally without touching the wire.
+	ErrCircuitOpen = errors.New("flock: circuit breaker open")
 )
 
 // Response status codes carried in response item metadata.
@@ -46,6 +63,12 @@ const (
 	// StatusConnClosed is delivered to blocked receivers when their
 	// connection handle is closed locally.
 	StatusConnClosed
+	// StatusOverloaded is the admission-control NACK: rejected before
+	// execution, safe (and expected) to retry after backoff.
+	StatusOverloaded
+	// StatusDraining is the graceful-drain NACK: the node stopped
+	// admitting new work; retry on another node.
+	StatusDraining
 )
 
 // Handler processes one RPC request and returns the response payload. It
@@ -182,6 +205,27 @@ type NodeMetrics struct {
 	// QPRedistributions counts receiver-side scheduler rounds that changed
 	// the active-QP set (server role).
 	QPRedistributions uint64
+	// RPCRejected counts requests shed by admission control before
+	// execution (server role); RPCRejectedDraining counts drain NACKs.
+	RPCRejected         uint64
+	RPCRejectedDraining uint64
+	// Retries counts client-side retry attempts sent; RetryBudgetExhausted
+	// counts retries the token-bucket budget refused.
+	Retries              uint64
+	RetryBudgetExhausted uint64
+	// Hedges counts hedged request copies sent; HedgesWon counts calls
+	// where the hedge's response arrived first.
+	Hedges    uint64
+	HedgesWon uint64
+	// DedupHits counts retried requests answered from the idempotent
+	// response cache instead of re-executing (server role).
+	DedupHits uint64
+	// BreakerOpens counts circuit-breaker closed/half-open → open
+	// transitions (client role).
+	BreakerOpens uint64
+	// CreditWithheld counts credits the watermark policy declined to grant
+	// while the server ran near its admission limit.
+	CreditWithheld uint64
 }
 
 // Node is one FLock endpoint. A node can serve inbound connections
@@ -197,6 +241,12 @@ type Node struct {
 	handMu   sync.Mutex
 
 	serving atomic.Bool
+
+	// Overload control (server role): inflight counts admitted-but-not-yet
+	// -responded requests against Options.AdmissionLimit; draining flips
+	// the node into graceful-drain mode (admit nothing, finish everything).
+	inflight atomic.Int64
+	draining atomic.Bool
 
 	// Server role.
 	schedRCQ *rnic.CQ
@@ -229,6 +279,10 @@ type Node struct {
 		renewals, activations, deactivations, migrs telemetry.Counter
 		recycles, quarantines, timeouts, stalls     telemetry.Counter
 		redistributions                             telemetry.Counter
+		rejected, drainRejected                     telemetry.Counter
+		retries, budgetExhausted                    telemetry.Counter
+		hedges, hedgesWon                           telemetry.Counter
+		dedupHits, breakerOpens, creditWithheld     telemetry.Counter
 	}
 
 	// tel is the node's telemetry registry; the histograms and the trace
@@ -284,6 +338,15 @@ func (n *Node) publishTelemetry() {
 	cf("rpc_timeouts", &n.metrics.timeouts)
 	cf("leader_stalls", &n.metrics.stalls)
 	cf("qp_redistributions", &n.metrics.redistributions)
+	cf("rpc_rejected", &n.metrics.rejected)
+	cf("rpc_rejected_draining", &n.metrics.drainRejected)
+	cf("retries", &n.metrics.retries)
+	cf("retry_budget_exhausted", &n.metrics.budgetExhausted)
+	cf("hedges", &n.metrics.hedges)
+	cf("hedges_won", &n.metrics.hedgesWon)
+	cf("dedup_hits", &n.metrics.dedupHits)
+	cf("breaker_opens", &n.metrics.breakerOpens)
+	cf("credit_withheld", &n.metrics.creditWithheld)
 
 	n.degOut = n.tel.Hist("core.coalesce_degree_out")
 	n.degIn = n.tel.Hist("core.coalesce_degree_in")
@@ -301,6 +364,15 @@ func (n *Node) publishTelemetry() {
 	})
 	n.tel.GaugeFunc("core.max_active_qps", func() int64 {
 		return int64(n.opts.MaxActiveQPs)
+	})
+	n.tel.GaugeFunc("core.breaker_open_conns", func() int64 {
+		var open int64
+		for _, c := range n.snapshotConns() {
+			if c.breaker != nil && c.breaker.State() != resilience.BreakerClosed {
+				open++
+			}
+		}
+		return open
 	})
 
 	n.dev.PublishTelemetry(n.tel, "rnic.")
@@ -338,6 +410,16 @@ func (n *Node) Metrics() NodeMetrics {
 		RPCTimeouts:       n.metrics.timeouts.Load(),
 		LeaderStalls:      n.metrics.stalls.Load(),
 		QPRedistributions: n.metrics.redistributions.Load(),
+
+		RPCRejected:          n.metrics.rejected.Load(),
+		RPCRejectedDraining:  n.metrics.drainRejected.Load(),
+		Retries:              n.metrics.retries.Load(),
+		RetryBudgetExhausted: n.metrics.budgetExhausted.Load(),
+		Hedges:               n.metrics.hedges.Load(),
+		HedgesWon:            n.metrics.hedgesWon.Load(),
+		DedupHits:            n.metrics.dedupHits.Load(),
+		BreakerOpens:         n.metrics.breakerOpens.Load(),
+		CreditWithheld:       n.metrics.creditWithheld.Load(),
 	}
 }
 
@@ -417,6 +499,64 @@ func (n *Node) Close() {
 	n.dev.Close()
 }
 
+// Drain puts the node into graceful-drain mode and waits for quiescence:
+// new requests are pushed back with StatusDraining (server role) and new
+// sends fail with ErrDraining (client role), while everything already
+// in flight — admitted handler work, outstanding responses, in-progress
+// combines — runs to completion. It returns nil once the node is
+// quiescent: zero admitted server requests and zero outstanding client
+// RPCs, so no pooled lease is held on the node's behalf. ctx bounds the
+// wait; nil ctx waits indefinitely. Drain does not close anything —
+// after it returns, Close is safe and instant, or Resume re-opens the
+// node for traffic.
+func (n *Node) Drain(ctx context.Context) error {
+	n.draining.Store(true)
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	for i := 0; ; i++ {
+		if n.quiescent() {
+			return nil
+		}
+		select {
+		case <-n.done:
+			return ErrClosed
+		default:
+		}
+		if done != nil {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+		}
+		idleBackoff(i)
+	}
+}
+
+// Resume takes the node out of drain mode; it admits traffic again.
+func (n *Node) Resume() { n.draining.Store(false) }
+
+// Draining reports whether the node is in drain mode.
+func (n *Node) Draining() bool { return n.draining.Load() }
+
+// quiescent reports zero in-flight work on both roles: no admitted
+// server-side requests and no outstanding client-side RPCs on any thread.
+func (n *Node) quiescent() bool {
+	if n.inflight.Load() != 0 {
+		return false
+	}
+	for _, c := range n.snapshotConns() {
+		for _, t := range c.snapshotThreads() {
+			if t.outstanding.Load() != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // drainLeases recycles pooled buffers still parked in mailboxes and the
 // worker channel at shutdown. It runs after wg.Wait — dispatchers and
 // workers are gone, so nothing refills what it drains. Application threads
@@ -444,6 +584,7 @@ func (n *Node) drainLeases() {
 			select {
 			case u := <-n.workCh:
 				u.buf.Release()
+				n.inflight.Add(-int64(len(u.items)))
 			default:
 				more = false
 			}

@@ -60,6 +60,23 @@ const (
 	// failures (the server end of the QP erroring, responses lost) are
 	// invisible to the client NIC, so repeated timeouts are the signal.
 	timeoutStrikes = 3
+	// DefaultDedupWindow is how many completed idempotent responses each
+	// inbound connection caches for retry dedup.
+	DefaultDedupWindow = 1024
+	// DefaultRetryBaseBackoff / DefaultRetryMaxBackoff bound the
+	// exponential full-jitter retry backoff.
+	DefaultRetryBaseBackoff = 200 * time.Microsecond
+	DefaultRetryMaxBackoff  = 10 * time.Millisecond
+	// DefaultRetryBudgetRatio / DefaultRetryBudgetBurst parameterize the
+	// token-bucket retry budget: each success earns 0.1 retry tokens,
+	// bounded by a burst of 16, so retries self-extinguish under sustained
+	// overload instead of amplifying it.
+	DefaultRetryBudgetRatio = 0.1
+	DefaultRetryBudgetBurst = 16
+	// DefaultBreakerCooldown / DefaultBreakerProbes parameterize the
+	// per-connection circuit breaker once BreakerThreshold enables it.
+	DefaultBreakerCooldown = 100 * time.Millisecond
+	DefaultBreakerProbes   = 1
 )
 
 // Options configures a Node. The zero value is usable: every field falls
@@ -132,6 +149,51 @@ type Options struct {
 	// Zero means DefaultTraceSample. Per-message events (combine, post,
 	// complete) are always recorded while tracing.
 	TraceSample int
+	// AdmissionLimit caps concurrently admitted requests in the server
+	// role. Excess requests are rejected with StatusOverloaded before any
+	// handler work runs — a cheap NACK instead of unbounded queueing.
+	// Zero disables admission control (legacy behavior).
+	AdmissionLimit int
+	// DedupWindow sizes the per-inbound-connection idempotent-response
+	// cache: a retried RPC whose original already executed gets the cached
+	// response instead of running twice. Zero means DefaultDedupWindow;
+	// negative disables dedup (idempotency keys are then ignored).
+	DedupWindow int
+	// RetryMaxAttempts > 0 routes Thread.Call and CallWithDeadline through
+	// the resilient client path: idempotency-keyed requests retried up to
+	// this many attempts total on retryable failures (timeout, broken QP,
+	// overload pushback), gated by the retry budget. Zero keeps the
+	// single-attempt legacy path.
+	RetryMaxAttempts int
+	// RetryBaseBackoff is the attempt-0 backoff ceiling (full jitter).
+	// Zero means DefaultRetryBaseBackoff; negative disables backoff.
+	RetryBaseBackoff time.Duration
+	// RetryMaxBackoff caps the exponential backoff growth. Zero means
+	// DefaultRetryMaxBackoff.
+	RetryMaxBackoff time.Duration
+	// RetryBudgetRatio is how many retry tokens each successful first
+	// attempt earns. Zero means DefaultRetryBudgetRatio; negative earns
+	// nothing (the initial burst is the whole budget).
+	RetryBudgetRatio float64
+	// RetryBudgetBurst is the retry budget's bucket size (it starts full).
+	// Zero means DefaultRetryBudgetBurst.
+	RetryBudgetBurst int
+	// HedgeDelay, when positive, arms hedged requests on the resilient
+	// path: if no response arrives within the delay, a second copy of the
+	// request (same idempotency key — dedup keeps it single-execution) is
+	// sent and the first response wins. Zero disables hedging.
+	HedgeDelay time.Duration
+	// BreakerThreshold enables the per-connection circuit breaker: after
+	// this many consecutive failures the breaker opens and calls fail
+	// fast with ErrCircuitOpen until a cooldown probe succeeds. Zero
+	// disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before admitting
+	// half-open probes. Zero means DefaultBreakerCooldown.
+	BreakerCooldown time.Duration
+	// BreakerProbes is how many trial requests a half-open breaker admits.
+	// Zero means DefaultBreakerProbes.
+	BreakerProbes int
 }
 
 // withDefaults returns a copy of o with zero fields replaced by defaults.
@@ -177,6 +239,27 @@ func (o Options) withDefaults() Options {
 	}
 	if o.TraceSample <= 0 {
 		o.TraceSample = DefaultTraceSample
+	}
+	if o.DedupWindow == 0 {
+		o.DedupWindow = DefaultDedupWindow
+	}
+	if o.RetryBaseBackoff == 0 {
+		o.RetryBaseBackoff = DefaultRetryBaseBackoff
+	}
+	if o.RetryMaxBackoff == 0 {
+		o.RetryMaxBackoff = DefaultRetryMaxBackoff
+	}
+	if o.RetryBudgetRatio == 0 {
+		o.RetryBudgetRatio = DefaultRetryBudgetRatio
+	}
+	if o.RetryBudgetBurst == 0 {
+		o.RetryBudgetBurst = DefaultRetryBudgetBurst
+	}
+	if o.BreakerCooldown == 0 {
+		o.BreakerCooldown = DefaultBreakerCooldown
+	}
+	if o.BreakerProbes == 0 {
+		o.BreakerProbes = DefaultBreakerProbes
 	}
 	return o
 }

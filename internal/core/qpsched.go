@@ -73,7 +73,17 @@ func (n *Node) handleRenewal(sqp *serverQP, degree uint32) {
 	if !sqp.active.Load() && !n.opts.DisableQPSched {
 		return // declined
 	}
-	sqp.granted += uint64(n.opts.Credits)
+	grant := uint64(n.opts.Credits)
+	if lim := int64(n.opts.AdmissionLimit); lim > 0 && n.inflight.Load()*2 >= lim {
+		// Credit watermark: past half the admission limit, halve renewal
+		// grants so senders throttle at the source before hitting the
+		// rejection cliff — shedding by declined credits is cheaper than
+		// shedding by NACK.
+		half := (grant + 1) / 2
+		n.metrics.creditWithheld.Add(grant - half)
+		grant = half
+	}
+	sqp.granted += grant
 	n.metrics.renewals.Add(1)
 	n.writeClientCtrl(sqp, ctrlGrantedOff, sqp.granted)
 }

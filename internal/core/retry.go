@@ -1,0 +1,272 @@
+package core
+
+import (
+	"time"
+
+	"flock/internal/resilience"
+)
+
+// This file is the resilient client call path: retries with exponential
+// full-jitter backoff, gated by a per-connection token-bucket retry
+// budget and (when enabled) a circuit breaker, with optional hedged
+// requests. Every attempt of one call carries the same idempotency key,
+// so the server's dedup window keeps retried and hedged copies
+// exactly-once within it — a retry whose original executed gets the
+// cached response instead of a second execution.
+//
+// Options.RetryMaxAttempts > 0 routes Thread.Call / CallWithDeadline here
+// automatically; CallOpts is the explicit entry point.
+
+// CallOptions parameterizes one resilient call. Zero fields inherit the
+// node Options' retry knobs.
+type CallOptions struct {
+	// Budget bounds the whole call — attempts, backoff, and hedges
+	// included. Zero inherits Options.RPCTimeout; if that is zero too the
+	// call is bounded only by the attempt count.
+	Budget time.Duration
+	// MaxAttempts is the total attempt cap (first try included). Zero
+	// inherits Options.RetryMaxAttempts; both zero means one attempt.
+	MaxAttempts int
+	// HedgeDelay arms a hedged second copy of the request after this much
+	// silence within an attempt. Zero inherits Options.HedgeDelay;
+	// negative disables hedging for this call.
+	HedgeDelay time.Duration
+}
+
+// retryableErr reports whether a failed attempt may be retried on the
+// same connection: per-attempt timeouts and broken QPs (recovery recycles
+// them in the background) and overload pushback (the server sheds load
+// and expects a backed-off retry). Drain pushback is deliberately not
+// retryable here — the node stays drained, so the retry belongs on
+// another connection.
+func retryableErr(err error) bool {
+	return err == ErrTimeout || err == ErrQPBroken || err == ErrOverloaded
+}
+
+// CallOpts is the resilient synchronous call (§4.1 semantics plus
+// overload control): at-most MaxAttempts idempotency-keyed attempts with
+// full-jitter backoff, spent against the connection's retry budget, fast-
+// failed by the circuit breaker, optionally hedged. Like Call, it must
+// not be interleaved with outstanding async requests on the same thread.
+func (t *Thread) CallOpts(rpcID uint32, payload []byte, opts CallOptions) (Response, error) {
+	c := t.conn
+	o := c.node.opts
+
+	attempts := opts.MaxAttempts
+	if attempts <= 0 {
+		attempts = o.RetryMaxAttempts
+	}
+	if attempts <= 0 {
+		attempts = 1
+	}
+	budget := opts.Budget
+	if budget == 0 {
+		budget = o.RPCTimeout
+	}
+	hedge := opts.HedgeDelay
+	if hedge == 0 {
+		hedge = o.HedgeDelay
+	}
+	if !c.breaker.Allow() {
+		return Response{}, ErrCircuitOpen
+	}
+
+	var deadline time.Time
+	attemptWait := 4 * DefaultStallTimeout
+	if budget > 0 {
+		deadline = time.Now().Add(budget)
+		attemptWait = budget / 4
+		if attemptWait < time.Millisecond {
+			attemptWait = time.Millisecond
+		}
+	}
+	backoff := resilience.Backoff{Base: o.RetryBaseBackoff, Cap: o.RetryMaxBackoff}
+	t.idemSeq++
+	idemKey := t.idemSeq
+	timer := time.NewTimer(attemptWait)
+	defer timer.Stop()
+
+	lastErr := ErrTimeout
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if !deadline.IsZero() && !time.Now().Before(deadline) {
+				break
+			}
+			if !c.retryBudget.TryRetry() {
+				c.node.metrics.budgetExhausted.Add(1)
+				break
+			}
+			c.node.metrics.retries.Add(1)
+			if d := backoff.Delay(attempt-1, t.rng); d > 0 {
+				if !deadline.IsZero() {
+					if remain := time.Until(deadline); d > remain {
+						d = remain
+					}
+				}
+				if d > 0 {
+					time.Sleep(d)
+				}
+			}
+		}
+		r, err := t.attemptOnce(rpcID, payload, deadline, idemKey, attemptWait, hedge, timer)
+		if err == nil {
+			cur := t.curQP.Load()
+			if cur >= 0 && int(cur) < len(c.qps) {
+				c.qps[cur].timeouts.Store(0) // healthy again
+			}
+			c.breaker.Success()
+			if attempt == 0 {
+				// Only clean first attempts earn budget: retries paying for
+				// retries would defeat the self-extinguishing property.
+				c.retryBudget.OnSuccess()
+			}
+			return r, nil
+		}
+		if !retryableErr(err) {
+			return Response{}, err
+		}
+		if err != ErrOverloaded {
+			// Timeouts and broken QPs are failure evidence; overload
+			// pushback means the server is alive and shedding, which the
+			// breaker must not mistake for an outage.
+			c.breakerFailure()
+		}
+		lastErr = err
+		attemptWait *= 2
+	}
+	return Response{}, lastErr
+}
+
+// attemptOnce runs one attempt: send, optionally hedge after the hedge
+// delay, and wait until the attempt deadline for a response to either
+// copy. It returns the matched response, or a typed error — ErrTimeout /
+// ErrQPBroken / ErrOverloaded for retryable outcomes, anything else
+// fatal to the call.
+func (t *Thread) attemptOnce(rpcID uint32, payload []byte, deadline time.Time, idemKey uint64, attemptWait, hedge time.Duration, timer *time.Timer) (Response, error) {
+	seqA, err := t.sendRPCKey(rpcID, payload, deadline, idemKey)
+	if err != nil {
+		return Response{}, err
+	}
+	pending := 1
+	var seqB uint64
+	aDeadline := time.Now().Add(attemptWait)
+	if !deadline.IsZero() && aDeadline.After(deadline) {
+		aDeadline = deadline
+	}
+	var hedgeAt time.Time
+	if hedge > 0 {
+		if at := time.Now().Add(hedge); at.Before(aDeadline) {
+			hedgeAt = at
+		}
+	}
+	for {
+		wait := aDeadline
+		if !hedgeAt.IsZero() && hedgeAt.Before(wait) {
+			wait = hedgeAt
+		}
+		r, verdict, rerr := t.recvSeq2(seqA, seqB, wait, timer)
+		if rerr != nil {
+			return Response{}, rerr
+		}
+		switch verdict {
+		case recvMatched:
+			if seqB != 0 && r.Seq == seqB {
+				t.conn.node.metrics.hedgesWon.Add(1)
+			}
+			if perr := pushbackErr(r.Status); perr != nil {
+				r.Release()
+				return Response{}, perr
+			}
+			return r, nil
+		case recvBroken:
+			// failInflight already zeroed the outstanding count for the
+			// poisoned requests; nothing to release here.
+			return Response{}, ErrQPBroken
+		}
+		// Expired: either the hedge point or the attempt deadline.
+		if !hedgeAt.IsZero() && time.Now().Before(aDeadline) {
+			hedgeAt = time.Time{} // one hedge per attempt
+			if s, herr := t.sendRPCKey(rpcID, payload, deadline, idemKey); herr == nil {
+				seqB = s
+				pending++
+				t.conn.node.metrics.hedges.Add(1)
+			}
+			continue
+		}
+		// Genuine attempt timeout: abandon the in-flight copies. CAS
+		// (rather than Add) avoids racing a concurrent failInflight
+		// Swap(0) into negative counts; late responses are dropped as
+		// stale by sequence matching.
+		for i := 0; i < pending; i++ {
+			if o := t.outstanding.Load(); o > 0 {
+				t.outstanding.CompareAndSwap(o, o-1)
+			}
+		}
+		cur := t.curQP.Load()
+		if cur >= 0 && int(cur) < len(t.conn.qps) {
+			t.conn.noteTimeout(t.conn.qps[cur])
+		}
+		return Response{}, ErrTimeout
+	}
+}
+
+// recvVerdict classifies one recvSeq2 wait.
+type recvVerdict int
+
+const (
+	recvMatched recvVerdict = iota // response to one of the wanted seqs
+	recvExpired                    // deadline passed with no match
+	recvBroken                     // in-flight requests died with their QP
+)
+
+// recvSeq2 waits until aDeadline for a response matching seqA or seqB
+// (seqB zero = unset; sequence IDs start at one). Poison bursts from a
+// broken QP are absorbed whole, stale responses from abandoned attempts
+// are dropped, and fatal conditions surface as errors.
+func (t *Thread) recvSeq2(seqA, seqB uint64, aDeadline time.Time, timer *time.Timer) (Response, recvVerdict, error) {
+	for {
+		d := time.Until(aDeadline)
+		if d <= 0 {
+			return Response{}, recvExpired, nil
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(d)
+		select {
+		case r := <-t.respCh:
+			for {
+				if r.err != nil {
+					if r.err != ErrQPBroken {
+						return Response{}, recvExpired, r.err
+					}
+					// Absorb the whole poison burst already queued —
+					// returning on the first one would leave the mailbox
+					// saturated and starve real responses.
+					select {
+					case r = <-t.respCh:
+						continue
+					default:
+					}
+					return Response{}, recvBroken, nil
+				}
+				if r.Status == StatusConnClosed {
+					return Response{}, recvExpired, ErrConnClosed
+				}
+				if r.Seq == seqA || (seqB != 0 && r.Seq == seqB) {
+					return r, recvMatched, nil
+				}
+				// Stale response from an abandoned attempt; drop it.
+				r.Release()
+				break
+			}
+		case <-timer.C:
+			return Response{}, recvExpired, nil
+		case <-t.conn.closedCh():
+			return Response{}, recvExpired, t.conn.closedErr()
+		}
+	}
+}

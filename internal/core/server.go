@@ -6,6 +6,7 @@ import (
 
 	"flock/internal/fabric"
 	"flock/internal/mem"
+	"flock/internal/resilience"
 	"flock/internal/rnic"
 	"flock/internal/stats"
 )
@@ -23,6 +24,10 @@ type serverConn struct {
 	node   *Node
 	sender fabric.NodeID
 	qps    []*serverQP
+	// dedup is the idempotent-response cache for this client: retried
+	// requests carrying a nonzero idempotency key whose original already
+	// executed are answered from here. Nil when Options.DedupWindow < 0.
+	dedup *resilience.DedupWindow
 }
 
 // serverQP is the server end of one shared queue pair.
@@ -63,9 +68,11 @@ type serverQP struct {
 	// outScratch is the inline-mode response batch, reused across messages;
 	// only the owning dispatcher touches it. wrScratch stages the flush work
 	// requests under respMu (PostSend copies WRs, so reuse after it returns
-	// is safe).
-	outScratch []respOut
-	wrScratch  []rnic.SendWR
+	// is safe). nackScratch batches admission-control pushbacks the same
+	// way outScratch batches responses.
+	outScratch  []respOut
+	wrScratch   []rnic.SendWR
+	nackScratch []respOut
 }
 
 // enter begins a dispatcher/scheduler critical section on the QP. It
@@ -120,6 +127,9 @@ func (n *Node) accept(args connectArgs) (connectReply, error) {
 	default:
 	}
 	sc := &serverConn{node: n, sender: args.clientNode}
+	if n.opts.DedupWindow > 0 {
+		sc.dedup = resilience.NewDedupWindow(n.opts.DedupWindow)
+	}
 	var reply connectReply
 
 	n.sconnMu.Lock()
@@ -256,8 +266,16 @@ func (n *Node) serveDispatch(i int) {
 // pumpRequests drains complete messages from one request ring, executing
 // them inline or handing them to the worker pool. Reports whether any work
 // was found.
+//
+// Admission control runs here, before any handler work: while draining,
+// every request is pushed back with StatusDraining; past AdmissionLimit,
+// excess requests are shed with StatusOverloaded. A rejection costs the
+// server one coalesced NACK — no handler execution, no worker queueing —
+// which is what keeps goodput flat instead of collapsing when offered
+// load exceeds capacity.
 func (n *Node) pumpRequests(sqp *serverQP) bool {
 	busy := false
+	limit := int64(n.opts.AdmissionLimit)
 	for {
 		h, items, mbuf, ok := sqp.reqCons.poll()
 		if !ok {
@@ -268,18 +286,46 @@ func (n *Node) pumpRequests(sqp *serverQP) bool {
 		n.metrics.itemsIn.Add(uint64(len(items)))
 		n.degIn.Observe(uint64(len(items)))
 		sqp.respProd.updateCached(h.piggyHead)
+
+		admit := items[:0]
+		nacks := sqp.nackScratch[:0]
+		draining := n.draining.Load()
+		for _, it := range items {
+			if draining {
+				n.metrics.drainRejected.Add(1)
+				nacks = append(nacks, nackOut(it.meta, StatusDraining))
+				continue
+			}
+			if in := n.inflight.Add(1); limit > 0 && in > limit {
+				n.inflight.Add(-1)
+				n.metrics.rejected.Add(1)
+				nacks = append(nacks, nackOut(it.meta, StatusOverloaded))
+				continue
+			}
+			admit = append(admit, it)
+		}
+		if len(nacks) > 0 {
+			n.flushResponses(sqp, nacks)
+			sqp.nackScratch = nacks[:0]
+		}
+		if len(admit) == 0 {
+			mbuf.Release()
+			continue
+		}
+
 		if n.workCh != nil {
 			// Hand the poll reference to the unit; payloads stay views into
 			// the pooled message buffer and the worker releases it after the
 			// flush.
-			unit := workUnit{sqp: sqp, items: make([]workItem, len(items)), buf: mbuf}
-			for k, it := range items {
+			unit := workUnit{sqp: sqp, items: make([]workItem, len(admit)), buf: mbuf}
+			for k, it := range admit {
 				unit.items[k] = workItem{meta: it.meta, payload: it.data}
 			}
 			select {
 			case n.workCh <- unit:
 			case <-n.done:
 				mbuf.Release()
+				n.inflight.Add(-int64(len(admit)))
 				return busy
 			}
 			continue
@@ -289,13 +335,26 @@ func (n *Node) pumpRequests(sqp *serverQP) bool {
 		// the output synchronously make releasing after the flush safe even
 		// for handlers that return their input.
 		out := sqp.outScratch[:0]
-		for k := range items {
-			out = append(out, n.execute(items[k].meta, items[k].data))
+		for k := range admit {
+			out = append(out, n.execute(sqp.sc, admit[k].meta, admit[k].data))
 		}
 		n.flushResponses(sqp, out)
 		sqp.outScratch = out[:0]
 		mbuf.Release()
+		n.inflight.Add(-int64(len(admit)))
 	}
+}
+
+// nackOut builds a pushback response for one rejected request: the
+// request's identity echoed back with a rejection status and no payload.
+func nackOut(m itemMeta, status uint32) respOut {
+	return respOut{meta: itemMeta{
+		threadID: m.threadID,
+		seqID:    m.seqID,
+		rpcID:    m.rpcID,
+		idemKey:  m.idemKey,
+		status:   status,
+	}}
 }
 
 // worker is one pool goroutine executing handler batches (§4.3's
@@ -309,22 +368,53 @@ func (n *Node) worker() {
 		case unit := <-n.workCh:
 			out := make([]respOut, len(unit.items))
 			for k, it := range unit.items {
-				out[k] = n.execute(it.meta, it.payload)
+				out[k] = n.execute(unit.sqp.sc, it.meta, it.payload)
 			}
 			n.flushResponses(unit.sqp, out)
 			unit.buf.Release()
+			n.inflight.Add(-int64(len(unit.items)))
 		}
 	}
 }
 
 // execute runs the registered handler for one request, capturing panics
 // as a response status rather than crashing the dispatcher.
-func (n *Node) execute(meta itemMeta, payload []byte) (out respOut) {
+//
+// Requests carrying a nonzero idempotency key go through the connection's
+// dedup window first: a retry whose original already executed is answered
+// from the cache (exactly-once within the window), and a duplicate racing
+// its still-executing original gets a retryable StatusOverloaded pushback
+// rather than blocking a worker or running twice.
+func (n *Node) execute(sc *serverConn, meta itemMeta, payload []byte) (out respOut) {
 	out.meta = itemMeta{
 		threadID: meta.threadID,
 		seqID:    meta.seqID,
 		rpcID:    meta.rpcID,
+		idemKey:  meta.idemKey,
 		status:   StatusOK,
+	}
+	if meta.idemKey != 0 && sc != nil && sc.dedup != nil {
+		k := resilience.DedupKey{Thread: meta.threadID, Key: meta.idemKey}
+		res, verdict := sc.dedup.Begin(k)
+		switch verdict {
+		case resilience.DedupHit:
+			n.metrics.dedupHits.Add(1)
+			out.meta.status = res.Status
+			out.data = res.Data
+			return out
+		case resilience.DedupInflight:
+			out.meta.status = StatusOverloaded
+			return out
+		}
+		// Registered before the recover defer so it runs after the panic
+		// status is in place; the copy detaches the cached payload from
+		// the pooled request buffer a handler may have returned a view of.
+		defer func() {
+			sc.dedup.Commit(k, resilience.DedupResult{
+				Status: out.meta.status,
+				Data:   append([]byte(nil), out.data...),
+			})
+		}()
 	}
 	fn := n.handler(meta.rpcID)
 	if fn == nil {
@@ -415,6 +505,7 @@ func (n *Node) flushResponses(sqp *serverQP, out []respOut) {
 		count:     uint32(len(out)),
 		canary:    canary,
 		piggyHead: sqp.reqCons.consumed(),
+		flags:     flagItemMetaV2,
 	})
 	staging.WriteAt(hdr[:], res.msgOff) //nolint:errcheck
 

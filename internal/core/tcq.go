@@ -66,6 +66,7 @@ type tcqNode struct {
 	rpcID    uint32
 	seqID    uint64
 	threadID uint32
+	idemKey  uint64 // nonzero marks the request idempotent (dedup-safe retry)
 	payload  []byte
 	bufOff   int // absolute staging offset assigned by the leader
 

@@ -24,6 +24,7 @@ type Thread struct {
 	rng  *stats.RNG
 
 	seq         uint64
+	idemSeq     uint64 // idempotency-key counter for the resilient path
 	outstanding atomic.Int32
 	respCh      chan Response
 	memCh       chan rnic.Status
@@ -208,8 +209,19 @@ func (t *Thread) SendRPC(rpcID uint32, payload []byte) (uint64, error) {
 // sendRPC is SendRPC with an optional deadline bounding the submit retry
 // loop (migrations, follower timeouts).
 func (t *Thread) sendRPC(rpcID uint32, payload []byte, deadline time.Time) (uint64, error) {
+	return t.sendRPCKey(rpcID, payload, deadline, 0)
+}
+
+// sendRPCKey is sendRPC carrying an idempotency key in the wire metadata.
+// A nonzero key marks the request as a dedup-safe retry candidate: the
+// server caches its response so a retried copy is answered without
+// re-executing. Zero (the plain path) opts out entirely.
+func (t *Thread) sendRPCKey(rpcID uint32, payload []byte, deadline time.Time, idemKey uint64) (uint64, error) {
 	if len(payload) > t.conn.node.opts.MaxPayload {
 		return 0, ErrPayloadTooLarge
+	}
+	if t.conn.node.draining.Load() {
+		return 0, ErrDraining
 	}
 	if t.conn.isClosed() {
 		return 0, t.conn.closedErr()
@@ -225,6 +237,7 @@ func (t *Thread) sendRPC(rpcID uint32, payload []byte, deadline time.Time) (uint
 			rpcID:    rpcID,
 			seqID:    seq,
 			threadID: t.id,
+			idemKey:  idemKey,
 			payload:  payload,
 		}
 		switch t.conn.submit(t, q, n) {
@@ -251,12 +264,30 @@ func (t *Thread) sendRPC(rpcID uint32, payload []byte, deadline time.Time) (uint
 	}
 }
 
-// closedErr picks the error matching why the connection is unusable.
+// closedErr picks the error matching why the connection is unusable: the
+// recorded failure cause when the handle died (so callers can tell "give
+// up" closure from retryable causes), ErrClosed when the node is merely
+// shutting down.
 func (c *Conn) closedErr() error {
 	if c.failed.Load() {
+		if p := c.failErr.Load(); p != nil {
+			return *p
+		}
 		return ErrConnClosed
 	}
 	return ErrClosed
+}
+
+// pushbackErr maps server rejection statuses to their typed errors, nil
+// for anything that is not a pushback.
+func pushbackErr(status uint32) error {
+	switch status {
+	case StatusOverloaded:
+		return ErrOverloaded
+	case StatusDraining:
+		return ErrDraining
+	}
+	return nil
 }
 
 // RecvRes blocks until the next RPC response for this thread arrives
@@ -296,6 +327,9 @@ func (t *Thread) RecvRes() (Response, error) {
 // other responses received while waiting are surfaced to RecvRes callers
 // in order, which a mixed usage pattern would confuse.
 func (t *Thread) Call(rpcID uint32, payload []byte) (Response, error) {
+	if t.conn.node.opts.RetryMaxAttempts > 0 {
+		return t.CallOpts(rpcID, payload, CallOptions{})
+	}
 	if to := t.conn.node.opts.RPCTimeout; to > 0 {
 		return t.CallWithDeadline(rpcID, payload, to)
 	}
@@ -309,6 +343,10 @@ func (t *Thread) Call(rpcID uint32, payload []byte) (Response, error) {
 			return Response{}, err
 		}
 		if r.Seq == seq {
+			if perr := pushbackErr(r.Status); perr != nil {
+				r.Release()
+				return Response{}, perr
+			}
 			return r, nil
 		}
 		// A stale response from a previous timed-out exchange; drop it.
@@ -328,6 +366,9 @@ func (t *Thread) Call(rpcID uint32, payload []byte) (Response, error) {
 // abandoned attempts are dropped by sequence matching, so the caller sees
 // exactly one response.
 func (t *Thread) CallWithDeadline(rpcID uint32, payload []byte, budget time.Duration) (Response, error) {
+	if t.conn.node.opts.RetryMaxAttempts > 0 {
+		return t.CallOpts(rpcID, payload, CallOptions{Budget: budget})
+	}
 	if budget <= 0 {
 		return t.Call(rpcID, payload)
 	}
@@ -357,6 +398,10 @@ func (t *Thread) CallWithDeadline(rpcID uint32, payload []byte, budget time.Dura
 			cur := t.curQP.Load()
 			if cur >= 0 && int(cur) < len(t.conn.qps) {
 				t.conn.qps[cur].timeouts.Store(0) // healthy again
+			}
+			if perr := pushbackErr(r.Status); perr != nil {
+				r.Release()
+				return Response{}, perr
 			}
 			return r, nil
 		}
@@ -438,6 +483,9 @@ func (t *Thread) recvSeq(seq uint64, aDeadline time.Time, timer *time.Timer) (Re
 // waits for its completion (§6). With Options.RPCTimeout set, the
 // completion wait is bounded and expiry returns ErrTimeout.
 func (t *Thread) memOp(wr rnic.SendWR, size int) (rnic.Status, error) {
+	if t.conn.node.draining.Load() {
+		return rnic.StatusQPError, ErrDraining
+	}
 	if t.conn.isClosed() {
 		return rnic.StatusQPError, t.conn.closedErr()
 	}

@@ -1,0 +1,209 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's three-state machine.
+type BreakerState int32
+
+const (
+	// BreakerClosed passes traffic and counts failures.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen fast-fails everything until Cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits up to Probes trial requests; one success
+	// closes the breaker, one failure re-opens it.
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer for logs and test output.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "invalid"
+}
+
+// Breaker is a per-remote circuit breaker fed by completion/timeout
+// telemetry. It opens after Threshold consecutive failures, stays open for
+// Cooldown, then half-opens and sends up to Probes probe RPCs; a probe
+// success closes it, a probe failure re-arms the cooldown. Alongside the
+// consecutive counter it maintains an EWMA of the failure indicator — a
+// phi-accrual-style health score in [0,1] the telemetry layer exports, so
+// operators see a remote degrading before the breaker trips.
+//
+// The clock is injected (Now) so state transitions are deterministic in
+// tests; a nil Now uses time.Now.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	probes    int
+	now       func() time.Time
+
+	state    BreakerState
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+	inflight int       // probes admitted while half-open
+	ewma     float64   // failure-rate EWMA, 1 = everything failing
+	samples  uint64
+}
+
+// ewmaWeight is the per-sample weight of the failure EWMA: roughly the
+// last 32 samples dominate. Exported health is advisory only, so the
+// constant is not tunable.
+const ewmaWeight = 1.0 / 32
+
+// NewBreaker returns a closed breaker. threshold ≤ 0 is remapped to 1;
+// probes ≤ 0 to 1; cooldown ≤ 0 to 1ms so an open breaker always heals.
+func NewBreaker(threshold int, cooldown time.Duration, probes int, now func() time.Time) *Breaker {
+	if threshold <= 0 {
+		threshold = 1
+	}
+	if probes <= 0 {
+		probes = 1
+	}
+	if cooldown <= 0 {
+		cooldown = time.Millisecond
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, probes: probes, now: now}
+}
+
+// Allow reports whether a request may be sent. While open it returns false
+// until Cooldown has elapsed, then transitions to half-open and admits up
+// to Probes callers as probes.
+func (b *Breaker) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.inflight = 0
+		fallthrough
+	default: // half-open
+		if b.inflight >= b.probes {
+			return false
+		}
+		b.inflight++
+		return true
+	}
+}
+
+// Success records a completed request. A half-open probe success closes
+// the breaker and resets the failure count.
+func (b *Breaker) Success() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.observe(0)
+	b.fails = 0
+	if b.state == BreakerHalfOpen {
+		b.state = BreakerClosed
+		b.inflight = 0
+	}
+}
+
+// Failure records a failed request (timeout, broken QP, pushback). It
+// returns true when this failure transitioned the breaker to open — the
+// caller counts those transitions in telemetry.
+func (b *Breaker) Failure() (opened bool) {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.observe(1)
+	switch b.state {
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.trip()
+			return true
+		}
+	case BreakerHalfOpen:
+		// The probe failed: back to open, cooldown re-armed.
+		b.trip()
+		return true
+	}
+	return false
+}
+
+// ForceOpen trips the breaker immediately — the hook for external fault
+// evidence such as a QP quarantine, which is stronger than any single
+// request failure. Returns true when the state actually changed to open.
+func (b *Breaker) ForceOpen() bool {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen {
+		return false
+	}
+	b.trip()
+	return true
+}
+
+// trip moves to open; caller holds mu.
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.fails = 0
+	b.inflight = 0
+}
+
+// observe folds one failure indicator into the EWMA; caller holds mu.
+func (b *Breaker) observe(fail float64) {
+	b.samples++
+	if b.samples == 1 {
+		b.ewma = fail
+		return
+	}
+	b.ewma += ewmaWeight * (fail - b.ewma)
+}
+
+// State reports the current state, applying the open→half-open clock
+// transition so observers never see a stale "open" past its cooldown.
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cooldown {
+		b.state = BreakerHalfOpen
+		b.inflight = 0
+	}
+	return b.state
+}
+
+// Health returns 1-EWMA: 1 means every recent request succeeded, 0 means
+// everything is failing.
+func (b *Breaker) Health() float64 {
+	if b == nil {
+		return 1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return 1 - b.ewma
+}

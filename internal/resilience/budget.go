@@ -1,0 +1,82 @@
+package resilience
+
+import "sync"
+
+// Budget is a token-bucket retry budget (the self-extinguishing-retries
+// policy): every successful first attempt earns Ratio tokens, every retry
+// spends one. Under transient failure the bucket drains slowly and retries
+// flow; under sustained overload successes stop, the bucket empties, and
+// retries extinguish themselves instead of amplifying the overload into
+// congestion collapse. The bucket starts full (Burst tokens) so a cold
+// client can ride out a fault burst.
+//
+// Tokens are tracked in milli-token units so fractional earn rates (the
+// conventional 0.1 retries-per-request) stay exact.
+type Budget struct {
+	mu     sync.Mutex
+	milli  int64 // current tokens ×1000
+	burst  int64 // cap, ×1000
+	earn   int64 // per-success earn, ×1000
+	denied uint64
+}
+
+// NewBudget returns a budget earning ratio tokens per success, holding at
+// most burst tokens, starting full. ratio ≤ 0 earns nothing; burst ≤ 0 is
+// remapped to 1 so TryRetry can ever succeed after successes.
+func NewBudget(ratio float64, burst int) *Budget {
+	if burst <= 0 {
+		burst = 1
+	}
+	earn := int64(ratio * 1000)
+	if earn < 0 {
+		earn = 0
+	}
+	return &Budget{
+		milli: int64(burst) * 1000,
+		burst: int64(burst) * 1000,
+		earn:  earn,
+	}
+}
+
+// OnSuccess credits the budget for one successful (non-retry) request.
+func (b *Budget) OnSuccess() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.milli += b.earn
+	if b.milli > b.burst {
+		b.milli = b.burst
+	}
+	b.mu.Unlock()
+}
+
+// TryRetry spends one token; a false return means the budget is exhausted
+// and the retry must not be sent.
+func (b *Budget) TryRetry() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.milli < 1000 {
+		b.denied++
+		return false
+	}
+	b.milli -= 1000
+	return true
+}
+
+// Tokens reports the current whole-token balance (observability/tests).
+func (b *Budget) Tokens() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return float64(b.milli) / 1000
+}
+
+// Denied reports how many retries the budget has refused.
+func (b *Budget) Denied() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.denied
+}

@@ -1,0 +1,138 @@
+package resilience
+
+import "sync"
+
+// DedupKey identifies one logical RPC across retries: the sender's thread
+// ID plus the per-thread idempotency key carried in the wire metadata.
+type DedupKey struct {
+	Thread uint32
+	Key    uint64
+}
+
+// DedupResult is a cached response: the status and an owned copy of the
+// payload. Data is immutable once committed — readers may alias it.
+type DedupResult struct {
+	Status uint32
+	Data   []byte
+}
+
+// DedupOutcome classifies a Begin call.
+type DedupOutcome int
+
+const (
+	// DedupExecute: the key is new and now reserved; the caller must run
+	// the handler and Commit (or Abort on the way out of a dying server).
+	DedupExecute DedupOutcome = iota
+	// DedupHit: the original already executed; respond with the cached
+	// result instead of running the handler again.
+	DedupHit
+	// DedupInflight: another worker is executing this key right now. The
+	// caller must not execute a second copy; it answers with a retryable
+	// pushback and the client's next retry finds the committed result.
+	DedupInflight
+)
+
+// DedupWindow is the bounded server-side response cache that makes client
+// retries exactly-once within the window: a retried RPC whose original
+// executed returns the cached response rather than re-executing. Entries
+// are keyed by (thread, idempotency key); completed entries are evicted
+// FIFO once the window exceeds its capacity. Reservations (in-flight
+// executions) never block and are never evicted, which keeps the
+// guarantee that two executions of one key cannot be concurrent.
+type DedupWindow struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[DedupKey]*dedupEntry
+	fifo    []DedupKey // completed keys in commit order
+	hits    uint64
+	races   uint64
+}
+
+type dedupEntry struct {
+	done bool
+	res  DedupResult
+}
+
+// NewDedupWindow returns a window caching up to capacity completed
+// responses; capacity ≤ 0 is remapped to 1.
+func NewDedupWindow(capacity int) *DedupWindow {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &DedupWindow{
+		cap:     capacity,
+		entries: make(map[DedupKey]*dedupEntry, capacity),
+	}
+}
+
+// Begin looks up k, reserving it for execution when absent. The outcome
+// tells the caller whether to execute, replay the cached result, or push
+// back on a racing duplicate.
+func (w *DedupWindow) Begin(k DedupKey) (DedupResult, DedupOutcome) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if e, ok := w.entries[k]; ok {
+		if e.done {
+			w.hits++
+			return e.res, DedupHit
+		}
+		w.races++
+		return DedupResult{}, DedupInflight
+	}
+	w.entries[k] = &dedupEntry{}
+	return DedupResult{}, DedupExecute
+}
+
+// Commit publishes the result of a reservation made by Begin and evicts
+// the oldest completed entries beyond capacity. res.Data must be owned by
+// the window (the caller copies before committing).
+func (w *DedupWindow) Commit(k DedupKey, res DedupResult) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	e, ok := w.entries[k]
+	if !ok || e.done {
+		return
+	}
+	e.done = true
+	e.res = res
+	w.fifo = append(w.fifo, k)
+	for len(w.fifo) > w.cap {
+		old := w.fifo[0]
+		w.fifo = w.fifo[1:]
+		if oe, ok := w.entries[old]; ok && oe.done {
+			delete(w.entries, old)
+		}
+	}
+}
+
+// Abort drops a reservation without committing (server shutting down
+// between Begin and Commit), so a later retry can execute.
+func (w *DedupWindow) Abort(k DedupKey) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if e, ok := w.entries[k]; ok && !e.done {
+		delete(w.entries, k)
+	}
+}
+
+// Hits reports replayed responses; Races reports in-flight duplicate
+// pushbacks. Len reports resident entries (observability/tests).
+func (w *DedupWindow) Hits() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.hits
+}
+
+// Races reports Begin calls that found the key still executing.
+func (w *DedupWindow) Races() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.races
+}
+
+// Len reports resident entries, reservations included.
+func (w *DedupWindow) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.entries)
+}

@@ -1,0 +1,354 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+
+	"flock/internal/stats"
+)
+
+func TestBackoffJitterBounds(t *testing.T) {
+	cases := []struct {
+		name    string
+		b       Backoff
+		attempt int
+		ceil    time.Duration // inclusive upper bound of the draw
+	}{
+		{"attempt0", Backoff{Base: 100 * time.Microsecond, Cap: time.Millisecond}, 0, 100 * time.Microsecond},
+		{"attempt1-doubles", Backoff{Base: 100 * time.Microsecond, Cap: time.Millisecond}, 1, 200 * time.Microsecond},
+		{"attempt3", Backoff{Base: 100 * time.Microsecond, Cap: time.Millisecond}, 3, 800 * time.Microsecond},
+		{"capped", Backoff{Base: 100 * time.Microsecond, Cap: time.Millisecond}, 10, time.Millisecond},
+		{"uncapped", Backoff{Base: time.Microsecond}, 4, 16 * time.Microsecond},
+		{"overflow-guard", Backoff{Base: time.Hour}, 64, 1 << 62},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := stats.NewRNG(42)
+			for i := 0; i < 1000; i++ {
+				d := tc.b.Delay(tc.attempt, rng)
+				if d < 0 || d > tc.ceil {
+					t.Fatalf("Delay(%d) = %v, want in [0, %v]", tc.attempt, d, tc.ceil)
+				}
+			}
+		})
+	}
+}
+
+func TestBackoffZeroBase(t *testing.T) {
+	rng := stats.NewRNG(1)
+	if d := (Backoff{}).Delay(5, rng); d != 0 {
+		t.Fatalf("zero-base Delay = %v, want 0", d)
+	}
+}
+
+func TestBackoffDeterministic(t *testing.T) {
+	b := Backoff{Base: 50 * time.Microsecond, Cap: time.Millisecond}
+	r1, r2 := stats.NewRNG(7), stats.NewRNG(7)
+	for i := 0; i < 64; i++ {
+		d1, d2 := b.Delay(i%6, r1), b.Delay(i%6, r2)
+		if d1 != d2 {
+			t.Fatalf("attempt %d: same seed diverged: %v vs %v", i, d1, d2)
+		}
+	}
+}
+
+func TestBudgetAccounting(t *testing.T) {
+	b := NewBudget(0.1, 3)
+	if got := b.Tokens(); got != 3 {
+		t.Fatalf("fresh budget Tokens = %v, want 3 (starts full)", got)
+	}
+	// Drain the burst.
+	for i := 0; i < 3; i++ {
+		if !b.TryRetry() {
+			t.Fatalf("retry %d denied with tokens remaining", i)
+		}
+	}
+	if b.TryRetry() {
+		t.Fatal("retry allowed on empty budget")
+	}
+	if got := b.Denied(); got != 1 {
+		t.Fatalf("Denied = %d, want 1", got)
+	}
+	// Ten successes at ratio 0.1 earn exactly one token.
+	for i := 0; i < 9; i++ {
+		b.OnSuccess()
+		if b.TryRetry() {
+			t.Fatalf("retry allowed after only %d successes (%.3f tokens)", i+1, b.Tokens())
+		}
+	}
+	b.OnSuccess()
+	if !b.TryRetry() {
+		t.Fatalf("retry denied after 10 successes, tokens=%.3f", b.Tokens())
+	}
+	if got := b.Denied(); got != 10 {
+		t.Fatalf("Denied = %d, want 10", got)
+	}
+}
+
+func TestBudgetBurstCap(t *testing.T) {
+	b := NewBudget(1.0, 2)
+	for i := 0; i < 100; i++ {
+		b.OnSuccess()
+	}
+	if got := b.Tokens(); got != 2 {
+		t.Fatalf("Tokens = %v, want capped at burst 2", got)
+	}
+}
+
+func TestBudgetNilAndDegenerate(t *testing.T) {
+	var nilB *Budget
+	if !nilB.TryRetry() {
+		t.Fatal("nil budget must always allow retries")
+	}
+	nilB.OnSuccess() // must not panic
+
+	zero := NewBudget(0, 0) // burst remapped to 1, earns nothing
+	if !zero.TryRetry() {
+		t.Fatal("burst-1 budget should allow the first retry")
+	}
+	if zero.TryRetry() {
+		t.Fatal("zero-ratio budget must never refill")
+	}
+	zero.OnSuccess()
+	if zero.TryRetry() {
+		t.Fatal("zero-ratio budget earned a token from success")
+	}
+}
+
+// fakeClock is an injectable clock for deterministic breaker transitions.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestBreakerTransitions(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := NewBreaker(3, 100*time.Millisecond, 1, clk.now)
+
+	if b.State() != BreakerClosed {
+		t.Fatalf("fresh breaker state = %v, want closed", b.State())
+	}
+	// Two failures: still closed.
+	for i := 0; i < 2; i++ {
+		if opened := b.Failure(); opened {
+			t.Fatalf("failure %d opened breaker below threshold", i+1)
+		}
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused a request")
+	}
+	// Third consecutive failure trips it.
+	if opened := b.Failure(); !opened {
+		t.Fatal("threshold failure did not report opening")
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request before cooldown")
+	}
+
+	// Cooldown elapses: half-open, exactly one probe admitted.
+	clk.advance(100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second probe (probes=1)")
+	}
+
+	// Probe succeeds: closed again, failure count reset.
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after probe success = %v, want closed", b.State())
+	}
+	for i := 0; i < 2; i++ {
+		b.Failure()
+	}
+	if b.State() != BreakerClosed {
+		t.Fatal("failure count was not reset by recovery")
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := NewBreaker(1, 50*time.Millisecond, 1, clk.now)
+
+	b.Failure() // trips (threshold 1)
+	clk.advance(50 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("probe refused")
+	}
+	if opened := b.Failure(); !opened {
+		t.Fatal("probe failure did not report re-opening")
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open after probe failure", b.State())
+	}
+	// Cooldown re-armed from the probe failure, not the original trip.
+	clk.advance(25 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("re-opened breaker admitted before re-armed cooldown elapsed")
+	}
+	clk.advance(25 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("re-opened breaker never half-opened")
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := NewBreaker(3, time.Second, 1, clk.now)
+	// Interleaved successes keep the consecutive count below threshold.
+	for i := 0; i < 10; i++ {
+		b.Failure()
+		b.Failure()
+		b.Success()
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v, want closed: successes must reset the streak", b.State())
+	}
+}
+
+func TestBreakerForceOpen(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := NewBreaker(100, time.Second, 1, clk.now)
+	if !b.ForceOpen() {
+		t.Fatal("ForceOpen on closed breaker returned false")
+	}
+	if b.ForceOpen() {
+		t.Fatal("ForceOpen on already-open breaker returned true")
+	}
+	if b.Allow() {
+		t.Fatal("force-opened breaker admitted a request")
+	}
+}
+
+func TestBreakerHealthEWMA(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := NewBreaker(1000, time.Second, 1, clk.now)
+	if got := b.Health(); got != 1 {
+		t.Fatalf("fresh Health = %v, want 1", got)
+	}
+	b.Failure()
+	if got := b.Health(); got != 0 {
+		t.Fatalf("Health after first (failing) sample = %v, want 0", got)
+	}
+	prev := b.Health()
+	for i := 0; i < 50; i++ {
+		b.Success()
+		h := b.Health()
+		if h < prev {
+			t.Fatalf("Health fell (%v -> %v) on a success", prev, h)
+		}
+		prev = h
+	}
+	if prev < 0.7 {
+		t.Fatalf("Health after 50 successes = %v, want recovered above 0.7", prev)
+	}
+}
+
+func TestBreakerNil(t *testing.T) {
+	var b *Breaker
+	if !b.Allow() {
+		t.Fatal("nil breaker must allow")
+	}
+	b.Success()
+	if b.Failure() {
+		t.Fatal("nil breaker reported opening")
+	}
+	if b.State() != BreakerClosed || b.Health() != 1 {
+		t.Fatal("nil breaker must report closed/healthy")
+	}
+}
+
+func TestDedupWindowLifecycle(t *testing.T) {
+	w := NewDedupWindow(4)
+	k := DedupKey{Thread: 7, Key: 99}
+
+	if _, out := w.Begin(k); out != DedupExecute {
+		t.Fatalf("first Begin = %v, want Execute", out)
+	}
+	// Duplicate while the original is executing: pushback, never a second run.
+	if _, out := w.Begin(k); out != DedupInflight {
+		t.Fatalf("concurrent Begin = %v, want Inflight", out)
+	}
+	w.Commit(k, DedupResult{Status: 0, Data: []byte("pong")})
+	res, out := w.Begin(k)
+	if out != DedupHit {
+		t.Fatalf("post-commit Begin = %v, want Hit", out)
+	}
+	if string(res.Data) != "pong" {
+		t.Fatalf("cached Data = %q, want %q", res.Data, "pong")
+	}
+	if w.Hits() != 1 || w.Races() != 1 {
+		t.Fatalf("Hits=%d Races=%d, want 1/1", w.Hits(), w.Races())
+	}
+}
+
+func TestDedupWindowEviction(t *testing.T) {
+	w := NewDedupWindow(2)
+	for i := uint64(0); i < 5; i++ {
+		k := DedupKey{Key: i}
+		if _, out := w.Begin(k); out != DedupExecute {
+			t.Fatalf("Begin(%d) = %v, want Execute", i, out)
+		}
+		w.Commit(k, DedupResult{Data: []byte{byte(i)}})
+	}
+	if got := w.Len(); got != 2 {
+		t.Fatalf("Len = %d, want capacity 2", got)
+	}
+	// Oldest entries evicted: retrying key 0 re-executes (outside window).
+	if _, out := w.Begin(DedupKey{Key: 0}); out != DedupExecute {
+		t.Fatalf("evicted key Begin = %v, want Execute", out)
+	}
+	// Newest survive.
+	if _, out := w.Begin(DedupKey{Key: 4}); out != DedupHit {
+		t.Fatalf("resident key Begin = %v, want Hit", out)
+	}
+}
+
+func TestDedupWindowReservationsNotEvicted(t *testing.T) {
+	w := NewDedupWindow(1)
+	pending := DedupKey{Key: 100}
+	w.Begin(pending) // reservation, never committed yet
+	for i := uint64(0); i < 10; i++ {
+		k := DedupKey{Key: i}
+		w.Begin(k)
+		w.Commit(k, DedupResult{})
+	}
+	// The reservation must still be present: a duplicate sees Inflight.
+	if _, out := w.Begin(pending); out != DedupInflight {
+		t.Fatalf("reserved key Begin = %v, want Inflight (reservations are never evicted)", out)
+	}
+	w.Commit(pending, DedupResult{Data: []byte("late")})
+	if res, out := w.Begin(pending); out != DedupHit || string(res.Data) != "late" {
+		t.Fatalf("late commit lost: out=%v data=%q", out, res.Data)
+	}
+}
+
+func TestDedupWindowAbort(t *testing.T) {
+	w := NewDedupWindow(4)
+	k := DedupKey{Key: 1}
+	w.Begin(k)
+	w.Abort(k)
+	if _, out := w.Begin(k); out != DedupExecute {
+		t.Fatalf("Begin after Abort = %v, want Execute", out)
+	}
+	w.Commit(k, DedupResult{})
+	w.Abort(k) // aborting a committed entry is a no-op
+	if _, out := w.Begin(k); out != DedupHit {
+		t.Fatalf("Begin after no-op Abort = %v, want Hit", out)
+	}
+}
+
+func TestDedupCommitWithoutBegin(t *testing.T) {
+	w := NewDedupWindow(4)
+	w.Commit(DedupKey{Key: 5}, DedupResult{Data: []byte("orphan")})
+	if _, out := w.Begin(DedupKey{Key: 5}); out != DedupExecute {
+		t.Fatalf("orphan Commit created an entry: Begin = %v, want Execute", out)
+	}
+}
