@@ -10,7 +10,7 @@ go build ./...
 go test ./...
 go test -race ./internal/core ./internal/rnic ./internal/mem ./internal/telemetry ./internal/check
 
-# Mutation self-test: rebuild the schedule explorer with the four
+# Mutation self-test: rebuild the schedule explorer with the five
 # known-bad protocol variants (flockmut build tag) and assert the
 # linearizability checker flags every one of them. This is the gate
 # that proves the harness can actually see bugs — a checker that
@@ -53,6 +53,17 @@ echo "$out" | grep -q 'leases=0'
 bench=$(go run ./cmd/flockbench -run overload -json BENCH_PR6.json)
 echo "$bench"
 echo "$bench" | awk '/chaos-goodput/ { found=1; r=$2; sub(/ratio=/,"",r); if (r+0 < 0.80) { print "chaos goodput ratio " r " below 0.80 gate"; exit 1 } } END { exit found ? 0 : 1 }'
+
+# Pipelining shard (ISSUE 7). Two gates on the unified completion path:
+# (1) the flockbench depth sweep must show the async pipeline actually
+# pipelining — depth-8 goodput at least 1.5× depth-1 — while regenerating
+# BENCH_PR7.json; (2) the echo exchange must still meet the allocation
+# ceiling with the pending-call table on the hot path (the sync gate above
+# already ran; re-run it here so this shard stands alone in a sharded CI).
+pbench=$(go run ./cmd/flockbench -run pipeline -json BENCH_PR7.json)
+echo "$pbench"
+echo "$pbench" | awk '/pipeline-goodput/ { found=1; r=$2; sub(/ratio=/,"",r); if (r+0 < 1.50) { print "pipeline goodput ratio " r " below 1.50 gate"; exit 1 } } END { exit found ? 0 : 1 }'
+go test -run TestEchoAllocRegressionGate -count=1 .
 
 # One-iteration benchmark smoke: every benchmark must still build and run
 # (catches bit-rot in the bench harness without paying full measurement

@@ -229,6 +229,7 @@ func experiments() []experiment {
 		{"ablation-signal", "selective signaling sweep on the live library", runSignalAblation, ""},
 		{"sync-micro", "live TCQ vs spinlock QP sharing (§1's 2.3× claim)", runSyncMicro, ""},
 		{"overload", "goodput vs offered load: resilience layer on vs off, plus overload-chaos ratio", runOverloadSweep, ""},
+		{"pipeline", "goodput vs async pipeline depth: CallAsync depths 1/2/4/8/16 vs sync Call baseline", runPipelineSweep, ""},
 	}
 }
 
@@ -287,19 +288,24 @@ func liveEchoThroughput(opts core.Options, nClients, nThreads, window int, dur t
 				defer wg.Done()
 				th := conn.RegisterThread()
 				payload := make([]byte, 64)
+				batch := make([]core.BatchOp, window)
+				for k := range batch {
+					batch[k] = core.BatchOp{RPCID: 1, Payload: payload}
+				}
 				for {
 					select {
 					case <-stop:
 						return
 					default:
 					}
-					for k := 0; k < window; k++ {
-						if _, err := th.SendRPC(1, payload); err != nil {
-							return
-						}
+					// One combining-queue entry for the whole window: the
+					// claiming leader coalesces it under a single doorbell.
+					pends, err := th.SendBatch(batch, core.CallOptions{})
+					if err != nil {
+						return
 					}
-					for k := 0; k < window; k++ {
-						r, err := th.RecvRes()
+					for _, p := range pends {
+						r, err := p.Wait()
 						if err != nil {
 							return
 						}
@@ -612,6 +618,140 @@ func runOverloadSweep(quick bool) {
 		},
 		Telemetry: takeTelemetry(),
 	})
+}
+
+// runPipelineSweep measures closed-loop echo goodput as a function of the
+// async pipeline depth: each client goroutine keeps `depth` Pendings in
+// flight via CallAsync (FIFO window), retiring the oldest before issuing
+// the next. The handler carries a small service time and the server runs
+// enough workers to overlap requests, so depth 1 — like the sync Call
+// baseline — pays round trip + service per op, while deeper windows hide
+// the service latency behind the pipeline. The acceptance gate is depth-8
+// goodput ≥ 1.5× depth-1. (Service time is wall-clock sleep; on a 1-CPU
+// container it lands at sleep granularity, which only widens the gap the
+// gate checks for.)
+func runPipelineSweep(quick bool) {
+	dur := 600 * time.Millisecond
+	if quick {
+		dur = 200 * time.Millisecond
+	}
+	const (
+		nThreads    = 4
+		serviceTime = 200 * time.Microsecond
+	)
+	depths := []int{1, 2, 4, 8, 16}
+	if quick {
+		depths = []int{1, 8}
+	}
+
+	// depth == 0 selects the synchronous Call baseline.
+	run := func(depth int) float64 {
+		nw := core.NewNetwork(fabric.Config{})
+		defer nw.Close()
+		server, err := nw.NewNode(0, core.Options{Workers: 16}, 0)
+		if err != nil {
+			panic(err)
+		}
+		server.RegisterHandler(1, func(req []byte) []byte {
+			time.Sleep(serviceTime)
+			return req
+		})
+		server.Serve()
+		client, err := nw.NewNode(1, core.Options{}, 0)
+		if err != nil {
+			panic(err)
+		}
+		conn, err := client.Connect(0)
+		if err != nil {
+			panic(err)
+		}
+		var ok atomic.Uint64
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		for t := 0; t < nThreads; t++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				th := conn.RegisterThread()
+				buf := make([]byte, 64)
+				if depth == 0 {
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						r, err := th.Call(1, buf)
+						if err != nil {
+							return
+						}
+						r.Release()
+						ok.Add(1)
+					}
+				}
+				var pend []*core.Pending
+				defer func() {
+					for _, p := range pend {
+						p.Cancel()
+					}
+				}()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					for len(pend) < depth {
+						p, err := th.CallAsync(1, buf, core.CallOptions{})
+						if err != nil {
+							return
+						}
+						pend = append(pend, p)
+					}
+					p := pend[0]
+					pend = pend[:copy(pend, pend[1:])]
+					r, err := p.Wait()
+					if err != nil {
+						return
+					}
+					r.Release()
+					ok.Add(1)
+				}
+			}()
+		}
+		start := time.Now()
+		time.Sleep(dur)
+		measured := ok.Load()
+		elapsed := time.Since(start)
+		close(stop)
+		wg.Wait()
+		stashTelemetry(nw)
+		return float64(measured) / elapsed.Seconds()
+	}
+
+	fmt.Printf("%d goroutines, 64-byte echo, %v window per point\n", nThreads, dur)
+	fmt.Println("depth    goodput(ops/s)")
+	sync := run(0)
+	fmt.Printf("%-8s %14.0f\n", "sync", sync)
+	emitRecord(benchRecord{
+		Series: "sync-call", X: 1,
+		Metrics:   map[string]float64{"goodput_ops_s": sync},
+		Telemetry: takeTelemetry(),
+	})
+	byDepth := make(map[int]float64, len(depths))
+	for _, d := range depths {
+		g := run(d)
+		byDepth[d] = g
+		fmt.Printf("%-8d %14.0f\n", d, g)
+		emitRecord(benchRecord{
+			Series: "async", X: float64(d),
+			Metrics:   map[string]float64{"goodput_ops_s": g},
+			Telemetry: takeTelemetry(),
+		})
+	}
+	ratio := byDepth[8] / byDepth[1]
+	fmt.Printf("pipeline-goodput ratio=%.2f depth8/depth1 (depth8 %.0f ops/s, depth1 %.0f ops/s, gate >= 1.50)\n",
+		ratio, byDepth[8], byDepth[1])
 }
 
 // runSyncMicro compares the live TCQ (FLock synchronization) against

@@ -252,48 +252,58 @@ func main() {
 					w.ops++
 				}
 			}
-			type sent struct{ at time.Time }
-			pending := map[uint64]sent{}
+			// Pipelined loop: keep `window` Pendings in flight and retire
+			// the oldest. Each Pending owns its completion record, so this
+			// is the supported interleaving pattern — no sequence matching.
+			type inflight struct {
+				p  *flock.Pending
+				at time.Time
+			}
+			var pending []inflight
 			for {
 				select {
 				case <-stop:
+					for _, f := range pending {
+						f.p.Cancel()
+					}
 					return
 				default:
 				}
 				for len(pending) < *window {
-					seq, err := w.th.SendRPC(1, buf)
+					p, err := w.th.CallAsync(1, buf, flock.CallOptions{})
 					if err != nil {
 						if transient(err) {
 							w.failed++
 							break
 						}
+						for _, f := range pending {
+							f.p.Cancel()
+						}
 						return
 					}
-					pending[seq] = sent{at: time.Now()}
+					pending = append(pending, inflight{p: p, at: time.Now()})
 				}
 				if len(pending) == 0 {
 					continue
 				}
-				resp, err := w.th.RecvRes()
+				f := pending[0]
+				pending = pending[1:]
+				resp, err := f.p.Wait()
 				if err != nil {
 					if transient(err) {
-						w.failed += uint64(len(pending))
-						pending = map[uint64]sent{}
+						w.failed++
 						continue
+					}
+					for _, rest := range pending {
+						rest.p.Cancel()
 					}
 					return
 				}
-				if p, ok := pending[resp.Seq]; ok {
-					delete(pending, resp.Seq)
-					if resp.Status != 0 {
-						// A pushback NACK (overloaded/draining) on the raw
-						// async path surfaces as a Status, not an error —
-						// it is shed work, not a completed op.
-						w.failed++
-					} else {
-						w.hist.Record(uint64(time.Since(p.at).Nanoseconds()))
-						w.ops++
-					}
+				if resp.Status != 0 {
+					w.failed++
+				} else {
+					w.hist.Record(uint64(time.Since(f.at).Nanoseconds()))
+					w.ops++
 				}
 				resp.Release() // recycle the pooled response buffer
 			}

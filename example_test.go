@@ -71,6 +71,66 @@ func ExampleThread_SendRPC() {
 	// Output: matched 3
 }
 
+// ExampleThread_CallAsync shows the pending-call pipeline: a window of
+// futures in flight on one thread, each completed by its own record, with
+// a blocking Call interleaved mid-window.
+func ExampleThread_CallAsync() {
+	net := flock.NewNetwork(flock.FabricConfig{})
+	defer net.Close()
+	server, _ := net.NewNode(1, flock.Options{}, 0)
+	server.RegisterHandler(1, func(req []byte) []byte { return req })
+	server.Serve()
+	client, _ := net.NewNode(2, flock.Options{}, 0)
+	conn, _ := client.Connect(1)
+	th := conn.RegisterThread()
+
+	var pends []*flock.Pending
+	for _, msg := range []string{"a", "b", "c"} {
+		p, _ := th.CallAsync(1, []byte(msg), flock.CallOptions{})
+		pends = append(pends, p)
+	}
+	sync, _ := th.Call(1, []byte("mid")) // fine with futures outstanding
+	fmt.Println(string(sync.Data))
+	sync.Release()
+	for _, p := range pends {
+		resp, _ := p.Wait()
+		fmt.Println(string(resp.Data))
+		resp.Release()
+	}
+	// Output:
+	// mid
+	// a
+	// b
+	// c
+}
+
+// ExampleThread_SendBatch shows one combining-queue submission carrying a
+// thread's whole batch, one Pending per op.
+func ExampleThread_SendBatch() {
+	net := flock.NewNetwork(flock.FabricConfig{})
+	defer net.Close()
+	server, _ := net.NewNode(1, flock.Options{}, 0)
+	server.RegisterHandler(1, func(req []byte) []byte { return req })
+	server.Serve()
+	client, _ := net.NewNode(2, flock.Options{}, 0)
+	conn, _ := client.Connect(1)
+	th := conn.RegisterThread()
+
+	ops := []flock.BatchOp{
+		{RPCID: 1, Payload: []byte("x")},
+		{RPCID: 1, Payload: []byte("y")},
+	}
+	pends, _ := th.SendBatch(ops, flock.CallOptions{})
+	for _, p := range pends {
+		resp, _ := p.Wait()
+		fmt.Println(string(resp.Data))
+		resp.Release()
+	}
+	// Output:
+	// x
+	// y
+}
+
 // ExampleAssignThreads shows the exported Algorithm 1 policy function.
 func ExampleAssignThreads() {
 	threads := []flock.ThreadStat{

@@ -85,46 +85,50 @@ func main() {
 			th := conn.RegisterThread()
 			r := stats.NewRNG(uint64(w) + 99)
 			type inflight struct {
+				p      *flock.Pending
 				isScan bool
 				at     time.Time
 			}
-			pending := map[uint64]inflight{}
-			req := make([]byte, 16)
+			// CallAsync pipeline: a FIFO window of futures, each matched
+			// to its call by the per-call completion table — no sequence
+			// bookkeeping on this side of the API.
+			var pending []inflight
 			for {
 				select {
 				case <-stop:
+					for _, f := range pending {
+						f.p.Cancel()
+					}
 					return
 				default:
 				}
 				for len(pending) < window {
 					key := r.Uint64n(keys) + 1
-					binary.LittleEndian.PutUint64(req, key)
 					isScan := r.Uint64n(10) == 0
-					var seq uint64
+					req := make([]byte, 16)
+					binary.LittleEndian.PutUint64(req, key)
+					var p *flock.Pending
 					var err error
 					if isScan {
 						binary.LittleEndian.PutUint64(req[8:], 64)
-						seq, err = th.SendRPC(rpcScan, req)
+						p, err = th.CallAsync(rpcScan, req, flock.CallOptions{})
 					} else {
-						seq, err = th.SendRPC(rpcGet, req[:8])
+						p, err = th.CallAsync(rpcGet, req[:8], flock.CallOptions{})
 					}
 					if err != nil {
 						return
 					}
-					pending[seq] = inflight{isScan: isScan, at: time.Now()}
+					pending = append(pending, inflight{p: p, isScan: isScan, at: time.Now()})
 				}
-				resp, err := th.RecvRes()
+				f := pending[0]
+				pending = pending[:copy(pending, pending[1:])]
+				resp, err := f.p.Wait()
 				if err != nil {
 					return
 				}
-				resp.Release() // only Seq is needed; recycle the buffer
-				p, ok := pending[resp.Seq]
-				if !ok {
-					continue
-				}
-				delete(pending, resp.Seq)
-				lat := uint64(time.Since(p.at).Nanoseconds())
-				if p.isScan {
+				resp.Release() // only the completion is needed; recycle the buffer
+				lat := uint64(time.Since(f.at).Nanoseconds())
+				if f.isScan {
 					scans.Add(1)
 					scanHist[w].Record(lat)
 				} else {

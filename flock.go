@@ -96,6 +96,12 @@ type (
 	TraceEvent = telemetry.TraceEvent
 	// CallOptions parameterizes one resilient call (Thread.CallOpts).
 	CallOptions = core.CallOptions
+	// Pending is an in-flight asynchronous call (Thread.CallAsync,
+	// Thread.SendBatch): Wait blocks for the result, Done polls, Cancel
+	// abandons.
+	Pending = core.Pending
+	// BatchOp is one request in a Thread.SendBatch submission.
+	BatchOp = core.BatchOp
 )
 
 // Errors re-exported from the implementation.
@@ -126,6 +132,9 @@ var (
 	// ErrCircuitOpen reports a call refused locally by the connection's
 	// open circuit breaker.
 	ErrCircuitOpen = core.ErrCircuitOpen
+	// ErrCanceled reports a Pending canceled by its owner before
+	// completion; a late response is dropped as stale.
+	ErrCanceled = core.ErrCanceled
 )
 
 // Response status codes.

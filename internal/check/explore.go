@@ -37,8 +37,9 @@ const (
 	// PerturbServiceInflate is the overload perturbation: server service
 	// time inflates by Dur for a 4×Dur window, pushing responses past
 	// attempt deadlines so clients retry under their idempotency keys.
-	// Only OverloadScheduleFromSeed derives it — the canonical
-	// ScheduleFromSeed pool is frozen so existing seeds stay replayable.
+	// Only OverloadScheduleFromSeed and PipelineScheduleFromSeed derive
+	// it — the canonical ScheduleFromSeed pool is frozen so existing
+	// seeds stay replayable.
 	PerturbServiceInflate
 )
 
@@ -188,6 +189,53 @@ func OverloadScheduleFromSeed(seed uint64, cfg SimConfig) Schedule {
 	return s
 }
 
+// PipelineScheduleFromSeed derives the pipelining-suite schedule for a
+// seed — the pool that drives SimConfig.Pipeline windows. Like the
+// overload pool it is its own derivation with its own RNG salt, so the
+// canonical and overload pools keep replaying bit-identically. Every
+// schedule carries one guaranteed service-inflation window (inflation
+// pushes attempts past their deadline, so retries of one op interleave
+// with its window-mates — the completion-matching races the suite exists
+// to explore) plus 0–4 perturbations from the full kind set.
+func PipelineScheduleFromSeed(seed uint64, cfg SimConfig) Schedule {
+	cfg = cfg.withDefaults()
+	rng := newScheduleRNG(seed ^ 0x0F10CCB1BE5EED07)
+	at := cfg.AttemptTimeout
+	if at <= 0 {
+		at = 4 * cfg.StallTimeout
+	}
+	horizon := sim.Time(cfg.OpsPerThread) * (4 * simWireLatency)
+	inflate := func() Perturbation {
+		return Perturbation{
+			Kind: PerturbServiceInflate,
+			At:   sim.Time(rng.Uint64n(uint64(horizon) + 1)),
+			QP:   rng.Intn(cfg.QPs),
+			Dur:  at/2 + sim.Time(rng.Uint64n(uint64(at)*2)),
+		}
+	}
+	s := Schedule{Seed: seed, Perturbs: []Perturbation{inflate()}}
+	n := rng.Intn(5)
+	for i := 0; i < n; i++ {
+		p := Perturbation{
+			Kind: PerturbKind(rng.Intn(6)),
+			At:   sim.Time(rng.Uint64n(uint64(horizon) + 1)),
+			QP:   rng.Intn(cfg.QPs),
+		}
+		switch p.Kind {
+		case PerturbLeaderStall:
+			p.Dur = cfg.StallTimeout/2 + sim.Time(rng.Uint64n(uint64(cfg.StallTimeout)*3))
+		case PerturbQPBreak:
+			p.Dur = simRecycleDelay + sim.Time(rng.Uint64n(uint64(10*sim.Microsecond)))
+		case PerturbDeliveryDelay, PerturbCreditStarve:
+			p.Dur = sim.Time(rng.Uint64n(uint64(cfg.StallTimeout)*2) + 1)
+		case PerturbServiceInflate:
+			p = inflate()
+		}
+		s.Perturbs = append(s.Perturbs, p)
+	}
+	return s
+}
+
 // RunReport is the outcome of one simulated schedule.
 type RunReport struct {
 	Schedule  Schedule
@@ -200,6 +248,11 @@ type RunReport struct {
 	// retries or never dedups proved nothing.
 	Retried   int
 	DedupHits int
+	// Pipelined counts ops issued while their thread already had one in
+	// flight — the vacuity signal for the pipelining suite: a sweep that
+	// never overlapped two ops of one thread proved nothing about the
+	// completion-matching path.
+	Pipelined int
 }
 
 // Failed reports whether the run violated the model or wedged.
@@ -219,6 +272,7 @@ func RunSchedule(cfg SimConfig, sched Schedule, mut Mutation) RunReport {
 		Completed: completed,
 		Retried:   w.retried,
 		DedupHits: w.dedupHits,
+		Pipelined: w.pipelined,
 	}
 }
 
@@ -243,10 +297,11 @@ func (f FailureReport) String() string {
 type ExploreResult struct {
 	Runs     int
 	Failures int
-	// Retried and DedupHits are summed over the sweep (vacuity signals
-	// for the overload suite).
+	// Retried, DedupHits, and Pipelined are summed over the sweep
+	// (vacuity signals for the overload and pipelining suites).
 	Retried   int
 	DedupHits int
+	Pipelined int
 	// First is the first failure, shrunk; nil when all runs passed.
 	First *FailureReport
 }
@@ -271,6 +326,7 @@ func ExploreSchedules(cfg SimConfig, mut Mutation, startSeed uint64, n int, deri
 		res.Runs++
 		res.Retried += rep.Retried
 		res.DedupHits += rep.DedupHits
+		res.Pipelined += rep.Pipelined
 		if rep.Failed() {
 			res.Failures++
 			if res.First == nil {

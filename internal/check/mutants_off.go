@@ -5,7 +5,7 @@ package check
 // Mutation selects an intentionally-broken protocol variant for the
 // mutation self-test. In normal builds only MutNone exists in spirit:
 // mutantOn is a constant false, so the compiler removes every mutant code
-// path from the simulator. Build with -tags flockmut to compile the four
+// path from the simulator. Build with -tags flockmut to compile the five
 // known-bad variants in and run the self-test that proves the checker
 // catches each one.
 type Mutation int
@@ -33,6 +33,14 @@ const (
 	// to prevent. Only visible under the overload schedules, which are
 	// what manufacture retries.
 	MutDedupSkip
+	// MutPipelineMisroute: when a response message carries two ops of the
+	// same thread, the completion path swaps their outputs — matching a
+	// response to whichever outstanding call is waiting instead of to the
+	// call whose sequence number it carries. This is the bug the per-call
+	// completion table exists to prevent, and it is pipelining-aware by
+	// construction: a synchronous thread never has two live ops in one
+	// batch, so only the Pipeline > 1 schedule pool can catch it.
+	MutPipelineMisroute
 )
 
 // EnabledMutations lists the mutants compiled into this build: none.

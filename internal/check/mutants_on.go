@@ -3,7 +3,7 @@
 package check
 
 // Mutation selects an intentionally-broken protocol variant. This is the
-// flockmut build: the four known-bad variants are compiled into the
+// flockmut build: the five known-bad variants are compiled into the
 // simulator and selectable at runtime, so the self-test can assert the
 // checker flags every one of them. See mutants_off.go for the per-variant
 // documentation.
@@ -15,6 +15,7 @@ const (
 	MutBatchDropTail
 	MutRecycleAckInflight
 	MutDedupSkip
+	MutPipelineMisroute
 )
 
 func (m Mutation) String() string {
@@ -29,13 +30,15 @@ func (m Mutation) String() string {
 		return "recycle-ack-inflight"
 	case MutDedupSkip:
 		return "dedup-skip"
+	case MutPipelineMisroute:
+		return "pipeline-misroute"
 	}
 	return "unknown"
 }
 
 // EnabledMutations lists the mutants compiled into this build.
 func EnabledMutations() []Mutation {
-	return []Mutation{MutClaimTimedOut, MutBatchDropTail, MutRecycleAckInflight, MutDedupSkip}
+	return []Mutation{MutClaimTimedOut, MutBatchDropTail, MutRecycleAckInflight, MutDedupSkip, MutPipelineMisroute}
 }
 
 // mutantOn reports whether mutant `want` is the active one.

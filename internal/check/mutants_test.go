@@ -16,26 +16,38 @@ import (
 
 const mutantSeeds = 400
 
-// mutantWorkload picks the most sensitive model per mutant.
-func mutantWorkload(m Mutation) Workload { return WorkloadCounter }
+// mutantWorkload picks the most sensitive model per mutant. The misroute
+// mutant swaps outputs between two ops of one thread, which echo — every
+// response must carry its own call's payload — sees unconditionally.
+func mutantWorkload(m Mutation) Workload {
+	if m == MutPipelineMisroute {
+		return WorkloadEcho
+	}
+	return WorkloadCounter
+}
 
 func TestMutantsAreCaught(t *testing.T) {
 	muts := EnabledMutations()
-	if len(muts) != 4 {
-		t.Fatalf("expected 4 compiled mutants, got %d", len(muts))
+	if len(muts) != 5 {
+		t.Fatalf("expected 5 compiled mutants, got %d", len(muts))
 	}
 	for _, mut := range muts {
 		mut := mut
 		t.Run(mut.String(), func(t *testing.T) {
 			t.Parallel()
 			// The dedup mutant only bites when retries happen, so it gets
-			// the overload schedules; the combining-path mutants keep the
-			// canonical pool.
+			// the overload schedules; the misroute mutant only bites when a
+			// thread has two ops in flight, so it gets the pipeline
+			// schedules; the combining-path mutants keep the canonical pool.
 			cfg := exploreCfg(mutantWorkload(mut))
 			derive := ScheduleFromSeed
-			if mut == MutDedupSkip {
+			switch mut {
+			case MutDedupSkip:
 				cfg = overloadCfg(mutantWorkload(mut))
 				derive = OverloadScheduleFromSeed
+			case MutPipelineMisroute:
+				cfg = pipelineCfg(mutantWorkload(mut))
+				derive = PipelineScheduleFromSeed
 			}
 			res := ExploreSchedules(cfg, mut, 1, mutantSeeds, derive)
 			if res.Failures == 0 {
@@ -61,6 +73,19 @@ func TestMutantsAreCaught(t *testing.T) {
 				t.Fatalf("failure report missing replay info:\n%s", rep)
 			}
 		})
+	}
+}
+
+// TestMisrouteInvisibleWithoutPipelining: the misroute mutant must survive
+// the canonical synchronous pool — one op in flight per thread means no
+// message ever carries two live ops of one thread, so there is nothing to
+// swap. If this sweep starts failing, the mutant stopped being a
+// pipelining bug and the pipeline suite's catch proves nothing new.
+func TestMisrouteInvisibleWithoutPipelining(t *testing.T) {
+	res := Explore(exploreCfg(WorkloadEcho), MutPipelineMisroute, 1, mutantSeeds)
+	if res.Failures != 0 {
+		t.Fatalf("misroute mutant caught by the synchronous pool (%d/%d schedules); first:\n%s",
+			res.Failures, res.Runs, res.First)
 	}
 }
 

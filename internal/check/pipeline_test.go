@@ -1,0 +1,140 @@
+package check
+
+import (
+	"testing"
+
+	"flock/internal/sim"
+)
+
+// The pipelining suite: each simulated thread drives a CallAsync-style
+// window of ops against the combining path, so retries, dedup replays,
+// and batch completions of one thread's ops interleave — the surface the
+// per-call completion table (ISSUE 7) has to match correctly.
+// pipelineSeeds × 2 workloads clears the ≥250-schedule floor per model.
+const pipelineSeeds = 250
+
+// pipelineCfg is overloadCfg plus the async window: four ops in flight
+// per thread, per-attempt deadlines to manufacture retries mid-window,
+// and the dedup memo to keep every retried outcome definite.
+func pipelineCfg(w Workload) SimConfig {
+	return SimConfig{
+		Threads:        4,
+		OpsPerThread:   8,
+		QPs:            2,
+		MaxBatch:       4,
+		Credits:        4,
+		Workload:       w,
+		Pipeline:       4,
+		AttemptTimeout: 15 * sim.Microsecond,
+		Dedup:          true,
+	}
+}
+
+// TestPipelinedOpsLinearizable sweeps the pipeline schedule pool per model
+// and requires every history to be linearizable with every thread
+// completing — windowed, retried, and deduped ops included. The vacuity
+// gates reject a sweep that never overlapped two ops of one thread, never
+// retried, or never hit the dedup memo: such a run would prove nothing
+// about completion matching under pipelining.
+func TestPipelinedOpsLinearizable(t *testing.T) {
+	for _, w := range []Workload{WorkloadEcho, WorkloadKV} {
+		w := w
+		t.Run(w.String(), func(t *testing.T) {
+			t.Parallel()
+			res := ExploreSchedules(pipelineCfg(w), MutNone, 1, pipelineSeeds, PipelineScheduleFromSeed)
+			if res.Runs != pipelineSeeds {
+				t.Fatalf("ran %d schedules, want %d", res.Runs, pipelineSeeds)
+			}
+			if res.Failures != 0 {
+				t.Fatalf("%d/%d pipeline schedules failed; first:\n%s", res.Failures, res.Runs, res.First)
+			}
+			if res.Pipelined == 0 {
+				t.Fatal("no op ever overlapped a window-mate — the pipeline sweep was vacuous")
+			}
+			if res.Retried == 0 {
+				t.Fatal("no attempt was ever retried — the sweep never raced a retry against the window")
+			}
+			if res.DedupHits == 0 {
+				t.Fatal("the dedup window never absorbed a duplicate — the sweep proved nothing about it")
+			}
+			t.Logf("%s: %d schedules, %d pipelined ops, %d retries, %d dedup hits",
+				w, res.Runs, res.Pipelined, res.Retried, res.DedupHits)
+		})
+	}
+}
+
+// TestPipelineRunActuallyPipelines pins the window mechanics on a single
+// unperturbed run: every op completes, the history is full-size, and the
+// depth-4 window really overlapped ops — while the synchronous overload
+// config on the same seed overlaps none (the classic pools are untouched
+// by the pipelining extension).
+func TestPipelineRunActuallyPipelines(t *testing.T) {
+	cfg := pipelineCfg(WorkloadEcho)
+	rep := RunSchedule(cfg, Schedule{Seed: 7}, MutNone)
+	if want := cfg.Threads * cfg.OpsPerThread; rep.Ops != want {
+		t.Fatalf("recorded %d ops, want %d", rep.Ops, want)
+	}
+	if !rep.Completed {
+		t.Fatal("pipelined run did not complete")
+	}
+	if !rep.Result.Ok {
+		t.Fatalf("unperturbed pipelined run should pass:\n%s", rep.Result)
+	}
+	if rep.Pipelined == 0 {
+		t.Fatal("depth-4 window never overlapped two ops of one thread")
+	}
+	sync := RunSchedule(overloadCfg(WorkloadEcho), Schedule{Seed: 7}, MutNone)
+	if sync.Pipelined != 0 {
+		t.Fatalf("synchronous config reported %d pipelined ops; want 0", sync.Pipelined)
+	}
+}
+
+// TestPipelineScheduleDeterminism: same seed, same schedule — and the
+// pipeline pool is its own derivation: every schedule carries at least one
+// inflation window, and its salt is independent of the overload pool's
+// (the two sweeps must not silently explore the same perturbation
+// sequences).
+func TestPipelineScheduleDeterminism(t *testing.T) {
+	cfg := pipelineCfg(WorkloadEcho)
+	distinct := false
+	for seed := uint64(1); seed < 25; seed++ {
+		s1 := PipelineScheduleFromSeed(seed, cfg)
+		s2 := PipelineScheduleFromSeed(seed, cfg)
+		if s1.Hash() != s2.Hash() || s1.String() != s2.String() {
+			t.Fatalf("seed %d derived two different pipeline schedules", seed)
+		}
+		inflates := 0
+		for _, p := range s1.Perturbs {
+			if p.Kind == PerturbServiceInflate {
+				inflates++
+			}
+		}
+		if inflates == 0 {
+			t.Fatalf("seed %d pipeline schedule has no inflation window: %s", seed, s1)
+		}
+		if s1.Hash() != OverloadScheduleFromSeed(seed, cfg).Hash() {
+			distinct = true
+		}
+	}
+	if !distinct {
+		t.Fatal("pipeline and overload pools derived identical schedules for every probed seed — the salts collapsed")
+	}
+}
+
+// TestPipelineScheduleCoversAllPerturbations: the pipeline pool must mix
+// inflation with every canonical perturbation kind, or the suite loses
+// the pipelining×fault interleavings it exists to explore.
+func TestPipelineScheduleCoversAllPerturbations(t *testing.T) {
+	cfg := pipelineCfg(WorkloadEcho)
+	seen := map[PerturbKind]int{}
+	for seed := uint64(1); seed <= pipelineSeeds; seed++ {
+		for _, p := range PipelineScheduleFromSeed(seed, cfg).Perturbs {
+			seen[p.Kind]++
+		}
+	}
+	for _, k := range []PerturbKind{PerturbLeaderStall, PerturbQPBreak, PerturbDeliveryDelay, PerturbCreditStarve, PerturbRedistribute, PerturbServiceInflate} {
+		if seen[k] == 0 {
+			t.Fatalf("perturbation %s never derived across %d pipeline seeds", k, pipelineSeeds)
+		}
+	}
+}

@@ -29,9 +29,15 @@ import (
 //     nothing was sent) and turns posted-but-unresponded batches into
 //     ambiguous outcomes, exactly the at-least-once window recovery.go
 //     documents; a recycle event restores the QP and its credit bootstrap.
+//   - with Pipeline > 1 each thread keeps a window of ops in flight, the
+//     way a client drives CallAsync against the pending-call table: ops
+//     are issued while the window has room and each completion refills it.
+//     Every op carries its own generation and idempotency key, so retries
+//     of one op interleave freely with its window-mates — the exact
+//     completion-matching surface the per-call table exists to get right.
 //
-// The three `flockmut` mutants (mutants_on.go) each break one of these
-// rules the way a plausible implementation bug would.
+// The `flockmut` mutants (mutants_on.go) each break one of these rules
+// the way a plausible implementation bug would.
 
 // Workload selects the operation mix the simulated threads run, and
 // thereby the model the history is checked against.
@@ -97,6 +103,12 @@ type SimConfig struct {
 	// Dedup set, ambiguous outcomes are retried to a definite result
 	// instead of going pending, so the checker demands exactly-once.
 	Dedup bool
+	// Pipeline is the per-thread async window (core's CallAsync driven to
+	// a fixed depth): each thread keeps up to Pipeline ops in flight and
+	// issues a new one as soon as a completion frees a slot. Zero or one
+	// is the classic synchronous client — one op at a time — and leaves
+	// the frozen schedule pools' behavior untouched.
+	Pipeline int
 }
 
 func (c SimConfig) withDefaults() SimConfig {
@@ -140,12 +152,27 @@ const (
 	snTimedOut
 )
 
+// simOp is one client operation: the unit the recorder sees. With
+// pipelining a thread owns several live simOps at once, so everything the
+// classic sim kept per-thread — the attempt generation, the retry count,
+// the idempotency key, the recorder call token — lives here. A simNode is
+// one enqueue attempt of one simOp; stale attempts are recognized by
+// generation mismatch exactly as before.
+type simOp struct {
+	th      *simThread
+	idx     int    // op number within the thread
+	call    int64  // recorder invocation token
+	gen     int    // attempt generation; stale responses are ignored
+	key     uint64 // idempotency key, stable across retries of this op
+	slot    int    // pipeline slot, for the recorded client identity
+	retries int
+	done    bool
+}
+
 type simNode struct {
-	th    *simThread
+	sop   *simOp
 	state int
-	gen   int    // thread op-attempt generation; stale responses are ignored
-	op    int    // op index captured at enqueue: stale copies apply the right op
-	key   uint64 // idempotency key, stable across retries of one op
+	gen   int // sop.gen captured at enqueue; stale attempts are skipped
 }
 
 type simMsg struct {
@@ -175,18 +202,25 @@ type simQP struct {
 }
 
 type simThread struct {
-	id      int
-	opIdx   int
-	gen     int
-	call    int64
-	qp      int
-	avoid   int
-	retries int
-	done    bool
+	id       int
+	issued   int // ops handed to the pipeline so far (next op index)
+	inflight int // live ops in the window
+	qp       int
+	done     bool
+	slots    []int // free pipeline slots, reused as completions land
 }
+
+func (th *simThread) popSlot() int {
+	s := th.slots[len(th.slots)-1]
+	th.slots = th.slots[:len(th.slots)-1]
+	return s
+}
+
+func (th *simThread) pushSlot(s int) { th.slots = append(th.slots, s) }
 
 type simWorld struct {
 	cfg   SimConfig
+	depth int // per-thread issue window; 1 = synchronous
 	eng   *sim.Engine
 	rng   *stats.RNG
 	rec   *Recorder
@@ -200,6 +234,9 @@ type simWorld struct {
 	memo      map[uint64]interface{}
 	dedupHits int
 	retried   int
+	// pipelined counts ops issued while the same thread already had one in
+	// flight — the vacuity signal for the pipelining suite.
+	pipelined int
 	// Service-time inflation window (the overload perturbation): responses
 	// computed while now < inflateTill take inflateExtra longer.
 	inflateTill  sim.Time
@@ -208,8 +245,13 @@ type simWorld struct {
 
 func newSimWorld(cfg SimConfig, seed uint64, mut Mutation) *simWorld {
 	cfg = cfg.withDefaults()
+	depth := cfg.Pipeline
+	if depth < 1 {
+		depth = 1
+	}
 	w := &simWorld{
 		cfg:   cfg,
+		depth: depth,
 		eng:   sim.New(),
 		rng:   stats.NewRNG(seed*0x9E3779B97F4A7C15 + 0x1234567),
 		rec:   NewRecorder(),
@@ -222,13 +264,28 @@ func newSimWorld(cfg SimConfig, seed uint64, mut Mutation) *simWorld {
 		w.qps = append(w.qps, &simQP{idx: i, credits: cfg.Credits})
 	}
 	for i := 0; i < cfg.Threads; i++ {
-		w.thr = append(w.thr, &simThread{id: i, qp: i % cfg.QPs, avoid: -1})
+		th := &simThread{id: i, qp: i % cfg.QPs}
+		for s := depth - 1; s >= 0; s-- {
+			th.slots = append(th.slots, s) // pop order: slot 0 first
+		}
+		w.thr = append(w.thr, th)
 	}
 	return w
 }
 
 func (w *simWorld) jitter() sim.Time {
 	return sim.Time(w.rng.Uint64n(uint64(simMaxJitter) + 1))
+}
+
+// clientID is the recorded process identity of one op. Synchronous threads
+// keep their thread id; pipelined ops are keyed by (thread, slot) so two
+// ops that genuinely overlap in time are distinct clients to the checker —
+// the same way each pending-call-table entry is its own completion.
+func (w *simWorld) clientID(op *simOp) int {
+	if w.depth <= 1 {
+		return op.th.id
+	}
+	return op.th.id*w.depth + op.slot
 }
 
 // opInput builds thread th's op number k. The last op of every thread is a
@@ -276,66 +333,79 @@ func (w *simWorld) apply(in interface{}) interface{} {
 	return nil
 }
 
-// startOp begins thread th's next op (or finishes the thread).
+// startOp refills thread th's issue window (or finishes the thread). At
+// depth 1 this is the classic one-op-at-a-time loop; deeper windows issue
+// until full, and every completion calls back here to top the window up.
 func (w *simWorld) startOp(th *simThread) {
-	if th.opIdx >= w.cfg.OpsPerThread {
+	for !th.done && th.inflight < w.depth && th.issued < w.cfg.OpsPerThread {
+		op := &simOp{
+			th:   th,
+			idx:  th.issued,
+			key:  uint64(th.id+1)<<32 | uint64(th.issued+1),
+			slot: th.popSlot(),
+		}
+		op.call = w.rec.Begin()
+		th.issued++
+		th.inflight++
+		if th.inflight > 1 {
+			w.pipelined++
+		}
+		w.enqueueOp(op)
+	}
+	if !th.done && th.inflight == 0 && th.issued >= w.cfg.OpsPerThread {
 		th.done = true
 		w.alive--
-		return
 	}
-	th.call = w.rec.Begin()
-	th.retries = 0
-	w.enqueue(th)
 }
 
-// finishOp records the outcome and moves the thread on.
-func (w *simWorld) finishOp(th *simThread, in, out interface{}, pending bool) {
+// finishOp records the op's outcome, frees its window slot, and refills.
+func (w *simWorld) finishOp(op *simOp, out interface{}, pending bool) {
+	th := op.th
+	in := w.opInput(th, op.idx)
 	if pending {
-		w.rec.EndPending(th.id, th.call, in)
+		w.rec.EndPending(w.clientID(op), op.call, in)
 	} else {
-		w.rec.End(th.id, th.call, in, out)
+		w.rec.End(w.clientID(op), op.call, in, out)
 	}
-	th.opIdx++
-	th.gen++
-	th.avoid = -1
+	op.done = true
+	op.gen++ // belt and braces: no in-flight attempt can match again
+	th.pushSlot(op.slot)
+	th.inflight--
 	w.eng.After(w.jitter(), func() { w.startOp(th) })
 }
 
-// resubmit retries the current op attempt on another QP (migrate /
+// resubmit retries the op's current attempt on another QP (migrate /
 // follower re-election). Past the retry bound the op goes pending.
-func (w *simWorld) resubmit(th *simThread, avoid int) {
-	th.gen++
-	th.retries++
-	if th.retries > simMaxRetries {
-		w.finishOp(th, w.opInput(th, th.opIdx), nil, true)
+func (w *simWorld) resubmit(op *simOp, avoid int) {
+	op.gen++
+	op.retries++
+	if op.retries > simMaxRetries {
+		w.finishOp(op, nil, true)
 		return
 	}
-	th.avoid = avoid
 	if len(w.qps) > 1 {
 		next := (avoid + 1 + w.rng.Intn(len(w.qps)-1)) % len(w.qps)
-		th.qp = next
+		op.th.qp = next
 	}
-	w.eng.After(w.jitter(), func() { w.enqueue(th) })
+	w.eng.After(w.jitter(), func() { w.enqueueOp(op) })
 }
 
-// enqueue pushes the thread's current op onto its QP's combining queue —
+// enqueueOp pushes one op attempt onto its thread's QP's combining queue —
 // tcq.push. The first enqueuer on an idle queue leads.
-func (w *simWorld) enqueue(th *simThread) {
-	if th.done || th.opIdx >= w.cfg.OpsPerThread {
+func (w *simWorld) enqueueOp(op *simOp) {
+	if op.done || op.th.done {
 		return
 	}
-	q := w.qps[th.qp]
+	q := w.qps[op.th.qp]
 	n := &simNode{
-		th:    th,
+		sop:   op,
 		state: snWaiting,
-		gen:   th.gen,
-		op:    th.opIdx,
-		key:   uint64(th.id+1)<<32 | uint64(th.opIdx+1),
+		gen:   op.gen,
 	}
 	q.queue = append(q.queue, n)
 	if w.cfg.AttemptTimeout > 0 {
-		gen := th.gen
-		w.eng.After(w.cfg.AttemptTimeout, func() { w.attemptExpire(th, gen) })
+		gen := op.gen
+		w.eng.After(w.cfg.AttemptTimeout, func() { w.attemptExpire(op, gen) })
 	}
 	if !q.leading {
 		q.leading = true
@@ -354,27 +424,27 @@ func (w *simWorld) followerTimeout(q *simQP, n *simNode) {
 	if n.state != snWaiting {
 		return // claimed (or already resolved): the timeout no longer applies
 	}
-	if n.gen != n.th.gen {
-		// The thread already abandoned this attempt (attempt deadline);
-		// just mark the node so the handoff chain skips it.
+	if n.gen != n.sop.gen || n.sop.done {
+		// The op already abandoned this attempt (attempt deadline) or
+		// completed; just mark the node so the handoff chain skips it.
 		n.state = snTimedOut
 		return
 	}
 	n.state = snTimedOut
-	w.resubmit(n.th, q.idx)
+	w.resubmit(n.sop, q.idx)
 }
 
 // attemptExpire is the per-attempt response deadline (CallOpts's
 // attemptWait): if the op attempt armed at generation gen is still the
-// thread's current one, abandon it and resubmit under the same
-// idempotency key. The stale copy may still be claimed, posted, and
-// applied — exactly the duplication window the dedup memo absorbs.
-func (w *simWorld) attemptExpire(th *simThread, gen int) {
-	if th.done || th.gen != gen || th.opIdx >= w.cfg.OpsPerThread {
+// op's current one, abandon it and resubmit under the same idempotency
+// key. The stale copy may still be claimed, posted, and applied — exactly
+// the duplication window the dedup memo absorbs.
+func (w *simWorld) attemptExpire(op *simOp, gen int) {
+	if op.done || op.gen != gen {
 		return
 	}
 	w.retried++
-	w.resubmit(th, th.qp)
+	w.resubmit(op, op.th.qp)
 }
 
 func (w *simWorld) scheduleClaim(q *simQP) {
@@ -480,13 +550,13 @@ func (w *simWorld) failQueue(q *simQP) {
 	q.leading = false
 	q.leaderNode = nil
 	for _, n := range nodes {
-		if n.state == snTimedOut || n.gen != n.th.gen {
+		if n.state == snTimedOut || n.gen != n.sop.gen || n.sop.done {
 			// Abandoned attempts resubmitted themselves already; migrating
-			// them again would double-enqueue the thread.
+			// them again would double-enqueue the op.
 			continue
 		}
 		n.state = snClaimed
-		w.resubmit(n.th, q.idx)
+		w.resubmit(n.sop, q.idx)
 	}
 }
 
@@ -504,16 +574,16 @@ func (w *simWorld) deliver(msg *simMsg) {
 	msg.outs = make([]interface{}, len(msg.nodes))
 	for i, n := range msg.nodes {
 		if w.cfg.Dedup && !mutantOn(w.mut, MutDedupSkip) {
-			if out, ok := w.memo[n.key]; ok {
+			if out, ok := w.memo[n.sop.key]; ok {
 				w.dedupHits++
 				msg.outs[i] = out
 				continue
 			}
 		}
-		out := w.apply(w.opInput(n.th, n.op))
+		out := w.apply(w.opInput(n.sop.th, n.sop.idx))
 		if w.cfg.Dedup {
 			// The mutant forgets to *check* the window, not to fill it.
-			w.memo[n.key] = out
+			w.memo[n.sop.key] = out
 		}
 		msg.outs[i] = out
 	}
@@ -542,6 +612,9 @@ func (w *simWorld) respond(msg *simMsg) {
 		w.ambiguous(msg)
 		return
 	}
+	if mutantOn(w.mut, MutPipelineMisroute) {
+		w.misroutePair(msg)
+	}
 	for i, n := range msg.nodes {
 		w.respondNode(n, msg.outs[i])
 	}
@@ -552,14 +625,32 @@ func (w *simWorld) respond(msg *simMsg) {
 	}
 }
 
-// respondNode completes one node's op, ignoring stale generations (the
-// thread already timed out and resubmitted this attempt).
+// misroutePair is the pipelining mutant: when a response message carries
+// two ops of the SAME thread — only possible once a thread pipelines, a
+// synchronous thread never has two live ops in one batch — the completion
+// path swaps their outputs. This is precisely the bug a per-call
+// completion table exists to prevent: matching a response to whichever of
+// the thread's outstanding calls happens to be waiting, instead of to the
+// call whose sequence number it carries.
+func (w *simWorld) misroutePair(msg *simMsg) {
+	for i := 0; i < len(msg.nodes); i++ {
+		for j := i + 1; j < len(msg.nodes); j++ {
+			if msg.nodes[i].sop.th == msg.nodes[j].sop.th {
+				msg.outs[i], msg.outs[j] = msg.outs[j], msg.outs[i]
+				return
+			}
+		}
+	}
+}
+
+// respondNode completes one node's op, ignoring stale generations (the op
+// already timed out and resubmitted this attempt) and completed ops.
 func (w *simWorld) respondNode(n *simNode, out interface{}) {
-	th := n.th
-	if n.gen != th.gen || th.done || th.opIdx >= w.cfg.OpsPerThread {
+	op := n.sop
+	if n.gen != op.gen || op.done {
 		return
 	}
-	w.finishOp(th, w.opInput(th, th.opIdx), out, false)
+	w.finishOp(op, out, false)
 }
 
 // ambiguous handles ops whose outcome was lost with their QP. Without
@@ -570,16 +661,16 @@ func (w *simWorld) respondNode(n *simNode, out interface{}) {
 // whole point of idempotency-keyed retries.
 func (w *simWorld) ambiguous(msg *simMsg) {
 	for _, n := range append(append([]*simNode{}, msg.nodes...), msg.dropped...) {
-		th := n.th
-		if n.gen != th.gen || th.done || th.opIdx >= w.cfg.OpsPerThread {
+		op := n.sop
+		if n.gen != op.gen || op.done {
 			continue
 		}
 		if w.cfg.Dedup {
 			w.retried++
-			w.resubmit(th, msg.qp.idx)
+			w.resubmit(op, msg.qp.idx)
 			continue
 		}
-		w.finishOp(th, w.opInput(th, th.opIdx), nil, true)
+		w.finishOp(op, nil, true)
 	}
 }
 

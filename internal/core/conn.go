@@ -333,19 +333,31 @@ func (c *Conn) Close() {
 	c.fail(ErrConnClosed)
 }
 
-// fail marks the connection fatally failed and releases threads blocked on
-// their mailboxes with a typed poison response. The cause is recorded
-// before the failed flag is published, so closedErr never observes the
-// flag without it.
+// fail marks the connection fatally failed and releases every waiter with
+// a typed poison response: all pending-call records (whatever QP they rode)
+// are completed with the closure, mailbox waiters get a wakeup on the
+// response channel, and parked memory operations a QP-error status. The
+// cause is recorded before the failed flag is published, so closedErr
+// never observes the flag without it.
 func (c *Conn) fail(err error) {
 	cause := err
 	c.failErr.CompareAndSwap(nil, &cause)
 	if c.failed.Swap(true) {
 		return
 	}
+	poison := Response{Status: StatusConnClosed, err: err}
 	for _, t := range c.snapshotThreads() {
+		for _, rec := range t.pend.failMatching(-1, poison) {
+			select {
+			case t.respCh <- poison:
+			default:
+			}
+			t.pend.put(rec)
+		}
+		// Wake RecvRes blockers with no pending record (the pre-table
+		// contract: closure always surfaces on the response channel).
 		select {
-		case t.respCh <- Response{Status: StatusConnClosed, err: err}:
+		case t.respCh <- poison:
 		default:
 		}
 		select {

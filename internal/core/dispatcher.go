@@ -104,11 +104,15 @@ func (n *Node) clientDispatch() {
 	}
 }
 
-// deliverResponse hands one decoded response to the owning thread's
-// mailbox without copying: the Response's Data views the pooled message
-// buffer, covered by a reference retained here. Whoever removes the
-// Response from the mailbox — the application, the eviction below, or the
-// Close-time drain — owns that reference.
+// deliverResponse routes one decoded response to its completion record in
+// the owning thread's pending-call table, without copying: the Response's
+// Data views the pooled message buffer, covered by a reference retained
+// here. A table hit transfers that reference to the record's waiter (or
+// the close-time drain); a miss means the attempt was abandoned — the
+// response is stale and its reference dropped right here, which is the
+// whole stale-response policy (no per-caller drop heuristics remain).
+// Mailbox records (the SendRPC/RecvRes surface) are delivered into the
+// thread's response channel instead.
 func (c *Conn) deliverResponse(it *decodedItem, mbuf *mem.Buf) {
 	t := c.thread(it.meta.threadID)
 	if t == nil {
@@ -124,17 +128,25 @@ func (c *Conn) deliverResponse(it *decodedItem, mbuf *mem.Buf) {
 		buf:    mbuf,
 		trace:  c.node.trace,
 	}
-	// The dispatcher must never block on a mailbox: a thread that
-	// abandoned a deadline-expired call stops draining, and its late
-	// responses would otherwise fill the channel and wedge delivery for
-	// every other thread on the node. A full mailbox holds only abandoned
-	// responses (a thread has at most RespWindow live operations), so the
-	// oldest entry is evicted to make room for the fresh one — and its
-	// buffer lease recycled.
+	rec, mailbox := t.pend.complete(it.meta.seqID, r)
+	if rec == nil {
+		c.node.metrics.staleDrops.Add(1)
+		r.Release()
+		return
+	}
+	if !mailbox {
+		return // token sent under the table lock; the waiter owns r now
+	}
+	// The dispatcher must never block on a mailbox: a RecvRes caller that
+	// walked away stops draining, and its late responses would otherwise
+	// fill the channel and wedge delivery for every other thread on the
+	// node. A full mailbox holds only abandoned responses (a thread has at
+	// most RespWindow live operations), so the oldest entry is evicted to
+	// make room for the fresh one — and its buffer lease recycled.
 	for i := 0; i < 2; i++ {
 		select {
 		case t.respCh <- r:
-			t.outstanding.Add(-1)
+			t.pend.put(rec)
 			return
 		default:
 		}
@@ -147,6 +159,7 @@ func (c *Conn) deliverResponse(it *decodedItem, mbuf *mem.Buf) {
 	// Still full (a concurrent poisoner keeps winning the slot): drop the
 	// response; the caller's deadline retry re-issues the request.
 	r.Release()
+	t.pend.put(rec)
 }
 
 // routeSendCompletion demultiplexes one send-side completion by wr_id tag

@@ -124,7 +124,11 @@ func (c *Conn) processBatch(th *Thread, q *connQP, batch []*tcqNode) uint32 {
 			q.reqStaging.WriteAt(metaBuf[:], cursor) //nolint:errcheck // reserved span
 			n.bufOff = cursor + itemMetaBytes
 			cursor += itemSpace(len(n.payload))
-			if n == batch[0] {
+			if n == batch[0] || n.leaderCopies {
+				// Our own node, or a batch-submission node whose submitter
+				// polls a whole chain at once: the leader copies the payload
+				// itself — asking such a node's owner to copy could be asking
+				// this very goroutine, which is busy leading.
 				if len(n.payload) > 0 {
 					q.reqStaging.WriteAt(n.payload, n.bufOff) //nolint:errcheck
 				}

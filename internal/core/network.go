@@ -50,6 +50,10 @@ var (
 	// open: recent history says the remote is failing, so the call was
 	// refused locally without touching the wire.
 	ErrCircuitOpen = errors.New("flock: circuit breaker open")
+	// ErrCanceled reports that a Pending was canceled by its owner before
+	// completing. The request may still execute on the server; its
+	// response is dropped as stale.
+	ErrCanceled = errors.New("flock: call canceled")
 )
 
 // Response status codes carried in response item metadata.
@@ -226,6 +230,10 @@ type NodeMetrics struct {
 	// CreditWithheld counts credits the watermark policy declined to grant
 	// while the server ran near its admission limit.
 	CreditWithheld uint64
+	// StaleDrops counts responses that arrived after their attempt was
+	// abandoned (deadline expiry, hedge loser, cancel) and were dropped at
+	// the dispatcher with their pooled lease recycled.
+	StaleDrops uint64
 }
 
 // Node is one FLock endpoint. A node can serve inbound connections
@@ -283,16 +291,19 @@ type Node struct {
 		retries, budgetExhausted                    telemetry.Counter
 		hedges, hedgesWon                           telemetry.Counter
 		dedupHits, breakerOpens, creditWithheld     telemetry.Counter
+		staleDrops                                  telemetry.Counter
 	}
 
 	// tel is the node's telemetry registry; the histograms and the trace
 	// ring hang off it. All handles are resolved at construction so the
 	// hot path never touches the registry map.
-	tel    *telemetry.Registry
-	degOut *telemetry.Hist // coalescing degree of outbound messages
-	degIn  *telemetry.Hist // coalescing degree of inbound messages
-	tenure *telemetry.Hist // leader tenure, nanoseconds
-	trace  *telemetry.TraceRing
+	tel          *telemetry.Registry
+	degOut       *telemetry.Hist // coalescing degree of outbound messages
+	degIn        *telemetry.Hist // coalescing degree of inbound messages
+	tenure       *telemetry.Hist // leader tenure, nanoseconds
+	pipeDepth    *telemetry.Hist // pending-table depth at submission
+	completionNS *telemetry.Hist // call completion latency, nanoseconds
+	trace        *telemetry.TraceRing
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -347,11 +358,24 @@ func (n *Node) publishTelemetry() {
 	cf("dedup_hits", &n.metrics.dedupHits)
 	cf("breaker_opens", &n.metrics.breakerOpens)
 	cf("credit_withheld", &n.metrics.creditWithheld)
+	cf("stale_drops", &n.metrics.staleDrops)
 
 	n.degOut = n.tel.Hist("core.coalesce_degree_out")
 	n.degIn = n.tel.Hist("core.coalesce_degree_in")
 	n.tenure = n.tel.Hist("core.leader_tenure_ns")
+	n.pipeDepth = n.tel.Hist("core.pipeline_depth")
+	n.completionNS = n.tel.Hist("core.completion_latency_ns")
 	n.trace = n.tel.Trace()
+
+	n.tel.GaugeFunc("core.pending_calls", func() int64 {
+		var pending int64
+		for _, c := range n.snapshotConns() {
+			for _, t := range c.snapshotThreads() {
+				pending += int64(t.pend.depth())
+			}
+		}
+		return pending
+	})
 
 	n.tel.GaugeFunc("core.active_qps", func() int64 {
 		var active int64
@@ -420,6 +444,7 @@ func (n *Node) Metrics() NodeMetrics {
 		DedupHits:            n.metrics.dedupHits.Load(),
 		BreakerOpens:         n.metrics.breakerOpens.Load(),
 		CreditWithheld:       n.metrics.creditWithheld.Load(),
+		StaleDrops:           n.metrics.staleDrops.Load(),
 	}
 }
 
@@ -549,7 +574,7 @@ func (n *Node) quiescent() bool {
 	}
 	for _, c := range n.snapshotConns() {
 		for _, t := range c.snapshotThreads() {
-			if t.outstanding.Load() != 0 {
+			if t.pend.depth() != 0 {
 				return false
 			}
 		}
@@ -577,6 +602,9 @@ func (n *Node) drainLeases() {
 					more = false
 				}
 			}
+			// Completed pending-table records no waiter claimed still hold
+			// their response leases; unwaited Pendings park here.
+			t.pend.drain()
 		}
 	}
 	if n.workCh != nil {

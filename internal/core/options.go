@@ -63,6 +63,11 @@ const (
 	// DefaultDedupWindow is how many completed idempotent responses each
 	// inbound connection caches for retry dedup.
 	DefaultDedupWindow = 1024
+	// DefaultPipelineDepth caps in-flight calls per thread on the async
+	// path (CallAsync / SendBatch): deep enough for full doorbell
+	// coalescing, bounded so an unchecked submitter cannot grow the
+	// pending-call table without limit.
+	DefaultPipelineDepth = 64
 	// DefaultRetryBaseBackoff / DefaultRetryMaxBackoff bound the
 	// exponential full-jitter retry backoff.
 	DefaultRetryBaseBackoff = 200 * time.Microsecond
@@ -194,6 +199,12 @@ type Options struct {
 	// BreakerProbes is how many trial requests a half-open breaker admits.
 	// Zero means DefaultBreakerProbes.
 	BreakerProbes int
+	// PipelineDepth caps a thread's in-flight calls on the asynchronous
+	// path: CallAsync and SendBatch block while the pending-call table is
+	// at this depth. Zero means DefaultPipelineDepth; negative disables
+	// the cap. Synchronous calls are unaffected (they hold at most a
+	// hedged pair in flight).
+	PipelineDepth int
 }
 
 // withDefaults returns a copy of o with zero fields replaced by defaults.
@@ -260,6 +271,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.BreakerProbes == 0 {
 		o.BreakerProbes = DefaultBreakerProbes
+	}
+	if o.PipelineDepth == 0 {
+		o.PipelineDepth = DefaultPipelineDepth
 	}
 	return o
 }

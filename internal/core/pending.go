@@ -1,0 +1,689 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flock/internal/resilience"
+)
+
+// This file is the unified client completion path: a per-thread
+// pending-call table in which every submitted RPC owns a completion record
+// the dispatcher completes directly by sequence ID, and one attempt engine
+// (Pending) that every public entry point — Call, CallWithDeadline,
+// CallOpts, CallAsync, SendBatch — parameterizes instead of reimplementing.
+// The table replaces the old per-thread response channel scan: responses
+// are routed to their exact caller, so synchronous and asynchronous calls
+// interleave freely on one thread, stale responses are dropped at the
+// dispatcher (no per-caller drop heuristics), and recovery poisons exactly
+// the records riding a broken QP instead of a thread-wide counter's worth.
+//
+// Ownership protocol. A record lives in the table from registration until
+// exactly one party removes it:
+//
+//   - A completer (dispatcher delivery, QP poisoning, connection failure)
+//     that finds the record in the table marks it done, stores the
+//     response, and sends the record's token — all under the table lock,
+//     so "done" and "token present" are never observed apart.
+//   - The waiter consumes the token and removes the record; abandoning a
+//     wait (attempt deadline) removes the record first, and if a completer
+//     already marked it done, consumes the guaranteed token and releases
+//     the response's pooled lease.
+//   - Close-time draining walks the tables and releases responses whose
+//     tokens no waiter has claimed, so leases held by unwaited Pendings
+//     never outlive the node.
+//
+// Records for the legacy SendRPC/RecvRes surface are flagged mailbox: the
+// completer removes them itself and delivers into the thread's response
+// channel, keeping that API's ordering contract intact.
+
+// callRec is one entry in a thread's pending-call table: the completion
+// future for a single submitted attempt.
+type callRec struct {
+	seq uint64
+	// qp is the QP index the attempt was last pushed on (-1 before the
+	// first push). The submitter stores it outside the table lock while
+	// recovery reads it under the lock, hence atomic.
+	qp   atomic.Int32
+	done bool // completed; resp valid and token sent (guarded by table mu)
+	// mailbox routes completion into the thread's legacy response channel
+	// (SendRPC/RecvRes) instead of the token protocol.
+	mailbox bool
+	resp    Response
+	// ch carries the completion token. Capacity one and reused across
+	// recycles; the ownership protocol guarantees at most one send per
+	// table residence and that it is drained before reuse.
+	ch   chan struct{}
+	next *callRec // freelist link
+}
+
+// pendingTable is the per-thread pending-call table plus its record
+// freelist. One table is owned by one application thread, but completers
+// (the dispatcher, recovery, connection failure) reach into it
+// concurrently, hence the lock. The map is insert/delete-heavy at a
+// steady-state size of the pipeline depth, so it never grows past warmup
+// and the hot path stays allocation-free.
+type pendingTable struct {
+	mu   sync.Mutex
+	recs map[uint64]*callRec
+	free *callRec
+	// inflight counts registered-but-not-completed records. It is the
+	// successor of the old per-thread outstanding counter: pickQP's
+	// migration rule, Drain quiescence, and the pipeline-depth gate all
+	// read it, and unlike the counter it can never drift from the table —
+	// every mutation happens under mu alongside the map it mirrors, the
+	// atomic only making lock-free reads possible.
+	inflight atomic.Int32
+}
+
+// get returns a record ready to register, recycling from the freelist.
+func (p *pendingTable) get() *callRec {
+	p.mu.Lock()
+	r := p.free
+	if r != nil {
+		p.free = r.next
+		r.next = nil
+	}
+	p.mu.Unlock()
+	if r == nil {
+		r = &callRec{ch: make(chan struct{}, 1)}
+	}
+	r.qp.Store(-1)
+	r.done = false
+	r.mailbox = false
+	select {
+	case <-r.ch:
+		panic("flock: recycled callRec holds a stale completion token")
+	default:
+	}
+	return r
+}
+
+// register inserts rec under its sequence ID and returns the table depth
+// after insertion (the pipeline-depth sample).
+func (p *pendingTable) register(rec *callRec) int {
+	p.mu.Lock()
+	p.recs[rec.seq] = rec
+	d := p.inflight.Add(1)
+	p.mu.Unlock()
+	return int(d)
+}
+
+// depth reports the number of in-flight (uncompleted) records.
+func (p *pendingTable) depth() int { return int(p.inflight.Load()) }
+
+// put returns an unused (never-registered or already-removed) record to
+// the freelist.
+func (p *pendingTable) put(rec *callRec) {
+	p.mu.Lock()
+	p.recycleLocked(rec)
+	p.mu.Unlock()
+}
+
+// recycleLocked pushes rec onto the freelist; caller holds mu.
+func (p *pendingTable) recycleLocked(rec *callRec) {
+	rec.resp = Response{}
+	rec.next = p.free
+	p.free = rec
+}
+
+// complete resolves the record registered under seq with r. It reports
+// whether a record was found (a miss means the response is stale — its
+// attempt was abandoned — and the caller drops it). Mailbox records are
+// removed and returned for channel delivery; table records are marked done
+// with the token sent under the lock, so any later observer holding the
+// lock sees the token as already present.
+func (p *pendingTable) complete(seq uint64, r Response) (rec *callRec, mailbox bool) {
+	p.mu.Lock()
+	rec = p.recs[seq]
+	if rec == nil || rec.done {
+		p.mu.Unlock()
+		return nil, false
+	}
+	p.inflight.Add(-1)
+	if rec.mailbox {
+		delete(p.recs, seq)
+		p.mu.Unlock()
+		return rec, true
+	}
+	rec.done = true
+	rec.resp = r
+	rec.ch <- struct{}{}
+	p.mu.Unlock()
+	return rec, false
+}
+
+// takeDone removes a record whose token the caller just consumed and
+// returns its response. Consuming the token is what excludes every other
+// remover, so the record is guaranteed present and done.
+func (p *pendingTable) takeDone(rec *callRec) Response {
+	p.mu.Lock()
+	r := rec.resp
+	delete(p.recs, rec.seq)
+	p.recycleLocked(rec)
+	p.mu.Unlock()
+	return r
+}
+
+// abandon removes a record the waiter no longer wants (attempt deadline
+// expired, hedge loser, submit failure). If a completer got there first
+// the token is already in the channel — consume it and recycle the lease;
+// if the close-time drain got there even earlier the record is simply
+// gone and must not be recycled (the drain may still hold it).
+func (p *pendingTable) abandon(rec *callRec) {
+	p.mu.Lock()
+	cur, ok := p.recs[rec.seq]
+	if !ok || cur != rec {
+		p.mu.Unlock()
+		return
+	}
+	delete(p.recs, rec.seq)
+	if rec.done {
+		<-rec.ch
+		rec.resp.Release()
+	} else {
+		p.inflight.Add(-1)
+	}
+	p.recycleLocked(rec)
+	p.mu.Unlock()
+}
+
+// failMatching completes every record riding QP qp (all records when qp is
+// negative) with the poison response r. Mailbox records are returned for
+// channel delivery outside the lock. This is how recovery's poison burst
+// is sized from the table: exactly the in-flight attempts on the broken
+// QP, not a thread-wide counter that may have drifted.
+func (p *pendingTable) failMatching(qp int32, r Response) (mailbox []*callRec) {
+	p.mu.Lock()
+	for seq, rec := range p.recs {
+		if rec.done || (qp >= 0 && rec.qp.Load() != qp) {
+			continue
+		}
+		p.inflight.Add(-1)
+		if rec.mailbox {
+			delete(p.recs, seq)
+			mailbox = append(mailbox, rec)
+			continue
+		}
+		rec.done = true
+		rec.resp = r
+		rec.ch <- struct{}{}
+	}
+	p.mu.Unlock()
+	return mailbox
+}
+
+// drain releases the pooled leases of completed records no waiter has
+// claimed. It runs at node close, after the dispatchers are gone; a waiter
+// racing it either wins the token (and owns the response) or finds its
+// record gone and walks away. Drained records are not recycled — their
+// waiter may still hold the pointer.
+func (p *pendingTable) drain() {
+	p.mu.Lock()
+	for seq, rec := range p.recs {
+		if !rec.done {
+			continue
+		}
+		select {
+		case <-rec.ch:
+			rec.resp.Release()
+			rec.resp = Response{}
+			delete(p.recs, seq)
+		default:
+			// The waiter holds the token; the response is theirs.
+		}
+	}
+	p.mu.Unlock()
+}
+
+// Pending is one in-flight call: the future returned by CallAsync and
+// SendBatch, and the engine every synchronous wrapper drives to completion
+// on its own stack. A Pending is owned by the goroutine that created it;
+// Wait, Done and Cancel must not be called concurrently.
+//
+// The engine runs the full resilient attempt loop of CallOpts — attempt
+// deadlines, hedged copies, full-jitter backoff spent against the
+// connection retry budget, breaker bookkeeping, idempotency-keyed dedup —
+// at Wait time, in the waiting goroutine. Submitting is cheap and
+// immediate; every retry decision happens when someone asks for the
+// result, so asynchronous callers inherit exactly the same resilience as
+// synchronous ones without a goroutine per call.
+type Pending struct {
+	t       *Thread
+	rpcID   uint32
+	payload []byte
+
+	// Plan (fixed at creation).
+	attempts  int           // total attempt cap; legacy deadline mode uses MaxInt
+	deadline  time.Time     // whole-call budget; zero = unbounded
+	hedge     time.Duration // per-attempt hedge arm delay; <= 0 disabled
+	idemKey   uint64        // nonzero marks attempts dedup-safe on the server
+	resilient bool          // backoff / retry budget / breaker / hedging active
+
+	// Engine state.
+	phase       uint8
+	attempt     int
+	attemptWait time.Duration // current per-attempt wait; zero = unbounded
+	aDeadline   time.Time     // current attempt's response deadline
+	hedgeAt     time.Time     // when to arm the hedge copy; zero = unarmed/spent
+	retryAt     time.Time     // backoff gate before the next attempt
+	rec         *callRec      // primary in-flight attempt
+	recB        *callRec      // hedged copy, nil unless armed
+	started     time.Time     // submission time of attempt zero (latency probe)
+	lastErr     error
+	timer       *time.Timer
+	resp        Response
+	err         error
+}
+
+// Pending phases: submit the next attempt, wait for the in-flight one,
+// finished.
+const (
+	pendStart uint8 = iota
+	pendInflight
+	pendDone
+)
+
+// newPending builds the engine state shared by every entry point.
+// resilient selects the CallOpts plan (retries, hedging, idempotency key);
+// otherwise the plan is the legacy one the wrapper encodes via
+// attempts/budget. Breaker admission is the caller's job — resilient entry
+// points check Allow() once per call (or once per batch) before building
+// plans, so a half-open breaker's probe quota is spent per user action.
+func (t *Thread) newPending(p *Pending, rpcID uint32, payload []byte, opts CallOptions, resilient bool) error {
+	c := t.conn
+	o := &c.node.opts
+	*p = Pending{t: t, rpcID: rpcID, payload: payload, resilient: resilient}
+	if len(payload) > o.MaxPayload {
+		p.fail(ErrPayloadTooLarge)
+		return ErrPayloadTooLarge
+	}
+	budget := opts.Budget
+	if budget == 0 {
+		budget = o.RPCTimeout
+	}
+	if resilient {
+		p.attempts = opts.MaxAttempts
+		if p.attempts <= 0 {
+			p.attempts = o.RetryMaxAttempts
+		}
+		if p.attempts <= 0 {
+			p.attempts = 1
+		}
+		p.hedge = opts.HedgeDelay
+		if p.hedge == 0 {
+			p.hedge = o.HedgeDelay
+		}
+		t.idemSeq++
+		p.idemKey = t.idemSeq
+		if p.attempts > 1 {
+			// The bounded per-attempt wait exists to drive resubmission (and
+			// strike dead server ends). A single-attempt plan with no budget
+			// has nothing to resubmit, so it waits unbounded — parity with
+			// plain Call, whose wait only a completion or QP poison resolves.
+			p.attemptWait = 4 * DefaultStallTimeout
+		}
+	} else {
+		// Legacy plans: a positive budget retries until it runs out
+		// (CallWithDeadline semantics); without one there is a single
+		// unbounded attempt (plain Call).
+		p.attempts = 1
+		if budget > 0 {
+			p.attempts = math.MaxInt
+		}
+	}
+	if budget > 0 {
+		p.deadline = time.Now().Add(budget)
+		p.attemptWait = budget / 4
+		if p.attemptWait < time.Millisecond {
+			p.attemptWait = time.Millisecond
+		}
+	}
+	return nil
+}
+
+// fail finishes the call with err.
+func (p *Pending) fail(err error) {
+	p.err = err
+	p.phase = pendDone
+}
+
+// finish finishes the call successfully with r.
+func (p *Pending) finish(r Response) {
+	p.resp = r
+	p.phase = pendDone
+}
+
+// Wait blocks until the call completes and returns its response or error.
+// It is where retries, hedges and backoff actually run; a Pending that is
+// never waited still completes (the dispatcher resolves its record) but
+// never retries. Wait may be called again after it returns; it keeps
+// returning the same outcome.
+func (p *Pending) Wait() (Response, error) {
+	for p.phase != pendDone {
+		switch p.phase {
+		case pendStart:
+			p.startAttempt(true)
+		case pendInflight:
+			p.awaitAttempt(true)
+		}
+	}
+	if p.timer != nil {
+		p.timer.Stop()
+		p.timer = nil
+	}
+	return p.resp, p.err
+}
+
+// Done polls the call without blocking, advancing any engine step that is
+// ready (arming a hedge, expiring an attempt, submitting a backed-off
+// retry). It reports whether Wait would return immediately.
+func (p *Pending) Done() bool {
+	for p.phase != pendDone {
+		var progressed bool
+		switch p.phase {
+		case pendStart:
+			progressed = p.startAttempt(false)
+		case pendInflight:
+			progressed = p.awaitAttempt(false)
+		}
+		if !progressed {
+			return false
+		}
+	}
+	return true
+}
+
+// Cancel abandons the call: in-flight attempt records are removed from the
+// table (late responses become stale drops) and any already-completed
+// response lease is released. After Cancel, Wait returns ErrClosed-free
+// best effort: the canceled error. Cancel of a finished call releases
+// nothing and keeps the outcome.
+func (p *Pending) Cancel() {
+	if p.phase == pendDone {
+		return
+	}
+	p.abandonAttempts()
+	p.fail(ErrCanceled)
+}
+
+// abandonAttempts removes the in-flight attempt records.
+func (p *Pending) abandonAttempts() {
+	if p.rec != nil {
+		p.t.pend.abandon(p.rec)
+		p.rec = nil
+	}
+	if p.recB != nil {
+		p.t.pend.abandon(p.recB)
+		p.recB = nil
+	}
+}
+
+// startAttempt submits the next attempt once the backoff gate opens. It
+// returns false when non-blocking progress is impossible (backoff still
+// pending).
+func (p *Pending) startAttempt(block bool) bool {
+	if !p.retryAt.IsZero() {
+		if d := time.Until(p.retryAt); d > 0 {
+			if !block {
+				return false
+			}
+			time.Sleep(d)
+		}
+		p.retryAt = time.Time{}
+	}
+	t := p.t
+	rec := t.pend.get()
+	if p.attempt == 0 {
+		p.started = time.Now()
+	}
+	if _, err := t.sendAttempt(p.rpcID, p.payload, p.deadline, p.idemKey, rec); err != nil {
+		// Submission failures are terminal: draining/closed are fatal by
+		// definition, and a submit loop that outlived the whole-call
+		// deadline has no budget left to retry in.
+		p.fail(err)
+		return true
+	}
+	p.rec = rec
+	if p.attemptWait > 0 {
+		p.aDeadline = time.Now().Add(p.attemptWait)
+		if !p.deadline.IsZero() && p.aDeadline.After(p.deadline) {
+			p.aDeadline = p.deadline
+		}
+	} else {
+		p.aDeadline = time.Time{}
+	}
+	p.hedgeAt = time.Time{}
+	if p.resilient && p.hedge > 0 {
+		if at := time.Now().Add(p.hedge); p.aDeadline.IsZero() || at.Before(p.aDeadline) {
+			p.hedgeAt = at
+		}
+	}
+	p.phase = pendInflight
+	return true
+}
+
+// awaitAttempt waits for the in-flight attempt to resolve: a completion
+// token on either copy, the hedge arm point, or the attempt deadline. It
+// returns false when nothing is ready and block is false.
+func (p *Pending) awaitAttempt(block bool) bool {
+	t := p.t
+	for {
+		var bch chan struct{}
+		if p.recB != nil {
+			bch = p.recB.ch
+		}
+		// Fast path: a token is already there.
+		select {
+		case <-p.rec.ch:
+			return p.onToken(false)
+		case <-bch:
+			return p.onToken(true)
+		default:
+		}
+		wake := p.aDeadline
+		if !p.hedgeAt.IsZero() && (wake.IsZero() || p.hedgeAt.Before(wake)) {
+			wake = p.hedgeAt
+		}
+		if !block {
+			if wake.IsZero() || time.Now().Before(wake) {
+				return false
+			}
+		} else if wake.IsZero() {
+			select {
+			case <-p.rec.ch:
+				return p.onToken(false)
+			case <-bch:
+				return p.onToken(true)
+			case <-t.conn.closedCh():
+				return p.onClosed()
+			}
+		} else {
+			if p.timer == nil {
+				p.timer = time.NewTimer(time.Until(wake))
+			} else {
+				if !p.timer.Stop() {
+					select {
+					case <-p.timer.C:
+					default:
+					}
+				}
+				p.timer.Reset(time.Until(wake))
+			}
+			select {
+			case <-p.rec.ch:
+				return p.onToken(false)
+			case <-bch:
+				return p.onToken(true)
+			case <-p.timer.C:
+			case <-t.conn.closedCh():
+				return p.onClosed()
+			}
+		}
+		now := time.Now()
+		if !p.hedgeAt.IsZero() && !now.Before(p.hedgeAt) {
+			p.armHedge()
+			continue
+		}
+		if !p.aDeadline.IsZero() && !now.Before(p.aDeadline) {
+			// Attempt expired: abandon both copies (late responses become
+			// stale drops at the dispatcher) and strike the QP in use —
+			// repeated expiries are the only signal a dead server end
+			// gives, and enough of them break the QP for recycling.
+			p.abandonAttempts()
+			c := t.conn
+			if cur := t.curQP.Load(); cur >= 0 && int(cur) < len(c.qps) {
+				c.noteTimeout(c.qps[cur])
+			}
+			return p.attemptFailed(ErrTimeout)
+		}
+	}
+}
+
+// onClosed resolves the call when the node shut down mid-wait: a
+// completion that raced the shutdown still wins, otherwise the attempt is
+// abandoned and the closure surfaced.
+func (p *Pending) onClosed() bool {
+	select {
+	case <-p.rec.ch:
+		return p.onToken(false)
+	default:
+	}
+	if p.recB != nil {
+		select {
+		case <-p.recB.ch:
+			return p.onToken(true)
+		default:
+		}
+	}
+	p.abandonAttempts()
+	p.fail(p.t.conn.closedErr())
+	return true
+}
+
+// armHedge submits the hedged second copy of the current attempt (same
+// idempotency key — the server's dedup window keeps the pair
+// exactly-once) and disarms the hedge point.
+func (p *Pending) armHedge() {
+	t := p.t
+	p.hedgeAt = time.Time{}
+	rec := t.pend.get()
+	if _, err := t.sendAttempt(p.rpcID, p.payload, p.deadline, p.idemKey, rec); err != nil {
+		return // best effort; the primary copy is still in flight
+	}
+	p.recB = rec
+	t.conn.node.metrics.hedges.Add(1)
+}
+
+// onToken consumes a completion: hedged reports which copy resolved.
+func (p *Pending) onToken(hedged bool) bool {
+	t := p.t
+	c := t.conn
+	var rec *callRec
+	if hedged {
+		rec, p.recB = p.recB, nil
+	} else {
+		rec, p.rec = p.rec, nil
+	}
+	r := t.pend.takeDone(rec)
+	if r.err != nil {
+		p.abandonAttempts()
+		if r.err == ErrQPBroken {
+			return p.attemptFailed(ErrQPBroken)
+		}
+		if r.Status == StatusConnClosed {
+			p.fail(ErrConnClosed)
+			return true
+		}
+		p.fail(r.err)
+		return true
+	}
+	if hedged {
+		c.node.metrics.hedgesWon.Add(1)
+	}
+	if perr := pushbackErr(r.Status); perr != nil {
+		r.Release()
+		p.abandonAttempts()
+		if p.resilient && perr == ErrOverloaded {
+			// Admission pushback is retryable on the resilient plan; the
+			// breaker must not count it — the server is alive and shedding.
+			return p.attemptFailed(ErrOverloaded)
+		}
+		p.fail(perr)
+		return true
+	}
+	// Success. The losing hedge copy (or primary) is abandoned; its late
+	// response is dropped as stale.
+	p.abandonAttempts()
+	if cur := t.curQP.Load(); cur >= 0 && int(cur) < len(c.qps) {
+		c.qps[cur].timeouts.Store(0) // healthy again
+	}
+	if p.resilient {
+		c.breaker.Success()
+		if p.attempt == 0 {
+			// Only clean first attempts earn budget: retries paying for
+			// retries would defeat the self-extinguishing property.
+			c.retryBudget.OnSuccess()
+		}
+	}
+	c.node.completionNS.Observe(uint64(time.Since(p.started)))
+	p.finish(r)
+	return true
+}
+
+// attemptFailed records a retryable attempt outcome and decides whether
+// another attempt runs: the attempt cap, the whole-call deadline, and (on
+// the resilient plan) the retry budget all gate it, with full-jitter
+// backoff pacing the next submission.
+func (p *Pending) attemptFailed(err error) bool {
+	t := p.t
+	c := t.conn
+	p.lastErr = err
+	if p.resilient && err != ErrOverloaded {
+		// Timeouts and broken QPs are failure evidence; overload pushback
+		// means the server is alive and shedding.
+		c.breakerFailure()
+	}
+	if !p.resilient && err == ErrQPBroken {
+		// Legacy deadline semantics counted broken-QP attempt failures as
+		// timeout strikes (the QP is already broken, so only the counter
+		// moves).
+		if cur := t.curQP.Load(); cur >= 0 && int(cur) < len(c.qps) {
+			c.noteTimeout(c.qps[cur])
+		}
+	}
+	if p.attempt+1 >= p.attempts {
+		p.fail(p.lastErr)
+		return true
+	}
+	if !p.deadline.IsZero() && !time.Now().Before(p.deadline) {
+		p.fail(p.lastErr)
+		return true
+	}
+	if p.resilient {
+		if !c.retryBudget.TryRetry() {
+			c.node.metrics.budgetExhausted.Add(1)
+			p.fail(p.lastErr)
+			return true
+		}
+		c.node.metrics.retries.Add(1)
+		o := &c.node.opts
+		backoff := resilience.Backoff{Base: o.RetryBaseBackoff, Cap: o.RetryMaxBackoff}
+		if d := backoff.Delay(p.attempt, t.rng); d > 0 {
+			if !p.deadline.IsZero() {
+				if remain := time.Until(p.deadline); d > remain {
+					d = remain
+				}
+			}
+			if d > 0 {
+				p.retryAt = time.Now().Add(d)
+			}
+		}
+	}
+	p.attempt++
+	p.attemptWait *= 2
+	p.phase = pendStart
+	return true
+}

@@ -1,0 +1,599 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"flock/internal/fabric"
+)
+
+// Tests for the unified completion path (ISSUE 7): the per-thread
+// pending-call table, asynchronous calls (CallAsync/SendBatch) with full
+// resilience parity, deep pipelining, and the regressions the refactor
+// fixes by construction — the RecvRes close-race drain and the lost
+// inflight decrement when recovery races an abandoned attempt. The
+// package leak gate (TestMain) asserts zero outstanding leases after
+// every test here.
+
+// TestRecvResCloseDrainSkipsPoison pins the close-drain contract: a
+// response buffer holding [QP poison, real response] at node closure must
+// surface the real response (and its pooled lease) to the caller, and
+// report closure only once the buffer holds nothing real.
+func TestRecvResCloseDrainSkipsPoison(t *testing.T) {
+	tc := newTestCluster(t, 1, Options{}, Options{})
+	registerEcho(tc.server)
+	conn, err := tc.clients[0].Connect(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := conn.RegisterThread()
+
+	// A recovery poison lands ahead of a delivered response in the
+	// mailbox, the ordering the pre-table drain lost responses to.
+	th.respCh <- Response{err: ErrQPBroken}
+	if _, err := th.SendRPC(echoID, []byte("survivor")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "echo delivery behind the poison", func() bool { return len(th.respCh) == 2 })
+
+	r, err := th.recvDrainClosed()
+	if err != nil {
+		t.Fatalf("close drain surfaced %v before the buffered real response", err)
+	}
+	if !bytes.Equal(r.Data, []byte("survivor")) {
+		t.Fatalf("close drain returned %q, want the real echo", r.Data)
+	}
+	r.Release()
+	if _, err := th.recvDrainClosed(); err != ErrClosed {
+		t.Fatalf("drained-empty close path: %v, want ErrClosed", err)
+	}
+}
+
+// TestCallAsyncUnboundedWaitsOut pins wait parity with plain Call: a
+// default-options async call (no RPCTimeout, no RetryMaxAttempts) has a
+// single-attempt plan with nothing to resubmit, so its Wait must ride out
+// a slow handler rather than expire on the resilient path's bounded
+// per-attempt wait. The original regression surfaced as spurious
+// ErrTimeout from FlockTransport.CallMulti under CPU contention.
+func TestCallAsyncUnboundedWaitsOut(t *testing.T) {
+	const slowID = 23
+	tc := newTestCluster(t, 1, Options{}, Options{})
+	tc.server.RegisterHandler(slowID, func(req []byte) []byte {
+		time.Sleep(5 * DefaultStallTimeout) // past the 4x bounded attempt wait
+		out := make([]byte, len(req))
+		copy(out, req)
+		return out
+	})
+	conn, err := tc.clients[0].Connect(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := conn.RegisterThread()
+	p, err := th.CallAsync(slowID, []byte("patience"), CallOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := p.Wait()
+	if err != nil {
+		t.Fatalf("unbounded async call expired: %v", err)
+	}
+	if !bytes.Equal(r.Data, []byte("patience")) {
+		t.Fatalf("got %q", r.Data)
+	}
+	r.Release()
+}
+
+// TestOverloadAbandonAccountingRace is the lost-decrement regression: QP
+// poisoning (failInflight) racing deadline-abandoned attempts must leave
+// the pending-call table at exactly zero. Under the old per-thread
+// counter, a poison burst sized from a stale counter read could eat the
+// decrement of an attempt that was concurrently abandoned, wedging
+// Outstanding above zero forever.
+func TestOverloadAbandonAccountingRace(t *testing.T) {
+	const slowID = 21
+	tc := newTestCluster(t, 1, Options{Workers: 2}, Options{QPsPerConn: 2, FlapThreshold: -1})
+	registerEcho(tc.server)
+	tc.server.RegisterHandler(slowID, func(req []byte) []byte {
+		time.Sleep(500 * time.Microsecond)
+		out := make([]byte, len(req))
+		copy(out, req)
+		return out
+	})
+	conn, err := tc.clients[0].Connect(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var poisoner sync.WaitGroup
+	poisoner.Add(1)
+	go func() {
+		defer poisoner.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			conn.failInflight(conn.qps[i%len(conn.qps)], ErrQPBroken)
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	const nThreads, perThread = 4, 30
+	threads := make([]*Thread, nThreads)
+	var wg sync.WaitGroup
+	for g := 0; g < nThreads; g++ {
+		th := conn.RegisterThread()
+		threads[g] = th
+		wg.Add(1)
+		go func(g int, th *Thread) {
+			defer wg.Done()
+			for i := 0; i < perThread; i++ {
+				r, err := th.CallWithDeadline(slowID, []byte(fmt.Sprintf("ar-%d-%d", g, i)), 2*time.Millisecond)
+				switch {
+				case err == nil:
+					r.Release()
+				case errors.Is(err, ErrTimeout) || errors.Is(err, ErrQPBroken):
+				default:
+					t.Errorf("unexpected error under poison race: %v", err)
+					return
+				}
+			}
+		}(g, threads[g])
+	}
+	wg.Wait()
+	close(stop)
+	poisoner.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// The regression gate: every thread's table must converge to exactly
+	// zero — no decrement was lost to the race, none double-counted.
+	for i, th := range threads {
+		th := th
+		waitFor(t, fmt.Sprintf("thread %d pending table to empty", i), func() bool {
+			return th.Outstanding() == 0
+		})
+	}
+	callUntilOK(t, threads[0], []byte("post-race"))
+}
+
+// TestCallInterleavesWithAsync drives a mixed workload on one thread — a
+// window of CallAsync futures with synchronous Calls issued between them —
+// over a seeded lossy fabric, and asserts every response routes to exactly
+// the request that owns it. Under the old respCh scan this interleaving
+// was a documented footgun; the completion table must make it correct by
+// construction.
+func TestCallInterleavesWithAsync(t *testing.T) {
+	sOpts := Options{Workers: 4}
+	cOpts := Options{
+		RetryMaxAttempts: 6,
+		RPCTimeout:       250 * time.Millisecond,
+		RetryBaseBackoff: 100 * time.Microsecond,
+		RetryMaxBackoff:  2 * time.Millisecond,
+		FlapThreshold:    -1, // loss may break QPs; recycle, never retire
+	}
+	tc := newTestCluster(t, 1, sOpts, cOpts)
+	registerEcho(tc.server)
+	tc.net.Fabric().SetFaultPlan(&fabric.FaultPlan{Seed: 7, RCLossProb: 0.005})
+	defer tc.net.Fabric().SetFaultPlan(nil)
+	conn, err := tc.clients[0].Connect(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := conn.RegisterThread()
+
+	verify := func(payload []byte, r Response, err error) {
+		t.Helper()
+		if err != nil {
+			if err != ErrOverloaded && !errors.Is(err, ErrTimeout) && !errors.Is(err, ErrQPBroken) {
+				t.Fatalf("fatal error for %q: %v", payload, err)
+			}
+			// Transient exhaustion under loss: re-offer until it lands.
+			deadline := time.Now().Add(chaosDeadline)
+			for {
+				r, err = th.CallOpts(echoID, payload, CallOptions{})
+				if err == nil {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("%q never completed: %v", payload, err)
+				}
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+		if !bytes.Equal(r.Data, payload) {
+			t.Fatalf("response misrouted: got %q, want %q", r.Data, payload)
+		}
+		r.Release()
+	}
+
+	type inflight struct {
+		p       *Pending
+		payload []byte
+	}
+	const total, depth = 160, 8
+	var window []inflight
+	for i := 0; i < total; i++ {
+		payload := []byte(fmt.Sprintf("async-%03d", i))
+		p, err := th.CallAsync(echoID, payload, CallOptions{})
+		if err != nil {
+			t.Fatalf("CallAsync: %v", err)
+		}
+		window = append(window, inflight{p, payload})
+		if len(window) >= depth {
+			f := window[0]
+			window = window[:copy(window, window[1:])]
+			r, err := f.p.Wait()
+			verify(f.payload, r, err)
+		}
+		if i%5 == 0 {
+			// A synchronous call right through the middle of the async
+			// window, on the same thread.
+			sp := []byte(fmt.Sprintf("sync-%03d", i))
+			r, err := th.CallOpts(echoID, sp, CallOptions{})
+			verify(sp, r, err)
+		}
+	}
+	for _, f := range window {
+		r, err := f.p.Wait()
+		verify(f.payload, r, err)
+	}
+	waitFor(t, "pending table to empty", func() bool { return th.Outstanding() == 0 })
+}
+
+// TestDedupAsyncRetrySingleExecution is the async parity check for
+// idempotent dedup: a CallAsync whose first attempt times out client-side
+// while the handler is still executing must retry under the same
+// idempotency key, get NACKed or served from the dedup window, and
+// resolve with the first execution's bytes — the handler runs exactly
+// once.
+func TestDedupAsyncRetrySingleExecution(t *testing.T) {
+	const countID = 22
+	var execs atomic.Uint64
+	cOpts := Options{
+		// The NACK-retry cycle is fast (round trip + small backoff), so the
+		// attempt cap and the retry-token burst must cover every retry the
+		// window between first-attempt expiry and first-execution completion
+		// can fit.
+		RetryMaxAttempts: 64,
+		RetryBudgetBurst: 64,
+		RetryBaseBackoff: 2 * time.Millisecond,
+		RetryMaxBackoff:  10 * time.Millisecond,
+		FlapThreshold:    -1,
+	}
+	tc := newTestCluster(t, 1, Options{Workers: 2}, cOpts)
+	tc.server.RegisterHandler(countID, func(req []byte) []byte {
+		if execs.Add(1) == 1 {
+			// Outlive the 250ms per-attempt window (budget/4) but not the
+			// 1s budget: the client retries while this copy executes.
+			time.Sleep(300 * time.Millisecond)
+		}
+		return []byte{byte(execs.Load())}
+	})
+	conn, err := tc.clients[0].Connect(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := conn.RegisterThread()
+
+	p, err := th.CallAsync(countID, []byte("dup"), CallOptions{Budget: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := p.Wait()
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if r.Status != StatusOK {
+		t.Fatalf("status %d, want StatusOK", r.Status)
+	}
+	if !bytes.Equal(r.Data, []byte{1}) {
+		t.Fatalf("got %v, want the first execution's bytes", r.Data)
+	}
+	r.Release()
+	if n := execs.Load(); n != 1 {
+		t.Fatalf("handler executed %d times, want exactly 1 — retries must dedup", n)
+	}
+	if m := tc.clients[0].Metrics(); m.Retries == 0 {
+		t.Fatal("no retry recorded — the dedup run was vacuous")
+	}
+	if m := tc.server.Metrics(); m.DedupHits == 0 {
+		t.Fatalf("no dedup hit recorded (metrics %+v)", m)
+	}
+	waitFor(t, "straggler responses to resolve", func() bool { return th.Outstanding() == 0 })
+}
+
+// TestHedgedAsyncWins is the async parity check for hedging: a CallAsync
+// armed with a hedge delay against a laggy first copy must resolve with
+// the fast hedge's response and count the win, identically to the
+// synchronous CallOpts path.
+func TestHedgedAsyncWins(t *testing.T) {
+	const laggyID = 23
+	var calls atomic.Uint64
+	tc := newTestCluster(t, 1, Options{Workers: 2, DedupWindow: -1}, Options{})
+	tc.server.RegisterHandler(laggyID, func(req []byte) []byte {
+		if calls.Add(1) == 1 {
+			time.Sleep(40 * time.Millisecond) // only the first copy is slow
+		}
+		out := make([]byte, len(req))
+		copy(out, req)
+		return out
+	})
+	conn, err := tc.clients[0].Connect(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := conn.RegisterThread()
+
+	payload := []byte("hedge-async")
+	p, err := th.CallAsync(laggyID, payload, CallOptions{
+		Budget:     2 * time.Second,
+		HedgeDelay: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := p.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r.Data, payload) {
+		t.Fatalf("hedged echo mismatch: %q != %q", r.Data, payload)
+	}
+	r.Release()
+	if m := tc.clients[0].Metrics(); m.Hedges != 1 || m.HedgesWon != 1 {
+		t.Fatalf("hedges=%d won=%d, want 1/1", m.Hedges, m.HedgesWon)
+	}
+	// The straggler's record was abandoned with the hedge win; its late
+	// response is dropped at the dispatcher with the lease released.
+	waitFor(t, "straggler response drop", func() bool { return th.Outstanding() == 0 })
+}
+
+// TestBreakerRefusesAsync trips the circuit breaker via the synchronous
+// path and asserts the async entry points share it: CallAsync and
+// SendBatch must refuse locally with ErrCircuitOpen, before any record is
+// registered or payload touched.
+func TestBreakerRefusesAsync(t *testing.T) {
+	const flakyID = 24
+	cOpts := Options{
+		RetryMaxAttempts: 1,
+		RPCTimeout:       20 * time.Millisecond,
+		BreakerThreshold: 2,
+		BreakerCooldown:  10 * time.Second, // stays open for the whole test
+		FlapThreshold:    -1,
+	}
+	tc := newTestCluster(t, 1, Options{Workers: 1}, cOpts)
+	tc.server.RegisterHandler(flakyID, func(req []byte) []byte {
+		time.Sleep(30 * time.Millisecond)
+		return []byte("pong")
+	})
+	conn, err := tc.clients[0].Connect(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := conn.RegisterThread()
+	for i := 0; i < 2; i++ {
+		if err := callDrop(th, flakyID, []byte("trip")); err != ErrTimeout {
+			t.Fatalf("trip call %d: %v, want ErrTimeout", i, err)
+		}
+	}
+
+	if p, err := th.CallAsync(flakyID, []byte("x"), CallOptions{}); err != ErrCircuitOpen || p != nil {
+		t.Fatalf("CallAsync with open breaker: p=%v err=%v, want nil/ErrCircuitOpen", p, err)
+	}
+	ops := []BatchOp{{RPCID: flakyID, Payload: []byte("a")}, {RPCID: flakyID, Payload: []byte("b")}}
+	if ps, err := th.SendBatch(ops, CallOptions{}); err != ErrCircuitOpen || ps != nil {
+		t.Fatalf("SendBatch with open breaker: ps=%v err=%v, want nil/ErrCircuitOpen", ps, err)
+	}
+	if th.Outstanding() != 0 {
+		t.Fatalf("refused async calls left %d records in the table", th.Outstanding())
+	}
+	// Wait out the slow handler's stragglers so the leak gate sees every
+	// lease home.
+	waitFor(t, "trip-call stragglers", func() bool { return th.Outstanding() == 0 })
+}
+
+// TestSendBatchEcho submits one batch of distinct payloads and asserts
+// every Pending resolves with its own echo, and that the batch actually
+// coalesced: the whole chain enters the combining queue in one push, so
+// the items-per-message ratio must exceed one.
+func TestSendBatchEcho(t *testing.T) {
+	tc := newTestCluster(t, 1, Options{}, Options{})
+	registerEcho(tc.server)
+	conn, err := tc.clients[0].Connect(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := conn.RegisterThread()
+	callUntilOK(t, th, []byte("warm"))
+
+	m0 := tc.clients[0].Metrics()
+	const n = 16
+	ops := make([]BatchOp, n)
+	for i := range ops {
+		ops[i] = BatchOp{RPCID: echoID, Payload: []byte(fmt.Sprintf("batch-%02d", i))}
+	}
+	pends, err := th.SendBatch(ops, CallOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pends) != n {
+		t.Fatalf("got %d pendings, want %d", len(pends), n)
+	}
+	for i, p := range pends {
+		r, err := p.Wait()
+		if err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		if !bytes.Equal(r.Data, ops[i].Payload) {
+			t.Fatalf("op %d misrouted: got %q, want %q", i, r.Data, ops[i].Payload)
+		}
+		r.Release()
+	}
+	m1 := tc.clients[0].Metrics()
+	items := m1.ItemsOut - m0.ItemsOut
+	msgs := m1.MsgsOut - m0.MsgsOut
+	if items < n {
+		t.Fatalf("batch sent %d items, want >= %d", items, n)
+	}
+	if msgs >= items {
+		t.Fatalf("batch did not coalesce: %d messages for %d items", msgs, items)
+	}
+}
+
+// TestSendBatchUnderChaos rides a batch over a lossy fabric with the
+// resilient plan: lost attempts retry at Wait time exactly like CallAsync,
+// and every op must eventually land with its own echo.
+func TestSendBatchUnderChaos(t *testing.T) {
+	cOpts := Options{
+		RetryMaxAttempts: 6,
+		RPCTimeout:       250 * time.Millisecond,
+		RetryBaseBackoff: 100 * time.Microsecond,
+		RetryMaxBackoff:  2 * time.Millisecond,
+		FlapThreshold:    -1,
+	}
+	tc := newTestCluster(t, 1, Options{Workers: 4}, cOpts)
+	registerEcho(tc.server)
+	tc.net.Fabric().SetFaultPlan(&fabric.FaultPlan{Seed: 9, RCLossProb: 0.01})
+	defer tc.net.Fabric().SetFaultPlan(nil)
+	conn, err := tc.clients[0].Connect(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := conn.RegisterThread()
+
+	for round := 0; round < 8; round++ {
+		const n = 12
+		ops := make([]BatchOp, n)
+		for i := range ops {
+			ops[i] = BatchOp{RPCID: echoID, Payload: []byte(fmt.Sprintf("cb-%d-%02d", round, i))}
+		}
+		pends, err := th.SendBatch(ops, CallOptions{})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for i, p := range pends {
+			r, err := p.Wait()
+			if err != nil {
+				if err != ErrOverloaded && !errors.Is(err, ErrTimeout) && !errors.Is(err, ErrQPBroken) {
+					t.Fatalf("round %d op %d fatal: %v", round, i, err)
+				}
+				deadline := time.Now().Add(chaosDeadline)
+				for {
+					r, err = th.CallOpts(echoID, ops[i].Payload, CallOptions{})
+					if err == nil {
+						break
+					}
+					if time.Now().After(deadline) {
+						t.Fatalf("round %d op %d never completed: %v", round, i, err)
+					}
+					time.Sleep(200 * time.Microsecond)
+				}
+			}
+			if !bytes.Equal(r.Data, ops[i].Payload) {
+				t.Fatalf("round %d op %d misrouted: got %q, want %q", round, i, r.Data, ops[i].Payload)
+			}
+			r.Release()
+		}
+	}
+	waitFor(t, "pending table to empty", func() bool { return th.Outstanding() == 0 })
+}
+
+// TestDrainRefusesBatch pins drain pushback on the async entry points: a
+// draining client node refuses CallAsync and SendBatch with ErrDraining
+// (not closure), and serves both again after Resume.
+func TestDrainRefusesBatch(t *testing.T) {
+	tc := newTestCluster(t, 1, Options{}, Options{})
+	registerEcho(tc.server)
+	conn, err := tc.clients[0].Connect(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := conn.RegisterThread()
+	callUntilOK(t, th, []byte("warm"))
+
+	if err := tc.clients[0].Drain(nil); err != nil {
+		t.Fatalf("idle client Drain: %v", err)
+	}
+	if _, err := th.CallAsync(echoID, []byte("x"), CallOptions{}); err != ErrDraining {
+		t.Fatalf("CallAsync on draining node: %v, want ErrDraining", err)
+	}
+	ops := []BatchOp{{RPCID: echoID, Payload: []byte("y")}}
+	if _, err := th.SendBatch(ops, CallOptions{}); err != ErrDraining {
+		t.Fatalf("SendBatch on draining node: %v, want ErrDraining", err)
+	}
+	tc.clients[0].Resume()
+	pends, err := th.SendBatch(ops, CallOptions{})
+	if err != nil {
+		t.Fatalf("SendBatch after Resume: %v", err)
+	}
+	r, err := pends[0].Wait()
+	if err != nil {
+		t.Fatalf("Wait after Resume: %v", err)
+	}
+	r.Release()
+}
+
+// TestPipelineDepthGate pins the backpressure contract: with
+// Options.PipelineDepth set, the N+1th CallAsync blocks until an earlier
+// record completes, instead of growing the table without bound.
+func TestPipelineDepthGate(t *testing.T) {
+	const gateID = 25
+	release := make(chan struct{})
+	tc := newTestCluster(t, 1, Options{Workers: 8}, Options{PipelineDepth: 4})
+	tc.server.RegisterHandler(gateID, func(req []byte) []byte {
+		<-release
+		out := make([]byte, len(req))
+		copy(out, req)
+		return out
+	})
+	conn, err := tc.clients[0].Connect(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := conn.RegisterThread()
+
+	var pends []*Pending
+	for i := 0; i < 4; i++ {
+		p, err := th.CallAsync(gateID, []byte(fmt.Sprintf("g-%d", i)), CallOptions{Budget: chaosDeadline})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pends = append(pends, p)
+	}
+
+	overflowed := make(chan *Pending)
+	go func() {
+		p, err := th.CallAsync(gateID, []byte("g-4"), CallOptions{Budget: chaosDeadline})
+		if err != nil {
+			t.Errorf("overflow CallAsync: %v", err)
+		}
+		overflowed <- p
+	}()
+	select {
+	case <-overflowed:
+		t.Fatal("5th CallAsync returned with the table at the depth limit")
+	case <-time.After(30 * time.Millisecond):
+	}
+
+	close(release)
+	p := <-overflowed
+	if p != nil {
+		pends = append(pends, p)
+	}
+	for i, p := range pends {
+		r, err := p.Wait()
+		if err != nil {
+			t.Fatalf("pending %d: %v", i, err)
+		}
+		r.Release()
+	}
+}

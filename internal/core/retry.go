@@ -2,11 +2,9 @@ package core
 
 import (
 	"time"
-
-	"flock/internal/resilience"
 )
 
-// This file is the resilient client call path: retries with exponential
+// This file is the resilient client call surface: retries with exponential
 // full-jitter backoff, gated by a per-connection token-bucket retry
 // budget and (when enabled) a circuit breaker, with optional hedged
 // requests. Every attempt of one call carries the same idempotency key,
@@ -14,8 +12,11 @@ import (
 // exactly-once within it — a retry whose original executed gets the
 // cached response instead of a second execution.
 //
-// Options.RetryMaxAttempts > 0 routes Thread.Call / CallWithDeadline here
-// automatically; CallOpts is the explicit entry point.
+// The attempt loop itself lives in pending.go (the unified completion
+// engine); CallOpts and CallAsync are plans over it. Options.
+// RetryMaxAttempts > 0 routes Thread.Call / CallWithDeadline here
+// automatically; CallOpts is the explicit synchronous entry point and
+// CallAsync the pipelined one.
 
 // CallOptions parameterizes one resilient call. Zero fields inherit the
 // node Options' retry knobs.
@@ -33,240 +34,68 @@ type CallOptions struct {
 	HedgeDelay time.Duration
 }
 
-// retryableErr reports whether a failed attempt may be retried on the
-// same connection: per-attempt timeouts and broken QPs (recovery recycles
-// them in the background) and overload pushback (the server sheds load
-// and expects a backed-off retry). Drain pushback is deliberately not
-// retryable here — the node stays drained, so the retry belongs on
-// another connection.
-func retryableErr(err error) bool {
-	return err == ErrTimeout || err == ErrQPBroken || err == ErrOverloaded
-}
-
 // CallOpts is the resilient synchronous call (§4.1 semantics plus
 // overload control): at-most MaxAttempts idempotency-keyed attempts with
 // full-jitter backoff, spent against the connection's retry budget, fast-
-// failed by the circuit breaker, optionally hedged. Like Call, it must
-// not be interleaved with outstanding async requests on the same thread.
+// failed by the circuit breaker, optionally hedged. It drives the unified
+// completion engine on the caller's stack, so it interleaves freely with
+// outstanding CallAsync/SendBatch requests on the same thread.
 func (t *Thread) CallOpts(rpcID uint32, payload []byte, opts CallOptions) (Response, error) {
-	c := t.conn
-	o := c.node.opts
-
-	attempts := opts.MaxAttempts
-	if attempts <= 0 {
-		attempts = o.RetryMaxAttempts
-	}
-	if attempts <= 0 {
-		attempts = 1
-	}
-	budget := opts.Budget
-	if budget == 0 {
-		budget = o.RPCTimeout
-	}
-	hedge := opts.HedgeDelay
-	if hedge == 0 {
-		hedge = o.HedgeDelay
-	}
-	if !c.breaker.Allow() {
+	if !t.conn.breaker.Allow() {
 		return Response{}, ErrCircuitOpen
 	}
-
-	var deadline time.Time
-	attemptWait := 4 * DefaultStallTimeout
-	if budget > 0 {
-		deadline = time.Now().Add(budget)
-		attemptWait = budget / 4
-		if attemptWait < time.Millisecond {
-			attemptWait = time.Millisecond
-		}
-	}
-	backoff := resilience.Backoff{Base: o.RetryBaseBackoff, Cap: o.RetryMaxBackoff}
-	t.idemSeq++
-	idemKey := t.idemSeq
-	timer := time.NewTimer(attemptWait)
-	defer timer.Stop()
-
-	lastErr := ErrTimeout
-	for attempt := 0; attempt < attempts; attempt++ {
-		if attempt > 0 {
-			if !deadline.IsZero() && !time.Now().Before(deadline) {
-				break
-			}
-			if !c.retryBudget.TryRetry() {
-				c.node.metrics.budgetExhausted.Add(1)
-				break
-			}
-			c.node.metrics.retries.Add(1)
-			if d := backoff.Delay(attempt-1, t.rng); d > 0 {
-				if !deadline.IsZero() {
-					if remain := time.Until(deadline); d > remain {
-						d = remain
-					}
-				}
-				if d > 0 {
-					time.Sleep(d)
-				}
-			}
-		}
-		r, err := t.attemptOnce(rpcID, payload, deadline, idemKey, attemptWait, hedge, timer)
-		if err == nil {
-			cur := t.curQP.Load()
-			if cur >= 0 && int(cur) < len(c.qps) {
-				c.qps[cur].timeouts.Store(0) // healthy again
-			}
-			c.breaker.Success()
-			if attempt == 0 {
-				// Only clean first attempts earn budget: retries paying for
-				// retries would defeat the self-extinguishing property.
-				c.retryBudget.OnSuccess()
-			}
-			return r, nil
-		}
-		if !retryableErr(err) {
-			return Response{}, err
-		}
-		if err != ErrOverloaded {
-			// Timeouts and broken QPs are failure evidence; overload
-			// pushback means the server is alive and shedding, which the
-			// breaker must not mistake for an outage.
-			c.breakerFailure()
-		}
-		lastErr = err
-		attemptWait *= 2
-	}
-	return Response{}, lastErr
-}
-
-// attemptOnce runs one attempt: send, optionally hedge after the hedge
-// delay, and wait until the attempt deadline for a response to either
-// copy. It returns the matched response, or a typed error — ErrTimeout /
-// ErrQPBroken / ErrOverloaded for retryable outcomes, anything else
-// fatal to the call.
-func (t *Thread) attemptOnce(rpcID uint32, payload []byte, deadline time.Time, idemKey uint64, attemptWait, hedge time.Duration, timer *time.Timer) (Response, error) {
-	seqA, err := t.sendRPCKey(rpcID, payload, deadline, idemKey)
-	if err != nil {
+	var p Pending
+	if err := t.newPending(&p, rpcID, payload, opts, true); err != nil {
 		return Response{}, err
 	}
-	pending := 1
-	var seqB uint64
-	aDeadline := time.Now().Add(attemptWait)
-	if !deadline.IsZero() && aDeadline.After(deadline) {
-		aDeadline = deadline
-	}
-	var hedgeAt time.Time
-	if hedge > 0 {
-		if at := time.Now().Add(hedge); at.Before(aDeadline) {
-			hedgeAt = at
-		}
-	}
-	for {
-		wait := aDeadline
-		if !hedgeAt.IsZero() && hedgeAt.Before(wait) {
-			wait = hedgeAt
-		}
-		r, verdict, rerr := t.recvSeq2(seqA, seqB, wait, timer)
-		if rerr != nil {
-			return Response{}, rerr
-		}
-		switch verdict {
-		case recvMatched:
-			if seqB != 0 && r.Seq == seqB {
-				t.conn.node.metrics.hedgesWon.Add(1)
-			}
-			if perr := pushbackErr(r.Status); perr != nil {
-				r.Release()
-				return Response{}, perr
-			}
-			return r, nil
-		case recvBroken:
-			// failInflight already zeroed the outstanding count for the
-			// poisoned requests; nothing to release here.
-			return Response{}, ErrQPBroken
-		}
-		// Expired: either the hedge point or the attempt deadline.
-		if !hedgeAt.IsZero() && time.Now().Before(aDeadline) {
-			hedgeAt = time.Time{} // one hedge per attempt
-			if s, herr := t.sendRPCKey(rpcID, payload, deadline, idemKey); herr == nil {
-				seqB = s
-				pending++
-				t.conn.node.metrics.hedges.Add(1)
-			}
-			continue
-		}
-		// Genuine attempt timeout: abandon the in-flight copies. CAS
-		// (rather than Add) avoids racing a concurrent failInflight
-		// Swap(0) into negative counts; late responses are dropped as
-		// stale by sequence matching.
-		for i := 0; i < pending; i++ {
-			if o := t.outstanding.Load(); o > 0 {
-				t.outstanding.CompareAndSwap(o, o-1)
-			}
-		}
-		cur := t.curQP.Load()
-		if cur >= 0 && int(cur) < len(t.conn.qps) {
-			t.conn.noteTimeout(t.conn.qps[cur])
-		}
-		return Response{}, ErrTimeout
-	}
+	return p.Wait()
 }
 
-// recvVerdict classifies one recvSeq2 wait.
-type recvVerdict int
-
-const (
-	recvMatched recvVerdict = iota // response to one of the wanted seqs
-	recvExpired                    // deadline passed with no match
-	recvBroken                     // in-flight requests died with their QP
-)
-
-// recvSeq2 waits until aDeadline for a response matching seqA or seqB
-// (seqB zero = unset; sequence IDs start at one). Poison bursts from a
-// broken QP are absorbed whole, stale responses from abandoned attempts
-// are dropped, and fatal conditions surface as errors.
-func (t *Thread) recvSeq2(seqA, seqB uint64, aDeadline time.Time, timer *time.Timer) (Response, recvVerdict, error) {
-	for {
-		d := time.Until(aDeadline)
-		if d <= 0 {
-			return Response{}, recvExpired, nil
-		}
-		if !timer.Stop() {
-			select {
-			case <-timer.C:
-			default:
-			}
-		}
-		timer.Reset(d)
-		select {
-		case r := <-t.respCh:
-			for {
-				if r.err != nil {
-					if r.err != ErrQPBroken {
-						return Response{}, recvExpired, r.err
-					}
-					// Absorb the whole poison burst already queued —
-					// returning on the first one would leave the mailbox
-					// saturated and starve real responses.
-					select {
-					case r = <-t.respCh:
-						continue
-					default:
-					}
-					return Response{}, recvBroken, nil
-				}
-				if r.Status == StatusConnClosed {
-					return Response{}, recvExpired, ErrConnClosed
-				}
-				if r.Seq == seqA || (seqB != 0 && r.Seq == seqB) {
-					return r, recvMatched, nil
-				}
-				// Stale response from an abandoned attempt; drop it.
-				r.Release()
-				break
-			}
-		case <-timer.C:
-			return Response{}, recvExpired, nil
-		case <-t.conn.closedCh():
-			return Response{}, recvExpired, t.conn.closedErr()
-		}
+// CallAsync submits a resilient call without waiting and returns its
+// Pending future. The first attempt is pushed into the TCQ before
+// CallAsync returns (so pipelined submissions coalesce under the leader's
+// doorbell); retries, hedging, backoff, budget and breaker bookkeeping —
+// the same plan CallOpts runs — execute inside Wait/Done in the caller's
+// goroutine. A Pending that is never waited still completes and its
+// response lease is reclaimed at close, but it never retries.
+//
+// Outstanding Pendings may be freely interleaved with Call/CallOpts/
+// SendRPC on the same thread. Submission respects Options.PipelineDepth:
+// when the thread's table is full, CallAsync blocks until a slot frees.
+func (t *Thread) CallAsync(rpcID uint32, payload []byte, opts CallOptions) (*Pending, error) {
+	if !t.conn.breaker.Allow() {
+		return nil, ErrCircuitOpen
 	}
+	p := new(Pending)
+	if err := t.newPending(p, rpcID, payload, opts, true); err != nil {
+		return nil, err
+	}
+	if err := t.gatePipeline(1); err != nil {
+		p.fail(err)
+		return nil, err
+	}
+	p.startAttempt(true)
+	if p.phase == pendDone {
+		return nil, p.err
+	}
+	return p, nil
+}
+
+// gatePipeline blocks until the thread's pending-call table has room for
+// extra more submissions under Options.PipelineDepth. The wait spins with
+// the submit loop's backoff — depth-limited callers are by definition
+// waiting on their own earlier responses, which arrive on dispatcher
+// timescales.
+func (t *Thread) gatePipeline(extra int) error {
+	limit := t.conn.node.opts.PipelineDepth
+	if limit <= 0 {
+		return nil
+	}
+	for i := 0; t.pend.depth()+extra > limit; i++ {
+		if t.conn.isClosed() {
+			return t.conn.closedErr()
+		}
+		idleBackoff(i)
+	}
+	return nil
 }

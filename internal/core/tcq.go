@@ -62,6 +62,14 @@ type tcqNode struct {
 
 	kind opKind
 
+	// leaderCopies marks a node whose payload the leader writes into
+	// staging itself instead of running the copy handshake. Batch
+	// submissions (SendBatch) set it: the submitting thread polls a whole
+	// chain of its own nodes at once, and if one of them is promoted to
+	// leader it claims its siblings — waiting for itself to copy would
+	// deadlock, so the leader does the copy.
+	leaderCopies bool
+
 	// opRPC fields.
 	rpcID    uint32
 	seqID    uint64
@@ -87,6 +95,20 @@ func (q *tcq) push(n *tcqNode) (leader bool) {
 		return true
 	}
 	prev.next.Store(n)
+	return false
+}
+
+// pushChain enqueues a pre-linked chain of nodes (first..last, next
+// pointers already stored) with one tail swap — the whole batch enters the
+// queue atomically, so a single leader claim can take all of it under one
+// doorbell. Reports whether first became the leader.
+func (q *tcq) pushChain(first, last *tcqNode) (leader bool) {
+	prev := q.tail.Swap(last)
+	if prev == nil {
+		first.state.Store(stateLeader)
+		return true
+	}
+	prev.next.Store(first)
 	return false
 }
 

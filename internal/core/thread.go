@@ -23,12 +23,14 @@ type Thread struct {
 	id   uint32
 	rng  *stats.RNG
 
-	seq         uint64
-	idemSeq     uint64 // idempotency-key counter for the resilient path
-	outstanding atomic.Int32
-	respCh      chan Response
-	memCh       chan rnic.Status
-	scratch     *rnic.MemRegion
+	seq     uint64
+	idemSeq uint64 // idempotency-key counter for the resilient path
+	// pend is the thread's pending-call table: one completion record per
+	// submitted RPC, resolved directly by sequence ID (see pending.go).
+	pend   pendingTable
+	respCh chan Response
+	memCh  chan rnic.Status
+	scratch *rnic.MemRegion
 
 	assigned atomic.Int32 // scheduler-written QP index
 	curQP    atomic.Int32 // QP in current use (recovery paths read it)
@@ -109,6 +111,7 @@ func (c *Conn) RegisterThread() *Thread {
 		scratch: scratch,
 		median:  stats.NewRunningMedian(32),
 	}
+	t.pend.recs = make(map[uint64]*callRec)
 	t.assigned.Store(int32(int(id) % len(c.qps)))
 	t.curQP.Store(t.assigned.Load())
 	t.avoidQP = -1
@@ -124,8 +127,9 @@ func (t *Thread) ID() uint32 { return t.id }
 // Conn returns the owning connection handle.
 func (t *Thread) Conn() *Conn { return t.conn }
 
-// Outstanding reports requests sent but not yet received.
-func (t *Thread) Outstanding() int { return int(t.outstanding.Load()) }
+// Outstanding reports requests sent but not yet completed: the depth of
+// the thread's pending-call table.
+func (t *Thread) Outstanding() int { return t.pend.depth() }
 
 // pickQP selects the QP for the next operation: the scheduler's
 // assignment, deferred while responses are outstanding on a still-active
@@ -138,7 +142,7 @@ func (t *Thread) pickQP() *connQP {
 		idx = 0
 	}
 	cur := t.curQP.Load()
-	if cur != idx && t.outstanding.Load() > 1 && c.qps[cur].active() {
+	if cur != idx && t.pend.depth() > 1 && c.qps[cur].active() {
 		// Finish in-flight traffic on the old QP before migrating. The
 		// caller has already counted the operation being placed, so only
 		// a count above one means earlier responses are still due.
@@ -201,37 +205,51 @@ func (t *Thread) takeStat() (ThreadStat, bool) {
 
 // SendRPC submits an RPC request (fl_send_rpc) and returns its sequence
 // ID. The request is coalesced with concurrent threads' requests via
-// FLock synchronization; the response arrives through RecvRes.
+// FLock synchronization; the response arrives through RecvRes. SendRPC
+// registers a mailbox-mode completion record, so its responses keep
+// flowing through the thread's response channel while table-routed calls
+// (Call, CallAsync, SendBatch) interleave freely on the same thread.
 func (t *Thread) SendRPC(rpcID uint32, payload []byte) (uint64, error) {
-	return t.sendRPC(rpcID, payload, time.Time{})
+	return t.sendRPCKey(rpcID, payload, time.Time{}, 0)
 }
 
-// sendRPC is SendRPC with an optional deadline bounding the submit retry
-// loop (migrations, follower timeouts).
-func (t *Thread) sendRPC(rpcID uint32, payload []byte, deadline time.Time) (uint64, error) {
-	return t.sendRPCKey(rpcID, payload, deadline, 0)
-}
-
-// sendRPCKey is sendRPC carrying an idempotency key in the wire metadata.
-// A nonzero key marks the request as a dedup-safe retry candidate: the
-// server caches its response so a retried copy is answered without
-// re-executing. Zero (the plain path) opts out entirely.
+// sendRPCKey is SendRPC with a submit-loop deadline and an idempotency key
+// in the wire metadata.
 func (t *Thread) sendRPCKey(rpcID uint32, payload []byte, deadline time.Time, idemKey uint64) (uint64, error) {
 	if len(payload) > t.conn.node.opts.MaxPayload {
 		return 0, ErrPayloadTooLarge
 	}
-	if t.conn.node.draining.Load() {
+	rec := t.pend.get()
+	rec.mailbox = true
+	return t.sendAttempt(rpcID, payload, deadline, idemKey, rec)
+}
+
+// sendAttempt registers rec in the pending-call table and submits one
+// attempt carrying idemKey in the wire metadata (a nonzero key marks the
+// request dedup-safe on the server). The optional deadline bounds the
+// submit retry loop (migrations, follower timeouts). On failure the record
+// is removed again — or, if a completer raced the failing submit, its
+// response lease is recycled — so no error path leaks a table entry.
+func (t *Thread) sendAttempt(rpcID uint32, payload []byte, deadline time.Time, idemKey uint64, rec *callRec) (uint64, error) {
+	c := t.conn
+	if c.node.draining.Load() {
+		t.pend.put(rec)
 		return 0, ErrDraining
 	}
-	if t.conn.isClosed() {
-		return 0, t.conn.closedErr()
+	if c.isClosed() {
+		err := c.closedErr()
+		t.pend.put(rec)
+		return 0, err
 	}
 	t.seq++
 	seq := t.seq
-	t.outstanding.Add(1)
+	rec.seq = seq
+	depth := t.pend.register(rec)
+	c.node.pipeDepth.Observe(uint64(depth))
 	for i := 0; ; i++ {
 		q := t.pickQP()
-		t.conn.node.trace.Record(telemetry.EvEnqueue, q.idx, t.id, seq, uint64(len(payload)))
+		rec.qp.Store(int32(q.idx))
+		c.node.trace.Record(telemetry.EvEnqueue, q.idx, t.id, seq, uint64(len(payload)))
 		n := &tcqNode{
 			kind:     opRPC,
 			rpcID:    rpcID,
@@ -240,7 +258,7 @@ func (t *Thread) sendRPCKey(rpcID uint32, payload []byte, deadline time.Time, id
 			idemKey:  idemKey,
 			payload:  payload,
 		}
-		switch t.conn.submit(t, q, n) {
+		switch c.submit(t, q, n) {
 		case stateSent:
 			t.avoidQP = -1
 			t.recordStat(len(payload))
@@ -252,14 +270,15 @@ func (t *Thread) sendRPCKey(rpcID uint32, payload []byte, deadline time.Time, id
 			fallthrough
 		case stateMigrate:
 			if !deadline.IsZero() && time.Now().After(deadline) {
-				t.outstanding.Add(-1)
+				t.pend.abandon(rec)
 				return 0, ErrTimeout
 			}
 			idleBackoff(i)
 			continue // re-read assignment and retry (§5.2)
 		default:
-			t.outstanding.Add(-1)
-			return 0, t.conn.closedErr()
+			err := c.closedErr()
+			t.pend.abandon(rec)
+			return 0, err
 		}
 	}
 }
@@ -307,11 +326,30 @@ func (t *Thread) RecvRes() (Response, error) {
 		}
 		return r, nil
 	case <-t.conn.closedCh():
-		// Drain anything already delivered before reporting closure.
+		return t.recvDrainClosed()
+	}
+}
+
+// recvDrainClosed is RecvRes's closed-node path: drain everything already
+// delivered before reporting closure. Poison and closed-markers carry no
+// payload, but real responses in the buffer hold pooled leases — return
+// the first real one to the caller and let the rest surface on later
+// RecvRes calls. Without the loop a buffer holding [poison, real] would
+// lose the real response behind a single drained poison.
+func (t *Thread) recvDrainClosed() (Response, error) {
+	for {
 		select {
 		case r := <-t.respCh:
 			if r.err != nil {
+				if r.err == ErrQPBroken {
+					// Recovery poison racing close; keep draining for a
+					// real buffered response before surfacing closure.
+					continue
+				}
 				return Response{}, r.err
+			}
+			if r.Status == StatusConnClosed {
+				continue
 			}
 			return r, nil
 		default:
@@ -320,38 +358,23 @@ func (t *Thread) RecvRes() (Response, error) {
 	}
 }
 
-// Call is the synchronous convenience wrapper: SendRPC then RecvRes.
+// Call is the synchronous convenience wrapper around the unified
+// completion engine: submit one request, wait for its completion record.
 // When Options.RPCTimeout is set it behaves as CallWithDeadline with that
-// budget. Don't interleave Call with outstanding async requests on the
-// same thread — the response it returns is matched by sequence ID, and any
-// other responses received while waiting are surfaced to RecvRes callers
-// in order, which a mixed usage pattern would confuse.
+// budget; when Options.RetryMaxAttempts is set it routes through the
+// resilient CallOpts path. Call may be freely interleaved with
+// outstanding CallAsync/SendBatch requests on the same thread — every
+// request owns a completion record resolved by sequence ID, so responses
+// can never be misdelivered between waiters.
 func (t *Thread) Call(rpcID uint32, payload []byte) (Response, error) {
 	if t.conn.node.opts.RetryMaxAttempts > 0 {
 		return t.CallOpts(rpcID, payload, CallOptions{})
 	}
-	if to := t.conn.node.opts.RPCTimeout; to > 0 {
-		return t.CallWithDeadline(rpcID, payload, to)
-	}
-	seq, err := t.SendRPC(rpcID, payload)
-	if err != nil {
+	var p Pending
+	if err := t.newPending(&p, rpcID, payload, CallOptions{}, false); err != nil {
 		return Response{}, err
 	}
-	for {
-		r, err := t.RecvRes()
-		if err != nil {
-			return Response{}, err
-		}
-		if r.Seq == seq {
-			if perr := pushbackErr(r.Status); perr != nil {
-				r.Release()
-				return Response{}, perr
-			}
-			return r, nil
-		}
-		// A stale response from a previous timed-out exchange; drop it.
-		r.Release()
-	}
+	return p.Wait()
 }
 
 // CallWithDeadline is Call bounded by a total time budget. Attempts whose
@@ -363,8 +386,8 @@ func (t *Thread) Call(rpcID uint32, payload []byte) (Response, error) {
 //
 // Delivery is at-least-once under retries: a request whose response was
 // merely late may execute on the server more than once. Responses to
-// abandoned attempts are dropped by sequence matching, so the caller sees
-// exactly one response.
+// abandoned attempts land on completion records the waiter has already
+// walked away from, so the caller sees exactly one response.
 func (t *Thread) CallWithDeadline(rpcID uint32, payload []byte, budget time.Duration) (Response, error) {
 	if t.conn.node.opts.RetryMaxAttempts > 0 {
 		return t.CallOpts(rpcID, payload, CallOptions{Budget: budget})
@@ -372,111 +395,11 @@ func (t *Thread) CallWithDeadline(rpcID uint32, payload []byte, budget time.Dura
 	if budget <= 0 {
 		return t.Call(rpcID, payload)
 	}
-	deadline := time.Now().Add(budget)
-	// First attempt gets a quarter of the budget (at least a millisecond),
-	// leaving room for recovery plus retry; later attempts double.
-	attemptWait := budget / 4
-	if attemptWait < time.Millisecond {
-		attemptWait = time.Millisecond
+	var p Pending
+	if err := t.newPending(&p, rpcID, payload, CallOptions{Budget: budget}, false); err != nil {
+		return Response{}, err
 	}
-	timer := time.NewTimer(attemptWait)
-	defer timer.Stop()
-	for {
-		seq, err := t.sendRPC(rpcID, payload, deadline)
-		if err != nil {
-			return Response{}, err
-		}
-		aDeadline := time.Now().Add(attemptWait)
-		if aDeadline.After(deadline) {
-			aDeadline = deadline
-		}
-		r, err, ok := t.recvSeq(seq, aDeadline, timer)
-		if err != nil {
-			return Response{}, err
-		}
-		if ok {
-			cur := t.curQP.Load()
-			if cur >= 0 && int(cur) < len(t.conn.qps) {
-				t.conn.qps[cur].timeouts.Store(0) // healthy again
-			}
-			if perr := pushbackErr(r.Status); perr != nil {
-				r.Release()
-				return Response{}, perr
-			}
-			return r, nil
-		}
-		// Attempt failed (timeout or broken QP): the request is abandoned,
-		// so release its outstanding slot — recovery sizes its poison burst
-		// from this counter, and a leaked slot per failed attempt keeps the
-		// mailbox saturated with poison. A late response is dropped as
-		// stale either way. CAS (rather than Add) avoids racing a
-		// concurrent failInflight Swap(0) into negative counts.
-		if o := t.outstanding.Load(); o > 0 {
-			t.outstanding.CompareAndSwap(o, o-1)
-		}
-		cur := t.curQP.Load()
-		if cur >= 0 && int(cur) < len(t.conn.qps) {
-			t.conn.noteTimeout(t.conn.qps[cur])
-		}
-		if !time.Now().Before(deadline) {
-			return Response{}, ErrTimeout
-		}
-		attemptWait *= 2
-	}
-}
-
-// recvSeq waits for the response matching seq until aDeadline. It returns
-// (resp, nil, true) on a match; (_, nil, false) when the attempt should be
-// retried (deadline expired, or the in-flight request died with its QP);
-// (_, err, false) on fatal errors. Stale responses from abandoned attempts
-// are dropped.
-func (t *Thread) recvSeq(seq uint64, aDeadline time.Time, timer *time.Timer) (Response, error, bool) {
-	for {
-		d := time.Until(aDeadline)
-		if d <= 0 {
-			return Response{}, nil, false
-		}
-		if !timer.Stop() {
-			select {
-			case <-timer.C:
-			default:
-			}
-		}
-		timer.Reset(d)
-		select {
-		case r := <-t.respCh:
-			for {
-				if r.err != nil {
-					if r.err != ErrQPBroken {
-						return Response{}, r.err, false
-					}
-					// Poison from a broken QP: absorb the whole burst
-					// already queued before retrying — returning on the
-					// first one would leave the mailbox saturated with
-					// stale poison and starve real responses forever.
-					select {
-					case r = <-t.respCh:
-						continue
-					default:
-					}
-					return Response{}, nil, false // retry on a recycled/other QP
-				}
-				if r.Status == StatusConnClosed {
-					return Response{}, ErrConnClosed, false
-				}
-				if r.Seq == seq {
-					return r, nil, true
-				}
-				// Stale response from an abandoned attempt; drop it.
-				r.Release()
-				break
-			}
-		case <-timer.C:
-			return Response{}, nil, false
-		case <-t.conn.closedCh():
-			return Response{}, t.conn.closedErr(), false
-		}
-	}
+	return p.Wait()
 }
 
 // memOp runs one one-sided operation through FLock synchronization and

@@ -100,47 +100,39 @@ func NewFlockTransportShared(conns []*core.Conn) (*FlockTransport, error) {
 	return t, nil
 }
 
-// CallMulti pipelines the requests: send all, then collect all, matching
-// responses by sequence ID.
+// CallMulti pipelines the requests on the asynchronous call path: every
+// request is submitted as a Pending before any result is collected, so
+// requests to the same server enter its combining queue together and
+// coalesce under one doorbell. Completion records route each response to
+// its exact request — no sequence-ID matching or out-of-order stash — and
+// the async path carries the node's full retry/hedge/dedup plan.
 func (t *FlockTransport) CallMulti(servers []int, rpcID uint32, reqs [][]byte) ([][]byte, error) {
-	type slot struct {
-		server int
-		seq    uint64
+	pends := make([]*core.Pending, len(servers))
+	fail := func(err error) error {
+		for _, p := range pends {
+			if p != nil {
+				p.Cancel()
+			}
+		}
+		return err
 	}
-	slots := make([]slot, len(servers))
 	for i, s := range servers {
-		seq, err := t.threads[s].SendRPC(rpcID, reqs[i])
+		p, err := t.threads[s].CallAsync(rpcID, reqs[i], core.CallOptions{})
 		if err != nil {
-			return nil, err
+			return nil, fail(err)
 		}
-		slots[i] = slot{server: s, seq: seq}
+		pends[i] = p
 	}
-	// Stash responses that complete out of order (two requests to the
-	// same server in one phase may resolve in either order).
-	type key struct {
-		server int
-		seq    uint64
-	}
-	stash := make(map[key]core.Response)
 	out := make([][]byte, len(servers))
-	for i, sl := range slots {
-		k := key{sl.server, sl.seq}
-		r, hit := stash[k]
-		for !hit {
-			var err error
-			r, err = t.threads[sl.server].RecvRes()
-			if err != nil {
-				return nil, err
-			}
-			if r.Seq == sl.seq {
-				break
-			}
-			stash[key{sl.server, r.Seq}] = r
+	for i, p := range pends {
+		r, err := p.Wait()
+		pends[i] = nil
+		if err != nil {
+			return nil, fail(err)
 		}
-		delete(stash, k)
 		if r.Status != core.StatusOK {
 			r.Release()
-			return nil, fmt.Errorf("txn: rpc %d failed with status %d", rpcID, r.Status)
+			return nil, fail(fmt.Errorf("txn: rpc %d failed with status %d", rpcID, r.Status))
 		}
 		// The caller keeps the payloads past this call, so copy out of the
 		// pooled view and recycle the lease.
