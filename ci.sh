@@ -8,9 +8,9 @@ set -eux
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/core ./internal/rnic ./internal/mem ./internal/telemetry ./internal/check
+go test -race ./internal/core ./internal/rnic ./internal/mem ./internal/telemetry ./internal/check ./internal/cluster
 
-# Mutation self-test: rebuild the schedule explorer with the five
+# Mutation self-test: rebuild the schedule explorer with the six
 # known-bad protocol variants (flockmut build tag) and assert the
 # linearizability checker flags every one of them. This is the gate
 # that proves the harness can actually see bugs — a checker that
@@ -64,6 +64,27 @@ pbench=$(go run ./cmd/flockbench -run pipeline -json BENCH_PR7.json)
 echo "$pbench"
 echo "$pbench" | awk '/pipeline-goodput/ { found=1; r=$2; sub(/ratio=/,"",r); if (r+0 < 1.50) { print "pipeline goodput ratio " r " below 1.50 gate"; exit 1 } } END { exit found ? 0 : 1 }'
 go test -run TestEchoAllocRegressionGate -count=1 .
+
+# Cluster shard (ISSUE 8). Four gates on the cluster layer: (1) the live
+# migration-chaos test — concurrent clients, live shard moves, a flapping
+# fabric — must stay linearizable under the package leak gate; (2) the
+# check-package cluster simulator must hold 250 seeded schedules (node
+# flaps + stretched handoffs across live migrations) linearizable, with
+# vacuity asserts that shards actually moved and messages actually
+# dropped; (3) a live flockload cluster run must complete its mid-window
+# migrations and drain every node to zero leases; (4) the flockbench
+# scaling sweep must show aggregate KV goodput at 4 members at least
+# 2.5× 1 member while regenerating BENCH_PR8.json. The stale-shard-serve
+# mutant is covered by the flockmut run above.
+go test -run TestMigrationChaosLinearizable -count=1 ./internal/cluster
+go test -run 'TestCluster|TestMigrationScheduleShape' -count=1 ./internal/check
+cout=$(go run ./cmd/flockload -cluster 4 -shards 16 -threads 8 -dur 1s)
+echo "$cout"
+echo "$cout" | grep -Eq 'membership +live=4/4 moves=2'
+echo "$cout" | grep -q 'leases=0'
+cbench=$(go run ./cmd/flockbench -run cluster -json BENCH_PR8.json)
+echo "$cbench"
+echo "$cbench" | awk '/cluster-goodput/ { found=1; r=$2; sub(/ratio=/,"",r); if (r+0 < 2.50) { print "cluster goodput ratio " r " below 2.50 gate"; exit 1 } } END { exit found ? 0 : 1 }'
 
 # One-iteration benchmark smoke: every benchmark must still build and run
 # (catches bit-rot in the bench harness without paying full measurement

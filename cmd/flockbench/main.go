@@ -26,6 +26,7 @@ import (
 
 	"flock/internal/baseline/lockshare"
 	"flock/internal/baseline/udrpc"
+	"flock/internal/cluster"
 	"flock/internal/core"
 	"flock/internal/fabric"
 	"flock/internal/model"
@@ -230,6 +231,7 @@ func experiments() []experiment {
 		{"sync-micro", "live TCQ vs spinlock QP sharing (§1's 2.3× claim)", runSyncMicro, ""},
 		{"overload", "goodput vs offered load: resilience layer on vs off, plus overload-chaos ratio", runOverloadSweep, ""},
 		{"pipeline", "goodput vs async pipeline depth: CallAsync depths 1/2/4/8/16 vs sync Call baseline", runPipelineSweep, ""},
+		{"cluster", "aggregate sharded-KV goodput vs cluster size: 1/2/4/8 members behind the shard router", runClusterScaling, ""},
 	}
 }
 
@@ -752,6 +754,135 @@ func runPipelineSweep(quick bool) {
 	ratio := byDepth[8] / byDepth[1]
 	fmt.Printf("pipeline-goodput ratio=%.2f depth8/depth1 (depth8 %.0f ops/s, depth1 %.0f ops/s, gate >= 1.50)\n",
 		ratio, byDepth[8], byDepth[1])
+}
+
+// runClusterScaling is ISSUE 8's cluster-size experiment on the live
+// library: N member nodes behind the shard-aware router, each serving
+// its share of a 16-shard KV space with an emulated ~1ms per-op service
+// time. A fixed closed-loop client population (24 router threads, each
+// on its own disjoint key range) drives puts and gets through the
+// router's epoch-routing path.
+//
+// Service time is wall-clock sleep and every member runs 2 workers, so
+// aggregate capacity is worker-seconds — it scales with member count
+// even on a 1-CPU container, exactly as RDMA-side capacity scales with
+// NICs rather than with a shared host CPU. The acceptance gate is
+// 4-member goodput ≥ 2.5× 1-member (BENCH_PR8.json carries the rows).
+func runClusterScaling(quick bool) {
+	dur := 600 * time.Millisecond
+	if quick {
+		dur = 250 * time.Millisecond
+	}
+	const (
+		serviceTime = time.Millisecond
+		shards      = 16
+		nThreads    = 24 // > 8 members × 2 workers: keep every worker fed
+		keysPerG    = 64
+	)
+	sizes := []int{1, 2, 4, 8}
+	if quick {
+		sizes = []int{1, 4}
+	}
+
+	run := func(nNodes int) (gops float64, redirects uint64) {
+		nw := core.NewNetwork(fabric.Config{})
+		defer nw.Close()
+		members := make([]fabric.NodeID, nNodes)
+		for i := range members {
+			members[i] = fabric.NodeID(i)
+		}
+		m, err := cluster.New(members, shards, 0)
+		if err != nil {
+			panic(err)
+		}
+		for _, id := range members {
+			node, err := nw.NewNode(id, core.Options{Workers: 2}, 0)
+			if err != nil {
+				panic(err)
+			}
+			svc, err := cluster.NewService(node, m, 0)
+			if err != nil {
+				panic(err)
+			}
+			svc.ServiceDelay = serviceTime
+			node.Serve()
+		}
+		client, err := nw.NewNode(100, core.Options{}, 0)
+		if err != nil {
+			panic(err)
+		}
+		router := cluster.NewRouter(client, m)
+		defer router.Close()
+
+		var ok atomic.Uint64
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		for g := 0; g < nThreads; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				rt := router.Thread()
+				// Disjoint key range per goroutine with strictly increasing
+				// values — the KV's non-decreasing value contract.
+				base := uint64(g * keysPerG)
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					key := base + uint64(i%keysPerG)
+					var err error
+					if i%2 == 0 {
+						err = rt.Put(key, uint64(i+1))
+					} else {
+						_, _, err = rt.Get(key)
+					}
+					if err != nil {
+						return
+					}
+					ok.Add(1)
+				}
+			}(g)
+		}
+		// Warm up, reset, measure.
+		time.Sleep(dur / 4)
+		ok.Store(0)
+		start := time.Now()
+		time.Sleep(dur)
+		measured := ok.Load()
+		elapsed := time.Since(start)
+		close(stop)
+		wg.Wait()
+		stashTelemetry(nw)
+		return float64(measured) / elapsed.Seconds(), router.Redirects()
+	}
+
+	fmt.Printf("%d router threads, %d shards, ~%v emulated service/op, %v window per point\n",
+		nThreads, shards, serviceTime, dur)
+	fmt.Println("members  goodput(ops/s)  redirects")
+	bySize := make(map[int]float64, len(sizes))
+	for _, n := range sizes {
+		g, redirects := run(n)
+		bySize[n] = g
+		fmt.Printf("%-8d %14.0f %10d\n", n, g, redirects)
+		emitRecord(benchRecord{
+			Series: "cluster", X: float64(n),
+			Metrics: map[string]float64{
+				"goodput_ops_s": g, "redirects": float64(redirects),
+			},
+			Telemetry: takeTelemetry(),
+		})
+	}
+	ratio := bySize[4] / bySize[1]
+	fmt.Printf("cluster-goodput ratio=%.2f 4node/1node (4node %.0f ops/s, 1node %.0f ops/s, gate >= 2.50)\n",
+		ratio, bySize[4], bySize[1])
+	emitRecord(benchRecord{
+		Series: "ratio", X: 4,
+		Metrics: map[string]float64{
+			"ratio": ratio, "node4_ops_s": bySize[4], "node1_ops_s": bySize[1],
+		},
+	})
 }
 
 // runSyncMicro compares the live TCQ (FLock synchronization) against

@@ -18,6 +18,15 @@
 //
 //	flockload -check -check-seeds 5000            # all three workloads
 //	flockload -check -check-workload counter -check-seed 41 -check-seeds 1
+//
+// The -cluster flag switches to cluster mode: N member nodes serve the
+// sharded KV behind the epoch-routing client, a live shard migration
+// runs mid-window, and the report shows per-shard routing stats,
+// wrong-shard redirects, migration progress, and the membership view.
+// The epilogue drains every node and asserts zero outstanding pooled
+// buffers:
+//
+//	flockload -cluster 4 -shards 16 -threads 8 -dur 2s
 package main
 
 import (
@@ -33,6 +42,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"flock"
@@ -63,6 +73,8 @@ func main() {
 		expvarAddr = flag.String("expvar", "", "serve the telemetry snapshot on this addr via expvar (e.g. :8080)")
 		traceEvery = flag.Int("trace", 0, "record the RPC lifecycle trace, sampling 1 in N requests (0 = off)")
 		nicCache   = flag.Int("nic-cache", 0, "NIC connection-context cache size (0 = unconstrained)")
+		clusterN   = flag.Int("cluster", 0, "cluster mode: this many member nodes serve the sharded KV behind the shard router (0 = off)")
+		shardsN    = flag.Int("shards", 16, "shard count in -cluster mode")
 		checkMode  = flag.Bool("check", false, "flockcheck mode: explore schedules and verify linearizability instead of driving load")
 		checkSeeds = flag.Int("check-seeds", 1000, "schedules to explore per workload in -check mode")
 		checkSeed  = flag.Uint64("check-seed", 1, "first seed in -check mode (replay a CI failure with -check-seeds 1)")
@@ -72,6 +84,9 @@ func main() {
 
 	if *checkMode {
 		os.Exit(runCheck(*checkWork, *checkSeed, *checkSeeds, *threads, *qps))
+	}
+	if *clusterN > 0 {
+		os.Exit(runCluster(*clusterN, *shardsN, *threads, *dur, *faults))
 	}
 
 	opts := flock.Options{
@@ -444,6 +459,192 @@ func main() {
 	if totalOps == 0 {
 		os.Exit(1)
 	}
+}
+
+// runCluster is cluster mode: nMembers member nodes serve the sharded
+// KV, nThreads router threads drive closed-loop puts/gets through the
+// epoch-routing client, and halfway through the window the coordinator
+// live-migrates two shards away from their owners — so the report's
+// wrong-shard redirect and migration numbers come from a real move, not
+// a synthetic NACK. The epilogue mirrors the resilient mode's: every
+// node drains, the network closes, and the pooled-buffer ledger must be
+// at exactly zero leases. Returns the process exit code.
+func runCluster(nMembers, nShards, nThreads int, dur time.Duration, faults string) int {
+	net := flock.NewNetwork(flock.FabricConfig{})
+	defer net.Close()
+	if faults != "" {
+		plan, err := flock.ParseFaultPlan(faults)
+		if err != nil {
+			log.Fatal(err)
+		}
+		net.Fabric().SetFaultPlan(plan)
+	}
+	ids := make([]flock.NodeID, nMembers)
+	for i := range ids {
+		ids[i] = flock.NodeID(i)
+	}
+	m, err := flock.NewShardMap(ids, nShards, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	coord := flock.NewClusterCoordinator(m)
+	memberOpts := flock.Options{Workers: 2, RPCTimeout: 100 * time.Millisecond}
+	var memberNodes []*flock.Node
+	var services []*flock.ClusterService
+	for _, id := range ids {
+		node, err := net.NewNode(id, memberOpts, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		svc, err := flock.NewClusterService(node, m, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		coord.AddService(svc)
+		if err := node.Serve(); err != nil {
+			log.Fatal(err)
+		}
+		memberNodes = append(memberNodes, node)
+		services = append(services, svc)
+	}
+	client, err := net.NewNode(flock.NodeID(100), flock.Options{RPCTimeout: 100 * time.Millisecond}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The router is deliberately NOT registered with the coordinator:
+	// it must discover each migration the production way — a WrongShard
+	// NACK carrying the newer map — so the redirect stats below are real.
+	router := flock.NewClusterRouter(client, m)
+	mship := flock.NewClusterMembership(router)
+
+	shardOps := make([]atomic.Uint64, nShards)
+	var okOps, failed atomic.Uint64
+	hists := make([]*stats.Hist, nThreads)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	start := time.Now()
+	for g := 0; g < nThreads; g++ {
+		hists[g] = stats.NewHist()
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rt := router.Thread()
+			// Disjoint per-goroutine key range with strictly increasing
+			// values — the sharded KV's non-decreasing value contract.
+			base := uint64(g) * 64
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := base + uint64(i%64)
+				t0 := time.Now()
+				var err error
+				if i%2 == 0 {
+					err = rt.Put(key, uint64(i+1))
+				} else {
+					_, _, err = rt.Get(key)
+				}
+				if err != nil {
+					if errors.Is(err, flock.ErrTimeout) || errors.Is(err, flock.ErrQPBroken) ||
+						errors.Is(err, flock.ErrOverloaded) || errors.Is(err, flock.ErrNoRoute) ||
+						errors.Is(err, flock.ErrDraining) {
+						failed.Add(1)
+						continue
+					}
+					return
+				}
+				hists[g].Record(uint64(time.Since(t0).Nanoseconds()))
+				shardOps[router.Map().ShardOf(key)].Add(1)
+				okOps.Add(1)
+			}
+		}(g)
+	}
+
+	// Mid-window live migrations: move two shards one member to the
+	// right, with traffic still flowing through them.
+	time.Sleep(dur / 2)
+	type move struct {
+		shard    int
+		from, to flock.NodeID
+		took     time.Duration
+	}
+	var moves []move
+	if nMembers > 1 {
+		for _, shard := range []int{0, 1} {
+			from := coord.Map().Owner(shard)
+			to := ids[(int(from)+1)%nMembers]
+			t0 := time.Now()
+			if err := coord.MigrateShard(shard, to); err != nil {
+				log.Printf("migration of shard %d failed: %v", shard, err)
+				continue
+			}
+			moves = append(moves, move{shard, from, to, time.Since(t0)})
+		}
+	}
+	time.Sleep(dur - dur/2)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	mship.ProbeOnce()
+	live := mship.Live()
+
+	all := stats.NewHist()
+	for _, h := range hists {
+		all.Merge(h)
+	}
+	fmt.Printf("mode=cluster members=%d shards=%d threads=%d\n", nMembers, nShards, nThreads)
+	fmt.Printf("throughput  %.0f ops/s (%d ops in %v)\n",
+		float64(okOps.Load())/elapsed.Seconds(), okOps.Load(), elapsed.Round(time.Millisecond))
+	fmt.Printf("latency     p50=%v p99=%v max=%v\n",
+		time.Duration(all.Median()), time.Duration(all.P99()), time.Duration(all.Max()))
+	fmt.Printf("routing     redirects=%d failed=%d epoch=%d\n",
+		router.Redirects(), failed.Load(), router.Map().Epoch)
+	// Per-shard routing stats: ops routed to each shard and its final
+	// owner, eight shards per line.
+	final := router.Map()
+	for s := 0; s < nShards; s++ {
+		if s%8 == 0 {
+			if s > 0 {
+				fmt.Println()
+			}
+			fmt.Printf("shard-ops  ")
+		}
+		fmt.Printf(" s%d=%d@n%d", s, shardOps[s].Load(), final.Owner(s))
+	}
+	fmt.Println()
+	for _, mv := range moves {
+		fmt.Printf("migration   shard=%d from=n%d to=n%d dur=%v\n",
+			mv.shard, mv.from, mv.to, mv.took.Round(time.Microsecond))
+	}
+	fmt.Printf("membership  live=%d/%d moves=%d\n", len(live), nMembers, len(moves))
+
+	// Epilogue: drain everything and land the lease ledger at zero.
+	router.Close()
+	for _, svc := range services {
+		svc.Close()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := client.Drain(ctx); err != nil {
+		log.Fatalf("client drain: %v", err)
+	}
+	for _, node := range memberNodes {
+		if err := node.Drain(ctx); err != nil {
+			log.Fatalf("member %d drain: %v", node.ID(), err)
+		}
+	}
+	net.Close()
+	if n := mempool.Default.Outstanding(); n != 0 {
+		log.Fatalf("lease leak: %d pooled buffers still outstanding after drain+close", n)
+	}
+	fmt.Println("drain       members=ok client=ok leases=0")
+	if okOps.Load() == 0 {
+		return 1
+	}
+	return 0
 }
 
 // runCheck is flockcheck mode: sweep seed-derived adversarial schedules

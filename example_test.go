@@ -131,6 +131,42 @@ func ExampleThread_SendBatch() {
 	// y
 }
 
+// ExampleClusterRouter shows the shard-aware client against a two-member
+// sharded KV: a put routes to the key's owner, the coordinator live-
+// migrates that shard to the other member, and the next access
+// self-corrects through the WrongShard NACK carrying the newer map.
+func ExampleClusterRouter() {
+	net := flock.NewNetwork(flock.FabricConfig{})
+	defer net.Close()
+
+	members := []flock.NodeID{1, 2}
+	m, _ := flock.NewShardMap(members, 8, 0)
+	coord := flock.NewClusterCoordinator(m)
+	for _, id := range members {
+		node, _ := net.NewNode(id, flock.Options{Workers: 2}, 0)
+		svc, _ := flock.NewClusterService(node, m, 0)
+		coord.AddService(svc)
+		node.Serve()
+	}
+
+	client, _ := net.NewNode(100, flock.Options{}, 0)
+	router := flock.NewClusterRouter(client, m)
+	rt := router.Thread()
+
+	rt.Put(42, 7) //nolint:errcheck
+	from := m.OwnerOfKey(42)
+	to := members[0]
+	if to == from {
+		to = members[1]
+	}
+	coord.MigrateShard(m.ShardOf(42), to) //nolint:errcheck
+	// The router still holds the old map; the stale owner NACKs with the
+	// new one and the call lands on the new owner transparently.
+	v, found, _ := rt.Get(42)
+	fmt.Println(v, found, router.Redirects() > 0)
+	// Output: 7 true true
+}
+
 // ExampleAssignThreads shows the exported Algorithm 1 policy function.
 func ExampleAssignThreads() {
 	threads := []flock.ThreadStat{

@@ -42,6 +42,7 @@
 package flock
 
 import (
+	"flock/internal/cluster"
 	"flock/internal/core"
 	"flock/internal/fabric"
 	"flock/internal/telemetry"
@@ -104,6 +105,30 @@ type (
 	BatchOp = core.BatchOp
 )
 
+// Cluster-layer types re-exported from internal/cluster: versioned shard
+// placement, the epoch-routing client, membership, and live migration.
+type (
+	// ShardMap is the versioned shard→member placement (consistent
+	// hashing over virtual nodes, epoch-stamped, wire-encodable).
+	ShardMap = cluster.ShardMap
+	// ShardMigration is one pending shard move recorded in a ShardMap.
+	ShardMigration = cluster.Migration
+	// ClusterService is the member-side sharded KV plus migration
+	// machinery (dual-write forwarding, snapshot copy, atomic handoff).
+	ClusterService = cluster.Service
+	// ClusterRouter is the shard-aware client: it routes by its cached
+	// map and self-corrects from epoch piggybacks and WrongShard NACKs.
+	ClusterRouter = cluster.Router
+	// ClusterRouterThread is a single-goroutine handle on a ClusterRouter.
+	ClusterRouterThread = cluster.RouterThread
+	// ClusterMembership is the ping-driven failure detector
+	// (alive → suspect → dead, with rejoin).
+	ClusterMembership = cluster.Membership
+	// ClusterCoordinator is the in-process control plane driving
+	// migrations, rebalancing, route-around, and decommission.
+	ClusterCoordinator = cluster.Coordinator
+)
+
 // Errors re-exported from the implementation.
 var (
 	// ErrClosed reports an operation on a closed node or connection.
@@ -135,6 +160,11 @@ var (
 	// ErrCanceled reports a Pending canceled by its owner before
 	// completion; a late response is dropped as stale.
 	ErrCanceled = core.ErrCanceled
+	// ErrNoRoute reports a cluster call that exhausted its redirect
+	// budget without converging on the shard's owner.
+	ErrNoRoute = cluster.ErrNoRoute
+	// ErrBadShardMap reports a malformed shard-map wire encoding.
+	ErrBadShardMap = cluster.ErrBadMap
 )
 
 // Response status codes.
@@ -149,6 +179,10 @@ const (
 	StatusOverloaded = core.StatusOverloaded
 	// StatusDraining is the graceful-drain pushback NACK.
 	StatusDraining = core.StatusDraining
+	// StatusWrongShard is the cluster layer's routing NACK: the replier
+	// does not own the key's shard, and the payload carries its (newer)
+	// shard map so the caller self-corrects before retrying.
+	StatusWrongShard = core.StatusWrongShard
 )
 
 // NewNetwork creates a network over a fresh in-process fabric.
@@ -170,4 +204,39 @@ func AssignThreads(threads []ThreadStat, activeQPs int) map[uint32]int {
 // as a pure function.
 func RedistributeQPs(util [][]float64, maxAQP int) []int {
 	return core.RedistributeQPs(util, maxAQP)
+}
+
+// NewShardMap builds the epoch-1 placement of `shards` shards over the
+// member set via consistent hashing with `vnodes` virtual nodes per
+// member (0 → default). Members must be non-empty and deduplicated.
+func NewShardMap(members []NodeID, shards, vnodes int) (*ShardMap, error) {
+	return cluster.New(members, shards, vnodes)
+}
+
+// DecodeShardMap parses a shard map from its wire encoding (the payload
+// of a StatusWrongShard NACK or an RPCMap reply).
+func DecodeShardMap(b []byte) (*ShardMap, error) { return cluster.DecodeShardMap(b) }
+
+// NewClusterService stands the sharded KV + migration machinery up on a
+// member node. The node must run with Options.Workers > 0.
+func NewClusterService(node *Node, m *ShardMap, storeCap int) (*ClusterService, error) {
+	return cluster.NewService(node, m, storeCap)
+}
+
+// NewClusterRouter builds a shard-aware client router on node seeded
+// with the given map; it self-corrects as epochs advance.
+func NewClusterRouter(node *Node, initial *ShardMap) *ClusterRouter {
+	return cluster.NewRouter(node, initial)
+}
+
+// NewClusterMembership builds the ping-driven failure detector probing
+// the router's member set over the router's connections.
+func NewClusterMembership(r *ClusterRouter) *ClusterMembership {
+	return cluster.NewMembership(r)
+}
+
+// NewClusterCoordinator builds the in-process control plane over the
+// initial map; register member services and routers on it.
+func NewClusterCoordinator(initial *ShardMap) *ClusterCoordinator {
+	return cluster.NewCoordinator(initial)
 }

@@ -1,0 +1,729 @@
+package check
+
+import (
+	"sort"
+
+	"flock/internal/sim"
+)
+
+// The cluster simulator: a deterministic, RPC-level model of the shard
+// placement layer (internal/cluster) driven by the same seed-derived
+// schedule machinery as the TCQ simulator. It models the pieces whose
+// interleavings matter for linearizability across a live migration —
+// epoch-stamped shard maps, a redirect-following client, and the
+// freeze/copy/forward/handoff state machine — and deliberately nothing
+// below them: the wire is a flat latency plus drop windows, not a
+// queue-pair model. Node-flap perturbations knock a member off the
+// network mid-migration (chunks and forwards retransmit through the
+// window); handoff-delay perturbations stretch the gap between the
+// source adopting the handoff epoch and the target learning it, the
+// window where requests bounce between the two views.
+//
+// The invariants mirror the real protocol:
+//
+//   - Single authority: a shard is served by exactly the node whose own
+//     map lists it as owner. The migration source keeps that role
+//     through the copy (dual-writing applies to the target) and gives
+//     it up atomically when it installs the handoff epoch; the target
+//     takes it only when it installs that epoch. Between the two
+//     installs nobody serves and clients bounce.
+//   - Nothing acknowledged is lost: snapshot chunks and dual-write
+//     forwards are retransmitted until acked, and the source refuses to
+//     install the handoff epoch while any are outstanding.
+//   - Exactly-once: applied put op-IDs go into a per-shard dedup memo
+//     that travels with the shard (in chunks and on forwards), so a
+//     retry of an already-applied put is answered from the memo on
+//     whichever node owns the shard by then.
+//
+// Under those rules every completed history is an exact linearizable
+// register per key, so RunClusterSchedule checks RegisterModel — no
+// monotonic-value weakening. The MutStaleShardServe mutant breaks the
+// first invariant (a node keeps serving every shard it ever owned) and
+// the checker must catch it.
+
+// clusterMigShard is the shard the seeded migrations move. With the
+// initial table (shard s owned by node s % Nodes) its first source is
+// node 0, which is why MigrationScheduleFromSeed's guaranteed flap
+// targets node 0: the flap hits the copy path, not just client traffic.
+const clusterMigShard = 0
+
+const (
+	// clusterService is the server-side processing delay between a
+	// put's apply and its reply hitting the wire. It exists to open the
+	// applied-but-unacknowledged window: a flap starting inside it
+	// drops the ack after the apply landed, manufacturing the retries
+	// the dedup memo exists to absorb.
+	clusterService = sim.Microsecond
+	// clusterThink separates a client's operations.
+	clusterThink = sim.Microsecond
+	// clusterNackBackoff is the client's pause after a wrong-shard
+	// bounce before re-routing (mirrors the router's redirect sleep).
+	clusterNackBackoff = 2 * sim.Microsecond
+	// clusterRetransmit paces chunk/forward retransmission and
+	// migration-start retries.
+	clusterRetransmit = 5 * sim.Microsecond
+)
+
+// ClusterSimConfig sizes one simulated cluster run. Zero values take
+// defaults.
+type ClusterSimConfig struct {
+	Nodes        int // cluster members (default 3)
+	Shards       int // shard count (default 8); key k lives in shard k % Shards
+	Clients      int // concurrent clients (default 4)
+	OpsPerClient int // sequential ops per client (default 40)
+	Keys         int // key-space size (default 12)
+	Attempts     int // attempts per op before it goes pending (default 6)
+	Migrations   int // seeded migrations of clusterMigShard (default 2)
+	ChunkSize    int // snapshot entries per copy chunk (default 4)
+
+	AttemptTimeout sim.Time // per-attempt deadline (default 20µs)
+	HandoffGap     sim.Time // base source-install → target-install gap (default 3µs)
+}
+
+func (c ClusterSimConfig) withDefaults() ClusterSimConfig {
+	if c.Nodes <= 0 {
+		c.Nodes = 3
+	}
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+	if c.OpsPerClient <= 0 {
+		c.OpsPerClient = 40
+	}
+	if c.Keys <= 0 {
+		c.Keys = 12
+	}
+	if c.Attempts <= 0 {
+		c.Attempts = 6
+	}
+	if c.Migrations <= 0 {
+		c.Migrations = 2
+	}
+	if c.ChunkSize <= 0 {
+		c.ChunkSize = 4
+	}
+	if c.AttemptTimeout <= 0 {
+		c.AttemptTimeout = 20 * sim.Microsecond
+	}
+	if c.HandoffGap <= 0 {
+		c.HandoffGap = 3 * sim.Microsecond
+	}
+	return c
+}
+
+// clusterHorizon is the rough window during which client ops flow; the
+// schedule derivation places perturbations and the world places
+// migrations inside it so they land on live traffic.
+func clusterHorizon(cfg ClusterSimConfig) sim.Time {
+	return sim.Time(cfg.OpsPerClient) * (3 * simWireLatency)
+}
+
+// MigrationScheduleFromSeed derives the cluster-suite schedule for a
+// seed: one guaranteed flap of the migrated shard's initial source
+// (node 0, so the copy path itself rides through an outage) plus 0–4
+// further node flaps and handoff delays. Like the overload and
+// pipeline pools it is its own derivation with its own RNG salt, so
+// the TCQ pools keep replaying bit-identically.
+func MigrationScheduleFromSeed(seed uint64, cfg ClusterSimConfig) Schedule {
+	cfg = cfg.withDefaults()
+	rng := newScheduleRNG(seed ^ 0x0F10CCC105E4D5EE)
+	horizon := clusterHorizon(cfg)
+	at := cfg.AttemptTimeout
+	flap := func(node int) Perturbation {
+		return Perturbation{
+			Kind: PerturbNodeFlap,
+			At:   sim.Time(rng.Uint64n(uint64(horizon) + 1)),
+			QP:   node,
+			Dur:  at/2 + sim.Time(rng.Uint64n(uint64(at)*3)),
+		}
+	}
+	s := Schedule{Seed: seed, Perturbs: []Perturbation{flap(clusterMigShard % cfg.Nodes)}}
+	n := rng.Intn(5)
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			s.Perturbs = append(s.Perturbs, flap(rng.Intn(cfg.Nodes)))
+		} else {
+			s.Perturbs = append(s.Perturbs, Perturbation{
+				Kind: PerturbHandoffDelay,
+				At:   sim.Time(rng.Uint64n(uint64(horizon) + 1)),
+				Dur:  sim.Time(rng.Uint64n(uint64(at)*2) + 1),
+			})
+		}
+	}
+	return s
+}
+
+// clusterView is one immutable epoch-stamped shard map: table[s] is the
+// owning node. Installs swap the pointer, newer epoch wins.
+type clusterView struct {
+	epoch uint64
+	table []int
+}
+
+// clusterEntry is one key's value with its per-key write version. The
+// version totally orders a key's writes across migrations (it is
+// copied with the data), so an old snapshot chunk arriving after a
+// newer dual-write forward cannot regress the target.
+type clusterEntry struct{ val, ver uint64 }
+
+// clusterMigEntry is one migrated key, tagged with the put op-ID when
+// it rides a dual-write forward (zero for snapshot entries).
+type clusterMigEntry struct {
+	key  uint64
+	e    clusterEntry
+	opID uint64
+}
+
+// clusterChunk is one reliable migration message: data entries plus a
+// batch of dedup-memo op-IDs.
+type clusterChunk struct {
+	entries []clusterMigEntry
+	memo    []uint64
+}
+
+// clusterOpID uniquely names a client op; doubles as the put value so
+// every written value is globally distinct (sharper for the checker).
+func clusterOpID(client, idx int) uint64 {
+	return uint64(client+1)<<32 | uint64(idx+1)
+}
+
+type clusterWorld struct {
+	cfg ClusterSimConfig
+	mut Mutation
+	eng *sim.Engine
+	rec *Recorder
+
+	nodes   []*clusterNode
+	clients []*clusterClient
+
+	flaps    [][]Perturbation // per node: flap windows
+	handoffs []Perturbation   // handoff-delay perturbs, consumed in At order
+
+	curView   *clusterView // the coordinator's authoritative map
+	migActive bool
+
+	migrations int
+	redirects  int
+	flapDrops  int
+	retried    int
+	dedupHits  int
+}
+
+type clusterNode struct {
+	w    *clusterWorld
+	id   int
+	view *clusterView
+
+	data      []map[uint64]clusterEntry
+	memo      []map[uint64]struct{}
+	everOwned []bool
+
+	// Active outbound migration state (one at a time, world-enforced).
+	copying    bool
+	copyShard  int
+	copyDst    int
+	chunksSent bool
+	chunksOut  int
+	fwdOut     int
+}
+
+type clusterClient struct {
+	w    *clusterWorld
+	id   int
+	view *clusterView
+
+	ops     []KVIn
+	idx     int
+	call    int64
+	attempt int
+	waiting bool
+	done    bool
+}
+
+func newClusterWorld(cfg ClusterSimConfig, sched Schedule, mut Mutation) *clusterWorld {
+	w := &clusterWorld{cfg: cfg, mut: mut, eng: sim.New(), rec: NewRecorder()}
+	table := make([]int, cfg.Shards)
+	for s := range table {
+		table[s] = s % cfg.Nodes
+	}
+	w.curView = &clusterView{epoch: 1, table: table}
+
+	w.flaps = make([][]Perturbation, cfg.Nodes)
+	for _, p := range sched.Perturbs {
+		switch p.Kind {
+		case PerturbNodeFlap:
+			node := p.QP % cfg.Nodes
+			w.flaps[node] = append(w.flaps[node], p)
+		case PerturbHandoffDelay:
+			w.handoffs = append(w.handoffs, p)
+		}
+	}
+	sort.Slice(w.handoffs, func(i, j int) bool { return w.handoffs[i].At < w.handoffs[j].At })
+
+	for i := 0; i < cfg.Nodes; i++ {
+		n := &clusterNode{
+			w: w, id: i, view: w.curView,
+			data:      make([]map[uint64]clusterEntry, cfg.Shards),
+			memo:      make([]map[uint64]struct{}, cfg.Shards),
+			everOwned: make([]bool, cfg.Shards),
+		}
+		for s := range n.data {
+			n.data[s] = make(map[uint64]clusterEntry)
+			n.memo[s] = make(map[uint64]struct{})
+			n.everOwned[s] = table[s] == i
+		}
+		w.nodes = append(w.nodes, n)
+	}
+
+	// The world RNG (client op mix, start jitter, migration jitter) is
+	// salted apart from the schedule RNG so the two streams never
+	// correlate.
+	rng := newScheduleRNG(sched.Seed ^ 0xC7E55EEDFA57F10C)
+	for c := 0; c < cfg.Clients; c++ {
+		cl := &clusterClient{w: w, id: c, view: w.curView}
+		for i := 0; i < cfg.OpsPerClient; i++ {
+			in := KVIn{Key: uint64(rng.Intn(cfg.Keys))}
+			if rng.Intn(100) < 60 {
+				in.Put = true
+				in.Val = clusterOpID(c, i)
+			}
+			cl.ops = append(cl.ops, in)
+		}
+		w.clients = append(w.clients, cl)
+		w.eng.At(sim.Time(rng.Uint64n(uint64(4*sim.Microsecond))), cl.next)
+	}
+
+	horizon := clusterHorizon(cfg)
+	for j := 0; j < cfg.Migrations; j++ {
+		at := horizon*sim.Time(j+1)/sim.Time(cfg.Migrations+1) +
+			sim.Time(rng.Uint64n(uint64(horizon/10)+1))
+		w.eng.At(at, w.tryStartMigration)
+	}
+	return w
+}
+
+// flapped reports whether a node is inside a flap window right now.
+// Negative ids (clients) never flap.
+func (w *clusterWorld) flapped(node int) bool {
+	if node < 0 {
+		return false
+	}
+	now := w.eng.Now()
+	for _, p := range w.flaps[node] {
+		if now >= p.At && now < p.At+p.Dur {
+			return true
+		}
+	}
+	return false
+}
+
+// send puts fn on the wire from one endpoint to another. A flapped
+// sender drops at transmit, a flapped receiver at delivery; either way
+// the message is silently gone and FlapDrops counts it.
+func (w *clusterWorld) send(from, to int, fn func()) {
+	if w.flapped(from) {
+		w.flapDrops++
+		return
+	}
+	w.eng.After(simWireLatency, func() {
+		if w.flapped(to) {
+			w.flapDrops++
+			return
+		}
+		fn()
+	})
+}
+
+// --- client ---
+
+func (c *clusterClient) next() {
+	if c.idx >= len(c.ops) {
+		c.done = true
+		return
+	}
+	c.call = c.w.rec.Begin()
+	c.attempt = 0
+	c.issue(c.idx, c.ops[c.idx])
+}
+
+func (c *clusterClient) issue(idx int, in KVIn) {
+	if idx != c.idx {
+		return // a reply already finished this op
+	}
+	c.attempt++
+	a := c.attempt
+	if a > c.w.cfg.Attempts {
+		// Ambiguous: some attempt may have applied. Record pending and
+		// let the checker linearize it anywhere after the call, or never.
+		c.waiting = false
+		c.w.rec.EndPending(c.id, c.call, in)
+		c.idx++
+		c.w.eng.After(clusterThink, c.next)
+		return
+	}
+	c.waiting = true
+	shard := int(in.Key) % c.w.cfg.Shards
+	owner := c.view.table[shard]
+	opID := clusterOpID(c.id, idx)
+	n := c.w.nodes[owner]
+	c.w.send(-1, owner, func() { n.handleKV(c, idx, a, in, opID) })
+	c.w.eng.After(c.w.cfg.AttemptTimeout, func() {
+		if idx == c.idx && a == c.attempt && c.waiting {
+			c.w.retried++
+			c.issue(idx, in)
+		}
+	})
+}
+
+func (c *clusterClient) install(v *clusterView) {
+	if v.epoch > c.view.epoch {
+		c.view = v
+	}
+}
+
+func (c *clusterClient) onReply(idx, attempt int, in KVIn, out KVOut, v *clusterView) {
+	c.install(v)
+	if idx != c.idx || attempt != c.attempt {
+		return // stale: a later attempt owns this op now
+	}
+	c.waiting = false
+	c.w.rec.End(c.id, c.call, in, out)
+	c.idx++
+	c.w.eng.After(clusterThink, c.next)
+}
+
+func (c *clusterClient) onWrongShard(idx, attempt int, in KVIn, v *clusterView) {
+	c.install(v)
+	if idx != c.idx || attempt != c.attempt {
+		return
+	}
+	c.waiting = false // kill the attempt's timeout; the bounce owns the retry
+	c.w.redirects++
+	c.w.eng.After(clusterNackBackoff, func() { c.issue(idx, in) })
+}
+
+// --- node ---
+
+// serves reports whether this node is the serving authority for a
+// shard: exactly when its own map says so. The stale-serve mutant
+// keeps answering for every shard the node ever owned — the handoff
+// bug the single-authority invariant exists to prevent.
+func (n *clusterNode) serves(s int) bool {
+	if n.view.table[s] == n.id {
+		return true
+	}
+	return mutantOn(n.w.mut, MutStaleShardServe) && n.everOwned[s]
+}
+
+func (n *clusterNode) install(v *clusterView) {
+	if v.epoch <= n.view.epoch {
+		return
+	}
+	n.view = v
+	for s, owner := range v.table {
+		if owner == n.id {
+			n.everOwned[s] = true
+		}
+	}
+}
+
+func (n *clusterNode) handleKV(c *clusterClient, idx, attempt int, in KVIn, opID uint64) {
+	s := int(in.Key) % n.w.cfg.Shards
+	v := n.view
+	if !n.serves(s) {
+		n.w.send(n.id, -1, func() { c.onWrongShard(idx, attempt, in, v) })
+		return
+	}
+	out := n.apply(s, in, opID)
+	// The apply is the linearization point; the reply leaves after a
+	// service delay, opening the applied-but-unacked window that flap
+	// boundaries turn into dedup'd retries.
+	n.w.eng.After(clusterService, func() {
+		n.w.send(n.id, -1, func() { c.onReply(idx, attempt, in, out, v) })
+	})
+}
+
+func (n *clusterNode) apply(s int, in KVIn, opID uint64) KVOut {
+	if !in.Put {
+		e, ok := n.data[s][in.Key]
+		return KVOut{Val: e.val, Found: ok}
+	}
+	if _, dup := n.memo[s][opID]; dup {
+		n.w.dedupHits++
+		return KVOut{}
+	}
+	e := clusterEntry{val: in.Val, ver: n.data[s][in.Key].ver + 1}
+	n.data[s][in.Key] = e
+	n.memo[s][opID] = struct{}{}
+	if n.copying && n.copyShard == s {
+		n.forward(in.Key, e, opID)
+	}
+	return KVOut{}
+}
+
+// absorb applies migrated state at the target: data entries only if
+// strictly newer by version (chunk/forward reordering and retransmit
+// duplicates are harmless), memo entries unconditionally.
+func (n *clusterNode) absorb(s int, ch clusterChunk) {
+	for _, me := range ch.entries {
+		if me.e.ver > n.data[s][me.key].ver {
+			n.data[s][me.key] = me.e
+		}
+		if me.opID != 0 {
+			n.memo[s][me.opID] = struct{}{}
+		}
+	}
+	for _, id := range ch.memo {
+		n.memo[s][id] = struct{}{}
+	}
+}
+
+// --- migration ---
+
+func (w *clusterWorld) tryStartMigration() {
+	if w.cfg.Nodes < 2 {
+		return
+	}
+	src := w.curView.table[clusterMigShard]
+	n := w.nodes[src]
+	// One migration at a time, and the source must already hold the map
+	// that makes it owner (it installs the previous handoff's epoch when
+	// that migration releases migActive).
+	if w.migActive || n.view.epoch < w.curView.epoch {
+		w.eng.After(clusterRetransmit, w.tryStartMigration)
+		return
+	}
+	w.migActive = true
+	n.startCopy(clusterMigShard, (src+1)%w.cfg.Nodes)
+}
+
+func (n *clusterNode) startCopy(s, dst int) {
+	n.copying = true
+	n.copyShard = s
+	n.copyDst = dst
+	n.chunksSent = false
+	n.chunksOut = 0
+
+	// Deterministic snapshot: map iteration order is random, so sort.
+	keys := make([]uint64, 0, len(n.data[s]))
+	for k := range n.data[s] {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	memo := make([]uint64, 0, len(n.memo[s]))
+	for id := range n.memo[s] {
+		memo = append(memo, id)
+	}
+	sort.Slice(memo, func(i, j int) bool { return memo[i] < memo[j] })
+
+	var chunks []clusterChunk
+	for len(keys) > 0 {
+		cs := n.w.cfg.ChunkSize
+		if cs > len(keys) {
+			cs = len(keys)
+		}
+		var ch clusterChunk
+		for _, k := range keys[:cs] {
+			ch.entries = append(ch.entries, clusterMigEntry{key: k, e: n.data[s][k]})
+		}
+		keys = keys[cs:]
+		chunks = append(chunks, ch)
+	}
+	if len(chunks) == 0 {
+		chunks = []clusterChunk{{}} // empty shard still does the handshake
+	}
+	// The memo snapshot rides the first chunk; entries memoized after
+	// this point travel on their dual-write forwards.
+	chunks[0].memo = memo
+
+	n.chunksOut = len(chunks)
+	n.chunksSent = true
+	for _, ch := range chunks {
+		n.sendChunk(ch)
+	}
+}
+
+// sendChunk delivers one snapshot chunk reliably: retransmit every
+// clusterRetransmit until the target's ack lands (flap windows just
+// stretch the copy).
+func (n *clusterNode) sendChunk(ch clusterChunk) {
+	dst, s := n.copyDst, n.copyShard
+	acked := false
+	var xmit func()
+	xmit = func() {
+		if acked {
+			return
+		}
+		n.w.send(n.id, dst, func() {
+			n.w.nodes[dst].absorb(s, ch)
+			n.w.send(dst, n.id, func() {
+				if acked {
+					return
+				}
+				acked = true
+				n.chunksOut--
+				n.tryHandoff()
+			})
+		})
+		n.w.eng.After(clusterRetransmit, xmit)
+	}
+	xmit()
+}
+
+// forward reliably dual-writes one applied entry to the migration
+// target; the handoff waits for every forward's ack.
+func (n *clusterNode) forward(key uint64, e clusterEntry, opID uint64) {
+	n.fwdOut++
+	dst, s := n.copyDst, n.copyShard
+	acked := false
+	var xmit func()
+	xmit = func() {
+		if acked {
+			return
+		}
+		n.w.send(n.id, dst, func() {
+			n.w.nodes[dst].absorb(s, clusterChunk{entries: []clusterMigEntry{{key: key, e: e, opID: opID}}})
+			n.w.send(dst, n.id, func() {
+				if acked {
+					return
+				}
+				acked = true
+				n.fwdOut--
+				n.tryHandoff()
+			})
+		})
+		n.w.eng.After(clusterRetransmit, xmit)
+	}
+	xmit()
+}
+
+// tryHandoff runs on every chunk/forward ack. Once everything the
+// source ever acknowledged is known to be applied at the target, the
+// source atomically (one event) installs the handoff epoch, stops
+// serving and stops dual-writing. The target installs after the
+// handoff gap (plus any matured PerturbHandoffDelay); until then nobody
+// serves the shard and clients bounce on WrongShard.
+func (n *clusterNode) tryHandoff() {
+	if !n.copying || !n.chunksSent || n.chunksOut > 0 || n.fwdOut > 0 {
+		return
+	}
+	w := n.w
+	s, dst := n.copyShard, n.copyDst
+	table := append([]int(nil), w.curView.table...)
+	table[s] = dst
+	nv := &clusterView{epoch: w.curView.epoch + 1, table: table}
+	n.copying = false
+	n.install(nv)
+	w.curView = nv
+	w.migrations++
+	gap := w.cfg.HandoffGap + w.consumeHandoffDelay()
+	w.eng.After(gap, func() {
+		w.nodes[dst].install(nv)
+		w.migActive = false
+	})
+	// Bystanders hear a little later still; clients mostly learn from
+	// reply piggybacks and WrongShard payloads before that.
+	for i := range w.nodes {
+		if i == n.id || i == dst {
+			continue
+		}
+		other := w.nodes[i]
+		w.eng.After(gap*2, func() { other.install(nv) })
+	}
+}
+
+// consumeHandoffDelay takes the earliest matured handoff-delay
+// perturbation, if any; each perturbation stretches exactly one
+// handoff.
+func (w *clusterWorld) consumeHandoffDelay() sim.Time {
+	now := w.eng.Now()
+	for i, p := range w.handoffs {
+		if p.At <= now {
+			w.handoffs = append(w.handoffs[:i], w.handoffs[i+1:]...)
+			return p.Dur
+		}
+	}
+	return 0
+}
+
+// --- driver ---
+
+// RunClusterSchedule executes one deterministic cluster simulation
+// under the given schedule and mutation and checks the history against
+// the exact per-key register model.
+func RunClusterSchedule(cfg ClusterSimConfig, sched Schedule, mut Mutation) RunReport {
+	cfg = cfg.withDefaults()
+	w := newClusterWorld(cfg, sched, mut)
+	w.eng.Drain()
+	completed := true
+	for _, c := range w.clients {
+		if !c.done {
+			completed = false
+		}
+	}
+	history := w.rec.History()
+	return RunReport{
+		Schedule:   sched,
+		Result:     Check(RegisterModel(), history),
+		Ops:        len(history),
+		Completed:  completed,
+		Retried:    w.retried,
+		DedupHits:  w.dedupHits,
+		Migrations: w.migrations,
+		Redirects:  w.redirects,
+		FlapDrops:  w.flapDrops,
+	}
+}
+
+// ExploreCluster sweeps n seed-derived cluster schedules, mirroring
+// ExploreSchedules. Migrations/Redirects/FlapDrops are summed so the
+// gate can assert the sweep actually moved shards through faults.
+func ExploreCluster(cfg ClusterSimConfig, mut Mutation, startSeed uint64, n int, derive func(uint64, ClusterSimConfig) Schedule) ExploreResult {
+	var res ExploreResult
+	for i := 0; i < n; i++ {
+		seed := startSeed + uint64(i)
+		sched := derive(seed, cfg)
+		rep := RunClusterSchedule(cfg, sched, mut)
+		res.Runs++
+		res.Retried += rep.Retried
+		res.DedupHits += rep.DedupHits
+		res.Migrations += rep.Migrations
+		res.Redirects += rep.Redirects
+		res.FlapDrops += rep.FlapDrops
+		if rep.Failed() {
+			res.Failures++
+			if res.First == nil {
+				res.First = &FailureReport{Report: rep, Minimal: ShrinkCluster(cfg, sched, mut)}
+			}
+		}
+	}
+	return res
+}
+
+// ShrinkCluster is Shrink for cluster schedules: greedily drop
+// perturbations while the schedule still fails.
+func ShrinkCluster(cfg ClusterSimConfig, sched Schedule, mut Mutation) Schedule {
+	if !RunClusterSchedule(cfg, sched, mut).Failed() {
+		return sched
+	}
+	cur := sched
+	for {
+		removed := false
+		for i := 0; i < len(cur.Perturbs); i++ {
+			cand := Schedule{Seed: cur.Seed}
+			cand.Perturbs = append(cand.Perturbs, cur.Perturbs[:i]...)
+			cand.Perturbs = append(cand.Perturbs, cur.Perturbs[i+1:]...)
+			if RunClusterSchedule(cfg, cand, mut).Failed() {
+				cur = cand
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			return cur
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package check
+
+import (
+	"testing"
+)
+
+// The cluster-suite gate: the sharded KV stays an exact linearizable
+// register across live shard migrations under seeded node flaps and
+// stretched handoffs, over a sweep big enough to hit the interesting
+// interleavings. Vacuity is asserted alongside correctness — a sweep
+// that never moved a shard, never bounced a client, or never dropped a
+// message through a flap window would prove nothing.
+
+const clusterGateSeeds = 250
+
+func TestClusterMigrationLinearizable(t *testing.T) {
+	res := ExploreCluster(ClusterSimConfig{}, MutNone, 1, clusterGateSeeds, MigrationScheduleFromSeed)
+	if res.Failures != 0 {
+		t.Fatalf("faithful cluster failed %d/%d schedules; first:\n%s", res.Failures, res.Runs, res.First)
+	}
+	if res.Migrations < res.Runs {
+		t.Fatalf("vacuous sweep: %d migrations over %d runs (want >= 1 per run)", res.Migrations, res.Runs)
+	}
+	if res.Redirects == 0 {
+		t.Fatal("vacuous sweep: no client ever took a wrong-shard redirect")
+	}
+	if res.FlapDrops == 0 {
+		t.Fatal("vacuous sweep: no flap window ever dropped a message")
+	}
+	if res.Retried == 0 {
+		t.Fatal("vacuous sweep: no attempt ever timed out and retried")
+	}
+	if res.DedupHits == 0 {
+		t.Fatal("vacuous sweep: no retry was ever answered from the dedup memo")
+	}
+	t.Logf("cluster sweep: %d runs, %d migrations, %d redirects, %d flap drops, %d retries, %d dedup hits",
+		res.Runs, res.Migrations, res.Redirects, res.FlapDrops, res.Retried, res.DedupHits)
+}
+
+// Replaying one schedule twice must produce an identical report —
+// determinism is what makes a CI failure a one-seed repro.
+func TestClusterRunDeterministic(t *testing.T) {
+	cfg := ClusterSimConfig{}
+	for seed := uint64(1); seed <= 8; seed++ {
+		s1 := MigrationScheduleFromSeed(seed, cfg)
+		s2 := MigrationScheduleFromSeed(seed, cfg)
+		if s1.Hash() != s2.Hash() {
+			t.Fatalf("seed %d: schedule derivation not deterministic", seed)
+		}
+		r1 := RunClusterSchedule(cfg, s1, MutNone)
+		r2 := RunClusterSchedule(cfg, s2, MutNone)
+		if r1.Ops != r2.Ops || r1.Migrations != r2.Migrations ||
+			r1.Redirects != r2.Redirects || r1.FlapDrops != r2.FlapDrops ||
+			r1.Retried != r2.Retried || r1.DedupHits != r2.DedupHits ||
+			r1.Result.Ok != r2.Result.Ok || r1.Completed != r2.Completed {
+			t.Fatalf("seed %d: replay diverged:\n  %+v\n  %+v", seed, r1, r2)
+		}
+	}
+}
+
+// The derivation's guarantees: the first perturbation is always a flap
+// of the migrated shard's initial source (the copy path must ride
+// through an outage), and only cluster perturbation kinds appear.
+func TestMigrationScheduleShape(t *testing.T) {
+	cfg := ClusterSimConfig{}.withDefaults()
+	for seed := uint64(1); seed <= 200; seed++ {
+		s := MigrationScheduleFromSeed(seed, cfg)
+		if len(s.Perturbs) == 0 || s.Perturbs[0].Kind != PerturbNodeFlap || s.Perturbs[0].QP != 0 {
+			t.Fatalf("seed %d: missing guaranteed source flap: %s", seed, s)
+		}
+		for _, p := range s.Perturbs {
+			if p.Kind != PerturbNodeFlap && p.Kind != PerturbHandoffDelay {
+				t.Fatalf("seed %d: foreign perturbation kind %s in cluster pool", seed, p.Kind)
+			}
+			if p.Kind == PerturbNodeFlap && (p.QP < 0 || p.QP >= cfg.Nodes) {
+				t.Fatalf("seed %d: flap targets nonexistent node %d", seed, p.QP)
+			}
+		}
+	}
+}
+
+// A perturbation-free run completes every seeded migration, stays
+// linearizable, and (with nothing dropping messages) never retries.
+func TestClusterQuiescentRun(t *testing.T) {
+	cfg := ClusterSimConfig{}.withDefaults()
+	rep := RunClusterSchedule(cfg, Schedule{Seed: 7}, MutNone)
+	if rep.Failed() {
+		t.Fatalf("quiescent run failed:\n%s", rep.Result)
+	}
+	if rep.Migrations != cfg.Migrations {
+		t.Fatalf("quiescent run completed %d migrations, want %d", rep.Migrations, cfg.Migrations)
+	}
+	if rep.FlapDrops != 0 || rep.Retried != 0 {
+		t.Fatalf("quiescent run dropped/retried (%d drops, %d retries) with no perturbations",
+			rep.FlapDrops, rep.Retried)
+	}
+	if rep.Ops != cfg.Clients*cfg.OpsPerClient {
+		t.Fatalf("quiescent run recorded %d ops, want %d", rep.Ops, cfg.Clients*cfg.OpsPerClient)
+	}
+	// Shrinking a passing schedule is the identity.
+	s := MigrationScheduleFromSeed(3, cfg)
+	if rep := RunClusterSchedule(cfg, s, MutNone); !rep.Failed() {
+		if got := ShrinkCluster(cfg, s, MutNone); got.Hash() != s.Hash() {
+			t.Fatalf("shrink modified a passing schedule: %s -> %s", s, got)
+		}
+	}
+}

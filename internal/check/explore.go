@@ -41,6 +41,19 @@ const (
 	// it — the canonical ScheduleFromSeed pool is frozen so existing
 	// seeds stay replayable.
 	PerturbServiceInflate
+	// PerturbNodeFlap takes one cluster member off the network for Dur
+	// (every message to or from it is dropped), then brings it back — a
+	// crash-recover or link flap against the cluster sim's membership and
+	// migration machinery. QP carries the member index. Only
+	// MigrationScheduleFromSeed derives it; the TCQ pools stay frozen.
+	PerturbNodeFlap
+	// PerturbHandoffDelay stretches the cluster sim's handoff window by
+	// Dur: the gap between the migration source adopting the handoff
+	// epoch (and starting to NACK) and the target learning it. Requests
+	// bounce between the two views for the whole window — the redirect
+	// storm the router's bounded retry loop must survive. Only
+	// MigrationScheduleFromSeed derives it.
+	PerturbHandoffDelay
 )
 
 func (k PerturbKind) String() string {
@@ -57,6 +70,10 @@ func (k PerturbKind) String() string {
 		return "redist"
 	case PerturbServiceInflate:
 		return "inflate"
+	case PerturbNodeFlap:
+		return "flap"
+	case PerturbHandoffDelay:
+		return "handoff"
 	}
 	return fmt.Sprintf("perturb(%d)", int(k))
 }
@@ -248,6 +265,15 @@ type RunReport struct {
 	// retries or never dedups proved nothing.
 	Retried   int
 	DedupHits int
+	// Migrations counts shard handoffs completed during the run, and
+	// Redirects counts wrong-shard bounces clients absorbed — the
+	// vacuity signals for the cluster suite: a sweep where no shard
+	// moved (or no client ever chased a moved shard) proved nothing
+	// about migration. FlapDrops counts messages dropped by node-flap
+	// perturbation windows. All three are zero outside the cluster sim.
+	Migrations int
+	Redirects  int
+	FlapDrops  int
 	// Pipelined counts ops issued while their thread already had one in
 	// flight — the vacuity signal for the pipelining suite: a sweep that
 	// never overlapped two ops of one thread proved nothing about the
@@ -302,6 +328,11 @@ type ExploreResult struct {
 	Retried   int
 	DedupHits int
 	Pipelined int
+	// Migrations, Redirects, and FlapDrops are summed over cluster-suite
+	// sweeps (zero for the TCQ suites).
+	Migrations int
+	Redirects  int
+	FlapDrops  int
 	// First is the first failure, shrunk; nil when all runs passed.
 	First *FailureReport
 }

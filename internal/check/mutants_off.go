@@ -5,7 +5,7 @@ package check
 // Mutation selects an intentionally-broken protocol variant for the
 // mutation self-test. In normal builds only MutNone exists in spirit:
 // mutantOn is a constant false, so the compiler removes every mutant code
-// path from the simulator. Build with -tags flockmut to compile the five
+// path from the simulator. Build with -tags flockmut to compile the six
 // known-bad variants in and run the self-test that proves the checker
 // catches each one.
 type Mutation int
@@ -41,6 +41,14 @@ const (
 	// construction: a synchronous thread never has two live ops in one
 	// batch, so only the Pipeline > 1 schedule pool can catch it.
 	MutPipelineMisroute
+	// MutStaleShardServe: a cluster node keeps serving every shard it
+	// ever owned, ignoring the handoff epoch that moved ownership away —
+	// the migration bug the single-authority rule (serve only what your
+	// own map assigns you) exists to prevent. Reads at the stale source
+	// miss the target's writes, and puts that land there are
+	// acknowledged but never reach the new owner. Only the cluster
+	// schedule pool can catch it: the TCQ sims have no shards to move.
+	MutStaleShardServe
 )
 
 // EnabledMutations lists the mutants compiled into this build: none.

@@ -3,7 +3,7 @@
 package check
 
 // Mutation selects an intentionally-broken protocol variant. This is the
-// flockmut build: the five known-bad variants are compiled into the
+// flockmut build: the six known-bad variants are compiled into the
 // simulator and selectable at runtime, so the self-test can assert the
 // checker flags every one of them. See mutants_off.go for the per-variant
 // documentation.
@@ -16,6 +16,7 @@ const (
 	MutRecycleAckInflight
 	MutDedupSkip
 	MutPipelineMisroute
+	MutStaleShardServe
 )
 
 func (m Mutation) String() string {
@@ -32,13 +33,15 @@ func (m Mutation) String() string {
 		return "dedup-skip"
 	case MutPipelineMisroute:
 		return "pipeline-misroute"
+	case MutStaleShardServe:
+		return "stale-shard-serve"
 	}
 	return "unknown"
 }
 
 // EnabledMutations lists the mutants compiled into this build.
 func EnabledMutations() []Mutation {
-	return []Mutation{MutClaimTimedOut, MutBatchDropTail, MutRecycleAckInflight, MutDedupSkip, MutPipelineMisroute}
+	return []Mutation{MutClaimTimedOut, MutBatchDropTail, MutRecycleAckInflight, MutDedupSkip, MutPipelineMisroute, MutStaleShardServe}
 }
 
 // mutantOn reports whether mutant `want` is the active one.

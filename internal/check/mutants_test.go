@@ -28,8 +28,8 @@ func mutantWorkload(m Mutation) Workload {
 
 func TestMutantsAreCaught(t *testing.T) {
 	muts := EnabledMutations()
-	if len(muts) != 5 {
-		t.Fatalf("expected 5 compiled mutants, got %d", len(muts))
+	if len(muts) != 6 {
+		t.Fatalf("expected 6 compiled mutants, got %d", len(muts))
 	}
 	for _, mut := range muts {
 		mut := mut
@@ -38,18 +38,29 @@ func TestMutantsAreCaught(t *testing.T) {
 			// The dedup mutant only bites when retries happen, so it gets
 			// the overload schedules; the misroute mutant only bites when a
 			// thread has two ops in flight, so it gets the pipeline
-			// schedules; the combining-path mutants keep the canonical pool.
-			cfg := exploreCfg(mutantWorkload(mut))
-			derive := ScheduleFromSeed
-			switch mut {
-			case MutDedupSkip:
-				cfg = overloadCfg(mutantWorkload(mut))
-				derive = OverloadScheduleFromSeed
-			case MutPipelineMisroute:
-				cfg = pipelineCfg(mutantWorkload(mut))
-				derive = PipelineScheduleFromSeed
+			// schedules; the stale-shard mutant only bites when a shard
+			// migrates, so it gets the cluster simulator; the
+			// combining-path mutants keep the canonical pool.
+			var res ExploreResult
+			var replay func(Schedule) bool
+			if mut == MutStaleShardServe {
+				ccfg := ClusterSimConfig{}
+				res = ExploreCluster(ccfg, mut, 1, mutantSeeds, MigrationScheduleFromSeed)
+				replay = func(s Schedule) bool { return RunClusterSchedule(ccfg, s, mut).Failed() }
+			} else {
+				cfg := exploreCfg(mutantWorkload(mut))
+				derive := ScheduleFromSeed
+				switch mut {
+				case MutDedupSkip:
+					cfg = overloadCfg(mutantWorkload(mut))
+					derive = OverloadScheduleFromSeed
+				case MutPipelineMisroute:
+					cfg = pipelineCfg(mutantWorkload(mut))
+					derive = PipelineScheduleFromSeed
+				}
+				res = ExploreSchedules(cfg, mut, 1, mutantSeeds, derive)
+				replay = func(s Schedule) bool { return RunSchedule(cfg, s, mut).Failed() }
 			}
-			res := ExploreSchedules(cfg, mut, 1, mutantSeeds, derive)
 			if res.Failures == 0 {
 				t.Fatalf("mutant %s survived %d schedules: the checker is blind to it", mut, res.Runs)
 			}
@@ -62,7 +73,7 @@ func TestMutantsAreCaught(t *testing.T) {
 			if f == nil {
 				t.Fatal("failures counted but no report captured")
 			}
-			if !RunSchedule(cfg, f.Minimal, mut).Failed() {
+			if !replay(f.Minimal) {
 				t.Fatalf("minimal schedule does not reproduce: %s", f.Minimal)
 			}
 			if len(f.Minimal.Perturbs) > len(f.Report.Schedule.Perturbs) {

@@ -1,0 +1,214 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"flock/internal/core"
+	"flock/internal/fabric"
+	"flock/internal/resilience"
+	"flock/internal/telemetry"
+)
+
+// Membership runs the failure detector over the router's member set:
+// one lightweight ping RPC per member per probe round, fed into a
+// per-member resilience.Detector. A drain pushback (ErrDraining) marks
+// the member draining rather than suspect — it is healthy, just
+// refusing work. State transitions fan out to an optional OnChange
+// callback, which is where a coordinator hangs rebalancing.
+//
+// Probing is pull-based and explicit: ProbeOnce runs one deterministic
+// round (tests drive it tick by tick), Start runs rounds on a ticker.
+type Membership struct {
+	r *Router
+
+	// ProbeTimeout bounds one ping (default 50ms). SuspectAfter /
+	// DeadAfter configure every member's detector (zero → detector
+	// defaults).
+	ProbeTimeout time.Duration
+	SuspectAfter int
+	DeadAfter    int
+
+	// OnChange, when set before probing starts, is called (outside
+	// Membership's lock) for every member state transition.
+	OnChange func(id fabric.NodeID, state resilience.MemberState)
+
+	mu      sync.Mutex
+	dets    map[fabric.NodeID]*resilience.Detector
+	threads map[fabric.NodeID]*core.Thread
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+
+	suspects *telemetry.Counter
+}
+
+// NewMembership builds the detector set over the router's current map
+// members, attaches itself to the router (so routing steers around
+// dead/draining members), and registers cluster.member_suspects and
+// cluster.live_members on the router node's telemetry registry.
+func NewMembership(r *Router) *Membership {
+	m := &Membership{
+		r:        r,
+		dets:     make(map[fabric.NodeID]*resilience.Detector),
+		threads:  make(map[fabric.NodeID]*core.Thread),
+		stop:     make(chan struct{}),
+		suspects: r.Node().Telemetry().Counter("cluster.member_suspects"),
+	}
+	for _, id := range r.Map().Members {
+		m.dets[id] = &resilience.Detector{SuspectAfter: m.SuspectAfter, DeadAfter: m.DeadAfter}
+	}
+	r.Node().Telemetry().GaugeFunc("cluster.live_members", func() int64 {
+		n := int64(0)
+		m.mu.Lock()
+		for _, d := range m.dets {
+			if d.State() == resilience.MemberLive {
+				n++
+			}
+		}
+		m.mu.Unlock()
+		return n
+	})
+	r.attachMembership(m)
+	return m
+}
+
+// State returns the detector's verdict for one member; unknown members
+// read as live.
+func (m *Membership) State(id fabric.NodeID) resilience.MemberState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if d, ok := m.dets[id]; ok {
+		return d.State()
+	}
+	return resilience.MemberLive
+}
+
+// Live returns the members currently considered routable (live or
+// suspect — suspects still get traffic; only dead/draining are
+// avoided), sorted by NodeID.
+func (m *Membership) Live() []fabric.NodeID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []fabric.NodeID
+	for _, id := range m.r.Map().Members {
+		d := m.dets[id]
+		if d == nil || d.State() == resilience.MemberLive || d.State() == resilience.MemberSuspect {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func (m *Membership) probeTimeout() time.Duration {
+	if m.ProbeTimeout > 0 {
+		return m.ProbeTimeout
+	}
+	return 50 * time.Millisecond
+}
+
+func (m *Membership) pingThread(id fabric.NodeID) (*core.Thread, error) {
+	m.mu.Lock()
+	th, ok := m.threads[id]
+	m.mu.Unlock()
+	if ok {
+		return th, nil
+	}
+	c, err := m.r.conn(id)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if th, ok := m.threads[id]; ok {
+		return th, nil
+	}
+	th = c.RegisterThread()
+	m.threads[id] = th
+	return th, nil
+}
+
+// ProbeOnce pings every member once and returns the post-round states.
+// It is the deterministic unit Start loops over.
+func (m *Membership) ProbeOnce() map[fabric.NodeID]resilience.MemberState {
+	type change struct {
+		id    fabric.NodeID
+		state resilience.MemberState
+	}
+	var changes []change
+	out := make(map[fabric.NodeID]resilience.MemberState)
+	for _, id := range m.r.Map().Members {
+		var next resilience.MemberState
+		th, err := m.pingThread(id)
+		if err == nil {
+			var resp core.Response
+			resp, err = th.CallWithDeadline(RPCPing, nil, m.probeTimeout())
+			if err == nil {
+				resp.Release()
+			} else if errors.Is(err, core.ErrConnClosed) {
+				// The conn died for good (e.g. a long outage exhausted its
+				// recovery); drop it so the next probe re-dials — a dead
+				// member must be able to come back.
+				m.mu.Lock()
+				delete(m.threads, id)
+				m.mu.Unlock()
+				m.r.invalidate(id, th.Conn())
+			}
+		}
+		m.mu.Lock()
+		d := m.dets[id]
+		if d == nil {
+			d = &resilience.Detector{SuspectAfter: m.SuspectAfter, DeadAfter: m.DeadAfter}
+			m.dets[id] = d
+		}
+		prev := d.State()
+		switch {
+		case err == nil:
+			next = d.Observe(true)
+		case errors.Is(err, core.ErrDraining):
+			next = d.ObserveDraining()
+		default:
+			next = d.Observe(false)
+		}
+		m.mu.Unlock()
+		out[id] = next
+		if next != prev {
+			if next == resilience.MemberSuspect || next == resilience.MemberDead {
+				m.suspects.Inc()
+			}
+			changes = append(changes, change{id, next})
+		}
+	}
+	for _, c := range changes {
+		if m.OnChange != nil {
+			m.OnChange(c.id, c.state)
+		}
+	}
+	return out
+}
+
+// Start probes on the given interval until Stop.
+func (m *Membership) Start(interval time.Duration) {
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-m.stop:
+				return
+			case <-tick.C:
+				m.ProbeOnce()
+			}
+		}
+	}()
+}
+
+// Stop halts probing (idempotent).
+func (m *Membership) Stop() {
+	m.once.Do(func() { close(m.stop) })
+	m.wg.Wait()
+}

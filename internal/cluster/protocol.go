@@ -1,0 +1,63 @@
+package cluster
+
+import "encoding/binary"
+
+// RPC IDs the cluster layer registers on every member node. They live
+// in a high range so tenants layered on the same nodes can use low IDs.
+const (
+	// RPCPing is the membership probe. Empty request; reply is the
+	// member's 8-byte map epoch. A draining member NACKs it at admission
+	// (StatusDraining), which the failure detector reads as "healthy but
+	// decommissioning".
+	RPCPing = 0xC1
+	// RPCKV is the sharded KV data path. Request: op(1) key(8) val(8).
+	// OK replies carry the epoch prefix; a mis-routed request is NACKed
+	// with StatusWrongShard and the server's encoded map as payload.
+	RPCKV = 0xC2
+	// RPCMigrate applies a bulk chunk of key/value pairs with guarded
+	// (take-the-max) semantics. Request: shard(4) n(4) then n × key(8)
+	// val(8). Used both for snapshot copy and for dual-written forwards
+	// (a chunk of one). Reply is the epoch prefix.
+	RPCMigrate = 0xC3
+	// RPCMap fetches the member's current encoded shard map. Empty
+	// request; the reply is the map itself (which carries its epoch), no
+	// prefix.
+	RPCMap = 0xC4
+)
+
+// KV ops.
+const (
+	OpGet = 0x0
+	OpPut = 0x1
+)
+
+// Reply layout: every cluster-service reply except RPCMap starts with
+// the serving node's 8-byte little-endian map epoch, so routers notice
+// staleness on every response, not only on NACKs.
+const epochPrefixLen = 8
+
+func appendEpoch(b []byte, epoch uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, epoch)
+}
+
+// EncodeKVReq builds an RPCKV request.
+func EncodeKVReq(op byte, key, val uint64) []byte {
+	b := make([]byte, 17)
+	b[0] = op
+	binary.LittleEndian.PutUint64(b[1:9], key)
+	binary.LittleEndian.PutUint64(b[9:17], val)
+	return b
+}
+
+func decodeKVReq(b []byte) (op byte, key, val uint64, ok bool) {
+	if len(b) != 17 {
+		return 0, 0, 0, false
+	}
+	return b[0], binary.LittleEndian.Uint64(b[1:9]), binary.LittleEndian.Uint64(b[9:17]), true
+}
+
+// chunk layout constants for RPCMigrate.
+const (
+	chunkHeaderLen = 8  // shard(4) n(4)
+	chunkEntryLen  = 16 // key(8) val(8)
+)

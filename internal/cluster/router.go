@@ -1,0 +1,319 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flock/internal/core"
+	"flock/internal/fabric"
+	"flock/internal/resilience"
+	"flock/internal/telemetry"
+)
+
+// ErrNoRoute reports that a call exhausted its redirect budget without
+// landing on the shard's owner.
+var ErrNoRoute = errors.New("cluster: no route to shard owner")
+
+// Router is the shard-aware client: one flock Conn per member, calls
+// routed by key through the current shard map. It self-corrects from
+// two signals — the epoch piggybacked on every OK reply (stale? fetch
+// the map) and StatusWrongShard NACKs (which carry the newer map
+// inline). Per-destination circuit breaking and budgeted retries come
+// from the underlying core connections (the client node's
+// BreakerThreshold / RetryMaxAttempts options apply per member conn);
+// the router adds placement awareness and the failure detector on top.
+type Router struct {
+	node *core.Node
+
+	mu    sync.Mutex
+	conns map[fabric.NodeID]*core.Conn
+
+	cur atomic.Pointer[ShardMap]
+
+	// members guards the Membership attachment.
+	memMu      sync.Mutex
+	membership *Membership
+
+	// CallBudget bounds one routed attempt (default 250ms);
+	// MaxRedirects bounds the redirect loop (default 10).
+	CallBudget   time.Duration
+	MaxRedirects int
+
+	redirects *telemetry.Counter
+}
+
+// NewRouter builds a router on the given client node with the initial
+// map. Member connections are dialed lazily on first use, so a member
+// that is down at construction does not fail the router.
+func NewRouter(node *core.Node, initial *ShardMap) *Router {
+	r := &Router{
+		node:      node,
+		conns:     make(map[fabric.NodeID]*core.Conn),
+		redirects: node.Telemetry().Counter("cluster.wrong_shard_redirects"),
+	}
+	r.cur.Store(initial)
+	return r
+}
+
+// Node returns the client node the router dials from.
+func (r *Router) Node() *core.Node { return r.node }
+
+// Map returns the router's current shard map.
+func (r *Router) Map() *ShardMap { return r.cur.Load() }
+
+// Install adopts m if its epoch is newer. Returns whether it switched.
+func (r *Router) Install(m *ShardMap) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if cur := r.cur.Load(); cur != nil && m.Epoch <= cur.Epoch {
+		return false
+	}
+	r.cur.Store(m)
+	return true
+}
+
+// Redirects reports the wrong-shard redirect count (also exported as
+// the cluster.wrong_shard_redirects telemetry counter).
+func (r *Router) Redirects() uint64 { return r.redirects.Load() }
+
+func (r *Router) conn(id fabric.NodeID) (*core.Conn, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.conns[id]; ok {
+		return c, nil
+	}
+	c, err := r.node.Connect(id)
+	if err != nil {
+		return nil, err
+	}
+	r.conns[id] = c
+	return c, nil
+}
+
+// invalidate drops a member's cached connection after it failed
+// permanently (ErrConnClosed), so the next use re-dials. The stale
+// *Conn is only removed if it is still the cached one, so concurrent
+// invalidators don't tear down a fresh replacement.
+func (r *Router) invalidate(id fabric.NodeID, stale *core.Conn) {
+	r.mu.Lock()
+	if r.conns[id] == stale {
+		delete(r.conns, id)
+	}
+	r.mu.Unlock()
+	stale.Close()
+}
+
+func (r *Router) attachMembership(m *Membership) {
+	r.memMu.Lock()
+	r.membership = m
+	r.memMu.Unlock()
+}
+
+// memberState consults the attached failure detector; with none
+// attached every member counts as live.
+func (r *Router) memberState(id fabric.NodeID) resilience.MemberState {
+	r.memMu.Lock()
+	m := r.membership
+	r.memMu.Unlock()
+	if m == nil {
+		return resilience.MemberLive
+	}
+	return m.State(id)
+}
+
+func (r *Router) callBudget() time.Duration {
+	if r.CallBudget > 0 {
+		return r.CallBudget
+	}
+	return 250 * time.Millisecond
+}
+
+func (r *Router) maxRedirects() int {
+	if r.MaxRedirects > 0 {
+		return r.MaxRedirects
+	}
+	return 10
+}
+
+// Close closes the router's member connections.
+func (r *Router) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.conns {
+		c.Close()
+	}
+	r.conns = map[fabric.NodeID]*core.Conn{}
+}
+
+// Thread returns a per-goroutine routing handle. Like core.Thread, a
+// RouterThread must not be shared between goroutines.
+func (r *Router) Thread() *RouterThread {
+	return &RouterThread{r: r, threads: make(map[fabric.NodeID]*core.Thread)}
+}
+
+// RouterThread is one goroutine's shard-routed call handle: a lazily
+// created core.Thread per member plus the redirect state machine.
+type RouterThread struct {
+	r       *Router
+	threads map[fabric.NodeID]*core.Thread
+}
+
+func (rt *RouterThread) thread(id fabric.NodeID) (*core.Thread, error) {
+	if th, ok := rt.threads[id]; ok {
+		return th, nil
+	}
+	c, err := rt.r.conn(id)
+	if err != nil {
+		return nil, err
+	}
+	th := c.RegisterThread()
+	rt.threads[id] = th
+	return th, nil
+}
+
+// Call routes one RPC by key: it sends to the current map's owner of
+// the key's shard, follows WrongShard NACKs (installing the newer map
+// they carry), refreshes the map when a reply's epoch piggyback is
+// newer, and steers around members the failure detector marks dead or
+// draining. On success the returned Response's Data has the epoch
+// prefix already stripped.
+func (rt *RouterThread) Call(rpcID uint32, key uint64, payload []byte) (core.Response, error) {
+	var lastErr error
+	for attempt := 0; attempt < rt.r.maxRedirects(); attempt++ {
+		if attempt > 0 {
+			// A redirect storm usually means a handoff is propagating;
+			// yield briefly instead of hammering.
+			time.Sleep(500 * time.Microsecond)
+		}
+		m := rt.r.Map()
+		owner := m.OwnerOfKey(key)
+		if st := rt.r.memberState(owner); st == resilience.MemberDead || st == resilience.MemberDraining {
+			// The owner is unroutable; the map may have moved on without
+			// us. Fetch the freshest map from any live member and retry.
+			if rt.refresh() {
+				continue
+			}
+		}
+		th, err := rt.thread(owner)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp, err := th.CallWithDeadline(rpcID, payload, rt.r.callBudget())
+		if err != nil {
+			rt.noteErr(owner, err)
+			lastErr = err
+			continue
+		}
+		switch resp.Status {
+		case core.StatusOK:
+			if len(resp.Data) < epochPrefixLen {
+				resp.Release()
+				return core.Response{}, fmt.Errorf("cluster: short reply (%d bytes)", len(resp.Data))
+			}
+			epoch := binary.LittleEndian.Uint64(resp.Data[:epochPrefixLen])
+			if epoch > rt.r.Map().Epoch {
+				rt.refreshFrom(owner)
+			}
+			resp.Data = resp.Data[epochPrefixLen:]
+			return resp, nil
+		case core.StatusWrongShard:
+			if nm, err := DecodeShardMap(resp.Data); err == nil {
+				rt.r.Install(nm)
+			}
+			rt.r.redirects.Inc()
+			resp.Release()
+			lastErr = ErrNoRoute
+			continue
+		default:
+			return resp, nil
+		}
+	}
+	if lastErr == nil {
+		lastErr = ErrNoRoute
+	}
+	return core.Response{}, fmt.Errorf("cluster: call for key %#x failed: %w", key, lastErr)
+}
+
+// noteErr reacts to a call failure: a permanently closed connection is
+// dropped (with this thread's handle on it) so the next attempt
+// re-dials the member.
+func (rt *RouterThread) noteErr(id fabric.NodeID, err error) {
+	if !errors.Is(err, core.ErrConnClosed) {
+		return
+	}
+	if th, ok := rt.threads[id]; ok {
+		delete(rt.threads, id)
+		rt.r.invalidate(id, th.Conn())
+	}
+}
+
+// refreshFrom fetches and installs the map from one member.
+func (rt *RouterThread) refreshFrom(id fabric.NodeID) bool {
+	th, err := rt.thread(id)
+	if err != nil {
+		return false
+	}
+	resp, err := th.CallWithDeadline(RPCMap, nil, rt.r.callBudget())
+	if err != nil {
+		rt.noteErr(id, err)
+		return false
+	}
+	defer resp.Release()
+	if resp.Status != core.StatusOK {
+		return false
+	}
+	m, err := DecodeShardMap(resp.Data)
+	if err != nil {
+		return false
+	}
+	return rt.r.Install(m)
+}
+
+// refresh tries every live member until one yields a newer map.
+func (rt *RouterThread) refresh() bool {
+	m := rt.r.Map()
+	for _, id := range m.Members {
+		if st := rt.r.memberState(id); st == resilience.MemberDead || st == resilience.MemberDraining {
+			continue
+		}
+		if rt.refreshFrom(id) {
+			return true
+		}
+	}
+	return false
+}
+
+// Get reads a key from the sharded KV. Missing keys read as (0, false).
+func (rt *RouterThread) Get(key uint64) (uint64, bool, error) {
+	resp, err := rt.Call(RPCKV, key, EncodeKVReq(OpGet, key, 0))
+	if err != nil {
+		return 0, false, err
+	}
+	defer resp.Release()
+	if resp.Status != core.StatusOK {
+		return 0, false, fmt.Errorf("cluster: get status %d", resp.Status)
+	}
+	if len(resp.Data) != 9 {
+		return 0, false, fmt.Errorf("cluster: bad get reply length %d", len(resp.Data))
+	}
+	return binary.LittleEndian.Uint64(resp.Data[1:9]), resp.Data[0] == 1, nil
+}
+
+// Put writes a key into the sharded KV. val must be non-decreasing per
+// key (the service's guarded-apply contract).
+func (rt *RouterThread) Put(key, val uint64) error {
+	resp, err := rt.Call(RPCKV, key, EncodeKVReq(OpPut, key, val))
+	if err != nil {
+		return err
+	}
+	defer resp.Release()
+	if resp.Status != core.StatusOK {
+		return fmt.Errorf("cluster: put status %d", resp.Status)
+	}
+	return nil
+}

@@ -1,0 +1,214 @@
+// Package cluster is the placement layer: it assigns key shards to
+// nodes with a versioned, epoch-stamped shard map, routes client calls
+// by key, tracks membership with a lightweight ping protocol, and moves
+// shards between live nodes without stopping the service.
+//
+// The map is the unit of agreement. Every member and every router holds
+// a *ShardMap; any reply from a cluster service piggybacks the serving
+// node's map epoch, and a request that lands on a node that no longer
+// (or does not yet) own the key's shard is NACKed with StatusWrongShard
+// and the server's full encoded map, so clients self-correct without a
+// metadata service in the data path. Map distribution is eventual:
+// epochs only increase, and a node installs a received map only when
+// its epoch is newer than the one it holds.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"flock/internal/fabric"
+)
+
+// Migration is one pending shard move recorded in the map: while it is
+// in Pending, From still owns the shard (Table[Shard] == From) but
+// dual-writes to To; the handoff epoch flips Table[Shard] to To and
+// drops the entry.
+type Migration struct {
+	Shard int
+	From  fabric.NodeID
+	To    fabric.NodeID
+}
+
+// ShardMap is one version of the cluster's placement. It is immutable
+// once published: mutations (Rebalance planning, handoff) return a new
+// map with a bumped epoch.
+type ShardMap struct {
+	// Epoch is the map version. Strictly increasing across publishes;
+	// receivers install a map only if its epoch is newer.
+	Epoch uint64
+	// Shards is the number of key shards; ShardOf hashes keys into
+	// [0, Shards).
+	Shards int
+	// VNodes is the number of virtual ring points per member used by the
+	// consistent-hash placement (more vnodes → smoother balance).
+	VNodes int
+	// Members is the known member set, sorted by NodeID. Membership in
+	// this list does not imply liveness — routing consults the failure
+	// detector — but only members can own shards.
+	Members []fabric.NodeID
+	// Table maps shard → owning member. It is explicit rather than
+	// recomputed from the ring so that migrations move exactly one shard
+	// per handoff and old maps decode to exactly the placement they
+	// described.
+	Table []fabric.NodeID
+	// Pending lists in-flight migrations (dual-write windows).
+	Pending []Migration
+}
+
+// DefaultVNodes is the ring-point count per member when the caller
+// passes 0.
+const DefaultVNodes = 16
+
+// New builds the epoch-1 map for the given members, with each shard
+// assigned by the consistent-hash ring. members must be non-empty;
+// shards must be positive.
+func New(members []fabric.NodeID, shards, vnodes int) (*ShardMap, error) {
+	if len(members) == 0 {
+		return nil, errors.New("cluster: no members")
+	}
+	if shards <= 0 {
+		return nil, errors.New("cluster: shards must be positive")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	ms := append([]fabric.NodeID(nil), members...)
+	sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+	for i := 1; i < len(ms); i++ {
+		if ms[i] == ms[i-1] {
+			return nil, fmt.Errorf("cluster: duplicate member %d", ms[i])
+		}
+	}
+	m := &ShardMap{Epoch: 1, Shards: shards, VNodes: vnodes, Members: ms}
+	m.Table = m.DesiredTable(ms)
+	return m, nil
+}
+
+// ShardOf hashes a key into its shard.
+func (m *ShardMap) ShardOf(key uint64) int {
+	return int(mix(key) % uint64(m.Shards))
+}
+
+// Owner returns the member currently owning shard.
+func (m *ShardMap) Owner(shard int) fabric.NodeID { return m.Table[shard] }
+
+// OwnerOfKey is Owner(ShardOf(key)).
+func (m *ShardMap) OwnerOfKey(key uint64) fabric.NodeID {
+	return m.Table[m.ShardOf(key)]
+}
+
+// ShardsOwnedBy lists the shards Table assigns to id.
+func (m *ShardMap) ShardsOwnedBy(id fabric.NodeID) []int {
+	var out []int
+	for s, owner := range m.Table {
+		if owner == id {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy (for building the next epoch).
+func (m *ShardMap) Clone() *ShardMap {
+	c := *m
+	c.Members = append([]fabric.NodeID(nil), m.Members...)
+	c.Table = append([]fabric.NodeID(nil), m.Table...)
+	c.Pending = append([]Migration(nil), m.Pending...)
+	return &c
+}
+
+// ringPoint is one virtual node on the consistent-hash ring.
+type ringPoint struct {
+	hash  uint64
+	owner fabric.NodeID
+}
+
+// DesiredTable computes the ring placement of every shard over the
+// given candidate owners (typically the live member subset). It is
+// deterministic in the candidate set and independent of the current
+// Table, so two nodes with the same view plan the same placement.
+func (m *ShardMap) DesiredTable(candidates []fabric.NodeID) []fabric.NodeID {
+	ring := make([]ringPoint, 0, len(candidates)*m.VNodes)
+	for _, id := range candidates {
+		for v := 0; v < m.VNodes; v++ {
+			h := mix(uint64(id)<<20 ^ uint64(v)<<1 ^ 0xF10C)
+			ring = append(ring, ringPoint{hash: h, owner: id})
+		}
+	}
+	sort.Slice(ring, func(i, j int) bool {
+		if ring[i].hash != ring[j].hash {
+			return ring[i].hash < ring[j].hash
+		}
+		return ring[i].owner < ring[j].owner
+	})
+	table := make([]fabric.NodeID, m.Shards)
+	for s := range table {
+		h := mix(uint64(s) ^ 0x5AAD)
+		i := sort.Search(len(ring), func(i int) bool { return ring[i].hash >= h })
+		if i == len(ring) {
+			i = 0
+		}
+		table[s] = ring[i].owner
+	}
+	return table
+}
+
+// PlanRebalance diffs the current Table against the ring placement over
+// the live candidate set and returns the migrations that would converge
+// them, ordered by shard. Shards already mid-migration are skipped.
+func (m *ShardMap) PlanRebalance(live []fabric.NodeID) []Migration {
+	if len(live) == 0 {
+		return nil
+	}
+	desired := m.DesiredTable(live)
+	pending := make(map[int]bool, len(m.Pending))
+	for _, p := range m.Pending {
+		pending[p.Shard] = true
+	}
+	var plan []Migration
+	for s, want := range desired {
+		cur := m.Table[s]
+		if cur == want || pending[s] {
+			continue
+		}
+		plan = append(plan, Migration{Shard: s, From: cur, To: want})
+	}
+	return plan
+}
+
+// WithPending returns a new map (epoch+1) with mig recorded as pending.
+func (m *ShardMap) WithPending(mig Migration) *ShardMap {
+	c := m.Clone()
+	c.Epoch++
+	c.Pending = append(c.Pending, mig)
+	return c
+}
+
+// WithHandoff returns a new map (epoch+1) with shard's ownership
+// flipped to `to` and any pending entry for the shard dropped.
+func (m *ShardMap) WithHandoff(shard int, to fabric.NodeID) *ShardMap {
+	c := m.Clone()
+	c.Epoch++
+	c.Table[shard] = to
+	keep := c.Pending[:0]
+	for _, p := range c.Pending {
+		if p.Shard != shard {
+			keep = append(keep, p)
+		}
+	}
+	c.Pending = keep
+	return c
+}
+
+// mix is splitmix64's finalizer: the key/ring hash.
+func mix(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"flock/internal/fabric"
+)
+
+// Shard-map wire format (little-endian). This is what WrongShard NACKs
+// and the map-fetch RPC carry, so it must decode defensively: the bytes
+// may arrive corrupted (the fabric's CorruptProb faults flip bits) and
+// DecodeShardMap must reject garbage with an error, never panic or
+// allocate absurdly.
+//
+//	+0   magic    uint32  'F','S','M','1'
+//	+4   epoch    uint64
+//	+12  shards   uint32
+//	+16  vnodes   uint32
+//	+20  nMembers uint32
+//	+24  members  nMembers × int64
+//	...  table    shards × int64 (owner per shard)
+//	...  nPending uint32
+//	...  pending  nPending × (shard uint32, from int64, to int64)
+
+const (
+	wireMagic = uint32('F') | uint32('S')<<8 | uint32('M')<<16 | uint32('1')<<24
+
+	// Sanity bounds: anything larger is corruption, not configuration.
+	maxWireShards  = 1 << 16
+	maxWireVNodes  = 1 << 12
+	maxWireMembers = 1 << 12
+)
+
+// ErrBadMap reports undecodable shard-map bytes.
+var ErrBadMap = errors.New("cluster: malformed shard map")
+
+// EncodedSize returns the exact Encode output length.
+func (m *ShardMap) EncodedSize() int {
+	return 24 + 8*len(m.Members) + 8*len(m.Table) + 4 + 20*len(m.Pending)
+}
+
+// Encode serializes the map. The output is deterministic: equal maps
+// encode to equal bytes.
+func (m *ShardMap) Encode() []byte {
+	b := make([]byte, 0, m.EncodedSize())
+	b = binary.LittleEndian.AppendUint32(b, wireMagic)
+	b = binary.LittleEndian.AppendUint64(b, m.Epoch)
+	b = binary.LittleEndian.AppendUint32(b, uint32(m.Shards))
+	b = binary.LittleEndian.AppendUint32(b, uint32(m.VNodes))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(m.Members)))
+	for _, id := range m.Members {
+		b = binary.LittleEndian.AppendUint64(b, uint64(id))
+	}
+	for _, id := range m.Table {
+		b = binary.LittleEndian.AppendUint64(b, uint64(id))
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(m.Pending)))
+	for _, p := range m.Pending {
+		b = binary.LittleEndian.AppendUint32(b, uint32(p.Shard))
+		b = binary.LittleEndian.AppendUint64(b, uint64(p.From))
+		b = binary.LittleEndian.AppendUint64(b, uint64(p.To))
+	}
+	return b
+}
+
+// wireReader is a bounds-checked cursor over untrusted bytes.
+type wireReader struct {
+	b   []byte
+	off int
+	err bool
+}
+
+func (r *wireReader) u32() uint32 {
+	if r.err || r.off+4 > len(r.b) {
+		r.err = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *wireReader) u64() uint64 {
+	if r.err || r.off+8 > len(r.b) {
+		r.err = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+// DecodeShardMap parses Encode output. It validates the magic, size
+// bounds, exact length, sorted-unique members, table owners drawn from
+// the member set, and pending entries referencing valid shards and
+// members — a map that decodes is safe to route by.
+func DecodeShardMap(b []byte) (*ShardMap, error) {
+	r := &wireReader{b: b}
+	if r.u32() != wireMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadMap)
+	}
+	m := &ShardMap{Epoch: r.u64()}
+	shards, vnodes, nMembers := r.u32(), r.u32(), r.u32()
+	if r.err || shards == 0 || shards > maxWireShards ||
+		vnodes == 0 || vnodes > maxWireVNodes ||
+		nMembers == 0 || nMembers > maxWireMembers {
+		return nil, fmt.Errorf("%w: bad geometry", ErrBadMap)
+	}
+	// Bound the remaining length before allocating.
+	need := 8*int(nMembers) + 8*int(shards) + 4
+	if len(b)-r.off < need {
+		return nil, fmt.Errorf("%w: truncated", ErrBadMap)
+	}
+	m.Shards, m.VNodes = int(shards), int(vnodes)
+	m.Members = make([]fabric.NodeID, nMembers)
+	memberSet := make(map[fabric.NodeID]bool, nMembers)
+	for i := range m.Members {
+		id := fabric.NodeID(r.u64())
+		if i > 0 && id <= m.Members[i-1] {
+			return nil, fmt.Errorf("%w: members not sorted-unique", ErrBadMap)
+		}
+		m.Members[i] = id
+		memberSet[id] = true
+	}
+	m.Table = make([]fabric.NodeID, shards)
+	for i := range m.Table {
+		id := fabric.NodeID(r.u64())
+		if !memberSet[id] {
+			return nil, fmt.Errorf("%w: table owner %d not a member", ErrBadMap, id)
+		}
+		m.Table[i] = id
+	}
+	nPending := r.u32()
+	if r.err || nPending > shards {
+		return nil, fmt.Errorf("%w: bad pending count", ErrBadMap)
+	}
+	if nPending > 0 {
+		m.Pending = make([]Migration, nPending)
+		for i := range m.Pending {
+			s := r.u32()
+			from, to := fabric.NodeID(r.u64()), fabric.NodeID(r.u64())
+			if r.err || s >= shards || !memberSet[from] || !memberSet[to] {
+				return nil, fmt.Errorf("%w: bad pending entry", ErrBadMap)
+			}
+			m.Pending[i] = Migration{Shard: int(s), From: from, To: to}
+		}
+	}
+	if r.err || r.off != len(b) {
+		return nil, fmt.Errorf("%w: length mismatch", ErrBadMap)
+	}
+	return m, nil
+}

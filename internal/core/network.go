@@ -73,12 +73,26 @@ const (
 	// StatusDraining is the graceful-drain NACK: the node stopped
 	// admitting new work; retry on another node.
 	StatusDraining
+	// StatusWrongShard is the placement NACK: the request's key shard is
+	// not owned by this node under its current shard map. The response
+	// payload carries the server's (newer) encoded map so the client can
+	// self-correct and re-route; it is not an error at the transport
+	// layer — it surfaces as Response.Status, and routing layers handle
+	// the redirect.
+	StatusWrongShard
 )
 
 // Handler processes one RPC request and returns the response payload. It
 // must not retain req past the call. Returning nil sends an empty
 // response.
 type Handler func(req []byte) []byte
+
+// StatusHandler is a Handler that also chooses the response status word —
+// the hook services built above core (shard routers, placement layers) use
+// to NACK requests with application statuses such as StatusWrongShard
+// while still attaching a payload. Returning StatusOK is equivalent to a
+// plain Handler.
+type StatusHandler func(req []byte) ([]byte, uint32)
 
 // Network owns a fabric and the FLock nodes on it. It stands in for the
 // out-of-band connection setup (e.g. TCP exchange of QP numbers and rkeys)
@@ -256,6 +270,14 @@ type Node struct {
 	inflight atomic.Int64
 	draining atomic.Bool
 
+	// Drain lifecycle hooks: observers (cluster membership, placement
+	// layers) notified when the node enters drain mode and when Resume
+	// re-opens it. Guarded by hookMu; hooks run synchronously on the
+	// Drain/Resume caller's goroutine, outside the lock.
+	hookMu      sync.Mutex
+	drainHooks  []func()
+	resumeHooks []func()
+
 	// Server role.
 	schedRCQ *rnic.CQ
 	sconnMu  sync.Mutex
@@ -318,7 +340,7 @@ func newNode(nw *Network, id fabric.NodeID, dev *rnic.Device, opts Options) *Nod
 		tel:  telemetry.New(),
 		done: make(chan struct{}),
 	}
-	n.handlers.Store(map[uint32]Handler{})
+	n.handlers.Store(map[uint32]StatusHandler{})
 	n.byQPN.Store(map[int]*serverQP{})
 	n.connsSnap.Store([]*Conn{})
 	n.sconnsSnap.Store([]*serverConn{})
@@ -459,10 +481,21 @@ func (n *Node) DegreeHistograms() (out, in telemetry.HistSnapshot) {
 // Registration is allowed at any time but handlers should be in place
 // before clients call them.
 func (n *Node) RegisterHandler(rpcID uint32, fn Handler) {
+	n.RegisterStatusHandler(rpcID, func(req []byte) ([]byte, uint32) {
+		return fn(req), StatusOK
+	})
+}
+
+// RegisterStatusHandler binds a status-returning handler to rpcID. It is
+// RegisterHandler for services that pick their own response status —
+// e.g. a shard-aware KV returning StatusWrongShard with the current map
+// as payload. Plain and status handlers share one table; the last
+// registration for an rpcID wins.
+func (n *Node) RegisterStatusHandler(rpcID uint32, fn StatusHandler) {
 	n.handMu.Lock()
 	defer n.handMu.Unlock()
-	old := n.handlers.Load().(map[uint32]Handler)
-	next := make(map[uint32]Handler, len(old)+1)
+	old := n.handlers.Load().(map[uint32]StatusHandler)
+	next := make(map[uint32]StatusHandler, len(old)+1)
 	for k, v := range old {
 		next[k] = v
 	}
@@ -470,9 +503,9 @@ func (n *Node) RegisterHandler(rpcID uint32, fn Handler) {
 	n.handlers.Store(next)
 }
 
-// handler resolves rpcID to a Handler, nil if unregistered.
-func (n *Node) handler(rpcID uint32) Handler {
-	return n.handlers.Load().(map[uint32]Handler)[rpcID]
+// handler resolves rpcID to a StatusHandler, nil if unregistered.
+func (n *Node) handler(rpcID uint32) StatusHandler {
+	return n.handlers.Load().(map[uint32]StatusHandler)[rpcID]
 }
 
 // Serve starts the server role: request dispatchers, the worker pool (if
@@ -535,7 +568,9 @@ func (n *Node) Close() {
 // after it returns, Close is safe and instant, or Resume re-opens the
 // node for traffic.
 func (n *Node) Drain(ctx context.Context) error {
-	n.draining.Store(true)
+	if !n.draining.Swap(true) {
+		n.runHooks(&n.drainHooks)
+	}
 	var done <-chan struct{}
 	if ctx != nil {
 		done = ctx.Done()
@@ -561,7 +596,41 @@ func (n *Node) Drain(ctx context.Context) error {
 }
 
 // Resume takes the node out of drain mode; it admits traffic again.
-func (n *Node) Resume() { n.draining.Store(false) }
+func (n *Node) Resume() {
+	if n.draining.Swap(false) {
+		n.runHooks(&n.resumeHooks)
+	}
+}
+
+// OnDrain registers fn to run when the node enters drain mode (the first
+// Drain call of a drain episode). Cluster layers use it to advertise a
+// planned decommission so routers steer around the node before its shards
+// move.
+func (n *Node) OnDrain(fn func()) {
+	n.hookMu.Lock()
+	n.drainHooks = append(n.drainHooks, fn)
+	n.hookMu.Unlock()
+}
+
+// OnResume registers fn to run when Resume re-opens a drained node —
+// the rejoin signal membership layers key the give-shards-back rebalance
+// off.
+func (n *Node) OnResume(fn func()) {
+	n.hookMu.Lock()
+	n.resumeHooks = append(n.resumeHooks, fn)
+	n.hookMu.Unlock()
+}
+
+// runHooks snapshots and runs one hook list outside the lock.
+func (n *Node) runHooks(hooks *[]func()) {
+	n.hookMu.Lock()
+	fns := make([]func(), len(*hooks))
+	copy(fns, *hooks)
+	n.hookMu.Unlock()
+	for _, fn := range fns {
+		fn()
+	}
+}
 
 // Draining reports whether the node is in drain mode.
 func (n *Node) Draining() bool { return n.draining.Load() }

@@ -427,7 +427,7 @@ func (n *Node) execute(sc *serverConn, meta itemMeta, payload []byte) (out respO
 			out.data = nil
 		}
 	}()
-	out.data = fn(payload)
+	out.data, out.meta.status = fn(payload)
 	return out
 }
 

@@ -311,6 +311,45 @@ func (s *Store) Apply(key uint64, val []byte) error {
 	return nil
 }
 
+// UpdateMax64 atomically raises key's value — interpreted as one
+// little-endian uint64 word — to val, creating the slot if needed. It
+// returns whether the stored value changed. The CAS loop makes
+// concurrent UpdateMax64 calls converge on the maximum, which is the
+// guarded-apply primitive shard migration relies on: snapshot chunks,
+// dual-written forwards and client retries may arrive in any order and
+// any multiplicity, and the slot still ends at the newest value. The
+// store must have ValSize >= 8; the version word is left alone (the
+// value is a single word, so readers don't need the seqlock).
+func (s *Store) UpdateMax64(key uint64, val uint64) (bool, error) {
+	if s.valSize < 8 {
+		return false, fmt.Errorf("kvstore: UpdateMax64 needs ValSize >= 8, have %d", s.valSize)
+	}
+	off, err := s.findSlot(key, true)
+	if err != nil {
+		return false, err
+	}
+	for {
+		cur := s.mem.Load64(off + 16)
+		if cur >= val {
+			return false, nil
+		}
+		if s.mem.CAS64(off+16, cur, val) {
+			return true, nil
+		}
+	}
+}
+
+// Value64 reads key's value as one little-endian uint64 word; ok is
+// false when the key has no slot. Like UpdateMax64 it bypasses the
+// seqlock — a single word loads atomically.
+func (s *Store) Value64(key uint64) (val uint64, ok bool) {
+	off, err := s.findSlot(key, false)
+	if err != nil {
+		return 0, false
+	}
+	return s.mem.Load64(off + 16), true
+}
+
 // VersionOffset returns the byte offset of key's version+lock word inside
 // the arena, for one-sided RDMA validation.
 func (s *Store) VersionOffset(key uint64) (int, error) {
@@ -328,6 +367,39 @@ func (s *Store) Version(key uint64) (uint64, error) {
 		return 0, err
 	}
 	return s.mem.Load64(off + 8), nil
+}
+
+// Scan iterates every occupied slot in arena order, calling fn with the
+// key and a copy of its value. Returning false from fn stops the scan.
+// Scan uses the seqlock protocol per slot, so it tolerates concurrent
+// writers; it is the snapshot primitive shard migration copies from. The
+// iteration is not a point-in-time snapshot — concurrent writes may or
+// may not be observed — so migration pairs it with guarded applies on the
+// receiving side.
+func (s *Store) Scan(fn func(key uint64, val []byte) bool) {
+	val := make([]byte, s.valSize)
+	for i := uint64(0); i < s.capacity; i++ {
+		off := s.slotOff(i)
+		stored := s.mem.Load64(off)
+		if stored == 0 {
+			continue
+		}
+		for {
+			v1 := s.mem.Load64(off + 8)
+			if v1&lockBit != 0 {
+				continue // writer mid-commit; it finishes promptly
+			}
+			if err := s.mem.ReadAt(val, off+16); err != nil {
+				return
+			}
+			if s.mem.Load64(off+8) == v1 {
+				break
+			}
+		}
+		if !fn(stored-1, val) {
+			return
+		}
+	}
 }
 
 // Locked reports whether a version word carries the lock bit.
