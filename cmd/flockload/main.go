@@ -27,6 +27,14 @@
 // buffers:
 //
 //	flockload -cluster 4 -shards 16 -threads 8 -dur 2s
+//
+// Adding -replicas R replicates every shard to R backups (synchronous
+// forward before ACK) and swaps the mid-window migration for a primary
+// kill: one member drops off the fabric, the detector walks it to dead,
+// and the coordinator promotes backups — the report shows detection and
+// promotion timings plus the replication counters:
+//
+//	flockload -cluster 4 -shards 16 -replicas 2 -threads 8 -dur 2s
 package main
 
 import (
@@ -75,6 +83,7 @@ func main() {
 		nicCache   = flag.Int("nic-cache", 0, "NIC connection-context cache size (0 = unconstrained)")
 		clusterN   = flag.Int("cluster", 0, "cluster mode: this many member nodes serve the sharded KV behind the shard router (0 = off)")
 		shardsN    = flag.Int("shards", 16, "shard count in -cluster mode")
+		replicasN  = flag.Int("replicas", 0, "backups per shard in -cluster mode; >0 replaces the mid-window migrations with a primary kill + failover (0 = unreplicated)")
 		checkMode  = flag.Bool("check", false, "flockcheck mode: explore schedules and verify linearizability instead of driving load")
 		checkSeeds = flag.Int("check-seeds", 1000, "schedules to explore per workload in -check mode")
 		checkSeed  = flag.Uint64("check-seed", 1, "first seed in -check mode (replay a CI failure with -check-seeds 1)")
@@ -86,7 +95,7 @@ func main() {
 		os.Exit(runCheck(*checkWork, *checkSeed, *checkSeeds, *threads, *qps))
 	}
 	if *clusterN > 0 {
-		os.Exit(runCluster(*clusterN, *shardsN, *threads, *dur, *faults))
+		os.Exit(runCluster(*clusterN, *shardsN, *replicasN, *threads, *dur, *faults))
 	}
 
 	opts := flock.Options{
@@ -466,10 +475,15 @@ func main() {
 // epoch-routing client, and halfway through the window the coordinator
 // live-migrates two shards away from their owners — so the report's
 // wrong-shard redirect and migration numbers come from a real move, not
-// a synthetic NACK. The epilogue mirrors the resilient mode's: every
-// node drains, the network closes, and the pooled-buffer ledger must be
-// at exactly zero leases. Returns the process exit code.
-func runCluster(nMembers, nShards, nThreads int, dur time.Duration, faults string) int {
+// a synthetic NACK. With replicas > 0 the mid-window event is a primary
+// kill instead: every put synchronously replicates to its backups, one
+// shard primary drops off the fabric entirely, the detector walks it to
+// dead, and the coordinator promotes backups — the report then shows
+// detection + promotion timings and the replication counters. The
+// epilogue mirrors the resilient mode's: every node drains, the network
+// closes, and the pooled-buffer ledger must be at exactly zero leases.
+// Returns the process exit code.
+func runCluster(nMembers, nShards, replicas, nThreads int, dur time.Duration, faults string) int {
 	net := flock.NewNetwork(flock.FabricConfig{})
 	defer net.Close()
 	if faults != "" {
@@ -483,7 +497,7 @@ func runCluster(nMembers, nShards, nThreads int, dur time.Duration, faults strin
 	for i := range ids {
 		ids[i] = flock.NodeID(i)
 	}
-	m, err := flock.NewShardMap(ids, nShards, 0)
+	m, err := flock.NewReplicatedShardMap(ids, nShards, 0, replicas)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -516,6 +530,13 @@ func runCluster(nMembers, nShards, nThreads int, dur time.Duration, faults strin
 	// NACK carrying the newer map — so the redirect stats below are real.
 	router := flock.NewClusterRouter(client, m)
 	mship := flock.NewClusterMembership(router)
+	if replicas > 0 {
+		// Failover mode: the victim's shards have nobody left to NACK a
+		// stale route, so the router learns the promoted map the way a
+		// production client would — from the control plane's publish.
+		coord.AddRouter(router)
+		mship.ProbeTimeout = 100 * time.Millisecond
+	}
 
 	shardOps := make([]atomic.Uint64, nShards)
 	var okOps, failed atomic.Uint64
@@ -562,8 +583,9 @@ func runCluster(nMembers, nShards, nThreads int, dur time.Duration, faults strin
 		}(g)
 	}
 
-	// Mid-window live migrations: move two shards one member to the
-	// right, with traffic still flowing through them.
+	// Mid-window event: with replicas, one shard primary drops off the
+	// fabric entirely and the cluster fails over; otherwise two live
+	// migrations — both with traffic still flowing.
 	time.Sleep(dur / 2)
 	type move struct {
 		shard    int
@@ -571,7 +593,35 @@ func runCluster(nMembers, nShards, nThreads int, dur time.Duration, faults strin
 		took     time.Duration
 	}
 	var moves []move
-	if nMembers > 1 {
+	victim := flock.NodeID(-1)
+	var victimShards, promoted int
+	var detect, promote time.Duration
+	if replicas > 0 && nMembers > 1 {
+		victim = coord.Map().Owner(0)
+		victimShards = len(coord.Map().ShardsOwnedBy(victim))
+		fab := net.Fabric()
+		t0 := time.Now()
+		for _, id := range append([]flock.NodeID{client.ID()}, ids...) {
+			if id == victim {
+				continue
+			}
+			fab.SetLinkDown(victim, id, true)
+			fab.SetLinkDown(id, victim, true)
+		}
+		for mship.State(victim) != flock.MemberDead {
+			if time.Since(t0) > 30*time.Second {
+				log.Fatal("detector never declared the victim dead")
+			}
+			mship.ProbeOnce()
+		}
+		detect = time.Since(t0)
+		t1 := time.Now()
+		p, err := coord.FailOver(victim, mship.Live())
+		if err != nil {
+			log.Fatalf("failover: %v", err)
+		}
+		promoted, promote = p, time.Since(t1)
+	} else if nMembers > 1 {
 		for _, shard := range []int{0, 1} {
 			from := coord.Map().Owner(shard)
 			to := ids[(int(from)+1)%nMembers]
@@ -618,6 +668,17 @@ func runCluster(nMembers, nShards, nThreads int, dur time.Duration, faults strin
 	for _, mv := range moves {
 		fmt.Printf("migration   shard=%d from=n%d to=n%d dur=%v\n",
 			mv.shard, mv.from, mv.to, mv.took.Round(time.Microsecond))
+	}
+	if victim >= 0 {
+		var fwds, promos uint64
+		for _, svc := range services {
+			tl := svc.Node().Telemetry()
+			fwds += tl.Counter("cluster.replica_forwards").Load()
+			promos += tl.Counter("cluster.promotions").Load()
+		}
+		fmt.Printf("failover    victim=n%d shards=%d promoted=%d detect=%v promote=%v\n",
+			victim, victimShards, promoted, detect.Round(time.Millisecond), promote.Round(time.Microsecond))
+		fmt.Printf("replication replicas=%d forwards=%d promotions=%d\n", replicas, fwds, promos)
 	}
 	fmt.Printf("membership  live=%d/%d moves=%d\n", len(live), nMembers, len(moves))
 

@@ -45,6 +45,7 @@ import (
 	"flock/internal/cluster"
 	"flock/internal/core"
 	"flock/internal/fabric"
+	"flock/internal/resilience"
 	"flock/internal/telemetry"
 )
 
@@ -127,6 +128,16 @@ type (
 	// ClusterCoordinator is the in-process control plane driving
 	// migrations, rebalancing, route-around, and decommission.
 	ClusterCoordinator = cluster.Coordinator
+	// MemberState is the failure detector's per-member verdict.
+	MemberState = resilience.MemberState
+)
+
+// Failure-detector member states (ClusterMembership.State).
+const (
+	MemberLive     = resilience.MemberLive
+	MemberSuspect  = resilience.MemberSuspect
+	MemberDead     = resilience.MemberDead
+	MemberDraining = resilience.MemberDraining
 )
 
 // Errors re-exported from the implementation.
@@ -165,6 +176,8 @@ var (
 	ErrNoRoute = cluster.ErrNoRoute
 	// ErrBadShardMap reports a malformed shard-map wire encoding.
 	ErrBadShardMap = cluster.ErrBadMap
+	// ErrBadReplica reports a malformed replication forward or ack frame.
+	ErrBadReplica = cluster.ErrBadReplica
 )
 
 // Response status codes.
@@ -211,6 +224,14 @@ func RedistributeQPs(util [][]float64, maxAQP int) []int {
 // member (0 → default). Members must be non-empty and deduplicated.
 func NewShardMap(members []NodeID, shards, vnodes int) (*ShardMap, error) {
 	return cluster.New(members, shards, vnodes)
+}
+
+// NewReplicatedShardMap is NewShardMap plus a replica factor: every
+// shard gets `replicas` backups (clamped to members-1) drawn from its
+// ring successors, and every acknowledged put synchronously replicates
+// to all of them before the primary ACKs.
+func NewReplicatedShardMap(members []NodeID, shards, vnodes, replicas int) (*ShardMap, error) {
+	return cluster.NewReplicated(members, shards, vnodes, replicas)
 }
 
 // DecodeShardMap parses a shard map from its wire encoding (the payload

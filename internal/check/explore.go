@@ -54,6 +54,13 @@ const (
 	// storm the router's bounded retry loop must survive. Only
 	// MigrationScheduleFromSeed derives it.
 	PerturbHandoffDelay
+	// PerturbPrimaryKill permanently silences one replica-sim member from
+	// At on — a crash with no recovery, the failure synchronous
+	// replication exists to survive. QP carries the member index; Dur is
+	// ignored (death is forever). The world's failure detector notices
+	// after its detect delay and promotes backups. Only
+	// ReplicaScheduleFromSeed derives it; every other pool stays frozen.
+	PerturbPrimaryKill
 )
 
 func (k PerturbKind) String() string {
@@ -74,6 +81,8 @@ func (k PerturbKind) String() string {
 		return "flap"
 	case PerturbHandoffDelay:
 		return "handoff"
+	case PerturbPrimaryKill:
+		return "kill"
 	}
 	return fmt.Sprintf("perturb(%d)", int(k))
 }
@@ -279,6 +288,13 @@ type RunReport struct {
 	// never overlapped two ops of one thread proved nothing about the
 	// completion-matching path.
 	Pipelined int
+	// Failovers counts backup promotions after a primary kill, and
+	// Forwards counts primary→backup replication forwards — the vacuity
+	// signals for the replica suite: a sweep where no shard ever failed
+	// over (or no write was ever replicated) proved nothing about the
+	// sync-forward ACK rule. Both are zero outside the replica sim.
+	Failovers int
+	Forwards  int
 }
 
 // Failed reports whether the run violated the model or wedged.
@@ -333,6 +349,10 @@ type ExploreResult struct {
 	Migrations int
 	Redirects  int
 	FlapDrops  int
+	// Failovers and Forwards are summed over replica-suite sweeps (zero
+	// everywhere else).
+	Failovers int
+	Forwards  int
 	// First is the first failure, shrunk; nil when all runs passed.
 	First *FailureReport
 }

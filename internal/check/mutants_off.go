@@ -5,7 +5,7 @@ package check
 // Mutation selects an intentionally-broken protocol variant for the
 // mutation self-test. In normal builds only MutNone exists in spirit:
 // mutantOn is a constant false, so the compiler removes every mutant code
-// path from the simulator. Build with -tags flockmut to compile the six
+// path from the simulator. Build with -tags flockmut to compile the seven
 // known-bad variants in and run the self-test that proves the checker
 // catches each one.
 type Mutation int
@@ -49,6 +49,14 @@ const (
 	// acknowledged but never reach the new owner. Only the cluster
 	// schedule pool can catch it: the TCQ sims have no shards to move.
 	MutStaleShardServe
+	// MutAckBeforeReplicate: a replicated primary acknowledges a put as
+	// soon as the local apply lands, replicating to backups lazily — the
+	// premature-ack bug the sync-forward ACK rule exists to prevent. The
+	// ack promises durability the backups don't yet have: kill the
+	// primary inside the ack-to-forward window and the promoted backup
+	// serves reads that miss an acknowledged write. Only the replica
+	// schedule pool can catch it: no other pool kills a primary.
+	MutAckBeforeReplicate
 )
 
 // EnabledMutations lists the mutants compiled into this build: none.

@@ -3,7 +3,7 @@
 package check
 
 // Mutation selects an intentionally-broken protocol variant. This is the
-// flockmut build: the six known-bad variants are compiled into the
+// flockmut build: the seven known-bad variants are compiled into the
 // simulator and selectable at runtime, so the self-test can assert the
 // checker flags every one of them. See mutants_off.go for the per-variant
 // documentation.
@@ -17,6 +17,7 @@ const (
 	MutDedupSkip
 	MutPipelineMisroute
 	MutStaleShardServe
+	MutAckBeforeReplicate
 )
 
 func (m Mutation) String() string {
@@ -35,13 +36,15 @@ func (m Mutation) String() string {
 		return "pipeline-misroute"
 	case MutStaleShardServe:
 		return "stale-shard-serve"
+	case MutAckBeforeReplicate:
+		return "ack-before-replicate"
 	}
 	return "unknown"
 }
 
 // EnabledMutations lists the mutants compiled into this build.
 func EnabledMutations() []Mutation {
-	return []Mutation{MutClaimTimedOut, MutBatchDropTail, MutRecycleAckInflight, MutDedupSkip, MutPipelineMisroute, MutStaleShardServe}
+	return []Mutation{MutClaimTimedOut, MutBatchDropTail, MutRecycleAckInflight, MutDedupSkip, MutPipelineMisroute, MutStaleShardServe, MutAckBeforeReplicate}
 }
 
 // mutantOn reports whether mutant `want` is the active one.

@@ -1,0 +1,734 @@
+package check
+
+import (
+	"fmt"
+
+	"flock/internal/sim"
+)
+
+// The replica simulator: a deterministic, RPC-level model of per-shard
+// primary–backup replication (internal/cluster with Replicas > 0),
+// driven by the same seed-derived schedule machinery as the other
+// pools. It models exactly the interleavings that matter for the
+// durability promise a synchronous-replication ACK makes — the apply →
+// forward → backup-ack → client-ack chain, a primary killed anywhere
+// inside it, and the epoch-bump promotion that follows — and nothing
+// below: the wire is a flat latency plus drop windows.
+//
+// The protocol rules mirror the real service:
+//
+//   - Sync-forward ACK rule: a put is acknowledged only after the key's
+//     current entry is applied at every backup the primary's own map
+//     lists for the shard. Acked therefore implies every backup holds
+//     the write (or a newer one for the same key), which is what makes
+//     promotion lossless.
+//   - Failure detection and failover: a killed node is noticed after a
+//     detect delay; the world (standing in for the coordinator) bumps
+//     the epoch, promotes each affected shard's first live backup, and
+//     prunes the dead node from every backup set. New primaries install
+//     the map immediately (the Promote path), other live members after
+//     a propagation gap, clients via reply piggybacks and WrongShard
+//     payloads only.
+//   - Pending re-evaluation: a primary blocked on a dead backup's ack
+//     is released when it installs a map that no longer lists that
+//     backup — the liveness half of the ACK rule.
+//   - Exactly-once: applied put op-IDs go into a per-shard memo that
+//     rides every replication forward, so a retry of an applied-but-
+//     unacked put is deduplicated on whichever replica serves it after
+//     the failover. A memo hit still re-runs the ACK rule against the
+//     key's current entry before replying — replying from the memo
+//     alone would promise durability a second failover could break.
+//
+// Under those rules every completed history is an exact linearizable
+// register per key even with primaries dying mid-traffic, so
+// RunReplicaSchedule checks RegisterModel for the kv workload (and the
+// per-op EchoModel for the stateless echo workload, which exercises the
+// routing/failover machinery without replication). The
+// MutAckBeforeReplicate mutant acks after the local apply and forwards
+// lazily; a kill inside that window loses an acknowledged write and the
+// checker must catch it.
+
+const (
+	// replicaService is the server-side delay between apply (or
+	// replication completion) and the reply hitting the wire.
+	replicaService = sim.Microsecond
+	// replicaThink separates a client's operations.
+	replicaThink = sim.Microsecond
+	// replicaNackBackoff is the client's pause after a wrong-shard
+	// bounce.
+	replicaNackBackoff = 2 * sim.Microsecond
+	// replicaRetransmit paces replication-forward retransmission.
+	replicaRetransmit = 5 * sim.Microsecond
+	// replicaMutLazyDelay is how long the ack-before-replicate mutant
+	// sits on a forward after acking — the asynchrony that makes the
+	// premature ack a lie worth catching.
+	replicaMutLazyDelay = 4 * sim.Microsecond
+)
+
+// ReplicaSimConfig sizes one simulated replicated-cluster run. Zero
+// values take defaults.
+type ReplicaSimConfig struct {
+	Nodes        int // cluster members (default 4)
+	Shards       int // shard count (default 8); key k lives in shard k % Shards
+	Replicas     int // backups per shard (default 2, clamped to Nodes-1)
+	Clients      int // concurrent clients (default 4)
+	OpsPerClient int // sequential ops per client (default 40)
+	Keys         int // key-space size (default 12)
+	Attempts     int // attempts per op before it goes pending (default 6)
+
+	// Echo switches the workload to stateless echo ops checked against
+	// the per-op EchoModel (default: kv puts/gets against RegisterModel).
+	Echo bool
+
+	AttemptTimeout sim.Time // per-attempt deadline (default 20µs)
+	DetectDelay    sim.Time // kill → failover delay (default 6µs)
+	InstallGap     sim.Time // failover → bystander install gap (default 3µs)
+}
+
+func (c ReplicaSimConfig) withDefaults() ReplicaSimConfig {
+	if c.Nodes <= 0 {
+		c.Nodes = 4
+	}
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.Replicas > c.Nodes-1 {
+		c.Replicas = c.Nodes - 1
+	}
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+	if c.OpsPerClient <= 0 {
+		c.OpsPerClient = 40
+	}
+	if c.Keys <= 0 {
+		c.Keys = 12
+	}
+	if c.Attempts <= 0 {
+		c.Attempts = 6
+	}
+	if c.AttemptTimeout <= 0 {
+		c.AttemptTimeout = 20 * sim.Microsecond
+	}
+	if c.DetectDelay <= 0 {
+		c.DetectDelay = 6 * sim.Microsecond
+	}
+	if c.InstallGap <= 0 {
+		c.InstallGap = 3 * sim.Microsecond
+	}
+	return c
+}
+
+func replicaHorizon(cfg ReplicaSimConfig) sim.Time {
+	return sim.Time(cfg.OpsPerClient) * (3 * simWireLatency)
+}
+
+// ReplicaScheduleFromSeed derives the replica-suite schedule for a
+// seed: one guaranteed mid-window kill of node 0 — the initial primary
+// of shard 0, so acknowledged writes exist on both sides of the
+// failover — plus 0–3 further kills, node flaps, and install delays.
+// Like every other pool it is its own derivation with its own RNG salt,
+// so existing pools keep replaying bit-identically.
+func ReplicaScheduleFromSeed(seed uint64, cfg ReplicaSimConfig) Schedule {
+	cfg = cfg.withDefaults()
+	rng := newScheduleRNG(seed ^ 0x0F10CC4EF11CA7E5)
+	horizon := replicaHorizon(cfg)
+	at := cfg.AttemptTimeout
+	s := Schedule{Seed: seed, Perturbs: []Perturbation{{
+		Kind: PerturbPrimaryKill,
+		At:   horizon/4 + sim.Time(rng.Uint64n(uint64(horizon/2)+1)),
+		QP:   0,
+	}}}
+	n := rng.Intn(4)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			// A second/third kill of a non-zero member: the promoted
+			// replica set must survive repeated failovers.
+			s.Perturbs = append(s.Perturbs, Perturbation{
+				Kind: PerturbPrimaryKill,
+				At:   sim.Time(rng.Uint64n(uint64(horizon) + 1)),
+				QP:   1 + rng.Intn(cfg.Nodes-1),
+			})
+		case 1:
+			s.Perturbs = append(s.Perturbs, Perturbation{
+				Kind: PerturbNodeFlap,
+				At:   sim.Time(rng.Uint64n(uint64(horizon) + 1)),
+				QP:   rng.Intn(cfg.Nodes),
+				Dur:  at/2 + sim.Time(rng.Uint64n(uint64(at)*2)),
+			})
+		default:
+			s.Perturbs = append(s.Perturbs, Perturbation{
+				Kind: PerturbHandoffDelay,
+				At:   sim.Time(rng.Uint64n(uint64(horizon) + 1)),
+				Dur:  sim.Time(rng.Uint64n(uint64(at)*2) + 1),
+			})
+		}
+	}
+	return s
+}
+
+// replicaView is one immutable epoch-stamped map: table[s] is the
+// primary (-1: dark, every replica died), backups[s] its backup set.
+type replicaView struct {
+	epoch   uint64
+	table   []int
+	backups [][]int
+}
+
+func (v *replicaView) hasBackup(s, id int) bool {
+	for _, b := range v.backups[s] {
+		if b == id {
+			return true
+		}
+	}
+	return false
+}
+
+// replicaEntry is one key's value with its per-key write version; the
+// version orders a key's writes across replicas so reordered or
+// retransmitted forwards cannot regress a backup.
+type replicaEntry struct{ val, ver uint64 }
+
+// replicaPend is one put blocked on the sync-forward ACK rule: the
+// entry being replicated and the backups whose acks are still owed.
+// Waiters are the client replies released when the set empties.
+type replicaPend struct {
+	shard   int
+	key     uint64
+	e       replicaEntry
+	need    map[int]bool
+	waiters []func()
+}
+
+type replicaWorld struct {
+	cfg ReplicaSimConfig
+	mut Mutation
+	eng *sim.Engine
+	rec *Recorder
+
+	nodes   []*replicaNode
+	clients []*replicaClient
+
+	dead     []bool
+	flaps    [][]Perturbation
+	handoffs []Perturbation // install-delay perturbs, consumed in At order
+
+	curView *replicaView
+
+	failovers int
+	forwards  int
+	redirects int
+	flapDrops int
+	retried   int
+	dedupHits int
+}
+
+type replicaNode struct {
+	w    *replicaWorld
+	id   int
+	view *replicaView
+
+	data []map[uint64]replicaEntry
+	memo []map[uint64]struct{}
+	pend map[uint64]*replicaPend
+}
+
+type replicaClient struct {
+	w    *replicaWorld
+	id   int
+	view *replicaView
+
+	ops     []KVIn
+	idx     int
+	call    int64
+	attempt int
+	waiting bool
+	done    bool
+}
+
+func newReplicaWorld(cfg ReplicaSimConfig, sched Schedule, mut Mutation) *replicaWorld {
+	w := &replicaWorld{cfg: cfg, mut: mut, eng: sim.New(), rec: NewRecorder()}
+
+	table := make([]int, cfg.Shards)
+	backups := make([][]int, cfg.Shards)
+	for s := range table {
+		table[s] = s % cfg.Nodes
+		for r := 1; r <= cfg.Replicas; r++ {
+			backups[s] = append(backups[s], (s+r)%cfg.Nodes)
+		}
+	}
+	w.curView = &replicaView{epoch: 1, table: table, backups: backups}
+
+	w.dead = make([]bool, cfg.Nodes)
+	w.flaps = make([][]Perturbation, cfg.Nodes)
+	for _, p := range sched.Perturbs {
+		switch p.Kind {
+		case PerturbPrimaryKill:
+			node := p.QP % cfg.Nodes
+			at := p.At
+			w.eng.At(at, func() { w.kill(node) })
+		case PerturbNodeFlap:
+			node := p.QP % cfg.Nodes
+			w.flaps[node] = append(w.flaps[node], p)
+		case PerturbHandoffDelay:
+			w.handoffs = append(w.handoffs, p)
+		}
+	}
+
+	for i := 0; i < cfg.Nodes; i++ {
+		n := &replicaNode{
+			w: w, id: i, view: w.curView,
+			data: make([]map[uint64]replicaEntry, cfg.Shards),
+			memo: make([]map[uint64]struct{}, cfg.Shards),
+			pend: make(map[uint64]*replicaPend),
+		}
+		for s := range n.data {
+			n.data[s] = make(map[uint64]replicaEntry)
+			n.memo[s] = make(map[uint64]struct{})
+		}
+		w.nodes = append(w.nodes, n)
+	}
+
+	rng := newScheduleRNG(sched.Seed ^ 0x4EF11CA5EEDFA570)
+	for c := 0; c < cfg.Clients; c++ {
+		cl := &replicaClient{w: w, id: c, view: w.curView}
+		for i := 0; i < cfg.OpsPerClient; i++ {
+			in := KVIn{Key: uint64(rng.Intn(cfg.Keys))}
+			if !cfg.Echo && rng.Intn(100) < 60 {
+				in.Put = true
+				in.Val = clusterOpID(c, i)
+			}
+			cl.ops = append(cl.ops, in)
+		}
+		w.clients = append(w.clients, cl)
+		w.eng.At(sim.Time(rng.Uint64n(uint64(4*sim.Microsecond))), cl.next)
+	}
+	return w
+}
+
+func (w *replicaWorld) flapped(node int) bool {
+	if node < 0 {
+		return false
+	}
+	now := w.eng.Now()
+	for _, p := range w.flaps[node] {
+		if now >= p.At && now < p.At+p.Dur {
+			return true
+		}
+	}
+	return false
+}
+
+// send puts fn on the wire. A dead or flapped endpoint drops the
+// message silently (clients, id -1, never die or flap).
+func (w *replicaWorld) send(from, to int, fn func()) {
+	if from >= 0 && (w.dead[from] || w.flapped(from)) {
+		w.flapDrops++
+		return
+	}
+	w.eng.After(simWireLatency, func() {
+		if to >= 0 && (w.dead[to] || w.flapped(to)) {
+			w.flapDrops++
+			return
+		}
+		fn()
+	})
+}
+
+// --- kill & failover (the world stands in for detector + coordinator) ---
+
+func (w *replicaWorld) kill(node int) {
+	if w.dead[node] {
+		return
+	}
+	w.dead[node] = true
+	w.eng.After(w.cfg.DetectDelay, func() { w.failOver() })
+}
+
+// failOver publishes the post-death map: every shard primaried by a
+// dead node promotes its first live backup (all backups hold every
+// acknowledged write — the ACK rule — so any live one is lossless), and
+// dead nodes leave every backup set, releasing primaries blocked on
+// their acks. A shard whose whole replica set died goes dark (-1):
+// clients' attempts there exhaust into pending ops. New primaries
+// install immediately; other live members after the install gap.
+func (w *replicaWorld) failOver() {
+	old := w.curView
+	table := append([]int(nil), old.table...)
+	backups := make([][]int, w.cfg.Shards)
+	changed := false
+	for s := range table {
+		for _, b := range old.backups[s] {
+			if !w.dead[b] {
+				backups[s] = append(backups[s], b)
+			} else {
+				changed = true
+			}
+		}
+		if table[s] >= 0 && w.dead[table[s]] {
+			changed = true
+			if len(backups[s]) > 0 {
+				table[s] = backups[s][0]
+				backups[s] = append([]int(nil), backups[s][1:]...)
+				w.failovers++
+			} else {
+				table[s] = -1 // dark: every replica died
+			}
+		}
+	}
+	if !changed {
+		return
+	}
+	nv := &replicaView{epoch: old.epoch + 1, table: table, backups: backups}
+	w.curView = nv
+	for s, p := range nv.table {
+		if p >= 0 && old.table[s] != p {
+			w.nodes[p].install(nv) // Promote: new primary first
+		}
+	}
+	gap := w.cfg.InstallGap + w.consumeInstallDelay()
+	for i, n := range w.nodes {
+		if !w.dead[i] {
+			other := n
+			w.eng.After(gap, func() { other.install(nv) })
+		}
+	}
+}
+
+// consumeInstallDelay takes the earliest matured install-delay
+// perturbation, if any; each stretches exactly one failover's
+// propagation.
+func (w *replicaWorld) consumeInstallDelay() sim.Time {
+	now := w.eng.Now()
+	for i, p := range w.handoffs {
+		if p.At <= now {
+			w.handoffs = append(w.handoffs[:i], w.handoffs[i+1:]...)
+			return p.Dur
+		}
+	}
+	return 0
+}
+
+// --- client ---
+
+func (c *replicaClient) payload(idx int) string {
+	return fmt.Sprintf("c%d-%d", c.id, idx)
+}
+
+func (c *replicaClient) input(idx int) interface{} {
+	if c.w.cfg.Echo {
+		return EchoIn{Payload: c.payload(idx)}
+	}
+	return c.ops[idx]
+}
+
+func (c *replicaClient) next() {
+	if c.idx >= len(c.ops) {
+		c.done = true
+		return
+	}
+	c.call = c.w.rec.Begin()
+	c.attempt = 0
+	c.issue(c.idx, c.ops[c.idx])
+}
+
+func (c *replicaClient) issue(idx int, in KVIn) {
+	if idx != c.idx {
+		return // a reply already finished this op
+	}
+	c.attempt++
+	a := c.attempt
+	if a > c.w.cfg.Attempts {
+		// Ambiguous: some attempt may have applied (or a dark shard ate
+		// them all). Record pending and move on.
+		c.waiting = false
+		c.w.rec.EndPending(c.id, c.call, c.input(idx))
+		c.idx++
+		c.w.eng.After(replicaThink, c.next)
+		return
+	}
+	c.waiting = true
+	shard := int(in.Key) % c.w.cfg.Shards
+	owner := c.view.table[shard]
+	if owner >= 0 {
+		opID := clusterOpID(c.id, idx)
+		n := c.w.nodes[owner]
+		c.w.send(-1, owner, func() { n.handle(c, idx, a, in, opID) })
+	}
+	c.w.eng.After(c.w.cfg.AttemptTimeout, func() {
+		if idx == c.idx && a == c.attempt && c.waiting {
+			c.w.retried++
+			c.issue(idx, in)
+		}
+	})
+}
+
+func (c *replicaClient) install(v *replicaView) {
+	if v.epoch > c.view.epoch {
+		c.view = v
+	}
+}
+
+func (c *replicaClient) onReply(idx, attempt int, out interface{}, v *replicaView) {
+	c.install(v)
+	if idx != c.idx || attempt != c.attempt {
+		return // stale: a later attempt owns this op now
+	}
+	c.waiting = false
+	c.w.rec.End(c.id, c.call, c.input(idx), out)
+	c.idx++
+	c.w.eng.After(replicaThink, c.next)
+}
+
+func (c *replicaClient) onWrongShard(idx, attempt int, in KVIn, v *replicaView) {
+	c.install(v)
+	if idx != c.idx || attempt != c.attempt {
+		return
+	}
+	c.waiting = false // kill the attempt's timeout; the bounce owns the retry
+	c.w.redirects++
+	c.w.eng.After(replicaNackBackoff, func() { c.issue(idx, in) })
+}
+
+// --- node ---
+
+// serves reports whether this node is the shard's primary per its own
+// map — the single-authority rule, unchanged by replication (backups
+// hold data but never serve clients directly).
+func (n *replicaNode) serves(s int) bool { return n.view.table[s] == n.id }
+
+func (n *replicaNode) install(v *replicaView) {
+	if v.epoch <= n.view.epoch {
+		return
+	}
+	n.view = v
+	// Re-evaluate every blocked put: backups the new map no longer lists
+	// for the shard owe no ack.
+	for opID, rec := range n.pend {
+		for dst := range rec.need {
+			if !v.hasBackup(rec.shard, dst) {
+				delete(rec.need, dst)
+			}
+		}
+		n.maybeComplete(opID, rec)
+	}
+}
+
+func (n *replicaNode) handle(c *replicaClient, idx, attempt int, in KVIn, opID uint64) {
+	s := int(in.Key) % n.w.cfg.Shards
+	v := n.view
+	if !n.serves(s) {
+		n.w.send(n.id, -1, func() { c.onWrongShard(idx, attempt, in, v) })
+		return
+	}
+	if n.w.cfg.Echo {
+		out := EchoOut{Payload: c.payload(idx)}
+		n.w.eng.After(replicaService, func() {
+			n.w.send(n.id, -1, func() { c.onReply(idx, attempt, out, v) })
+		})
+		return
+	}
+	if !in.Put {
+		e, ok := n.data[s][in.Key]
+		out := KVOut{Val: e.val, Found: ok}
+		n.w.eng.After(replicaService, func() {
+			n.w.send(n.id, -1, func() { c.onReply(idx, attempt, out, v) })
+		})
+		return
+	}
+	n.handlePut(c, idx, attempt, in, opID, s, v)
+}
+
+func (n *replicaNode) handlePut(c *replicaClient, idx, attempt int, in KVIn, opID uint64, s int, v *replicaView) {
+	if _, dup := n.memo[s][opID]; !dup {
+		n.data[s][in.Key] = replicaEntry{val: in.Val, ver: n.data[s][in.Key].ver + 1}
+		n.memo[s][opID] = struct{}{}
+	} else {
+		n.w.dedupHits++
+	}
+	reply := func() {
+		n.w.eng.After(replicaService, func() {
+			n.w.send(n.id, -1, func() { c.onReply(idx, attempt, KVOut{}, v) })
+		})
+	}
+	if mutantOn(n.w.mut, MutAckBeforeReplicate) {
+		// The mutant: ack as soon as the local apply landed, replicate
+		// whenever. The ack promises durability the backups don't have.
+		reply()
+		reply = nil
+	}
+	rec := n.pend[opID]
+	if rec == nil {
+		// Replicate the key's CURRENT entry (this put's, or a newer one
+		// that already superseded it — either discharges this put's
+		// durability): all backups per our own map must ack before any
+		// waiter is released. Memo hits re-run this too; answering from
+		// the memo alone would skip the ACK rule a promotion relies on.
+		rec = &replicaPend{shard: s, key: in.Key, e: n.data[s][in.Key], need: make(map[int]bool)}
+		for _, b := range v.backups[s] {
+			rec.need[b] = true
+		}
+		n.pend[opID] = rec
+		lazy := sim.Time(0)
+		if mutantOn(n.w.mut, MutAckBeforeReplicate) {
+			lazy = replicaMutLazyDelay
+		}
+		for b := range rec.need {
+			dst := b
+			if lazy > 0 {
+				n.w.eng.After(lazy, func() { n.forwardRepl(opID, rec, dst) })
+			} else {
+				n.forwardRepl(opID, rec, dst)
+			}
+		}
+	}
+	if reply != nil {
+		rec.waiters = append(rec.waiters, reply)
+	}
+	n.maybeComplete(opID, rec)
+}
+
+// maybeComplete releases a blocked put once no backup ack is owed.
+func (n *replicaNode) maybeComplete(opID uint64, rec *replicaPend) {
+	if len(rec.need) > 0 || n.pend[opID] != rec {
+		return
+	}
+	delete(n.pend, opID)
+	for _, fire := range rec.waiters {
+		fire()
+	}
+	rec.waiters = nil
+}
+
+// forwardRepl reliably forwards one entry (plus its memo id) to a
+// backup: retransmit until the ack lands, the backup leaves the view,
+// or this node dies. Flap windows just stretch the wait; a dead backup
+// blocks the put until failover prunes it — exactly the liveness the
+// pending re-evaluation provides.
+func (n *replicaNode) forwardRepl(opID uint64, rec *replicaPend, dst int) {
+	n.w.forwards++
+	s := rec.shard
+	var xmit func()
+	xmit = func() {
+		if !rec.need[dst] || n.w.dead[n.id] {
+			return
+		}
+		if !n.view.hasBackup(s, dst) {
+			delete(rec.need, dst)
+			n.maybeComplete(opID, rec)
+			return
+		}
+		n.w.send(n.id, dst, func() {
+			n.w.nodes[dst].absorb(s, rec.key, rec.e, opID)
+			n.w.send(dst, n.id, func() {
+				if !rec.need[dst] {
+					return
+				}
+				delete(rec.need, dst)
+				n.maybeComplete(opID, rec)
+			})
+		})
+		n.w.eng.After(replicaRetransmit, xmit)
+	}
+	xmit()
+}
+
+// absorb applies one replicated entry at a backup: data only if
+// strictly newer by version (retransmits and reordered forwards are
+// harmless), memo unconditionally (a promoted backup must dedup retries
+// of puts it absorbed).
+func (n *replicaNode) absorb(s int, key uint64, e replicaEntry, opID uint64) {
+	if e.ver > n.data[s][key].ver {
+		n.data[s][key] = e
+	}
+	n.memo[s][opID] = struct{}{}
+}
+
+// --- driver ---
+
+// RunReplicaSchedule executes one deterministic replicated-cluster
+// simulation under the given schedule and mutation, and checks the
+// history against the workload's model.
+func RunReplicaSchedule(cfg ReplicaSimConfig, sched Schedule, mut Mutation) RunReport {
+	cfg = cfg.withDefaults()
+	w := newReplicaWorld(cfg, sched, mut)
+	w.eng.Drain()
+	completed := true
+	for _, c := range w.clients {
+		if !c.done {
+			completed = false
+		}
+	}
+	model := RegisterModel()
+	if cfg.Echo {
+		model = EchoModel()
+	}
+	history := w.rec.History()
+	return RunReport{
+		Schedule:  sched,
+		Result:    Check(model, history),
+		Ops:       len(history),
+		Completed: completed,
+		Retried:   w.retried,
+		DedupHits: w.dedupHits,
+		Redirects: w.redirects,
+		FlapDrops: w.flapDrops,
+		Failovers: w.failovers,
+		Forwards:  w.forwards,
+	}
+}
+
+// ExploreReplica sweeps n seed-derived replica schedules, mirroring
+// ExploreCluster. Failovers/Forwards are summed so the gate can assert
+// the sweep actually promoted backups and replicated writes.
+func ExploreReplica(cfg ReplicaSimConfig, mut Mutation, startSeed uint64, n int, derive func(uint64, ReplicaSimConfig) Schedule) ExploreResult {
+	var res ExploreResult
+	for i := 0; i < n; i++ {
+		seed := startSeed + uint64(i)
+		sched := derive(seed, cfg)
+		rep := RunReplicaSchedule(cfg, sched, mut)
+		res.Runs++
+		res.Retried += rep.Retried
+		res.DedupHits += rep.DedupHits
+		res.Redirects += rep.Redirects
+		res.FlapDrops += rep.FlapDrops
+		res.Failovers += rep.Failovers
+		res.Forwards += rep.Forwards
+		if rep.Failed() {
+			res.Failures++
+			if res.First == nil {
+				res.First = &FailureReport{Report: rep, Minimal: ShrinkReplica(cfg, sched, mut)}
+			}
+		}
+	}
+	return res
+}
+
+// ShrinkReplica is Shrink for replica schedules: greedily drop
+// perturbations while the schedule still fails.
+func ShrinkReplica(cfg ReplicaSimConfig, sched Schedule, mut Mutation) Schedule {
+	if !RunReplicaSchedule(cfg, sched, mut).Failed() {
+		return sched
+	}
+	cur := sched
+	for {
+		removed := false
+		for i := 0; i < len(cur.Perturbs); i++ {
+			cand := Schedule{Seed: cur.Seed}
+			cand.Perturbs = append(cand.Perturbs, cur.Perturbs[:i]...)
+			cand.Perturbs = append(cand.Perturbs, cur.Perturbs[i+1:]...)
+			if RunReplicaSchedule(cfg, cand, mut).Failed() {
+				cur = cand
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			return cur
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"flock/internal/sim"
+)
+
+// Clock abstracts the periodic timebase Membership.Start probes on. The
+// default wall clock wraps time.Ticker; SimClock adapts the
+// deterministic internal/sim engine so membership timing tests advance
+// virtual time instead of sleeping real time — the suspect/dead
+// escalation that used to take seconds of wall-clock ticker waits runs
+// in microseconds, bit-identically, under -race.
+type Clock interface {
+	// Ticker returns a channel delivering a tick every d, plus a stop
+	// function that releases the ticker (and unblocks any in-flight
+	// virtual delivery).
+	Ticker(d time.Duration) (<-chan time.Time, func())
+}
+
+// wallClock is the production Clock: a plain time.Ticker.
+type wallClock struct{}
+
+func (wallClock) Ticker(d time.Duration) (<-chan time.Time, func()) {
+	t := time.NewTicker(d)
+	return t.C, t.Stop
+}
+
+// SimClock drives Clock consumers from a virtual sim.Engine timeline.
+// Advance moves the clock forward, synchronously handing every due tick
+// to its receiver: each delivery blocks until the consumer goroutine
+// accepts it, so when Advance returns, every tick in the window has
+// been picked up (the work it triggered may still be finishing — stop
+// the consumer before asserting on state it writes).
+type SimClock struct {
+	mu  sync.Mutex
+	eng *sim.Engine
+}
+
+// NewSimClock returns a virtual clock at time zero.
+func NewSimClock() *SimClock {
+	return &SimClock{eng: sim.New()}
+}
+
+// Ticker implements Clock on the virtual timeline.
+func (c *SimClock) Ticker(d time.Duration) (<-chan time.Time, func()) {
+	ch := make(chan time.Time)
+	done := make(chan struct{})
+	var once sync.Once
+	stop := func() { once.Do(func() { close(done) }) }
+	period := sim.Time(d)
+	if period == 0 {
+		period = 1
+	}
+	var tick func()
+	tick = func() {
+		select {
+		case ch <- time.Unix(0, int64(c.eng.Now())):
+		case <-done:
+			return // stopped: don't reschedule, let the engine drain
+		}
+		c.eng.After(period, tick)
+	}
+	c.mu.Lock()
+	c.eng.After(period, tick)
+	c.mu.Unlock()
+	return ch, stop
+}
+
+// Advance runs the virtual clock forward by d, delivering every tick
+// that falls due in the window.
+func (c *SimClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.eng.RunUntil(c.eng.Now() + sim.Time(d))
+}

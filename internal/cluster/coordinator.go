@@ -119,6 +119,73 @@ func (c *Coordinator) MigrateShard(shard int, to fabric.NodeID) error {
 	return nil
 }
 
+// FailOver handles a dead member on a replicated map: every shard it
+// primaried is promoted to a surviving backup (epoch bump, no copy —
+// the backup already holds every acknowledged write, that is what the
+// sync-forward ACK rule bought), and the dead node is pruned from every
+// remaining backup set so primaries stop blocking on forwards to it.
+// Publication order mirrors MigrateShard's handoff: each new primary
+// Promotes first (install under the shard's exclusive lock), then the
+// map goes out to everyone else; in between, stale routers that still
+// hit the dead node fail over via the detector path, and deposed-
+// primary forwards are fenced by the replication epoch check. Returns
+// how many shards changed primary.
+func (c *Coordinator) FailOver(dead fabric.NodeID, live []fabric.NodeID) (int, error) {
+	next, promoted, rerouted := c.cur.WithFailover(dead, live)
+	if promoted+rerouted == 0 {
+		return 0, nil
+	}
+	for s, owner := range next.Table {
+		if c.cur.Table[s] == owner {
+			continue
+		}
+		if svc, ok := c.services[owner]; ok {
+			svc.Promote(s, next)
+		}
+	}
+	c.publish(next)
+	if rerouted > 0 && promoted == 0 {
+		// Shards with no surviving backup fell back to ring placement —
+		// their data is gone with the node. Callers that require the
+		// durability contract treat this as an error.
+		return promoted, fmt.Errorf("cluster: %d shard(s) failed over without a backup", rerouted)
+	}
+	return promoted, nil
+}
+
+// Repair restores replication factor after a failover: for every shard
+// whose backup set is short of the map's replica count, it recruits the
+// next ring successor, publishes the widened replica set (so writes
+// start forwarding to the recruit immediately), then snapshot-streams
+// the shard into it. Guarded applies make the stream and the racing
+// forwards commute. Returns how many backups were recruited.
+func (c *Coordinator) Repair(live []fabric.NodeID) (int, error) {
+	recruited := 0
+	for shard := 0; shard < c.cur.Shards; shard++ {
+		for len(c.cur.BackupsOf(shard)) < c.cur.Replicas {
+			primary := c.cur.Owner(shard)
+			cand := c.cur.ReplacementBackup(shard, live)
+			if cand == primary || cand < 0 {
+				break // nobody left to recruit for this shard
+			}
+			next, err := c.cur.WithBackup(shard, cand)
+			if err != nil {
+				return recruited, err
+			}
+			src, ok := c.services[primary]
+			if !ok {
+				return recruited, fmt.Errorf("cluster: no service for primary %d", primary)
+			}
+			c.publish(next)
+			if err := src.CopyShardTo(shard, cand, c.copyDeadline()); err != nil {
+				return recruited, err
+			}
+			recruited++
+		}
+	}
+	return recruited, nil
+}
+
 // RouteAround reassigns every shard owned by `from` without copying —
 // the move for a member the detector declared dead. Data on the dead
 // member is abandoned (it re-syncs by migration if it rejoins); the

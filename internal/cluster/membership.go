@@ -30,6 +30,17 @@ type Membership struct {
 	SuspectAfter int
 	DeadAfter    int
 
+	// Clock is the timebase Start ticks on (nil → wall clock). Tests
+	// inject a SimClock so suspect/dead escalation runs on virtual time.
+	Clock Clock
+
+	// Probe, when set before probing starts, replaces the RPC ping
+	// transport for a single member probe. A nil return counts as
+	// healthy, core.ErrDraining as draining, any other error as a miss.
+	// Virtual-clock tests use it to script link state without paying the
+	// RPC deadline wait a downed fabric link costs.
+	Probe func(id fabric.NodeID) error
+
 	// OnChange, when set before probing starts, is called (outside
 	// Membership's lock) for every member state transition.
 	OnChange func(id fabric.NodeID, state resilience.MemberState)
@@ -130,6 +141,33 @@ func (m *Membership) pingThread(id fabric.NodeID) (*core.Thread, error) {
 	return th, nil
 }
 
+// probe runs one member's health check: the injected Probe transport
+// when set, otherwise one RPCPing under the probe deadline.
+func (m *Membership) probe(id fabric.NodeID) error {
+	if m.Probe != nil {
+		return m.Probe(id)
+	}
+	th, err := m.pingThread(id)
+	if err != nil {
+		return err
+	}
+	resp, err := th.CallWithDeadline(RPCPing, nil, m.probeTimeout())
+	if err == nil {
+		resp.Release()
+		return nil
+	}
+	if errors.Is(err, core.ErrConnClosed) {
+		// The conn died for good (e.g. a long outage exhausted its
+		// recovery); drop it so the next probe re-dials — a dead
+		// member must be able to come back.
+		m.mu.Lock()
+		delete(m.threads, id)
+		m.mu.Unlock()
+		m.r.invalidate(id, th.Conn())
+	}
+	return err
+}
+
 // ProbeOnce pings every member once and returns the post-round states.
 // It is the deterministic unit Start loops over.
 func (m *Membership) ProbeOnce() map[fabric.NodeID]resilience.MemberState {
@@ -141,22 +179,7 @@ func (m *Membership) ProbeOnce() map[fabric.NodeID]resilience.MemberState {
 	out := make(map[fabric.NodeID]resilience.MemberState)
 	for _, id := range m.r.Map().Members {
 		var next resilience.MemberState
-		th, err := m.pingThread(id)
-		if err == nil {
-			var resp core.Response
-			resp, err = th.CallWithDeadline(RPCPing, nil, m.probeTimeout())
-			if err == nil {
-				resp.Release()
-			} else if errors.Is(err, core.ErrConnClosed) {
-				// The conn died for good (e.g. a long outage exhausted its
-				// recovery); drop it so the next probe re-dials — a dead
-				// member must be able to come back.
-				m.mu.Lock()
-				delete(m.threads, id)
-				m.mu.Unlock()
-				m.r.invalidate(id, th.Conn())
-			}
-		}
+		err := m.probe(id)
 		m.mu.Lock()
 		d := m.dets[id]
 		if d == nil {
@@ -189,18 +212,23 @@ func (m *Membership) ProbeOnce() map[fabric.NodeID]resilience.MemberState {
 	return out
 }
 
-// Start probes on the given interval until Stop.
+// Start probes on the given interval until Stop, ticking on m.Clock
+// (wall clock when nil).
 func (m *Membership) Start(interval time.Duration) {
+	clk := m.Clock
+	if clk == nil {
+		clk = wallClock{}
+	}
+	ticks, stopTicks := clk.Ticker(interval)
 	m.wg.Add(1)
 	go func() {
 		defer m.wg.Done()
-		tick := time.NewTicker(interval)
-		defer tick.Stop()
+		defer stopTicks()
 		for {
 			select {
 			case <-m.stop:
 				return
-			case <-tick.C:
+			case <-ticks:
 				m.ProbeOnce()
 			}
 		}

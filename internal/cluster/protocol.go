@@ -23,6 +23,12 @@ const (
 	// request; the reply is the map itself (which carries its epoch), no
 	// prefix.
 	RPCMap = 0xC4
+	// RPCReplicate is the primary→backup replication forward: an FRP1
+	// frame (see wire.go) applied with guarded take-the-max semantics.
+	// The OK reply is a ReplicaAck; a backup whose map says the sender is
+	// no longer a replica of the shard NACKs StatusWrongShard with its
+	// newer encoded map, fencing deposed primaries.
+	RPCReplicate = 0xC5
 )
 
 // KV ops.

@@ -49,8 +49,10 @@ type Service struct {
 	// count (worker-seconds) rather than with how fast one host can spin.
 	ServiceDelay time.Duration
 
-	moves  *telemetry.Counter
-	migDur *telemetry.Hist
+	moves      *telemetry.Counter
+	replFwds   *telemetry.Counter
+	promotions *telemetry.Counter
+	migDur     *telemetry.Hist
 }
 
 // shardSlot is one shard's serving state on this member.
@@ -107,11 +109,13 @@ func NewService(node *core.Node, m *ShardMap, storeCap int) (*Service, error) {
 		storeCap = 1024
 	}
 	s := &Service{
-		node:   node,
-		shards: make([]*shardSlot, m.Shards),
-		fwd:    make(map[fabric.NodeID]*fwdLink),
-		moves:  node.Telemetry().Counter("cluster.shard_moves"),
-		migDur: node.Telemetry().Hist("cluster.migration_duration_ns"),
+		node:       node,
+		shards:     make([]*shardSlot, m.Shards),
+		fwd:        make(map[fabric.NodeID]*fwdLink),
+		moves:      node.Telemetry().Counter("cluster.shard_moves"),
+		replFwds:   node.Telemetry().Counter("cluster.replica_forwards"),
+		promotions: node.Telemetry().Counter("cluster.promotions"),
+		migDur:     node.Telemetry().Hist("cluster.migration_duration_ns"),
 	}
 	for i := range s.shards {
 		st, err := kvstore.New(kvstore.NewMem(kvstore.ArenaSize(storeCap, 8)), storeCap, 8)
@@ -121,10 +125,18 @@ func NewService(node *core.Node, m *ShardMap, storeCap int) (*Service, error) {
 		s.shards[i] = &shardSlot{store: st}
 	}
 	s.cur.Store(m)
-	node.RegisterStatusHandler(RPCPing, s.handlePing)
+	// KV and migrate ops run on the worker pool (they can block: nested
+	// replication forwards, emulated service time). Pings, map fetches,
+	// and replication applies take the inline dispatcher lane — they are
+	// short, never issue RPCs of their own, and must stay responsive even
+	// when every worker is parked in a forward (otherwise replicated puts
+	// across members deadlock the pools against each other, and probes
+	// time out exactly when the cluster is busiest).
 	node.RegisterStatusHandler(RPCKV, s.handleKV)
 	node.RegisterStatusHandler(RPCMigrate, s.handleMigrate)
-	node.RegisterStatusHandler(RPCMap, s.handleMap)
+	node.RegisterInlineStatusHandler(RPCPing, s.handlePing)
+	node.RegisterInlineStatusHandler(RPCMap, s.handleMap)
+	node.RegisterInlineStatusHandler(RPCReplicate, s.handleReplicate)
 	return s, nil
 }
 
@@ -213,6 +225,36 @@ func (s *Service) handleKV(req []byte) ([]byte, uint32) {
 				return nil, core.StatusOverloaded
 			}
 		}
+		// Synchronous replication: the ACK below is a durability promise —
+		// the write must survive this node's death — so every backup must
+		// ack first. On any failure we NACK and the client retries; a
+		// backup that already applied just no-ops the retry (guarded
+		// apply). A WrongShard NACK from a backup installed its newer map
+		// above us, so the retry is served — or fenced — under that map.
+		// The forwards fan out in parallel: the promise needs all acks,
+		// not any order among them, and each sequential forward would add
+		// a full round trip to every replicated put.
+		switch backups := m.BackupsOf(shard); len(backups) {
+		case 0:
+		case 1:
+			if err := s.replicate(backups[0], m.Epoch, shard, key, val); err != nil {
+				return nil, core.StatusOverloaded
+			}
+		default:
+			errs := make(chan error, len(backups))
+			for _, backup := range backups {
+				go func(b fabric.NodeID) { errs <- s.replicate(b, m.Epoch, shard, key, val) }(backup)
+			}
+			failed := false
+			for range backups {
+				if err := <-errs; err != nil {
+					failed = true
+				}
+			}
+			if failed {
+				return nil, core.StatusOverloaded
+			}
+		}
 		return appendEpoch(nil, m.Epoch), core.StatusOK
 	}
 	return nil, core.StatusNoHandler
@@ -234,7 +276,7 @@ func (s *Service) handleMigrate(req []byte) ([]byte, uint32) {
 	if shard >= m.Shards {
 		return nil, core.StatusNoHandler
 	}
-	authorized := m.Table[shard] == s.node.ID()
+	authorized := m.Table[shard] == s.node.ID() || m.IsBackup(shard, s.node.ID())
 	for _, p := range m.Pending {
 		if p.Shard == shard && p.To == s.node.ID() {
 			authorized = true
@@ -255,6 +297,80 @@ func (s *Service) handleMigrate(req []byte) ([]byte, uint32) {
 		}
 	}
 	return appendEpoch(nil, s.cur.Load().Epoch), core.StatusOK
+}
+
+// handleReplicate is the backup half of synchronous replication. The
+// epoch on the frame is the fence: a frame older than our map means the
+// sender kept serving past a failover (a deposed primary), and instead
+// of silently absorbing its writes we NACK WrongShard with the newer
+// map so it self-corrects exactly like a stale router. A frame at or
+// ahead of our epoch is applied with the same guarded take-the-max the
+// owner path uses, so replays and reordered retries commute.
+func (s *Service) handleReplicate(req []byte) ([]byte, uint32) {
+	f, err := DecodeReplicaForward(req)
+	if err != nil {
+		return nil, core.StatusNoHandler
+	}
+	m := s.cur.Load()
+	if f.Shard >= m.Shards {
+		return nil, core.StatusNoHandler
+	}
+	if f.Epoch < m.Epoch {
+		return s.wrongShard(m)
+	}
+	if f.Epoch == m.Epoch && !m.IsReplica(f.Shard, s.node.ID()) {
+		// Same view, but we are not in this shard's replica set: the
+		// sender's frame is corrupt or misrouted, not merely stale.
+		return s.wrongShard(m)
+	}
+	slot := s.shards[f.Shard]
+	slot.mu.RLock()
+	defer slot.mu.RUnlock()
+	applied := 0
+	for _, e := range f.Entries {
+		adv, err := slot.store.UpdateMax64(e.Key, e.Val)
+		if err != nil {
+			return nil, core.StatusOverloaded
+		}
+		if adv {
+			applied++
+		}
+	}
+	return EncodeReplicaAck(s.cur.Load().Epoch, applied), core.StatusOK
+}
+
+// replicate sends one guarded apply to a backup and waits for its ack.
+// A WrongShard NACK carries the backup's newer map, which we install
+// before failing so the client's retry runs under the corrected view.
+func (s *Service) replicate(to fabric.NodeID, epoch uint64, shard int, key, val uint64) error {
+	link, err := s.link(to)
+	if err != nil {
+		return err
+	}
+	buf := mem.Get(ReplicaForwardSize(1))
+	b := AppendReplicaForward(buf.Data()[:0], ReplicaForward{
+		Epoch:   epoch,
+		Shard:   shard,
+		Entries: []ReplicaEntry{{Key: key, Val: val}},
+	})
+	resp, err := link.call(RPCReplicate, b, s.budget(s.ForwardBudget))
+	buf.Release()
+	if err != nil {
+		return err
+	}
+	defer resp.Release()
+	switch resp.Status {
+	case core.StatusOK:
+		s.replFwds.Inc()
+		return nil
+	case core.StatusWrongShard:
+		if nm, derr := DecodeShardMap(resp.Data); derr == nil {
+			s.InstallMap(nm)
+		}
+		return fmt.Errorf("cluster: replica fence from %d (stale epoch %d)", to, epoch)
+	default:
+		return fmt.Errorf("cluster: replicate NACK status %d", resp.Status)
+	}
 }
 
 // forward dual-writes one key to the migration target as a chunk of one.
@@ -327,6 +443,20 @@ func (s *Service) CopyShard(shard int, deadline time.Time) error {
 	if !copying {
 		return fmt.Errorf("cluster: shard %d not migrating", shard)
 	}
+	return s.streamShard(shard, to, deadline)
+}
+
+// CopyShardTo snapshot-streams a shard to an explicit target without
+// touching migration state. Repair uses it to seed a freshly recruited
+// backup: the backup is already published in the replica set, so writes
+// racing the scan reach it by replication forward, and the guarded
+// apply makes scan-vs-forward order irrelevant.
+func (s *Service) CopyShardTo(shard int, to fabric.NodeID, deadline time.Time) error {
+	return s.streamShard(shard, to, deadline)
+}
+
+func (s *Service) streamShard(shard int, to fabric.NodeID, deadline time.Time) error {
+	slot := s.shards[shard]
 	link, err := s.link(to)
 	if err != nil {
 		return err
@@ -404,6 +534,23 @@ func (s *Service) CompleteMigration(shard int, handoff *ShardMap) {
 	}
 }
 
+// Promote installs the failover map on the shard's new primary through
+// the same exclusive-slot handoff CompleteMigration uses: in-flight
+// requests finish under the old view, everything later serves (or
+// fences) under the new epoch. It also clears any dual-write state
+// pointed at the dead node — a migration whose source died is moot —
+// and bumps cluster.promotions.
+func (s *Service) Promote(shard int, failover *ShardMap) {
+	slot := s.shards[shard]
+	slot.mu.Lock()
+	s.mu.Lock()
+	s.installLocked(failover)
+	s.mu.Unlock()
+	slot.copying = false
+	slot.mu.Unlock()
+	s.promotions.Inc()
+}
+
 // AbortMigration turns dual-write off without a handoff (the map with
 // the pending entry dropped is installed by the coordinator).
 func (s *Service) AbortMigration(shard int, revert *ShardMap) {
@@ -421,6 +568,14 @@ func (s *Service) Keys(shard int) int {
 	n := 0
 	s.shards[shard].store.Scan(func(uint64, []byte) bool { n++; return true })
 	return n
+}
+
+// ShardFingerprint returns the order-independent content fingerprint of
+// the shard's local partition. Equal fingerprints on a primary and its
+// backup mean byte-equal replicas — what the failover tests assert
+// after traffic quiesces.
+func (s *Service) ShardFingerprint(shard int) uint64 {
+	return s.shards[shard].store.Fingerprint64()
 }
 
 // Close tears down the service's forward links.

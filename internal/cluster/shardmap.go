@@ -32,8 +32,8 @@ type Migration struct {
 }
 
 // ShardMap is one version of the cluster's placement. It is immutable
-// once published: mutations (Rebalance planning, handoff) return a new
-// map with a bumped epoch.
+// once published: mutations (Rebalance planning, handoff, failover)
+// return a new map with a bumped epoch.
 type ShardMap struct {
 	// Epoch is the map version. Strictly increasing across publishes;
 	// receivers install a map only if its epoch is newer.
@@ -44,15 +44,24 @@ type ShardMap struct {
 	// VNodes is the number of virtual ring points per member used by the
 	// consistent-hash placement (more vnodes → smoother balance).
 	VNodes int
+	// Replicas is the configured backup count per shard (R). Zero means
+	// an unreplicated map — Backups is nil and the wire encoding is the
+	// original FSM1 layout.
+	Replicas int
 	// Members is the known member set, sorted by NodeID. Membership in
 	// this list does not imply liveness — routing consults the failure
 	// detector — but only members can own shards.
 	Members []fabric.NodeID
-	// Table maps shard → owning member. It is explicit rather than
+	// Table maps shard → primary member. It is explicit rather than
 	// recomputed from the ring so that migrations move exactly one shard
 	// per handoff and old maps decode to exactly the placement they
 	// described.
 	Table []fabric.NodeID
+	// Backups maps shard → its backup replica set (at most Replicas
+	// members, distinct from the primary and each other). nil when
+	// Replicas == 0; individual shards may hold fewer than Replicas
+	// backups after a failover until a Repair recruits replacements.
+	Backups [][]fabric.NodeID
 	// Pending lists in-flight migrations (dual-write windows).
 	Pending []Migration
 }
@@ -65,14 +74,28 @@ const DefaultVNodes = 16
 // assigned by the consistent-hash ring. members must be non-empty;
 // shards must be positive.
 func New(members []fabric.NodeID, shards, vnodes int) (*ShardMap, error) {
+	return NewReplicated(members, shards, vnodes, 0)
+}
+
+// NewReplicated is New with a per-shard replica set: each shard gets a
+// primary (Table) plus up to `replicas` backups drawn from the ring
+// successors after the primary. replicas is clamped to len(members)-1 —
+// a replica set never holds the same member twice.
+func NewReplicated(members []fabric.NodeID, shards, vnodes, replicas int) (*ShardMap, error) {
 	if len(members) == 0 {
 		return nil, errors.New("cluster: no members")
 	}
 	if shards <= 0 {
 		return nil, errors.New("cluster: shards must be positive")
 	}
+	if replicas < 0 {
+		return nil, errors.New("cluster: negative replica count")
+	}
 	if vnodes <= 0 {
 		vnodes = DefaultVNodes
+	}
+	if replicas > len(members)-1 {
+		replicas = len(members) - 1
 	}
 	ms := append([]fabric.NodeID(nil), members...)
 	sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
@@ -81,8 +104,11 @@ func New(members []fabric.NodeID, shards, vnodes int) (*ShardMap, error) {
 			return nil, fmt.Errorf("cluster: duplicate member %d", ms[i])
 		}
 	}
-	m := &ShardMap{Epoch: 1, Shards: shards, VNodes: vnodes, Members: ms}
+	m := &ShardMap{Epoch: 1, Shards: shards, VNodes: vnodes, Replicas: replicas, Members: ms}
 	m.Table = m.DesiredTable(ms)
+	if replicas > 0 {
+		m.Backups = m.DesiredBackups(ms, m.Table)
+	}
 	return m, nil
 }
 
@@ -91,12 +117,48 @@ func (m *ShardMap) ShardOf(key uint64) int {
 	return int(mix(key) % uint64(m.Shards))
 }
 
-// Owner returns the member currently owning shard.
+// Owner returns the member currently owning (serving as primary for)
+// shard.
 func (m *ShardMap) Owner(shard int) fabric.NodeID { return m.Table[shard] }
 
 // OwnerOfKey is Owner(ShardOf(key)).
 func (m *ShardMap) OwnerOfKey(key uint64) fabric.NodeID {
 	return m.Table[m.ShardOf(key)]
+}
+
+// BackupsOf returns shard's backup set (nil when unreplicated). The
+// returned slice is the map's own — callers must not mutate it.
+func (m *ShardMap) BackupsOf(shard int) []fabric.NodeID {
+	if m.Backups == nil {
+		return nil
+	}
+	return m.Backups[shard]
+}
+
+// ReplicaSet returns shard's full replica set, primary first.
+func (m *ShardMap) ReplicaSet(shard int) []fabric.NodeID {
+	out := make([]fabric.NodeID, 0, 1+len(m.BackupsOf(shard)))
+	out = append(out, m.Table[shard])
+	return append(out, m.BackupsOf(shard)...)
+}
+
+// IsReplica reports whether id is in shard's replica set (primary or
+// backup).
+func (m *ShardMap) IsReplica(shard int, id fabric.NodeID) bool {
+	if m.Table[shard] == id {
+		return true
+	}
+	return m.IsBackup(shard, id)
+}
+
+// IsBackup reports whether id is one of shard's backups.
+func (m *ShardMap) IsBackup(shard int, id fabric.NodeID) bool {
+	for _, b := range m.BackupsOf(shard) {
+		if b == id {
+			return true
+		}
+	}
+	return false
 }
 
 // ShardsOwnedBy lists the shards Table assigns to id.
@@ -116,6 +178,14 @@ func (m *ShardMap) Clone() *ShardMap {
 	c.Members = append([]fabric.NodeID(nil), m.Members...)
 	c.Table = append([]fabric.NodeID(nil), m.Table...)
 	c.Pending = append([]Migration(nil), m.Pending...)
+	if m.Backups != nil {
+		c.Backups = make([][]fabric.NodeID, len(m.Backups))
+		for s, bs := range m.Backups {
+			if bs != nil {
+				c.Backups[s] = append([]fabric.NodeID(nil), bs...)
+			}
+		}
+	}
 	return &c
 }
 
@@ -125,14 +195,15 @@ type ringPoint struct {
 	owner fabric.NodeID
 }
 
-// DesiredTable computes the ring placement of every shard over the
-// given candidate owners (typically the live member subset). It is
-// deterministic in the candidate set and independent of the current
-// Table, so two nodes with the same view plan the same placement.
-func (m *ShardMap) DesiredTable(candidates []fabric.NodeID) []fabric.NodeID {
-	ring := make([]ringPoint, 0, len(candidates)*m.VNodes)
+// buildRing constructs the sorted consistent-hash ring over the
+// candidate owners. Equal hashes (possible in principle, and easy to
+// construct in tests) tie-break by owner ID so the ring order — and
+// therefore every placement derived from it — is deterministic in the
+// candidate *set*, independent of the argument order.
+func buildRing(candidates []fabric.NodeID, vnodes int) []ringPoint {
+	ring := make([]ringPoint, 0, len(candidates)*vnodes)
 	for _, id := range candidates {
-		for v := 0; v < m.VNodes; v++ {
+		for v := 0; v < vnodes; v++ {
 			h := mix(uint64(id)<<20 ^ uint64(v)<<1 ^ 0xF10C)
 			ring = append(ring, ringPoint{hash: h, owner: id})
 		}
@@ -143,16 +214,75 @@ func (m *ShardMap) DesiredTable(candidates []fabric.NodeID) []fabric.NodeID {
 		}
 		return ring[i].owner < ring[j].owner
 	})
+	return ring
+}
+
+// ringIndex returns the index of the first ring point at or clockwise
+// after shard's hash point (wrapping past the end).
+func ringIndex(ring []ringPoint, shard int) int {
+	h := mix(uint64(shard) ^ 0x5AAD)
+	i := sort.Search(len(ring), func(i int) bool { return ring[i].hash >= h })
+	if i == len(ring) {
+		i = 0
+	}
+	return i
+}
+
+// ringSuccessors walks the ring clockwise from shard's point and
+// returns the first n *distinct* owners. n larger than the distinct
+// owner count returns them all.
+func ringSuccessors(ring []ringPoint, shard, n int) []fabric.NodeID {
+	var out []fabric.NodeID
+	start := ringIndex(ring, shard)
+	for i := 0; i < len(ring) && len(out) < n; i++ {
+		owner := ring[(start+i)%len(ring)].owner
+		seen := false
+		for _, id := range out {
+			if id == owner {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			out = append(out, owner)
+		}
+	}
+	return out
+}
+
+// DesiredTable computes the ring placement of every shard over the
+// given candidate owners (typically the live member subset). It is
+// deterministic in the candidate set and independent of the current
+// Table, so two nodes with the same view plan the same placement.
+func (m *ShardMap) DesiredTable(candidates []fabric.NodeID) []fabric.NodeID {
+	ring := buildRing(candidates, m.VNodes)
 	table := make([]fabric.NodeID, m.Shards)
 	for s := range table {
-		h := mix(uint64(s) ^ 0x5AAD)
-		i := sort.Search(len(ring), func(i int) bool { return ring[i].hash >= h })
-		if i == len(ring) {
-			i = 0
-		}
-		table[s] = ring[i].owner
+		table[s] = ring[ringIndex(ring, s)].owner
 	}
 	return table
+}
+
+// DesiredBackups computes each shard's backup set over the candidates:
+// up to m.Replicas distinct ring successors after the shard's primary
+// (as given in table). Like DesiredTable it is deterministic in the
+// candidate set, so every node with the same view plans the same
+// replica sets.
+func (m *ShardMap) DesiredBackups(candidates []fabric.NodeID, table []fabric.NodeID) [][]fabric.NodeID {
+	ring := buildRing(candidates, m.VNodes)
+	backups := make([][]fabric.NodeID, m.Shards)
+	for s := range backups {
+		for _, id := range ringSuccessors(ring, s, m.Replicas+1) {
+			if id == table[s] {
+				continue
+			}
+			if len(backups[s]) == m.Replicas {
+				break
+			}
+			backups[s] = append(backups[s], id)
+		}
+	}
+	return backups
 }
 
 // PlanRebalance diffs the current Table against the ring placement over
@@ -187,11 +317,17 @@ func (m *ShardMap) WithPending(mig Migration) *ShardMap {
 }
 
 // WithHandoff returns a new map (epoch+1) with shard's ownership
-// flipped to `to` and any pending entry for the shard dropped.
+// flipped to `to` and any pending entry for the shard dropped. If the
+// new primary was one of the shard's backups it leaves the backup set
+// (a member appears at most once in a replica set); the shard then runs
+// one backup short until a Repair recruits a replacement.
 func (m *ShardMap) WithHandoff(shard int, to fabric.NodeID) *ShardMap {
 	c := m.Clone()
 	c.Epoch++
 	c.Table[shard] = to
+	if c.Backups != nil {
+		c.Backups[shard] = dropNode(c.Backups[shard], to)
+	}
 	keep := c.Pending[:0]
 	for _, p := range c.Pending {
 		if p.Shard != shard {
@@ -200,6 +336,106 @@ func (m *ShardMap) WithHandoff(shard int, to fabric.NodeID) *ShardMap {
 	}
 	c.Pending = keep
 	return c
+}
+
+// dropNode removes id from ids in place, returning nil when the result
+// is empty (canonical form for wire round-trips).
+func dropNode(ids []fabric.NodeID, id fabric.NodeID) []fabric.NodeID {
+	keep := ids[:0]
+	for _, b := range ids {
+		if b != id {
+			keep = append(keep, b)
+		}
+	}
+	if len(keep) == 0 {
+		return nil
+	}
+	return keep
+}
+
+// WithBackup returns a new map (epoch+1) with `to` added to shard's
+// backup set. It is the map half of backup recruitment: once published,
+// the primary dual-writes every apply to the new backup, so the
+// subsequent snapshot copy only has to deliver the prefix.
+func (m *ShardMap) WithBackup(shard int, to fabric.NodeID) (*ShardMap, error) {
+	if m.Table[shard] == to || m.IsBackup(shard, to) {
+		return nil, fmt.Errorf("cluster: %d already a replica of shard %d", to, shard)
+	}
+	c := m.Clone()
+	c.Epoch++
+	if c.Backups == nil {
+		c.Backups = make([][]fabric.NodeID, c.Shards)
+	}
+	if c.Replicas <= len(c.Backups[shard]) {
+		c.Replicas = len(c.Backups[shard]) + 1
+	}
+	c.Backups[shard] = append(c.Backups[shard], to)
+	return c, nil
+}
+
+// ReplacementBackup picks the member Repair should recruit into shard's
+// replica set: the first ring successor over the live candidates that
+// is neither the primary nor already a backup. Returns -1 when every
+// live member is already in the replica set.
+func (m *ShardMap) ReplacementBackup(shard int, live []fabric.NodeID) fabric.NodeID {
+	ring := buildRing(live, m.VNodes)
+	if len(ring) == 0 {
+		return -1
+	}
+	for _, id := range ringSuccessors(ring, shard, len(live)) {
+		if id != m.Table[shard] && !m.IsBackup(shard, id) {
+			return id
+		}
+	}
+	return -1
+}
+
+// WithFailover returns a new map (epoch+1) that routes around a dead
+// member with no data loss where replicas allow it: every shard whose
+// primary is dead promotes its first live backup (synchronous
+// replication guarantees the backup holds every acknowledged write),
+// and dead is pruned from every backup set. A shard with no live backup
+// falls back to the ring placement over live — the unreplicated
+// route-around, data abandoned. promoted counts backup promotions,
+// rerouted the fallback reassignments.
+func (m *ShardMap) WithFailover(dead fabric.NodeID, live []fabric.NodeID) (c *ShardMap, promoted, rerouted int) {
+	c = m.Clone()
+	c.Epoch++
+	liveSet := make(map[fabric.NodeID]bool, len(live))
+	for _, id := range live {
+		liveSet[id] = true
+	}
+	var desired []fabric.NodeID // lazily computed fallback placement
+	for s := 0; s < c.Shards; s++ {
+		if c.Backups != nil {
+			c.Backups[s] = dropNode(c.Backups[s], dead)
+		}
+		if c.Table[s] != dead {
+			continue
+		}
+		next := fabric.NodeID(-1)
+		for _, b := range c.BackupsOf(s) {
+			if liveSet[b] {
+				next = b
+				break
+			}
+		}
+		if next >= 0 {
+			c.Table[s] = next
+			c.Backups[s] = dropNode(c.Backups[s], next)
+			promoted++
+			continue
+		}
+		if len(live) == 0 {
+			continue // nobody to promote or reroute to; shard stays dark
+		}
+		if desired == nil {
+			desired = m.DesiredTable(live)
+		}
+		c.Table[s] = desired[s]
+		rerouted++
+	}
+	return c, promoted, rerouted
 }
 
 // mix is splitmix64's finalizer: the key/ring hash.

@@ -1,0 +1,313 @@
+package cluster
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"flock/internal/fabric"
+)
+
+// Table-driven edges of map construction: the inputs New/NewReplicated
+// must reject, and the degenerate-but-legal ones it must normalize.
+func TestShardMapConstructionEdges(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		members  []fabric.NodeID
+		shards   int
+		replicas int
+		wantErr  bool
+		// post-conditions on success:
+		wantReplicas int
+		nilBackups   bool
+	}{
+		{name: "empty member set", members: nil, shards: 8, wantErr: true},
+		{name: "zero shards", members: []fabric.NodeID{1}, shards: 0, wantErr: true},
+		{name: "duplicate member", members: []fabric.NodeID{2, 2}, shards: 8, wantErr: true},
+		{name: "negative replicas", members: []fabric.NodeID{1, 2}, shards: 8, replicas: -1, wantErr: true},
+		{name: "single member", members: []fabric.NodeID{7}, shards: 8,
+			wantReplicas: 0, nilBackups: true},
+		{name: "single member clamps replicas", members: []fabric.NodeID{7}, shards: 8, replicas: 3,
+			wantReplicas: 0, nilBackups: true},
+		{name: "replicas clamp to members-1", members: []fabric.NodeID{1, 2, 3}, shards: 8, replicas: 9,
+			wantReplicas: 2},
+		{name: "replicated pair", members: []fabric.NodeID{1, 2}, shards: 4, replicas: 1,
+			wantReplicas: 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := NewReplicated(tc.members, tc.shards, 4, tc.replicas)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatal("bad input accepted")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Replicas != tc.wantReplicas {
+				t.Fatalf("Replicas = %d, want %d", m.Replicas, tc.wantReplicas)
+			}
+			if tc.nilBackups != (m.Backups == nil) {
+				t.Fatalf("Backups nil = %v, want %v", m.Backups == nil, tc.nilBackups)
+			}
+			for s := 0; s < m.Shards; s++ {
+				bs := m.BackupsOf(s)
+				if len(bs) != tc.wantReplicas {
+					t.Fatalf("shard %d has %d backups, want %d", s, len(bs), tc.wantReplicas)
+				}
+				rs := m.ReplicaSet(s)
+				if rs[0] != m.Owner(s) {
+					t.Fatalf("shard %d replica set %v does not lead with its primary", s, rs)
+				}
+				seen := map[fabric.NodeID]bool{}
+				for _, id := range rs {
+					if seen[id] {
+						t.Fatalf("shard %d replica set %v repeats member %d", s, rs, id)
+					}
+					seen[id] = true
+				}
+			}
+			// Round-trip: replicated maps ride FSM2, unreplicated FSM1 —
+			// both must decode back to themselves.
+			got, err := DecodeShardMap(m.Encode())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, m) {
+				t.Fatalf("roundtrip mismatch:\n got %+v\nwant %+v", got, m)
+			}
+		})
+	}
+}
+
+// A single-member map routes everything to that member, and a failover
+// of the only member has nobody to promote or reroute to: every shard
+// stays dark rather than silently pointing at a node with no data.
+func TestShardMapSingleMemberFailover(t *testing.T) {
+	m, err := New([]fabric.NodeID{5}, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < m.Shards; s++ {
+		if m.Owner(s) != 5 {
+			t.Fatalf("shard %d owned by %d on a one-member map", s, m.Owner(s))
+		}
+	}
+	next, promoted, rerouted := m.WithFailover(5, nil)
+	if promoted != 0 || rerouted != 0 {
+		t.Fatalf("failover of the only member: promoted=%d rerouted=%d", promoted, rerouted)
+	}
+	if next.Epoch != m.Epoch+1 {
+		t.Fatalf("failover did not bump the epoch: %d -> %d", m.Epoch, next.Epoch)
+	}
+	for s := 0; s < next.Shards; s++ {
+		if next.Owner(s) != 5 {
+			t.Fatalf("shard %d reassigned to %d with no live members", s, next.Owner(s))
+		}
+	}
+}
+
+// Lookup semantics through the pending dual-write window: while a
+// migration is pending the source still owns the shard (the NACK
+// authority), the handoff flips ownership in one epoch, and a promoted
+// backup leaves the backup set the instant it becomes primary.
+func TestShardMapPendingHandoffLookup(t *testing.T) {
+	m, err := NewReplicated([]fabric.NodeID{0, 1, 2}, 8, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard := 0
+	from := m.Owner(shard)
+	var to fabric.NodeID = -1
+	for _, id := range m.Members {
+		if id != from && !m.IsBackup(shard, id) {
+			to = id
+			break
+		}
+	}
+	if to < 0 {
+		t.Fatal("no third member outside the replica set")
+	}
+	p := m.WithPending(Migration{Shard: shard, From: from, To: to})
+	if p.Owner(shard) != from {
+		t.Fatalf("pending migration moved ownership early: %d", p.Owner(shard))
+	}
+	if len(p.Pending) != 1 || p.Pending[0].To != to {
+		t.Fatalf("pending entry wrong: %+v", p.Pending)
+	}
+	h := p.WithHandoff(shard, to)
+	if h.Owner(shard) != to || len(h.Pending) != 0 {
+		t.Fatalf("handoff: owner=%d pending=%v", h.Owner(shard), h.Pending)
+	}
+	// Handoff to one of the shard's own backups: the new primary must
+	// leave the backup set (a member appears at most once in a replica
+	// set), shrinking it by one until Repair recruits a replacement.
+	backup := m.BackupsOf(shard)[0]
+	hb := m.WithHandoff(shard, backup)
+	if hb.Owner(shard) != backup || hb.IsBackup(shard, backup) {
+		t.Fatalf("promoted backup still in backup set: owner=%d backups=%v",
+			hb.Owner(shard), hb.BackupsOf(shard))
+	}
+	if len(hb.BackupsOf(shard)) != len(m.BackupsOf(shard))-1 {
+		t.Fatalf("backup set did not shrink: %v -> %v", m.BackupsOf(shard), hb.BackupsOf(shard))
+	}
+}
+
+// Duplicate ring hashes: equal hash points tie-break by owner ID, so
+// the ring order — and every successor walk over it — is deterministic
+// in the candidate set, not the insertion order; and ringSuccessors
+// returns distinct owners even when one owner's vnodes are adjacent.
+func TestRingDuplicateHashes(t *testing.T) {
+	ring := []ringPoint{
+		{hash: 10, owner: 3},
+		{hash: 10, owner: 1}, // duplicate hash, lower owner: sorts first
+		{hash: 20, owner: 1},
+		{hash: 20, owner: 2},
+		{hash: 30, owner: 2},
+	}
+	// buildRing's comparator, applied by hand: re-sort and check the tie.
+	sorted := buildRingOrder(ring)
+	if sorted[0].owner != 1 || sorted[1].owner != 3 {
+		t.Fatalf("equal hashes not tie-broken by owner: %+v", sorted[:2])
+	}
+	succ := ringSuccessors(sorted, 0, 3)
+	seen := map[fabric.NodeID]bool{}
+	for _, id := range succ {
+		if seen[id] {
+			t.Fatalf("ringSuccessors repeated owner %d: %v", id, succ)
+		}
+		seen[id] = true
+	}
+	if len(succ) != 3 {
+		t.Fatalf("3 distinct owners on the ring, successors = %v", succ)
+	}
+	// Asking for more distinct owners than exist returns them all.
+	if got := ringSuccessors(sorted, 0, 10); len(got) != 3 {
+		t.Fatalf("over-asking returned %v", got)
+	}
+	// buildRing itself is order-independent in its candidate argument.
+	a := buildRing([]fabric.NodeID{0, 1, 2}, 8)
+	b := buildRing([]fabric.NodeID{2, 0, 1}, 8)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("buildRing depends on candidate order")
+	}
+}
+
+// buildRingOrder applies buildRing's sort to a hand-crafted ring.
+func buildRingOrder(points []ringPoint) []ringPoint {
+	ring := append([]ringPoint(nil), points...)
+	// Same comparator as buildRing: hash, then owner.
+	for i := 1; i < len(ring); i++ {
+		for j := i; j > 0; j-- {
+			a, b := ring[j-1], ring[j]
+			if a.hash < b.hash || (a.hash == b.hash && a.owner < b.owner) {
+				break
+			}
+			ring[j-1], ring[j] = b, a
+		}
+	}
+	return ring
+}
+
+// An epoch-regressed map decodes fine — the wire format does not police
+// epochs — but every install point refuses it: Router.Install,
+// Service.InstallMap, and the coordinator's publish discipline all live
+// on newer-epoch-wins. This is the error behavior a WrongShard NACK
+// carrying a stale map (a slow deposed node) relies on.
+func TestEpochRegressedMapRefused(t *testing.T) {
+	old, err := New([]fabric.NodeID{0, 1}, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newer := old.Clone()
+	newer.Epoch = old.Epoch + 3
+
+	regressed, err := DecodeShardMap(old.Encode())
+	if err != nil {
+		t.Fatalf("wire layer rejected an old-epoch map: %v", err)
+	}
+
+	lc := newLiveCluster(t, 2, 8, fabric.Config{})
+	lc.router.Install(newer)
+	if lc.router.Install(regressed) {
+		t.Fatal("router installed an epoch-regressed map")
+	}
+	if lc.router.Map().Epoch != newer.Epoch {
+		t.Fatalf("router epoch regressed to %d", lc.router.Map().Epoch)
+	}
+	svc := lc.services[0]
+	svc.InstallMap(newer)
+	if svc.InstallMap(regressed) {
+		t.Fatal("service installed an epoch-regressed map")
+	}
+	if svc.Map().Epoch != newer.Epoch {
+		t.Fatalf("service epoch regressed to %d", svc.Map().Epoch)
+	}
+	// Same epoch is also refused: installs need strictly newer.
+	same := newer.Clone()
+	if lc.router.Install(same) || svc.InstallMap(same) {
+		t.Fatal("same-epoch map reinstalled")
+	}
+}
+
+// Replica-set surgery edges: WithBackup rejects members already in the
+// set, ReplacementBackup skips the whole replica set and reports -1
+// when nobody is left, WithFailover promotes the first *live* backup.
+func TestReplicaSetSurgeryEdges(t *testing.T) {
+	m, err := NewReplicated([]fabric.NodeID{0, 1, 2, 3}, 8, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard := 0
+	primary := m.Owner(shard)
+	backups := m.BackupsOf(shard)
+	if len(backups) != 2 {
+		t.Fatalf("backups = %v", backups)
+	}
+	if _, err := m.WithBackup(shard, primary); err == nil {
+		t.Fatal("WithBackup accepted the primary")
+	}
+	if _, err := m.WithBackup(shard, backups[0]); err == nil {
+		t.Fatal("WithBackup accepted an existing backup")
+	}
+	if got := m.ReplacementBackup(shard, nil); got != -1 {
+		t.Fatalf("ReplacementBackup over no candidates = %d", got)
+	}
+	if got := m.ReplacementBackup(shard, m.ReplicaSet(shard)); got != -1 {
+		t.Fatalf("ReplacementBackup recruited from inside the replica set: %d", got)
+	}
+	if got := m.ReplacementBackup(shard, m.Members); got < 0 ||
+		got == primary || m.IsBackup(shard, got) {
+		t.Fatalf("ReplacementBackup = %d (primary %d, backups %v)", got, primary, backups)
+	}
+	// Failover with the first backup also dead: the second is promoted.
+	live := []fabric.NodeID{}
+	for _, id := range m.Members {
+		if id != primary && id != backups[0] {
+			live = append(live, id)
+		}
+	}
+	next, _, _ := m.WithFailover(primary, live)
+	if next.Owner(shard) == primary || next.Owner(shard) == backups[0] {
+		t.Fatalf("promoted %d; primary %d and backup %d are dead", next.Owner(shard), primary, backups[0])
+	}
+	if next.IsBackup(shard, primary) {
+		t.Fatal("dead primary still in a backup set")
+	}
+}
+
+// ErrBadReplica is the replication frame's reject error, distinct from
+// the map's ErrBadMap so callers can tell a corrupt forward from a
+// corrupt map payload.
+func TestReplicaWireErrorsDistinct(t *testing.T) {
+	if _, err := DecodeReplicaForward([]byte{1, 2, 3}); !errors.Is(err, ErrBadReplica) {
+		t.Fatalf("short forward: %v", err)
+	}
+	if _, _, err := DecodeReplicaAck([]byte{1}); !errors.Is(err, ErrBadReplica) {
+		t.Fatalf("short ack: %v", err)
+	}
+	if errors.Is(ErrBadReplica, ErrBadMap) {
+		t.Fatal("ErrBadReplica aliases ErrBadMap")
+	}
+}

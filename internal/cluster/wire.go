@@ -14,23 +14,38 @@ import (
 // DecodeShardMap must reject garbage with an error, never panic or
 // allocate absurdly.
 //
+// FSM1 (unreplicated, Replicas == 0):
+//
 //	+0   magic    uint32  'F','S','M','1'
 //	+4   epoch    uint64
 //	+12  shards   uint32
 //	+16  vnodes   uint32
 //	+20  nMembers uint32
 //	+24  members  nMembers × int64
-//	...  table    shards × int64 (owner per shard)
+//	...  table    shards × int64 (primary per shard)
 //	...  nPending uint32
 //	...  pending  nPending × (shard uint32, from int64, to int64)
+//
+// FSM2 (replicated, Replicas >= 1) inserts the replica sets between the
+// table and the pending list:
+//
+//	...  replicas uint32  (R >= 1; an FSM2 frame with R == 0 is rejected
+//	                       so every map has exactly one canonical encoding)
+//	...  backups  per shard: count uint32, count × int64
+//
+// Encode picks the layout from Replicas, so an unreplicated map still
+// produces byte-identical FSM1 frames and the pre-replication corpus
+// stays valid.
 
 const (
-	wireMagic = uint32('F') | uint32('S')<<8 | uint32('M')<<16 | uint32('1')<<24
+	wireMagic   = uint32('F') | uint32('S')<<8 | uint32('M')<<16 | uint32('1')<<24
+	wireMagicV2 = uint32('F') | uint32('S')<<8 | uint32('M')<<16 | uint32('2')<<24
 
 	// Sanity bounds: anything larger is corruption, not configuration.
-	maxWireShards  = 1 << 16
-	maxWireVNodes  = 1 << 12
-	maxWireMembers = 1 << 12
+	maxWireShards   = 1 << 16
+	maxWireVNodes   = 1 << 12
+	maxWireMembers  = 1 << 12
+	maxWireReplicas = 1 << 8
 )
 
 // ErrBadMap reports undecodable shard-map bytes.
@@ -38,14 +53,26 @@ var ErrBadMap = errors.New("cluster: malformed shard map")
 
 // EncodedSize returns the exact Encode output length.
 func (m *ShardMap) EncodedSize() int {
-	return 24 + 8*len(m.Members) + 8*len(m.Table) + 4 + 20*len(m.Pending)
+	n := 24 + 8*len(m.Members) + 8*len(m.Table) + 4 + 20*len(m.Pending)
+	if m.Replicas > 0 {
+		n += 4 // replicas
+		for s := 0; s < m.Shards; s++ {
+			n += 4 + 8*len(m.BackupsOf(s))
+		}
+	}
+	return n
 }
 
 // Encode serializes the map. The output is deterministic: equal maps
-// encode to equal bytes.
+// encode to equal bytes, and each map has exactly one encoding (FSM1
+// when unreplicated, FSM2 otherwise).
 func (m *ShardMap) Encode() []byte {
 	b := make([]byte, 0, m.EncodedSize())
-	b = binary.LittleEndian.AppendUint32(b, wireMagic)
+	magic := wireMagic
+	if m.Replicas > 0 {
+		magic = wireMagicV2
+	}
+	b = binary.LittleEndian.AppendUint32(b, magic)
 	b = binary.LittleEndian.AppendUint64(b, m.Epoch)
 	b = binary.LittleEndian.AppendUint32(b, uint32(m.Shards))
 	b = binary.LittleEndian.AppendUint32(b, uint32(m.VNodes))
@@ -55,6 +82,16 @@ func (m *ShardMap) Encode() []byte {
 	}
 	for _, id := range m.Table {
 		b = binary.LittleEndian.AppendUint64(b, uint64(id))
+	}
+	if m.Replicas > 0 {
+		b = binary.LittleEndian.AppendUint32(b, uint32(m.Replicas))
+		for s := 0; s < m.Shards; s++ {
+			bs := m.BackupsOf(s)
+			b = binary.LittleEndian.AppendUint32(b, uint32(len(bs)))
+			for _, id := range bs {
+				b = binary.LittleEndian.AppendUint64(b, uint64(id))
+			}
+		}
 	}
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(m.Pending)))
 	for _, p := range m.Pending {
@@ -94,11 +131,13 @@ func (r *wireReader) u64() uint64 {
 
 // DecodeShardMap parses Encode output. It validates the magic, size
 // bounds, exact length, sorted-unique members, table owners drawn from
-// the member set, and pending entries referencing valid shards and
-// members — a map that decodes is safe to route by.
+// the member set, backup sets (bounded, distinct, never the primary),
+// and pending entries referencing valid shards and members — a map that
+// decodes is safe to route by.
 func DecodeShardMap(b []byte) (*ShardMap, error) {
 	r := &wireReader{b: b}
-	if r.u32() != wireMagic {
+	magic := r.u32()
+	if magic != wireMagic && magic != wireMagicV2 {
 		return nil, fmt.Errorf("%w: bad magic", ErrBadMap)
 	}
 	m := &ShardMap{Epoch: r.u64()}
@@ -132,6 +171,42 @@ func DecodeShardMap(b []byte) (*ShardMap, error) {
 		}
 		m.Table[i] = id
 	}
+	if magic == wireMagicV2 {
+		replicas := r.u32()
+		if r.err || replicas == 0 || replicas > maxWireReplicas {
+			// An FSM2 frame with zero replicas would alias the FSM1
+			// encoding of the same map; reject so encoding stays canonical.
+			return nil, fmt.Errorf("%w: bad replica count", ErrBadMap)
+		}
+		m.Replicas = int(replicas)
+		m.Backups = make([][]fabric.NodeID, shards)
+		for s := 0; s < int(shards); s++ {
+			count := r.u32()
+			if r.err || count > replicas {
+				return nil, fmt.Errorf("%w: bad backup count", ErrBadMap)
+			}
+			if count == 0 {
+				continue
+			}
+			if len(b)-r.off < 8*int(count) {
+				return nil, fmt.Errorf("%w: truncated backups", ErrBadMap)
+			}
+			bs := make([]fabric.NodeID, count)
+			for i := range bs {
+				id := fabric.NodeID(r.u64())
+				if !memberSet[id] || id == m.Table[s] {
+					return nil, fmt.Errorf("%w: bad backup %d for shard %d", ErrBadMap, id, s)
+				}
+				for _, prev := range bs[:i] {
+					if prev == id {
+						return nil, fmt.Errorf("%w: duplicate backup %d for shard %d", ErrBadMap, id, s)
+					}
+				}
+				bs[i] = id
+			}
+			m.Backups[s] = bs
+		}
+	}
 	nPending := r.u32()
 	if r.err || nPending > shards {
 		return nil, fmt.Errorf("%w: bad pending count", ErrBadMap)
@@ -151,4 +226,112 @@ func DecodeShardMap(b []byte) (*ShardMap, error) {
 		return nil, fmt.Errorf("%w: length mismatch", ErrBadMap)
 	}
 	return m, nil
+}
+
+// Replication wire format. A primary synchronously forwards every
+// guarded apply to its backups as an RPCReplicate frame and ACKs the
+// client only after every backup ACKed; the frame carries the sender's
+// map epoch so a deposed primary (one that kept serving past a
+// failover) is fenced with a WrongShard NACK instead of silently
+// diverging a backup. Like the shard map these bytes cross the
+// fault-injectable fabric, so both directions decode defensively.
+//
+// Forward (request):
+//
+//	+0   magic  uint32  'F','R','P','1'
+//	+4   epoch  uint64  sender's map epoch
+//	+12  shard  uint32
+//	+16  n      uint32
+//	+20  n × (key uint64, val uint64)
+//
+// Ack (StatusOK reply payload):
+//
+//	+0   epoch   uint64  replier's map epoch
+//	+8   applied uint32  entries that advanced the backup's store
+
+const (
+	replMagic = uint32('F') | uint32('R')<<8 | uint32('P')<<16 | uint32('1')<<24
+
+	replHeaderLen = 20
+	replAckLen    = 12
+
+	// maxWireReplEntries bounds one forward frame; larger is corruption.
+	maxWireReplEntries = 1 << 16
+)
+
+// ErrBadReplica reports undecodable replication-frame bytes.
+var ErrBadReplica = errors.New("cluster: malformed replication frame")
+
+// ReplicaEntry is one key/value pair in a replication forward.
+type ReplicaEntry struct {
+	Key, Val uint64
+}
+
+// ReplicaForward is one decoded replication forward frame.
+type ReplicaForward struct {
+	// Epoch is the sending primary's map epoch at forward time.
+	Epoch uint64
+	// Shard is the shard every entry belongs to.
+	Shard int
+	// Entries are the guarded (take-the-max) applies to replay.
+	Entries []ReplicaEntry
+}
+
+// AppendReplicaForward encodes f into b (which may be a pooled buffer
+// sized with ReplicaForwardSize) and returns the extended slice.
+func AppendReplicaForward(b []byte, f ReplicaForward) []byte {
+	b = binary.LittleEndian.AppendUint32(b, replMagic)
+	b = binary.LittleEndian.AppendUint64(b, f.Epoch)
+	b = binary.LittleEndian.AppendUint32(b, uint32(f.Shard))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(f.Entries)))
+	for _, e := range f.Entries {
+		b = binary.LittleEndian.AppendUint64(b, e.Key)
+		b = binary.LittleEndian.AppendUint64(b, e.Val)
+	}
+	return b
+}
+
+// ReplicaForwardSize is the exact encoded length of a forward with n
+// entries.
+func ReplicaForwardSize(n int) int { return replHeaderLen + 16*n }
+
+// DecodeReplicaForward parses a forward frame: magic, bounded entry
+// count, exact length. It never panics on arbitrary bytes.
+func DecodeReplicaForward(b []byte) (ReplicaForward, error) {
+	r := &wireReader{b: b}
+	var f ReplicaForward
+	if r.u32() != replMagic {
+		return f, fmt.Errorf("%w: bad magic", ErrBadReplica)
+	}
+	f.Epoch = r.u64()
+	shard, n := r.u32(), r.u32()
+	if r.err || shard >= maxWireShards || n > maxWireReplEntries {
+		return f, fmt.Errorf("%w: bad geometry", ErrBadReplica)
+	}
+	if len(b) != ReplicaForwardSize(int(n)) {
+		return f, fmt.Errorf("%w: length mismatch", ErrBadReplica)
+	}
+	f.Shard = int(shard)
+	if n > 0 {
+		f.Entries = make([]ReplicaEntry, n)
+		for i := range f.Entries {
+			f.Entries[i] = ReplicaEntry{Key: r.u64(), Val: r.u64()}
+		}
+	}
+	return f, nil
+}
+
+// EncodeReplicaAck encodes a forward's ACK payload.
+func EncodeReplicaAck(epoch uint64, applied int) []byte {
+	b := make([]byte, 0, replAckLen)
+	b = binary.LittleEndian.AppendUint64(b, epoch)
+	return binary.LittleEndian.AppendUint32(b, uint32(applied))
+}
+
+// DecodeReplicaAck parses an ACK payload.
+func DecodeReplicaAck(b []byte) (epoch uint64, applied int, err error) {
+	if len(b) != replAckLen {
+		return 0, 0, fmt.Errorf("%w: ack length %d", ErrBadReplica, len(b))
+	}
+	return binary.LittleEndian.Uint64(b[0:8]), int(binary.LittleEndian.Uint32(b[8:12])), nil
 }

@@ -259,8 +259,9 @@ type Node struct {
 	opts Options
 	dev  *rnic.Device
 
-	handlers atomic.Value // map[uint32]Handler snapshot
-	handMu   sync.Mutex
+	handlers   atomic.Value // map[uint32]Handler snapshot
+	inlineRPCs atomic.Value // map[uint32]bool: rpcIDs that bypass the worker pool
+	handMu     sync.Mutex
 
 	serving atomic.Bool
 
@@ -341,6 +342,7 @@ func newNode(nw *Network, id fabric.NodeID, dev *rnic.Device, opts Options) *Nod
 		done: make(chan struct{}),
 	}
 	n.handlers.Store(map[uint32]StatusHandler{})
+	n.inlineRPCs.Store(map[uint32]bool{})
 	n.byQPN.Store(map[int]*serverQP{})
 	n.connsSnap.Store([]*Conn{})
 	n.sconnsSnap.Store([]*serverConn{})
@@ -503,9 +505,35 @@ func (n *Node) RegisterStatusHandler(rpcID uint32, fn StatusHandler) {
 	n.handlers.Store(next)
 }
 
+// RegisterInlineStatusHandler is RegisterStatusHandler plus an
+// execution-lane promise: the handler runs inline on the request
+// dispatcher even when a worker pool is configured, so it can never
+// queue behind workers blocked in nested calls. Only for handlers that
+// are short and never block on RPCs of their own — replication applies,
+// pings, map fetches. A blocking inline handler stalls the node's whole
+// receive path.
+func (n *Node) RegisterInlineStatusHandler(rpcID uint32, fn StatusHandler) {
+	n.RegisterStatusHandler(rpcID, fn)
+	n.handMu.Lock()
+	defer n.handMu.Unlock()
+	old := n.inlineRPCs.Load().(map[uint32]bool)
+	next := make(map[uint32]bool, len(old)+1)
+	for k := range old {
+		next[k] = true
+	}
+	next[rpcID] = true
+	n.inlineRPCs.Store(next)
+}
+
 // handler resolves rpcID to a StatusHandler, nil if unregistered.
 func (n *Node) handler(rpcID uint32) StatusHandler {
 	return n.handlers.Load().(map[uint32]StatusHandler)[rpcID]
+}
+
+// inlineSet returns the current inline-lane rpcID set (empty map when
+// nothing is registered inline — the common case, checked by len).
+func (n *Node) inlineSet() map[uint32]bool {
+	return n.inlineRPCs.Load().(map[uint32]bool)
 }
 
 // Serve starts the server role: request dispatchers, the worker pool (if

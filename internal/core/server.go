@@ -314,6 +314,31 @@ func (n *Node) pumpRequests(sqp *serverQP) bool {
 		}
 
 		if n.workCh != nil {
+			// Inline-lane RPCs (RegisterInlineStatusHandler) execute here on
+			// the dispatcher before the rest of the batch is handed to the
+			// pool: a replication apply or ping must never wait behind
+			// workers that are themselves blocked in nested forwards.
+			if inline := n.inlineSet(); len(inline) > 0 {
+				out := sqp.outScratch[:0]
+				keep := admit[:0]
+				for _, it := range admit {
+					if inline[it.meta.rpcID] {
+						out = append(out, n.execute(sqp.sc, it.meta, it.data))
+					} else {
+						keep = append(keep, it)
+					}
+				}
+				if len(out) > 0 {
+					n.flushResponses(sqp, out)
+					sqp.outScratch = out[:0]
+					n.inflight.Add(-int64(len(out)))
+				}
+				admit = keep
+				if len(admit) == 0 {
+					mbuf.Release()
+					continue
+				}
+			}
 			// Hand the poll reference to the unit; payloads stay views into
 			// the pooled message buffer and the worker releases it after the
 			// flush.

@@ -1,0 +1,103 @@
+package kvstore
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// Fingerprint64 is the replica-comparison digest: two stores holding the
+// same key→value content must fingerprint equal regardless of insertion
+// order or slot placement, and any single-entry difference must show.
+func TestFingerprintOrderIndependent(t *testing.T) {
+	a := newStore(t, 128, 8)
+	b := newStore(t, 128, 8)
+	keys := []uint64{3, 99, 0, 17, 1 << 40, 7}
+	put := func(s *Store, k, v uint64) {
+		t.Helper()
+		if _, err := s.UpdateMax64(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, k := range keys {
+		put(a, k, k*5+1)
+	}
+	// Same content, reverse insertion order (different probe/slot walk).
+	for i := len(keys) - 1; i >= 0; i-- {
+		put(b, keys[i], keys[i]*5+1)
+	}
+	if a.Fingerprint64() != b.Fingerprint64() {
+		t.Fatal("equal content, unequal fingerprints")
+	}
+	// Write paths that end at the same value converge too: b took extra
+	// superseded writes (guarded max absorbs them).
+	put(b, 17, 17*5) // below current → no-op
+	if a.Fingerprint64() != b.Fingerprint64() {
+		t.Fatal("superseded write changed the fingerprint")
+	}
+}
+
+func TestFingerprintDetectsDifferences(t *testing.T) {
+	empty := newStore(t, 64, 8)
+	if empty.Fingerprint64() != 0 {
+		t.Fatalf("empty store fingerprints %#x, want 0", empty.Fingerprint64())
+	}
+	a := newStore(t, 64, 8)
+	if _, err := a.UpdateMax64(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint64() == 0 {
+		t.Fatal("one-entry store fingerprints as empty")
+	}
+	// Differing value for the same key.
+	b := newStore(t, 64, 8)
+	if _, err := b.UpdateMax64(1, 11); err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint64() == b.Fingerprint64() {
+		t.Fatal("different values, equal fingerprints")
+	}
+	// A missing key (extra entry on one side).
+	if _, err := b.UpdateMax64(1, 12); err != nil {
+		t.Fatal(err)
+	}
+	c := newStore(t, 64, 8)
+	if _, err := c.UpdateMax64(1, 12); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.UpdateMax64(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if b.Fingerprint64() == c.Fingerprint64() {
+		t.Fatal("extra key, equal fingerprints")
+	}
+	// Key and value contributions don't cancel: {k:1,v:2} vs {k:2,v:1}.
+	d := newStore(t, 64, 8)
+	e := newStore(t, 64, 8)
+	if _, err := d.UpdateMax64(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.UpdateMax64(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if d.Fingerprint64() == e.Fingerprint64() {
+		t.Fatal("swapped key/value fingerprints collide")
+	}
+}
+
+// The fingerprint covers Insert-created entries identically to
+// UpdateMax64 ones — it digests content, not write history.
+func TestFingerprintIgnoresWritePath(t *testing.T) {
+	a := newStore(t, 64, 8)
+	b := newStore(t, 64, 8)
+	var v [8]byte
+	binary.LittleEndian.PutUint64(v[:], 77)
+	if err := a.Insert(5, v[:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.UpdateMax64(5, 77); err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint64() != b.Fingerprint64() {
+		t.Fatal("Insert and UpdateMax64 of the same entry fingerprint differently")
+	}
+}

@@ -20,6 +20,7 @@
 package kvstore
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 )
@@ -367,6 +368,30 @@ func (s *Store) Version(key uint64) (uint64, error) {
 		return 0, err
 	}
 	return s.mem.Load64(off + 8), nil
+}
+
+// Fingerprint64 folds every occupied slot's key and first value word
+// into one order-independent digest (a commutative sum of per-slot
+// mixes), so two stores hold the same 8-byte-word contents iff their
+// fingerprints match — regardless of insertion order or arena layout.
+// Replication tests use it to compare a primary against its backups
+// after traffic quiesces; like Scan it is not a point-in-time snapshot
+// under concurrent writers.
+func (s *Store) Fingerprint64() uint64 {
+	var fp uint64
+	s.Scan(func(key uint64, val []byte) bool {
+		word := binary.LittleEndian.Uint64(val[:8])
+		// splitmix64-style finalizer over (key, word) so near-identical
+		// slots don't cancel in the commutative sum.
+		x := key ^ 0x9E3779B97F4A7C15
+		x ^= word * 0xBF58476D1CE4E5B9
+		x ^= x >> 30
+		x *= 0x94D049BB133111EB
+		x ^= x >> 31
+		fp += x
+		return true
+	})
+	return fp
 }
 
 // Scan iterates every occupied slot in arena order, calling fn with the
