@@ -886,16 +886,19 @@ func runClusterScaling(quick bool) {
 	})
 }
 
-// runReplicationSweep is ISSUE 9's replicated-write overhead experiment
-// on the live library: a fixed 4-member, 16-shard cluster, put-only
-// closed-loop traffic, replica factor swept over R = 0/1/2. Every put at
-// R > 0 synchronously forwards to R backups before acking (the backup
-// apply runs on the inline dispatcher lane, so the worker pools never
-// deadlock against each other), which makes the goodput ratio R=2/R=0 a
-// direct price tag on durability. BENCH_PR9.json carries the rows; the
-// CI gate holds the R=2 ratio above 0.15 (measured ~0.2 on a 1-CPU
-// container, where the parallel forward fan-out cannot overlap and every
-// replicated put pays for three full RPC executions).
+// runReplicationSweep is ISSUE 10's group-commit replication
+// experiment on the live library: a fixed 4-member cluster, put-only
+// closed-loop traffic, replica factor swept over R = 0/1/2. Puts at
+// R > 0 ride the per-(shard, backup) replication logs and ack when the
+// multi-entry FRP1 batch carrying them is durable on every backup
+// (internal/cluster/groupcommit.go), so the fan-out cost is amortized
+// across whatever queued inside the flush window — the paper's flocking
+// discipline applied to the replica plane. The goodput ratio R=2/R=0 is
+// the price tag on durability; BENCH_PR10.json carries the rows and the
+// CI gate holds the ratio above 0.5 (PR 9's per-put sync forward
+// measured ~0.2 on the same 1-CPU container). A second dimension pins
+// R=2 and sweeps FlushEntries to show the ratio is the batching's doing:
+// cap 1 reproduces the per-put forward, 8 and 64 open the window.
 func runReplicationSweep(quick bool) {
 	dur := 600 * time.Millisecond
 	if quick {
@@ -903,16 +906,18 @@ func runReplicationSweep(quick bool) {
 	}
 	const (
 		nNodes   = 4
-		shards   = 16
-		nThreads = 8
-		keysPerG = 64
+		shards   = 4
+		nThreads = 128
+		keysPerG = 16
+		workers  = 40
 	)
+	tuned := cluster.ReplTuning{FlushEntries: 32, FlushDelay: 0, PipeDepth: 2}
 	factors := []int{0, 1, 2}
 	if quick {
 		factors = []int{0, 2}
 	}
 
-	run := func(replicas int) (gops float64, forwards uint64) {
+	run := func(replicas int, tuning cluster.ReplTuning) (gops float64, forwards, batches uint64, meanBatch float64) {
 		nw := core.NewNetwork(fabric.Config{})
 		defer nw.Close()
 		members := make([]fabric.NodeID, nNodes)
@@ -925,7 +930,7 @@ func runReplicationSweep(quick bool) {
 		}
 		var services []*cluster.Service
 		for _, id := range members {
-			node, err := nw.NewNode(id, core.Options{Workers: 2}, 0)
+			node, err := nw.NewNode(id, core.Options{Workers: workers}, 0)
 			if err != nil {
 				panic(err)
 			}
@@ -933,6 +938,7 @@ func runReplicationSweep(quick bool) {
 			if err != nil {
 				panic(err)
 			}
+			svc.Repl = tuning
 			services = append(services, svc)
 			node.Serve()
 		}
@@ -976,31 +982,67 @@ func runReplicationSweep(quick bool) {
 		elapsed := time.Since(start)
 		close(stop)
 		wg.Wait()
+		var entrySum, entryCount uint64
 		for _, svc := range services {
-			forwards += svc.Node().Telemetry().Counter("cluster.replica_forwards").Load()
+			tl := svc.Node().Telemetry()
+			forwards += tl.Counter("cluster.replica_forwards").Load()
+			batches += tl.Counter("cluster.repl_batches").Load()
+			snap := tl.Hist("cluster.repl_batch_entries").Snapshot()
+			entrySum += snap.Sum
+			entryCount += snap.Count
+		}
+		if entryCount > 0 {
+			meanBatch = float64(entrySum) / float64(entryCount)
 		}
 		stashTelemetry(nw)
-		return float64(measured) / elapsed.Seconds(), forwards
+		return float64(measured) / elapsed.Seconds(), forwards, batches, meanBatch
 	}
 
 	fmt.Printf("%d members, %d shards, %d put-only router threads, %v window per point\n",
 		nNodes, shards, nThreads, dur)
-	fmt.Println("replicas  goodput(ops/s)  forwards")
+	fmt.Printf("group-commit tuning: FlushEntries=%d FlushDelay=%v PipeDepth=%d\n",
+		tuned.FlushEntries, tuned.FlushDelay, tuned.PipeDepth)
+	fmt.Println("replicas  goodput(ops/s)  forwards   batches  entries/batch")
 	byR := make(map[int]float64, len(factors))
 	for _, r := range factors {
-		g, fwds := run(r)
+		g, fwds, batches, mean := run(r, tuned)
 		byR[r] = g
-		fmt.Printf("%-9d %14.0f %9d\n", r, g, fwds)
+		fmt.Printf("%-9d %14.0f %9d %9d %14.1f\n", r, g, fwds, batches, mean)
 		emitRecord(benchRecord{
 			Series: "replication", X: float64(r),
 			Metrics: map[string]float64{
 				"goodput_ops_s": g, "forwards": float64(fwds),
+				"batches": float64(batches), "batch_mean": mean,
 			},
 			Telemetry: takeTelemetry(),
 		})
 	}
+
+	// The batching dimension: R=2 fixed, flush cap swept. Entries=1 is
+	// PR 9's per-put forward reproduced inside the new pipeline.
+	caps := []int{1, 8, 64}
+	if quick {
+		caps = []int{1, 8}
+	}
+	fmt.Println("flush-cap  goodput(ops/s)  forwards   batches  entries/batch")
+	for _, c := range caps {
+		tn := tuned
+		tn.FlushEntries = c
+		g, fwds, batches, mean := run(2, tn)
+		fmt.Printf("%-10d %14.0f %9d %9d %14.1f\n", c, g, fwds, batches, mean)
+		emitRecord(benchRecord{
+			Series: "replication-batch", X: float64(c),
+			Metrics: map[string]float64{
+				"goodput_ops_s": g, "forwards": float64(fwds),
+				"batches": float64(batches), "batch_mean": mean,
+				"ratio_vs_r0": g / byR[0],
+			},
+			Telemetry: takeTelemetry(),
+		})
+	}
+
 	ratio := byR[2] / byR[0]
-	fmt.Printf("replication-goodput ratio=%.2f r2/r0 (r2 %.0f ops/s, r0 %.0f ops/s, gate >= 0.15)\n",
+	fmt.Printf("replication-goodput ratio=%.2f r2/r0 (r2 %.0f ops/s, r0 %.0f ops/s, gate >= 0.5)\n",
 		ratio, byR[2], byR[0])
 	emitRecord(benchRecord{
 		Series: "ratio", X: 2,
@@ -1009,10 +1051,6 @@ func runReplicationSweep(quick bool) {
 		},
 	})
 }
-
-// runSyncMicro compares the live TCQ (FLock synchronization) against
-// spinlock QP sharing at equal sharing degrees — the up-to-2.3×-slower
-// claim of §1 — on real goroutines over the software RNIC.
 func runSyncMicro(quick bool) {
 	dur := time.Second
 	if quick {

@@ -670,15 +670,26 @@ func runCluster(nMembers, nShards, replicas, nThreads int, dur time.Duration, fa
 			mv.shard, mv.from, mv.to, mv.took.Round(time.Microsecond))
 	}
 	if victim >= 0 {
-		var fwds, promos uint64
+		var fwds, promos, batches, entrySum, entryCount uint64
+		var pendingLog int64
 		for _, svc := range services {
 			tl := svc.Node().Telemetry()
 			fwds += tl.Counter("cluster.replica_forwards").Load()
 			promos += tl.Counter("cluster.promotions").Load()
+			batches += tl.Counter("cluster.repl_batches").Load()
+			snap := tl.Hist("cluster.repl_batch_entries").Snapshot()
+			entrySum += snap.Sum
+			entryCount += snap.Count
+			pendingLog += tl.Gauge("cluster.repl_log_pending").Load()
+		}
+		batchMean := 0.0
+		if entryCount > 0 {
+			batchMean = float64(entrySum) / float64(entryCount)
 		}
 		fmt.Printf("failover    victim=n%d shards=%d promoted=%d detect=%v promote=%v\n",
 			victim, victimShards, promoted, detect.Round(time.Millisecond), promote.Round(time.Microsecond))
-		fmt.Printf("replication replicas=%d forwards=%d promotions=%d\n", replicas, fwds, promos)
+		fmt.Printf("replication replicas=%d forwards=%d promotions=%d batches=%d batch_mean=%.1f pending=%d\n",
+			replicas, fwds, promos, batches, batchMean, pendingLog)
 	}
 	fmt.Printf("membership  live=%d/%d moves=%d\n", len(live), nMembers, len(moves))
 

@@ -128,6 +128,14 @@ type (
 	// ClusterCoordinator is the in-process control plane driving
 	// migrations, rebalancing, route-around, and decommission.
 	ClusterCoordinator = cluster.Coordinator
+	// ReplTuning shapes the group-commit replication pipeline (flush
+	// entry/byte caps, first-waiter flush deadline, in-flight frame
+	// depth); the zero value selects the defaults.
+	ReplTuning = cluster.ReplTuning
+	// ReplError is the typed failure of one replication forward,
+	// carrying the backup and rejection status; it matches
+	// ErrReplicaFenced / ErrReplicaNACK via errors.Is.
+	ReplError = cluster.ReplError
 	// MemberState is the failure detector's per-member verdict.
 	MemberState = resilience.MemberState
 )
@@ -178,6 +186,12 @@ var (
 	ErrBadShardMap = cluster.ErrBadMap
 	// ErrBadReplica reports a malformed replication forward or ack frame.
 	ErrBadReplica = cluster.ErrBadReplica
+	// ErrReplicaFenced reports a replication batch rejected by a backup
+	// holding a newer epoch (the sender installs the attached map).
+	ErrReplicaFenced = cluster.ErrReplicaFenced
+	// ErrReplicaNACK reports a replication batch rejected by a backup
+	// for any non-fence status.
+	ErrReplicaNACK = cluster.ErrReplicaNACK
 )
 
 // Response status codes.

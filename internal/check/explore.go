@@ -295,6 +295,13 @@ type RunReport struct {
 	// sync-forward ACK rule. Both are zero outside the replica sim.
 	Failovers int
 	Forwards  int
+	// Batches counts replication-forward frames flushed and MultiBatches
+	// the frames that carried more than one entry — the vacuity signals
+	// for the group-commit suite: a sweep where every frame held a
+	// single put proved nothing about batch-granular failure semantics.
+	// Both are zero outside the replica sim.
+	Batches      int
+	MultiBatches int
 }
 
 // Failed reports whether the run violated the model or wedged.
@@ -349,10 +356,12 @@ type ExploreResult struct {
 	Migrations int
 	Redirects  int
 	FlapDrops  int
-	// Failovers and Forwards are summed over replica-suite sweeps (zero
-	// everywhere else).
-	Failovers int
-	Forwards  int
+	// Failovers, Forwards, Batches, and MultiBatches are summed over
+	// replica-suite sweeps (zero everywhere else).
+	Failovers    int
+	Forwards     int
+	Batches      int
+	MultiBatches int
 	// First is the first failure, shrunk; nil when all runs passed.
 	First *FailureReport
 }

@@ -5,7 +5,7 @@ package check
 // Mutation selects an intentionally-broken protocol variant for the
 // mutation self-test. In normal builds only MutNone exists in spirit:
 // mutantOn is a constant false, so the compiler removes every mutant code
-// path from the simulator. Build with -tags flockmut to compile the seven
+// path from the simulator. Build with -tags flockmut to compile the eight
 // known-bad variants in and run the self-test that proves the checker
 // catches each one.
 type Mutation int
@@ -57,6 +57,16 @@ const (
 	// serves reads that miss an acknowledged write. Only the replica
 	// schedule pool can catch it: no other pool kills a primary.
 	MutAckBeforeReplicate
+	// MutAckBeforeBatchDurable: the group-commit variant of the same
+	// lie — a primary acknowledges a put the moment it joins the
+	// replication log, instead of waiting for the batch carrying it to
+	// commit on every backup. The batch still flushes and transmits,
+	// but the ack races the flush window: kill the primary between
+	// enqueue and backup absorption and the promoted backup misses an
+	// acknowledged write. This is the ack rule the batched forwarder
+	// must preserve — group commit changes the granularity of
+	// durability, never its timing relative to the ack.
+	MutAckBeforeBatchDurable
 )
 
 // EnabledMutations lists the mutants compiled into this build: none.

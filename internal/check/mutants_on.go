@@ -3,7 +3,7 @@
 package check
 
 // Mutation selects an intentionally-broken protocol variant. This is the
-// flockmut build: the seven known-bad variants are compiled into the
+// flockmut build: the eight known-bad variants are compiled into the
 // simulator and selectable at runtime, so the self-test can assert the
 // checker flags every one of them. See mutants_off.go for the per-variant
 // documentation.
@@ -18,6 +18,7 @@ const (
 	MutPipelineMisroute
 	MutStaleShardServe
 	MutAckBeforeReplicate
+	MutAckBeforeBatchDurable
 )
 
 func (m Mutation) String() string {
@@ -38,13 +39,15 @@ func (m Mutation) String() string {
 		return "stale-shard-serve"
 	case MutAckBeforeReplicate:
 		return "ack-before-replicate"
+	case MutAckBeforeBatchDurable:
+		return "ack-before-batch-durable"
 	}
 	return "unknown"
 }
 
 // EnabledMutations lists the mutants compiled into this build.
 func EnabledMutations() []Mutation {
-	return []Mutation{MutClaimTimedOut, MutBatchDropTail, MutRecycleAckInflight, MutDedupSkip, MutPipelineMisroute, MutStaleShardServe, MutAckBeforeReplicate}
+	return []Mutation{MutClaimTimedOut, MutBatchDropTail, MutRecycleAckInflight, MutDedupSkip, MutPipelineMisroute, MutStaleShardServe, MutAckBeforeReplicate, MutAckBeforeBatchDurable}
 }
 
 // mutantOn reports whether mutant `want` is the active one.

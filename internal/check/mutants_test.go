@@ -28,8 +28,8 @@ func mutantWorkload(m Mutation) Workload {
 
 func TestMutantsAreCaught(t *testing.T) {
 	muts := EnabledMutations()
-	if len(muts) != 7 {
-		t.Fatalf("expected 7 compiled mutants, got %d", len(muts))
+	if len(muts) != 8 {
+		t.Fatalf("expected 8 compiled mutants, got %d", len(muts))
 	}
 	for _, mut := range muts {
 		mut := mut
@@ -40,16 +40,16 @@ func TestMutantsAreCaught(t *testing.T) {
 			// thread has two ops in flight, so it gets the pipeline
 			// schedules; the stale-shard mutant only bites when a shard
 			// migrates, so it gets the cluster simulator; the premature-ack
-			// mutant only bites when a primary dies mid-replication, so it
-			// gets the replica simulator; the combining-path mutants keep
-			// the canonical pool.
+			// mutants (before-replicate and before-batch-durable) only bite
+			// when a primary dies mid-replication, so they get the replica
+			// simulator; the combining-path mutants keep the canonical pool.
 			var res ExploreResult
 			var replay func(Schedule) bool
 			if mut == MutStaleShardServe {
 				ccfg := ClusterSimConfig{}
 				res = ExploreCluster(ccfg, mut, 1, mutantSeeds, MigrationScheduleFromSeed)
 				replay = func(s Schedule) bool { return RunClusterSchedule(ccfg, s, mut).Failed() }
-			} else if mut == MutAckBeforeReplicate {
+			} else if mut == MutAckBeforeReplicate || mut == MutAckBeforeBatchDurable {
 				rcfg := ReplicaSimConfig{}
 				res = ExploreReplica(rcfg, mut, 1, mutantSeeds, ReplicaScheduleFromSeed)
 				replay = func(s Schedule) bool { return RunReplicaSchedule(rcfg, s, mut).Failed() }

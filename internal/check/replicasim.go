@@ -17,11 +17,15 @@ import (
 //
 // The protocol rules mirror the real service:
 //
-//   - Sync-forward ACK rule: a put is acknowledged only after the key's
+//   - Group-commit ACK rule: a put is acknowledged only after the key's
 //     current entry is applied at every backup the primary's own map
 //     lists for the shard. Acked therefore implies every backup holds
 //     the write (or a newer one for the same key), which is what makes
-//     promotion lossless.
+//     promotion lossless. Forwards ride per-(shard, backup) replication
+//     logs: puts gather for a flush window and one multi-entry frame
+//     carries them all (mirroring the real group-commit forwarder), so
+//     a kill can land between a put's enqueue and its batch's flush —
+//     the window the ack-before-batch-durable mutant exploits.
 //   - Failure detection and failover: a killed node is noticed after a
 //     detect delay; the world (standing in for the coordinator) bumps
 //     the epoch, promotes each affected shard's first live backup, and
@@ -63,6 +67,15 @@ const (
 	// sits on a forward after acking — the asynchrony that makes the
 	// premature ack a lie worth catching.
 	replicaMutLazyDelay = 4 * sim.Microsecond
+	// replicaFlushDelay is the group-commit gather window: a put joining
+	// an empty (shard, backup) replication log arms a flush this far
+	// out, and every put arriving inside the window rides the same
+	// frame. It is also the ack-before-batch-durable mutant's kill
+	// window — the time an acked-but-unflushed write sits exposed.
+	replicaFlushDelay = 3 * sim.Microsecond
+	// replicaMaxBatch caps entries per simulated forward frame (the
+	// FlushEntries knob's stand-in).
+	replicaMaxBatch = 8
 )
 
 // ReplicaSimConfig sizes one simulated replicated-cluster run. Zero
@@ -219,12 +232,14 @@ type replicaWorld struct {
 
 	curView *replicaView
 
-	failovers int
-	forwards  int
-	redirects int
-	flapDrops int
-	retried   int
-	dedupHits int
+	failovers    int
+	forwards     int
+	redirects    int
+	flapDrops    int
+	retried      int
+	dedupHits    int
+	batches      int
+	multiBatches int
 }
 
 type replicaNode struct {
@@ -232,9 +247,10 @@ type replicaNode struct {
 	id   int
 	view *replicaView
 
-	data []map[uint64]replicaEntry
-	memo []map[uint64]struct{}
-	pend map[uint64]*replicaPend
+	data    []map[uint64]replicaEntry
+	memo    []map[uint64]struct{}
+	pend    map[uint64]*replicaPend
+	streams map[replicaStreamKey]*replicaStream
 }
 
 type replicaClient struct {
@@ -282,9 +298,10 @@ func newReplicaWorld(cfg ReplicaSimConfig, sched Schedule, mut Mutation) *replic
 	for i := 0; i < cfg.Nodes; i++ {
 		n := &replicaNode{
 			w: w, id: i, view: w.curView,
-			data: make([]map[uint64]replicaEntry, cfg.Shards),
-			memo: make([]map[uint64]struct{}, cfg.Shards),
-			pend: make(map[uint64]*replicaPend),
+			data:    make([]map[uint64]replicaEntry, cfg.Shards),
+			memo:    make([]map[uint64]struct{}, cfg.Shards),
+			pend:    make(map[uint64]*replicaPend),
+			streams: make(map[replicaStreamKey]*replicaStream),
 		}
 		for s := range n.data {
 			n.data[s] = make(map[uint64]replicaEntry)
@@ -535,9 +552,40 @@ func (n *replicaNode) handle(c *replicaClient, idx, attempt int, in KVIn, opID u
 	if !in.Put {
 		e, ok := n.data[s][in.Key]
 		out := KVOut{Val: e.val, Found: ok}
-		n.w.eng.After(replicaService, func() {
-			n.w.send(n.id, -1, func() { c.onReply(idx, attempt, out, v) })
-		})
+		reply := func() {
+			n.w.eng.After(replicaService, func() {
+				n.w.send(n.id, -1, func() { c.onReply(idx, attempt, out, v) })
+			})
+		}
+		// Commit-gated read: the observed entry may belong to a put still
+		// gathering in a replication log. Serving it immediately would let
+		// a primary killed inside the flush window lose a value a client
+		// already saw — the read, not the put's ack, becomes the broken
+		// durability promise. So the reply joins every outstanding pend
+		// for the key and fires only once none is owed a backup ack (the
+		// same release — ack, or view-change pruning — that unblocks the
+		// puts themselves). Joining all of them keeps the rule simple;
+		// extra joins resolve no later than the one covering the observed
+		// version.
+		var join []*replicaPend
+		for _, rec := range n.pend {
+			if rec.shard == s && rec.key == in.Key {
+				join = append(join, rec)
+			}
+		}
+		if len(join) == 0 {
+			reply()
+			return
+		}
+		left := len(join)
+		gate := func() {
+			if left--; left == 0 {
+				reply()
+			}
+		}
+		for _, rec := range join {
+			rec.waiters = append(rec.waiters, gate)
+		}
 		return
 	}
 	n.handlePut(c, idx, attempt, in, opID, s, v)
@@ -562,7 +610,8 @@ func (n *replicaNode) handlePut(c *replicaClient, idx, attempt int, in KVIn, opI
 		reply = nil
 	}
 	rec := n.pend[opID]
-	if rec == nil {
+	fresh := rec == nil
+	if fresh {
 		// Replicate the key's CURRENT entry (this put's, or a newer one
 		// that already superseded it — either discharges this put's
 		// durability): all backups per our own map must ack before any
@@ -573,21 +622,29 @@ func (n *replicaNode) handlePut(c *replicaClient, idx, attempt int, in KVIn, opI
 			rec.need[b] = true
 		}
 		n.pend[opID] = rec
+	}
+	// The waiter joins before the forwards are enqueued: the
+	// ack-before-batch-durable mutant forgives the whole need set during
+	// the enqueue loop, and its premature ack must actually fire — a
+	// waiter registered after the pend completed would silently never
+	// resolve, turning the mutant into a liveness bug instead of the
+	// durability lie the checker is meant to catch.
+	if reply != nil {
+		rec.waiters = append(rec.waiters, reply)
+	}
+	if fresh {
 		lazy := sim.Time(0)
 		if mutantOn(n.w.mut, MutAckBeforeReplicate) {
 			lazy = replicaMutLazyDelay
 		}
-		for b := range rec.need {
+		for _, b := range v.backups[s] {
 			dst := b
 			if lazy > 0 {
-				n.w.eng.After(lazy, func() { n.forwardRepl(opID, rec, dst) })
+				n.w.eng.After(lazy, func() { n.enqueueRepl(opID, rec, dst) })
 			} else {
-				n.forwardRepl(opID, rec, dst)
+				n.enqueueRepl(opID, rec, dst)
 			}
 		}
-	}
-	if reply != nil {
-		rec.waiters = append(rec.waiters, reply)
 	}
 	n.maybeComplete(opID, rec)
 }
@@ -604,37 +661,124 @@ func (n *replicaNode) maybeComplete(opID uint64, rec *replicaPend) {
 	rec.waiters = nil
 }
 
-// forwardRepl reliably forwards one entry (plus its memo id) to a
-// backup: retransmit until the ack lands, the backup leaves the view,
-// or this node dies. Flap windows just stretch the wait; a dead backup
-// blocks the put until failover prunes it — exactly the liveness the
-// pending re-evaluation provides.
-func (n *replicaNode) forwardRepl(opID uint64, rec *replicaPend, dst int) {
-	n.w.forwards++
-	s := rec.shard
-	var xmit func()
-	xmit = func() {
-		if !rec.need[dst] || n.w.dead[n.id] {
+// replicaStreamKey identifies one (shard, backup) replication log.
+type replicaStreamKey struct{ shard, dst int }
+
+// replicaItem is one pending put riding a replication log.
+type replicaItem struct {
+	opID uint64
+	rec  *replicaPend
+}
+
+// replicaStream models one (shard, backup) group-commit log: puts
+// append, a flush timer gathers companions for replicaFlushDelay, and
+// the flush transmits one multi-entry frame — the sim's mirror of the
+// real forwarder goroutine in internal/cluster/groupcommit.go.
+type replicaStream struct {
+	n        *replicaNode
+	shard    int
+	dst      int
+	queue    []replicaItem
+	flushing bool
+}
+
+// enqueueRepl appends one put to the (shard, dst) replication log and
+// arms the flush. Under the ack-before-batch-durable mutant the put's
+// ack debt to dst is forgiven right here — before the batch carrying it
+// ever flushes, which is exactly the lie the checker must catch.
+func (n *replicaNode) enqueueRepl(opID uint64, rec *replicaPend, dst int) {
+	k := replicaStreamKey{shard: rec.shard, dst: dst}
+	st := n.streams[k]
+	if st == nil {
+		st = &replicaStream{n: n, shard: rec.shard, dst: dst}
+		n.streams[k] = st
+	}
+	st.queue = append(st.queue, replicaItem{opID: opID, rec: rec})
+	if mutantOn(n.w.mut, MutAckBeforeBatchDurable) {
+		delete(rec.need, dst)
+		n.maybeComplete(opID, rec)
+	}
+	st.arm()
+}
+
+func (st *replicaStream) arm() {
+	if st.flushing || len(st.queue) == 0 {
+		return
+	}
+	st.flushing = true
+	st.n.w.eng.After(replicaFlushDelay, st.flush)
+}
+
+// flush cuts up to replicaMaxBatch queued puts into one frame and
+// transmits it; a longer queue re-arms for the remainder.
+func (st *replicaStream) flush() {
+	st.flushing = false
+	if len(st.queue) == 0 {
+		return
+	}
+	w := st.n.w
+	cut := len(st.queue)
+	if cut > replicaMaxBatch {
+		cut = replicaMaxBatch
+	}
+	batch := append([]replicaItem(nil), st.queue[:cut]...)
+	st.queue = append(st.queue[:0], st.queue[cut:]...)
+	w.batches++
+	if len(batch) > 1 {
+		w.multiBatches++
+	}
+	w.forwards += len(batch)
+	st.transmit(batch)
+	st.arm()
+}
+
+// transmit reliably forwards one frame (entries plus their memo ids) to
+// the backup: retransmit until every carried put's ack lands, the
+// backup leaves the view, or this node dies. Flap windows just stretch
+// the wait; a dead backup blocks the frame's puts until failover prunes
+// it — exactly the liveness the pending re-evaluation provides. The
+// frame is all-or-nothing on the wire: one delivery absorbs every
+// entry, one ack clears every carried put's debt to this backup.
+func (st *replicaStream) transmit(batch []replicaItem) {
+	n := st.n
+	w := n.w
+	var xmit func(first bool)
+	xmit = func(first bool) {
+		if w.dead[n.id] {
 			return
 		}
-		if !n.view.hasBackup(s, dst) {
-			delete(rec.need, dst)
-			n.maybeComplete(opID, rec)
+		owed := false
+		for _, it := range batch {
+			if !it.rec.need[st.dst] {
+				continue
+			}
+			if !n.view.hasBackup(st.shard, st.dst) {
+				delete(it.rec.need, st.dst)
+				n.maybeComplete(it.opID, it.rec)
+				continue
+			}
+			owed = true
+		}
+		if !owed && !first {
 			return
 		}
-		n.w.send(n.id, dst, func() {
-			n.w.nodes[dst].absorb(s, rec.key, rec.e, opID)
-			n.w.send(dst, n.id, func() {
-				if !rec.need[dst] {
-					return
+		w.send(n.id, st.dst, func() {
+			for _, it := range batch {
+				w.nodes[st.dst].absorb(st.shard, it.rec.key, it.rec.e, it.opID)
+			}
+			w.send(st.dst, n.id, func() {
+				for _, it := range batch {
+					if !it.rec.need[st.dst] {
+						continue
+					}
+					delete(it.rec.need, st.dst)
+					n.maybeComplete(it.opID, it.rec)
 				}
-				delete(rec.need, dst)
-				n.maybeComplete(opID, rec)
 			})
 		})
-		n.w.eng.After(replicaRetransmit, xmit)
+		w.eng.After(replicaRetransmit, func() { xmit(false) })
 	}
-	xmit()
+	xmit(true)
 }
 
 // absorb applies one replicated entry at a backup: data only if
@@ -669,16 +813,18 @@ func RunReplicaSchedule(cfg ReplicaSimConfig, sched Schedule, mut Mutation) RunR
 	}
 	history := w.rec.History()
 	return RunReport{
-		Schedule:  sched,
-		Result:    Check(model, history),
-		Ops:       len(history),
-		Completed: completed,
-		Retried:   w.retried,
-		DedupHits: w.dedupHits,
-		Redirects: w.redirects,
-		FlapDrops: w.flapDrops,
-		Failovers: w.failovers,
-		Forwards:  w.forwards,
+		Schedule:     sched,
+		Result:       Check(model, history),
+		Ops:          len(history),
+		Completed:    completed,
+		Retried:      w.retried,
+		DedupHits:    w.dedupHits,
+		Redirects:    w.redirects,
+		FlapDrops:    w.flapDrops,
+		Failovers:    w.failovers,
+		Forwards:     w.forwards,
+		Batches:      w.batches,
+		MultiBatches: w.multiBatches,
 	}
 }
 
@@ -698,6 +844,8 @@ func ExploreReplica(cfg ReplicaSimConfig, mut Mutation, startSeed uint64, n int,
 		res.FlapDrops += rep.FlapDrops
 		res.Failovers += rep.Failovers
 		res.Forwards += rep.Forwards
+		res.Batches += rep.Batches
+		res.MultiBatches += rep.MultiBatches
 		if rep.Failed() {
 			res.Failures++
 			if res.First == nil {

@@ -34,6 +34,12 @@ func TestClusterReplicaLinearizable(t *testing.T) {
 			if !tc.cfg.Echo && res.Forwards == 0 {
 				t.Fatal("vacuous sweep: no write was ever replicated to a backup")
 			}
+			if !tc.cfg.Echo && res.Batches == 0 {
+				t.Fatal("vacuous sweep: no replication frame was ever flushed")
+			}
+			if !tc.cfg.Echo && res.MultiBatches == 0 {
+				t.Fatal("vacuous sweep: every flushed frame carried a single put — group commit never coalesced, so batch-boundary failures went untested")
+			}
 			if res.FlapDrops == 0 {
 				t.Fatal("vacuous sweep: no kill/flap ever dropped a message")
 			}
@@ -43,8 +49,8 @@ func TestClusterReplicaLinearizable(t *testing.T) {
 			if !tc.cfg.Echo && res.DedupHits == 0 {
 				t.Fatal("vacuous sweep: no retry was ever answered from the dedup memo")
 			}
-			t.Logf("replica sweep (%s): %d runs, %d failovers, %d forwards, %d drops, %d retries, %d dedup hits",
-				tc.name, res.Runs, res.Failovers, res.Forwards, res.FlapDrops, res.Retried, res.DedupHits)
+			t.Logf("replica sweep (%s): %d runs, %d failovers, %d forwards, %d batches (%d multi), %d drops, %d retries, %d dedup hits",
+				tc.name, res.Runs, res.Failovers, res.Forwards, res.Batches, res.MultiBatches, res.FlapDrops, res.Retried, res.DedupHits)
 		})
 	}
 }
@@ -63,6 +69,7 @@ func TestClusterReplicaDeterministic(t *testing.T) {
 		if r1.Ops != r2.Ops || r1.Failovers != r2.Failovers ||
 			r1.Forwards != r2.Forwards || r1.FlapDrops != r2.FlapDrops ||
 			r1.Retried != r2.Retried || r1.DedupHits != r2.DedupHits ||
+			r1.Batches != r2.Batches || r1.MultiBatches != r2.MultiBatches ||
 			r1.Result.Ok != r2.Result.Ok || r1.Completed != r2.Completed {
 			t.Fatalf("seed %d: replay diverged:\n  %+v\n  %+v", seed, r1, r2)
 		}
@@ -115,6 +122,12 @@ func TestReplicaQuiescentRun(t *testing.T) {
 	}
 	if rep.Forwards == 0 {
 		t.Fatal("quiescent run never replicated a write (replication must run without faults too)")
+	}
+	if rep.Batches == 0 {
+		t.Fatal("quiescent run never flushed a replication frame")
+	}
+	if rep.Forwards < rep.Batches {
+		t.Fatalf("frame accounting inverted: %d forwards across %d batches", rep.Forwards, rep.Batches)
 	}
 	if rep.Ops != cfg.Clients*cfg.OpsPerClient {
 		t.Fatalf("quiescent run recorded %d ops, want %d", rep.Ops, cfg.Clients*cfg.OpsPerClient)

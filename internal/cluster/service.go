@@ -11,7 +11,6 @@ import (
 	"flock/internal/core"
 	"flock/internal/fabric"
 	"flock/internal/kvstore"
-	"flock/internal/mem"
 	"flock/internal/telemetry"
 )
 
@@ -49,10 +48,32 @@ type Service struct {
 	// count (worker-seconds) rather than with how fast one host can spin.
 	ServiceDelay time.Duration
 
-	moves      *telemetry.Counter
-	replFwds   *telemetry.Counter
-	promotions *telemetry.Counter
-	migDur     *telemetry.Hist
+	// Repl tunes the group-commit replication pipeline (flush policy and
+	// in-flight depth per backup stream). Set before traffic, like the
+	// budgets above; see ReplTuning.
+	Repl ReplTuning
+
+	// streams holds the per-(shard, backup) replication logs and their
+	// forwarder goroutines, created lazily on the first replicated put.
+	streamMu      sync.Mutex
+	streams       map[streamKey]*replStream
+	streamsClosed bool
+	streamWG      sync.WaitGroup
+
+	// pendPuts indexes, per key, every put whose group commit has not
+	// resolved yet — the read-side commit gate (see OpGet in handleKV).
+	pendMu   sync.Mutex
+	pendPuts map[uint64][]*replOp
+
+	moves        *telemetry.Counter
+	replFwds     *telemetry.Counter
+	promotions   *telemetry.Counter
+	batches      *telemetry.Counter
+	migDur       *telemetry.Hist
+	readGate     *telemetry.Counter
+	batchEntries *telemetry.Hist
+	flushNS      *telemetry.Hist
+	logPending   *telemetry.Gauge
 }
 
 // shardSlot is one shard's serving state on this member.
@@ -109,13 +130,20 @@ func NewService(node *core.Node, m *ShardMap, storeCap int) (*Service, error) {
 		storeCap = 1024
 	}
 	s := &Service{
-		node:       node,
-		shards:     make([]*shardSlot, m.Shards),
-		fwd:        make(map[fabric.NodeID]*fwdLink),
-		moves:      node.Telemetry().Counter("cluster.shard_moves"),
-		replFwds:   node.Telemetry().Counter("cluster.replica_forwards"),
-		promotions: node.Telemetry().Counter("cluster.promotions"),
-		migDur:     node.Telemetry().Hist("cluster.migration_duration_ns"),
+		node:         node,
+		shards:       make([]*shardSlot, m.Shards),
+		fwd:          make(map[fabric.NodeID]*fwdLink),
+		streams:      make(map[streamKey]*replStream),
+		pendPuts:     make(map[uint64][]*replOp),
+		moves:        node.Telemetry().Counter("cluster.shard_moves"),
+		replFwds:     node.Telemetry().Counter("cluster.replica_forwards"),
+		promotions:   node.Telemetry().Counter("cluster.promotions"),
+		batches:      node.Telemetry().Counter("cluster.repl_batches"),
+		readGate:     node.Telemetry().Counter("cluster.read_gate_waits"),
+		migDur:       node.Telemetry().Hist("cluster.migration_duration_ns"),
+		batchEntries: node.Telemetry().Hist("cluster.repl_batch_entries"),
+		flushNS:      node.Telemetry().Hist("cluster.repl_flush_ns"),
+		logPending:   node.Telemetry().Gauge("cluster.repl_log_pending"),
 	}
 	for i := range s.shards {
 		st, err := kvstore.New(kvstore.NewMem(kvstore.ArenaSize(storeCap, 8)), storeCap, 8)
@@ -204,6 +232,24 @@ func (s *Service) handleKV(req []byte) ([]byte, uint32) {
 	switch op {
 	case OpGet:
 		v, found := slot.store.Value64(key)
+		// Commit gate: the value just read may belong to a put still
+		// gathering in a replication log. Answering immediately would let
+		// this node die inside the flush window having shown a client a
+		// value no backup holds — the read, not the put's ack, becomes
+		// the broken durability promise. So the reply waits for every
+		// unresolved put on this key; any failed commit NACKs the read
+		// (the observed value's durability is unknown) and the client
+		// retries, by which point the put has retried or a newer map is
+		// out. A put staged after the read began is not waited on — the
+		// read linearizes at its observation point.
+		if pending := s.pendingOps(key); len(pending) != 0 {
+			s.readGate.Inc()
+			for _, op := range pending {
+				if err := op.waitCommit(s.commitWait()); err != nil {
+					return nil, core.StatusOverloaded
+				}
+			}
+		}
 		out := appendEpoch(make([]byte, 0, 17), m.Epoch)
 		if found {
 			out = append(out, 1)
@@ -212,7 +258,27 @@ func (s *Service) handleKV(req []byte) ([]byte, uint32) {
 		}
 		return binary.LittleEndian.AppendUint64(out, v), core.StatusOK
 	case OpPut:
+		// Group-commit replication: the ACK below is a durability promise —
+		// the write must survive this node's death — so every backup must
+		// hold it first. The put joins the per-(shard, backup) replication
+		// logs and parks until the batch carrying it commits on every
+		// backup (see groupcommit.go). On any failure the whole batch
+		// NACKs and the clients retry; a backup that already applied just
+		// no-ops the retry (guarded apply). A WrongShard NACK from a
+		// backup installed its newer map before the batch failed, so the
+		// retry is served — or fenced — under that map.
+		//
+		// The commit is staged BEFORE the local apply: a concurrent read
+		// that observes the applied value is then guaranteed to find the
+		// pending op in the per-key index and gate on it (see OpGet).
+		var op *replOp
+		if backups := m.BackupsOf(shard); len(backups) > 0 {
+			op = s.stageCommit(m.Epoch, shard, key, val, backups)
+		}
 		if _, err := slot.store.UpdateMax64(key, val); err != nil {
+			if op != nil {
+				s.awaitCommit(key, op)
+			}
 			return nil, core.StatusOverloaded
 		}
 		if slot.copying {
@@ -222,36 +288,14 @@ func (s *Service) handleKV(req []byte) ([]byte, uint32) {
 			// we NACK so the client retries, and at-least-once is absorbed
 			// by the guarded apply.
 			if err := s.forward(slot.target, shard, key, val); err != nil {
+				if op != nil {
+					s.awaitCommit(key, op)
+				}
 				return nil, core.StatusOverloaded
 			}
 		}
-		// Synchronous replication: the ACK below is a durability promise —
-		// the write must survive this node's death — so every backup must
-		// ack first. On any failure we NACK and the client retries; a
-		// backup that already applied just no-ops the retry (guarded
-		// apply). A WrongShard NACK from a backup installed its newer map
-		// above us, so the retry is served — or fenced — under that map.
-		// The forwards fan out in parallel: the promise needs all acks,
-		// not any order among them, and each sequential forward would add
-		// a full round trip to every replicated put.
-		switch backups := m.BackupsOf(shard); len(backups) {
-		case 0:
-		case 1:
-			if err := s.replicate(backups[0], m.Epoch, shard, key, val); err != nil {
-				return nil, core.StatusOverloaded
-			}
-		default:
-			errs := make(chan error, len(backups))
-			for _, backup := range backups {
-				go func(b fabric.NodeID) { errs <- s.replicate(b, m.Epoch, shard, key, val) }(backup)
-			}
-			failed := false
-			for range backups {
-				if err := <-errs; err != nil {
-					failed = true
-				}
-			}
-			if failed {
+		if op != nil {
+			if err := s.awaitCommit(key, op); err != nil {
 				return nil, core.StatusOverloaded
 			}
 		}
@@ -339,38 +383,46 @@ func (s *Service) handleReplicate(req []byte) ([]byte, uint32) {
 	return EncodeReplicaAck(s.cur.Load().Epoch, applied), core.StatusOK
 }
 
-// replicate sends one guarded apply to a backup and waits for its ack.
-// A WrongShard NACK carries the backup's newer map, which we install
-// before failing so the client's retry runs under the corrected view.
-func (s *Service) replicate(to fabric.NodeID, epoch uint64, shard int, key, val uint64) error {
-	link, err := s.link(to)
+// classifyReplicaResp turns one backup's RPCReplicate outcome into a
+// typed error (nil on OK). A WrongShard NACK carries the backup's newer
+// map, which is installed before the fence error returns so retries run
+// under the corrected view. It owns resp's lease.
+func (s *Service) classifyReplicaResp(to fabric.NodeID, resp core.Response, err error) error {
 	if err != nil {
-		return err
-	}
-	buf := mem.Get(ReplicaForwardSize(1))
-	b := AppendReplicaForward(buf.Data()[:0], ReplicaForward{
-		Epoch:   epoch,
-		Shard:   shard,
-		Entries: []ReplicaEntry{{Key: key, Val: val}},
-	})
-	resp, err := link.call(RPCReplicate, b, s.budget(s.ForwardBudget))
-	buf.Release()
-	if err != nil {
-		return err
+		return &ReplError{Backup: to, Err: err}
 	}
 	defer resp.Release()
 	switch resp.Status {
 	case core.StatusOK:
-		s.replFwds.Inc()
 		return nil
 	case core.StatusWrongShard:
 		if nm, derr := DecodeShardMap(resp.Data); derr == nil {
 			s.InstallMap(nm)
 		}
-		return fmt.Errorf("cluster: replica fence from %d (stale epoch %d)", to, epoch)
+		return &ReplError{Backup: to, Status: resp.Status, Err: ErrReplicaFenced}
 	default:
-		return fmt.Errorf("cluster: replicate NACK status %d", resp.Status)
+		return &ReplError{Backup: to, Status: resp.Status, Err: ErrReplicaNACK}
 	}
+}
+
+// replicate sends one guarded apply to a backup and waits for its ack —
+// the synchronous single-entry path the group-commit forwarder
+// generalizes (both emit the identical FRP1 wire image; this one stays
+// as the direct probe used by fence tests and repair checks).
+func (s *Service) replicate(to fabric.NodeID, epoch uint64, shard int, key, val uint64) error {
+	link, err := s.link(to)
+	if err != nil {
+		return err
+	}
+	f := leaseReplFrame(epoch, shard, 1)
+	f.add(key, val)
+	resp, err := link.call(RPCReplicate, f.payload(), s.budget(s.ForwardBudget))
+	f.release()
+	if err = s.classifyReplicaResp(to, resp, err); err != nil {
+		return err
+	}
+	s.replFwds.Inc()
+	return nil
 }
 
 // forward dual-writes one key to the migration target as a chunk of one.
@@ -379,14 +431,10 @@ func (s *Service) forward(to fabric.NodeID, shard int, key, val uint64) error {
 	if err != nil {
 		return err
 	}
-	buf := mem.Get(chunkHeaderLen + chunkEntryLen)
-	b := buf.Data()
-	binary.LittleEndian.PutUint32(b[0:4], uint32(shard))
-	binary.LittleEndian.PutUint32(b[4:8], 1)
-	binary.LittleEndian.PutUint64(b[8:16], key)
-	binary.LittleEndian.PutUint64(b[16:24], val)
-	resp, err := link.call(RPCMigrate, b, s.budget(s.ForwardBudget))
-	buf.Release()
+	f := leaseChunkFrame(shard, 1)
+	f.add(key, val)
+	resp, err := link.call(RPCMigrate, f.payload(), s.budget(s.ForwardBudget))
+	f.release()
 	if err != nil {
 		return err
 	}
@@ -466,24 +514,20 @@ func (s *Service) streamShard(shard int, to fabric.NodeID, deadline time.Time) e
 	if maxEntries > 256 {
 		maxEntries = 256
 	}
-	buf := mem.Get(chunkHeaderLen + maxEntries*chunkEntryLen)
-	defer buf.Release()
-	entries := 0
-	b := buf.Data()
+	f := leaseChunkFrame(shard, maxEntries)
+	defer f.release()
 	flush := func() error {
-		if entries == 0 {
+		if f.n == 0 {
 			return nil
 		}
-		binary.LittleEndian.PutUint32(b[0:4], uint32(shard))
-		binary.LittleEndian.PutUint32(b[4:8], uint32(entries))
-		payload := b[:chunkHeaderLen+entries*chunkEntryLen]
+		payload := f.payload()
 		for {
 			resp, err := link.call(RPCMigrate, payload, s.budget(s.CopyBudget))
 			if err == nil {
 				st := resp.Status
 				resp.Release()
 				if st == core.StatusOK {
-					entries = 0
+					f.reset()
 					return nil
 				}
 				err = fmt.Errorf("cluster: chunk NACK status %d", st)
@@ -496,11 +540,8 @@ func (s *Service) streamShard(shard int, to fabric.NodeID, deadline time.Time) e
 	}
 	var scanErr error
 	slot.store.Scan(func(key uint64, val []byte) bool {
-		off := chunkHeaderLen + entries*chunkEntryLen
-		binary.LittleEndian.PutUint64(b[off:off+8], key)
-		copy(b[off+8:off+16], val[:8])
-		entries++
-		if entries == maxEntries {
+		f.add(key, binary.LittleEndian.Uint64(val[:8]))
+		if f.n == maxEntries {
 			if scanErr = flush(); scanErr != nil {
 				return false
 			}
@@ -578,8 +619,10 @@ func (s *Service) ShardFingerprint(shard int) uint64 {
 	return s.shards[shard].store.Fingerprint64()
 }
 
-// Close tears down the service's forward links.
+// Close stops the replication forwarders (queued ops NACK, in-flight
+// frames resolve within their budgets) and tears down the forward links.
 func (s *Service) Close() {
+	s.closeStreams()
 	s.fwdMu.Lock()
 	defer s.fwdMu.Unlock()
 	for _, l := range s.fwd {

@@ -129,10 +129,28 @@ func fuzzSeedForward() ReplicaForward {
 	}
 }
 
+// fuzzSeedBatchForward is the shape group commit actually puts on the
+// wire: one frame carrying a full coalesced flush (ReplTuning's default
+// entry cap), not the single- and two-entry frames the pre-batching
+// protocol sent. Seeding it keeps the fuzzer anchored on the multi-entry
+// length math — count field vs. trailing entry bytes — where a decoder
+// bug would corrupt a whole batch of acked writes at once.
+func fuzzSeedBatchForward() ReplicaForward {
+	fw := ReplicaForward{Epoch: 9, Shard: 1}
+	for i := 0; i < 8; i++ {
+		k := uint64(i+1) * 0x0101010101010101
+		fw.Entries = append(fw.Entries, ReplicaEntry{Key: k, Val: ^k})
+	}
+	return fw
+}
+
 func FuzzDecodeReplicaForward(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(AppendReplicaForward(nil, fuzzSeedForward()))
 	f.Add(AppendReplicaForward(nil, ReplicaForward{Epoch: 1, Shard: 0}))
+	batch := AppendReplicaForward(nil, fuzzSeedBatchForward())
+	f.Add(batch)
+	f.Add(batch[:len(batch)-9]) // batch truncated mid-entry: count promises more than arrives
 	good := AppendReplicaForward(nil, fuzzSeedForward())
 	f.Add(good[:len(good)-7]) // truncated mid-entry
 	for _, i := range []int{0, 4, 12, 16, len(good) - 1} {
@@ -159,6 +177,7 @@ func FuzzReplicaForwardRoundTrip(f *testing.F) {
 	f.Add(uint64(1), uint16(0), uint8(0), uint64(42))
 	f.Add(uint64(1<<50), uint16(255), uint8(9), uint64(0))
 	f.Add(^uint64(0), uint16(1023), uint8(200), ^uint64(0))
+	f.Add(uint64(9), uint16(1), uint8(8), uint64(0x0101010101010101)) // a coalesced group-commit flush
 	f.Fuzz(func(t *testing.T, epoch uint64, shard uint16, n uint8, kvSeed uint64) {
 		fw := ReplicaForward{Epoch: epoch, Shard: int(shard) % maxWireShards}
 		for i := 0; i < int(n); i++ {
@@ -216,10 +235,14 @@ func TestFuzzCorpusFresh(t *testing.T) {
 		"testdata/fuzz/FuzzDecodeReplicaForward/seed-empty-entries": corpusBytes(
 			AppendReplicaForward(nil, ReplicaForward{Epoch: 1, Shard: 0})),
 		"testdata/fuzz/FuzzDecodeReplicaForward/seed-garbage": corpusBytes(nil),
+		"testdata/fuzz/FuzzDecodeReplicaForward/seed-batch": corpusBytes(
+			AppendReplicaForward(nil, fuzzSeedBatchForward())),
 		"testdata/fuzz/FuzzReplicaForwardRoundTrip/seed-basic": []byte(
 			"go test fuzz v1\nuint64(1)\nuint16(0)\nbyte(0)\nuint64(42)\n"),
 		"testdata/fuzz/FuzzReplicaForwardRoundTrip/seed-deep": []byte(
 			"go test fuzz v1\nuint64(1125899906842624)\nuint16(255)\nbyte(9)\nuint64(0)\n"),
+		"testdata/fuzz/FuzzReplicaForwardRoundTrip/seed-batch": []byte(
+			"go test fuzz v1\nuint64(9)\nuint16(1)\nbyte(8)\nuint64(72340172838076673)\n"),
 	}
 	for path, want := range entries {
 		got, err := os.ReadFile(path)

@@ -23,6 +23,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Mem is the storage arena. *rnic.MemRegion implements it, which is the
@@ -39,22 +40,25 @@ type Mem interface {
 
 // byteMem is a process-local arena.
 type byteMem struct {
-	b []byte
+	mu sync.Mutex
+	b  []byte
 }
 
 // NewMem returns a process-local arena of size bytes for standalone use.
-// It is NOT safe for concurrent mutation of the same word without external
-// synchronization beyond the store's own protocol (which only needs CAS64
-// and 64-bit load/store atomicity; byteMem provides those best-effort and
-// is intended for single-node tests — use an rnic.MemRegion for shared
-// setups).
+// The store's protocol needs CAS64 and 64-bit load/store atomicity;
+// byteMem provides them with an internal lock, so concurrent readers
+// and CAS writers on the same word (a primary's get racing a put, a
+// backup's inline replica apply racing a deposed primary) are safe —
+// use an rnic.MemRegion for shared setups.
 func NewMem(size int) Mem { return &byteMem{b: make([]byte, size)} }
 
 func (m *byteMem) ReadAt(dst []byte, off int) error {
 	if off < 0 || off+len(dst) > len(m.b) {
 		return errors.New("kvstore: read out of range")
 	}
+	m.mu.Lock()
 	copy(dst, m.b[off:])
+	m.mu.Unlock()
 	return nil
 }
 
@@ -62,19 +66,28 @@ func (m *byteMem) WriteAt(src []byte, off int) error {
 	if off < 0 || off+len(src) > len(m.b) {
 		return errors.New("kvstore: write out of range")
 	}
+	m.mu.Lock()
 	copy(m.b[off:], src)
+	m.mu.Unlock()
 	return nil
 }
 
 func (m *byteMem) Load64(off int) uint64 {
-	return le64(m.b[off : off+8])
+	m.mu.Lock()
+	v := le64(m.b[off : off+8])
+	m.mu.Unlock()
+	return v
 }
 
 func (m *byteMem) Store64(off int, v uint64) {
+	m.mu.Lock()
 	putLE64(m.b[off:off+8], v)
+	m.mu.Unlock()
 }
 
 func (m *byteMem) CAS64(off int, old, new uint64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if le64(m.b[off:off+8]) != old {
 		return false
 	}
